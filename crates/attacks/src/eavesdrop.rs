@@ -1,0 +1,159 @@
+//! Passive eavesdropping and the confidentiality layers.
+//!
+//! A global passive adversary hears every frame. Without keys it learns
+//! nothing. With a captured cluster key it can open Step-2 envelopes sent
+//! under that key — exactly the "intermediate node accessibility" the
+//! protocol grants intermediaries on purpose — but Step-1-sealed payloads
+//! remain opaque without the source's node key `Ki`, which never leaves
+//! the source and the base station.
+
+use wsn_core::config::ProtocolConfig;
+use wsn_core::forward::{e2e_seal, unwrap, wrap};
+use wsn_core::msg::{DataUnit, Inner, Message};
+use wsn_core::node::CapturedKeys;
+use bytes::Bytes;
+use wsn_crypto::Key128;
+
+/// What an eavesdropper with some captured key material can extract from
+/// one recorded frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Extraction {
+    /// Could not even open the Step-2 envelope.
+    Nothing,
+    /// Opened the envelope; payload was Step-1 sealed — metadata only
+    /// (source ID visible, reading confidential).
+    MetadataOnly {
+        /// The exposed source ID.
+        src: u32,
+    },
+    /// Opened the envelope and the payload was plaintext (fusion mode).
+    Plaintext(Vec<u8>),
+}
+
+/// Attempts to extract information from a recorded `Wrapped` frame using
+/// captured key material.
+pub fn extract(
+    frame: &[u8],
+    haul: &[CapturedKeys],
+    now: u64,
+    cfg: &ProtocolConfig,
+) -> Extraction {
+    let Ok(Message::Wrapped { cid, nonce, sealed }) = Message::decode(frame) else {
+        return Extraction::Nothing;
+    };
+    // The adversary's key set: every cluster key in the haul.
+    let mut candidates: Vec<Key128> = Vec::new();
+    for k in haul {
+        if let Some((c, kc)) = k.cluster {
+            if c == cid {
+                candidates.push(kc);
+            }
+        }
+        for (c, kc) in &k.neighbor_keys {
+            if *c == cid {
+                candidates.push(*kc);
+            }
+        }
+    }
+    for kc in candidates {
+        if let Ok(u) = unwrap(&kc, cid, nonce, &sealed, now, cfg) {
+            if let Inner::Data(unit) = u.inner {
+                return if unit.sealed {
+                    Extraction::MetadataOnly { src: unit.src }
+                } else {
+                    Extraction::Plaintext(unit.body.to_vec())
+                };
+            }
+            return Extraction::Nothing;
+        }
+    }
+    Extraction::Nothing
+}
+
+/// Builds the frame a sensor would transmit (used to "record" traffic).
+pub fn record_transmission(
+    keys: &CapturedKeys,
+    reading: &'static [u8],
+    sealed: bool,
+    now: u64,
+) -> Bytes {
+    let (cid, kc) = keys.cluster.expect("clustered");
+    let body = if sealed {
+        e2e_seal(&keys.ki, keys.id, 0, reading)
+    } else {
+        Bytes::from_static(reading)
+    };
+    let unit = DataUnit {
+        src: keys.id,
+        ctr: None,
+        sealed,
+        body,
+    };
+    wrap(&kc, cid, keys.id, 0x5EED, now, 3, &Inner::Data(unit)).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_core::prelude::*;
+
+    fn haul(seed: u64) -> (Vec<CapturedKeys>, CapturedKeys, ProtocolConfig) {
+        let o = run_setup(&SetupParams {
+            n: 300,
+            density: 12.0,
+            seed,
+            cfg: ProtocolConfig::default(),
+        });
+        let ids = o.handle.sensor_ids();
+        let victim = o.handle.sensor(ids[10]).extract_keys();
+        // Capture one node in the victim's own cluster (or the victim's
+        // head) so the adversary holds the right cluster key.
+        let cid = victim.cluster.unwrap().0;
+        let insider = o.handle.sensor(cid).extract_keys();
+        (vec![insider], victim, o.handle.cfg().clone())
+    }
+
+    #[test]
+    fn no_keys_no_information() {
+        let (_, victim, cfg) = haul(1);
+        let frame = record_transmission(&victim, b"fusion reading", false, 100);
+        assert_eq!(extract(&frame, &[], 100, &cfg), Extraction::Nothing);
+    }
+
+    #[test]
+    fn cluster_key_exposes_fusion_traffic() {
+        // This is the designed trade-off: fusion mode trades confidentiality
+        // against intermediaries for in-network aggregation.
+        let (haul, victim, cfg) = haul(2);
+        let frame = record_transmission(&victim, b"fusion reading", false, 100);
+        assert_eq!(
+            extract(&frame, &haul, 100, &cfg),
+            Extraction::Plaintext(b"fusion reading".to_vec())
+        );
+    }
+
+    #[test]
+    fn e2e_sealed_traffic_stays_confidential() {
+        let (haul, victim, cfg) = haul(3);
+        let frame = record_transmission(&victim, b"state secret", true, 100);
+        match extract(&frame, &haul, 100, &cfg) {
+            Extraction::MetadataOnly { src } => assert_eq!(src, victim.id),
+            other => panic!("expected metadata-only, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unrelated_cluster_key_is_useless() {
+        let (_, victim, cfg) = haul(4);
+        // An adversary holding keys from a different network entirely.
+        let o2 = run_setup(&SetupParams {
+            n: 100,
+            density: 10.0,
+            seed: 999,
+            cfg: ProtocolConfig::default(),
+        });
+        let foreign = o2.handle.sensor(5).extract_keys();
+        let frame = record_transmission(&victim, b"fusion reading", false, 100);
+        assert_eq!(extract(&frame, &[foreign], 100, &cfg), Extraction::Nothing);
+    }
+}

@@ -1,0 +1,207 @@
+//! The HELLO-flood attack (§VI), in three settings.
+//!
+//! 1. **Setup phase, no `Km`** — the attacker floods forged HELLOs during
+//!    cluster formation. Every frame fails authentication; zero nodes join
+//!    the attacker. ("Since, however, messages are authenticated this
+//!    attack is not possible.")
+//! 2. **Key refresh, hash mode** — there is no message to flood against:
+//!    keys roll locally. The attack is structurally impossible ("a better
+//!    way ... is to refresh the keys by hashing ... makes this kind of
+//!    attack useless").
+//! 3. **Key refresh, re-cluster mode, attacker holds a captured cluster
+//!    key** — the constrained refresh accepts a new key only for the
+//!    receiver's *own* cluster, so "an adversary cannot take control of
+//!    more nodes than she already has".
+//!
+//! The LEAP-like baseline accepts the same flood unconditionally
+//! (`wsn_baselines::leap::Leap::hello_flood_accepted`).
+
+use wsn_core::forward::{seal_setup, wrap};
+use wsn_core::msg::{Inner, Message};
+use wsn_core::setup::{run_setup_with_attack, NetworkHandle, SetupParams};
+use wsn_crypto::Key128;
+use wsn_sim::radio::RadioConfig;
+
+/// Result of a HELLO-flood attempt.
+#[derive(Clone, Debug)]
+pub struct HelloFloodReport {
+    /// Forged HELLO frames injected.
+    pub injected: usize,
+    /// Sensors that associated with the attacker's cluster ID.
+    pub suborned: usize,
+    /// Authentication drops attributable to the flood.
+    pub auth_drops: u64,
+}
+
+/// Attacker identity used in flood frames.
+pub const ATTACKER_ID: u32 = 0x00AD_BEEF;
+
+/// Floods `per_site` forged HELLOs from each of `sites` (node positions
+/// used as transmit locations) during the setup phase. The attacker does
+/// **not** know `Km`; it seals with its own key, exactly what a
+/// laptop-class outsider can do.
+pub fn flood_setup_phase(
+    params: &SetupParams,
+    sites: &[u32],
+    per_site: usize,
+) -> (HelloFloodReport, NetworkHandle) {
+    let attacker_key = Key128::from_bytes([0xAD; 16]);
+    let mut injected = 0;
+    let outcome = run_setup_with_attack(params, RadioConfig::default(), |sim| {
+        for &site in sites {
+            for k in 0..per_site {
+                let (nonce, sealed) =
+                    seal_setup(&attacker_key, ATTACKER_ID, k as u64, ATTACKER_ID, &attacker_key);
+                let frame = Message::Hello { nonce, sealed }.encode();
+                // Spread the flood across the election window.
+                sim.inject_broadcast_at(site, ATTACKER_ID, 10 + k as u64 * 1000, frame);
+                injected += 1;
+            }
+        }
+    });
+    let handle = outcome.handle;
+    let suborned = handle
+        .sensor_ids()
+        .into_iter()
+        .filter(|&id| handle.sensor(id).cid() == Some(ATTACKER_ID))
+        .count();
+    let auth_drops = handle
+        .sensor_ids()
+        .into_iter()
+        .map(|id| handle.sensor(id).stats.drops.bad_auth)
+        .sum();
+    (
+        HelloFloodReport {
+            injected,
+            suborned,
+            auth_drops,
+        },
+        handle,
+    )
+}
+
+/// Floods refresh HELLOs using a *captured* cluster key (the §VI
+/// laptop-class-insider scenario) and reports how many nodes outside the
+/// captured cluster adopted the attacker's key.
+pub fn flood_refresh_phase(handle: &mut NetworkHandle, victim: u32, frames: usize) -> HelloFloodReport {
+    let keys = handle.sensor(victim).extract_keys();
+    let Some((cid, kc)) = keys.cluster else {
+        return HelloFloodReport {
+            injected: 0,
+            suborned: 0,
+            auth_drops: 0,
+        };
+    };
+    let attacker_key = Key128::from_bytes([0xAD; 16]);
+    let epoch = handle.sensor(victim).epoch() + 1;
+    let now = handle.sim().now();
+    for k in 0..frames {
+        // A well-formed RefreshHello under the captured key, announcing the
+        // attacker's key as the "new" cluster key.
+        let msg = wrap(
+            &kc,
+            cid,
+            ATTACKER_ID,
+            0xA000_0000 + k as u64,
+            now,
+            1,
+            &Inner::RefreshHello {
+                epoch,
+                new_kc: attacker_key,
+            },
+        );
+        handle
+            .sim_mut()
+            .inject_broadcast_at(victim, ATTACKER_ID, 1 + k as u64, msg.encode());
+    }
+    handle.sim_mut().run();
+
+    // Count nodes now keyed with the attacker's key *outside* the victim's
+    // cluster (inside it, the §VI mitigation concedes control — the
+    // attacker already owns that cluster's key).
+    let suborned_outside = handle
+        .sensor_ids()
+        .into_iter()
+        .filter(|&id| {
+            let s = handle.sensor(id);
+            s.cid() != Some(cid)
+                && s.extract_keys()
+                    .cluster
+                    .is_some_and(|(_, k)| k == attacker_key)
+        })
+        .count();
+    HelloFloodReport {
+        injected: frames,
+        suborned: suborned_outside,
+        auth_drops: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_core::config::RefreshMode;
+    use wsn_core::node::Role;
+    use wsn_core::prelude::*;
+
+    fn params(seed: u64, refresh: RefreshMode) -> SetupParams {
+        SetupParams {
+            n: 300,
+            density: 12.0,
+            seed,
+            cfg: ProtocolConfig::default().with_refresh_mode(refresh),
+        }
+    }
+
+    #[test]
+    fn setup_flood_suborns_nobody() {
+        let (report, handle) =
+            flood_setup_phase(&params(1, RefreshMode::Hash), &[30, 90, 150], 20);
+        assert_eq!(report.injected, 60);
+        assert_eq!(report.suborned, 0, "authenticated HELLOs defeat the flood");
+        assert!(
+            report.auth_drops >= 30,
+            "the flood must show up as auth drops: {}",
+            report.auth_drops
+        );
+        // And the network still formed correctly underneath the attack.
+        for id in handle.sensor_ids() {
+            assert_ne!(handle.sensor(id).role(), Role::Undecided);
+        }
+    }
+
+    #[test]
+    fn recluster_refresh_flood_is_contained_to_captured_cluster() {
+        let outcome = run_setup(&params(2, RefreshMode::Recluster));
+        let mut handle = outcome.handle;
+        let victim = handle.sensor_ids()[25];
+        let report = flood_refresh_phase(&mut handle, victim, 30);
+        assert_eq!(
+            report.suborned, 0,
+            "constrained refresh must not let the attacker grow beyond the captured cluster"
+        );
+    }
+
+    #[test]
+    fn hash_refresh_mode_rejects_refresh_hellos_entirely() {
+        let outcome = run_setup(&params(3, RefreshMode::Hash));
+        let mut handle = outcome.handle;
+        let victim = handle.sensor_ids()[25];
+        let before: u64 = handle
+            .sensor_ids()
+            .iter()
+            .map(|&id| handle.sensor(id).stats.drops.wrong_phase)
+            .sum();
+        let report = flood_refresh_phase(&mut handle, victim, 10);
+        assert_eq!(report.suborned, 0);
+        let after: u64 = handle
+            .sensor_ids()
+            .iter()
+            .map(|&id| handle.sensor(id).stats.drops.wrong_phase)
+            .sum();
+        assert!(
+            after > before,
+            "hash mode drops RefreshHello as wrong-phase traffic"
+        );
+    }
+}

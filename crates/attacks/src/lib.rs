@@ -1,0 +1,38 @@
+//! # wsn-attacks
+//!
+//! The adversary models of the paper's Security Analysis (§VI), runnable
+//! against real protocol state. Each module stages one attack end-to-end
+//! on a live `wsn-core` network and measures the outcome the paper argues
+//! for:
+//!
+//! * [`capture`] — node capture and clone injection: key material leaks,
+//!   but "key material from one part of the network cannot be used to
+//!   disrupt communications to some other part of it".
+//! * [`hello_flood`] — the HELLO-flood attack: useless against the setup
+//!   phase (messages are authenticated under `Km`) and against
+//!   hash-refresh ("refresh the keys by hashing ... makes this kind of
+//!   attack useless"); contrast with the LEAP-like baseline where it
+//!   succeeds unconditionally.
+//! * [`replay`] — replayed frames are suppressed by the dedup cache and,
+//!   past the freshness window, dropped as stale.
+//! * [`selective_forward`] — a compromised forwarder drops traffic; "its
+//!   consequences are insignificant since nearby nodes can have access to
+//!   the same information through their cluster keys".
+//! * [`eavesdrop`] — a passive global adversary: cluster keys expose
+//!   Step-2 envelopes locally, but Step-1 (end-to-end) payloads stay
+//!   confidential without the source's `Ki`.
+//! * [`sybil`] — forged identities: without a registered `Ki` the base
+//!   station refuses the Sybil's readings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod eavesdrop;
+pub mod hello_flood;
+pub mod replay;
+pub mod selective_forward;
+pub mod sybil;
+
+pub use capture::CaptureReport;
+pub use hello_flood::HelloFloodReport;

@@ -1,0 +1,68 @@
+//! The pebblenets baseline (Basagni et al.): one key for the whole
+//! network.
+//!
+//! "Having network wide keys ... is very good in terms of storage
+//! requirements and energy efficiency ... It suffers, however, from the
+//! obvious security disadvantage that compromise of even a single node
+//! will reveal the universal key."
+
+use crate::KeyScheme;
+use wsn_sim::topology::Topology;
+
+/// The single-network-key scheme.
+pub struct GlobalKey;
+
+impl KeyScheme for GlobalKey {
+    fn name(&self) -> &'static str {
+        "global-key"
+    }
+
+    fn keys_stored(&self, _topo: &Topology, _id: u32) -> usize {
+        1
+    }
+
+    fn setup_messages_per_node(&self, _topo: &Topology) -> f64 {
+        // Pre-loaded before deployment; no establishment traffic at all.
+        0.0
+    }
+
+    fn broadcast_transmissions(&self, _topo: &Topology, _id: u32) -> usize {
+        1
+    }
+
+    fn readable_tx_fraction(&self, _topo: &Topology, captured: &[u32]) -> f64 {
+        if captured.is_empty() {
+            0.0
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_sim::topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::random(&TopologyConfig::with_density(50, 8.0), 3)
+    }
+
+    #[test]
+    fn storage_and_broadcast_are_minimal() {
+        let t = topo();
+        let g = GlobalKey;
+        assert_eq!(g.keys_stored(&t, 5), 1);
+        assert_eq!(g.broadcast_transmissions(&t, 5), 1);
+        assert_eq!(g.setup_messages_per_node(&t), 0.0);
+    }
+
+    #[test]
+    fn one_capture_breaks_everything() {
+        let t = topo();
+        let g = GlobalKey;
+        assert_eq!(g.readable_tx_fraction(&t, &[]), 0.0);
+        assert_eq!(g.readable_tx_fraction(&t, &[7]), 1.0);
+        assert_eq!(g.readable_tx_fraction(&t, &[7, 8, 9]), 1.0);
+    }
+}

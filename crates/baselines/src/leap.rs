@@ -1,0 +1,136 @@
+//! A LEAP-like baseline (Zhu, Setia, Jajodia): per-node cluster keys
+//! distributed over pairwise keys derived from a short-lived master key.
+//!
+//! The paper's §III critique, reproduced here as measurable properties:
+//!
+//! * "a more expensive bootstrapping phase" — neighbor discovery needs a
+//!   HELLO + per-neighbor ACK, then the node's cluster key is unicast to
+//!   each neighbor under the pairwise keys: `1 + 2d` messages per node vs
+//!   our ≈ 1.1 (Figure 9).
+//! * "increased storage requirements ... proportional to its actual
+//!   neighbors" — `2d + 1` keys vs our handful (Figure 6).
+//! * the **HELLO-flood attack**: during neighbor discovery "an attacker
+//!   may force a sensor node to compute pairwise keys with other (or all)
+//!   nodes in the network ... nothing prevents her from doing so" —
+//!   modeled by [`Leap::hello_flood_accepted`].
+//!
+//! LEAP does share our scheme's good properties (deterministic security,
+//! one-transmission broadcast); the benches show exactly where the two
+//! differ.
+
+use crate::KeyScheme;
+use std::collections::HashSet;
+use wsn_sim::topology::Topology;
+
+/// The LEAP-like scheme.
+pub struct Leap;
+
+impl Leap {
+    /// The HELLO-flood attack during neighbor discovery: the victim
+    /// computes (and stores) one pairwise key per HELLO heard — all
+    /// `bogus_hellos` of them are accepted because neighbor discovery is
+    /// unauthenticated at that point. Returns the number of attacker-
+    /// controlled pairwise keys established at the victim.
+    ///
+    /// Contrast: in the paper's protocol every setup HELLO is
+    /// encrypted+MACed under `Km`, so the same flood yields 0 accepted
+    /// associations (demonstrated end-to-end in `wsn-attacks`).
+    pub fn hello_flood_accepted(&self, bogus_hellos: usize) -> usize {
+        bogus_hellos
+    }
+}
+
+impl KeyScheme for Leap {
+    fn name(&self) -> &'static str {
+        "LEAP-like"
+    }
+
+    fn keys_stored(&self, topo: &Topology, id: u32) -> usize {
+        // d pairwise keys + own cluster key + d neighbor cluster keys.
+        2 * topo.degree(id) + 1
+    }
+
+    fn setup_messages_per_node(&self, topo: &Topology) -> f64 {
+        // HELLO broadcast (1) + ACK to each heard HELLO (d) + unicast of
+        // the cluster key to each neighbor (d).
+        1.0 + 2.0 * topo.mean_degree()
+    }
+
+    fn broadcast_transmissions(&self, _topo: &Topology, _id: u32) -> usize {
+        // Like ours: the node's cluster key is shared with all neighbors.
+        1
+    }
+
+    fn readable_tx_fraction(&self, topo: &Topology, captured: &[u32]) -> f64 {
+        // Capturing a node yields its own cluster key and those of its
+        // neighbors; broadcasts of exactly those nodes become readable.
+        let captured_set: HashSet<u32> = captured.iter().copied().collect();
+        let mut readable_nodes: HashSet<u32> = HashSet::new();
+        for &c in captured {
+            readable_nodes.insert(c);
+            readable_nodes.extend(topo.neighbors(c).iter().copied());
+        }
+        let mut total = 0u64;
+        let mut readable = 0u64;
+        for id in 1..topo.n() as u32 {
+            if captured_set.contains(&id) {
+                continue;
+            }
+            total += 1;
+            if readable_nodes.contains(&id) {
+                readable += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            readable as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_sim::topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::random(&TopologyConfig::with_density(200, 10.0), 6)
+    }
+
+    #[test]
+    fn storage_proportional_to_degree() {
+        let t = topo();
+        let id = 9;
+        assert_eq!(Leap.keys_stored(&t, id), 2 * t.degree(id) + 1);
+    }
+
+    #[test]
+    fn bootstrap_cost_far_above_one_message() {
+        let t = topo();
+        let msgs = Leap.setup_messages_per_node(&t);
+        assert!(msgs > 15.0, "LEAP bootstrap ≈ 1 + 2d ≈ 21: got {msgs}");
+    }
+
+    #[test]
+    fn broadcast_is_single_transmission() {
+        assert_eq!(Leap.broadcast_transmissions(&topo(), 3), 1);
+    }
+
+    #[test]
+    fn capture_compromises_one_hop_neighborhood_only() {
+        let t = topo();
+        let f1 = Leap.readable_tx_fraction(&t, &[10]);
+        // Roughly d / (n-1) of nodes are affected.
+        let expected = t.degree(10) as f64 / (t.n() - 1) as f64;
+        assert!((f1 - expected).abs() < 0.02, "{f1} vs {expected}");
+        assert!(f1 < 0.15, "localized: {f1}");
+        assert_eq!(Leap.readable_tx_fraction(&t, &[]), 0.0);
+    }
+
+    #[test]
+    fn hello_flood_accepts_everything() {
+        assert_eq!(Leap.hello_flood_accepted(0), 0);
+        assert_eq!(Leap.hello_flood_accepted(5_000), 5_000);
+    }
+}

@@ -1,0 +1,112 @@
+//! # wsn-baselines
+//!
+//! The key-management schemes the paper positions itself against, each
+//! implemented concretely enough to measure the three quantities the
+//! paper's arguments rest on:
+//!
+//! * **storage** — keys a node must hold (scalability, Figure 6's axis);
+//! * **broadcast cost** — transmissions to send one authenticated message
+//!   to all neighbors (energy, §II "one transmission per message");
+//! * **resilience** — fraction of other nodes' traffic an adversary can
+//!   read after capturing `k` nodes (§VI's localization claim).
+//!
+//! Schemes:
+//!
+//! * [`global_key::GlobalKey`] — pebblenets-style single network key
+//!   (Basagni et al.): minimal storage, zero resilience.
+//! * [`pairwise::FullPairwise`] — every pair shares a unique key: perfect
+//!   resilience, infeasible storage, d-fold broadcast cost.
+//! * [`random_predist::EgScheme`] — Eschenauer–Gligor random key
+//!   pre-distribution, plus the [`random_predist::QComposite`] variant
+//!   (Chan–Perrig–Song): probabilistic security, storage grows with the
+//!   security target.
+//! * [`leap::Leap`] — LEAP-like pairwise + cluster keys (Zhu–Setia–
+//!   Jajodia), including the HELLO-flood weakness in its neighbor
+//!   discovery that the paper §III describes.
+//! * [`ours::OursAdapter`] — the paper's protocol measured through the
+//!   same lens, backed by a real `wsn-core` setup run.
+//!
+//! All schemes implement [`KeyScheme`] against a shared [`wsn_sim`]
+//! topology, so the comparison benches iterate one trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod global_key;
+pub mod leap;
+pub mod ours;
+pub mod pairwise;
+pub mod random_predist;
+
+use wsn_sim::topology::Topology;
+
+/// The comparison interface: every scheme answers the paper's three
+/// questions against a concrete deployed topology.
+pub trait KeyScheme {
+    /// Scheme name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Keys node `id` stores after key establishment.
+    fn keys_stored(&self, topo: &Topology, id: u32) -> usize;
+
+    /// Mean key-establishment transmissions per node.
+    fn setup_messages_per_node(&self, topo: &Topology) -> f64;
+
+    /// Transmissions node `id` needs to send one encrypted message all of
+    /// its neighbors can read.
+    fn broadcast_transmissions(&self, topo: &Topology, id: u32) -> usize;
+
+    /// Fraction of transmissions by *non-captured* nodes that an adversary
+    /// holding the key material of `captured` can decrypt (each node is
+    /// charged its broadcast pattern under this scheme).
+    fn readable_tx_fraction(&self, topo: &Topology, captured: &[u32]) -> f64;
+}
+
+/// A row of the scheme-comparison table.
+#[derive(Clone, Debug)]
+pub struct SchemeRow {
+    /// Scheme name.
+    pub name: &'static str,
+    /// Mean keys stored per node.
+    pub mean_keys: f64,
+    /// Mean setup messages per node.
+    pub setup_msgs: f64,
+    /// Mean transmissions per broadcast.
+    pub mean_broadcast_tx: f64,
+    /// Readable-traffic fraction after capturing `k` nodes.
+    pub readable_after_capture: f64,
+}
+
+/// Evaluates a scheme on a topology with the first `k` sensors (IDs
+/// `1..=k`) captured.
+pub fn evaluate(scheme: &dyn KeyScheme, topo: &Topology, k: usize) -> SchemeRow {
+    let n = topo.n() as u32;
+    let ids: Vec<u32> = (1..n).collect();
+    let captured: Vec<u32> = ids.iter().copied().take(k).collect();
+    let mean = |f: &dyn Fn(u32) -> f64| -> f64 {
+        ids.iter().map(|&i| f(i)).sum::<f64>() / ids.len() as f64
+    };
+    SchemeRow {
+        name: scheme.name(),
+        mean_keys: mean(&|i| scheme.keys_stored(topo, i) as f64),
+        setup_msgs: scheme.setup_messages_per_node(topo),
+        mean_broadcast_tx: mean(&|i| scheme.broadcast_transmissions(topo, i) as f64),
+        readable_after_capture: scheme.readable_tx_fraction(topo, &captured),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global_key::GlobalKey;
+    use wsn_sim::topology::TopologyConfig;
+
+    #[test]
+    fn evaluate_produces_sane_row() {
+        let topo = Topology::random(&TopologyConfig::with_density(100, 8.0), 1);
+        let row = evaluate(&GlobalKey, &topo, 1);
+        assert_eq!(row.name, "global-key");
+        assert_eq!(row.mean_keys, 1.0);
+        assert_eq!(row.readable_after_capture, 1.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! The paper's protocol measured through the baseline lens.
+//!
+//! [`OursAdapter`] snapshots a completed `wsn-core` setup (cluster
+//! membership and every node's key set `S`) and answers the same
+//! [`KeyScheme`] questions the baselines answer, so the comparison tables
+//! put real protocol state — not an analytical idealization — next to the
+//! competitors.
+
+use crate::KeyScheme;
+use std::collections::HashSet;
+use wsn_core::setup::NetworkHandle;
+use wsn_sim::topology::Topology;
+
+/// A measurement snapshot of a set-up network running the paper's
+/// protocol.
+pub struct OursAdapter {
+    cluster_of: Vec<Option<u32>>,
+    s_sets: Vec<Vec<u32>>,
+    keys_held: Vec<usize>,
+    setup_msgs_per_node: f64,
+}
+
+impl OursAdapter {
+    /// Snapshots protocol state from a live network.
+    pub fn from_handle(handle: &NetworkHandle) -> Self {
+        let n = handle.sim().topology().n();
+        let mut cluster_of = vec![None; n];
+        let mut s_sets = vec![Vec::new(); n];
+        let mut keys_held = vec![0usize; n];
+        for id in handle.sensor_ids() {
+            let node = handle.sensor(id);
+            cluster_of[id as usize] = node.cid();
+            s_sets[id as usize] = node.neighbor_cids();
+            keys_held[id as usize] = node.keys_held();
+        }
+        OursAdapter {
+            cluster_of,
+            s_sets,
+            keys_held,
+            setup_msgs_per_node: handle.report().msgs_per_node,
+        }
+    }
+}
+
+impl KeyScheme for OursAdapter {
+    fn name(&self) -> &'static str {
+        "ours (localized clusters)"
+    }
+
+    fn keys_stored(&self, _topo: &Topology, id: u32) -> usize {
+        self.keys_held[id as usize]
+    }
+
+    fn setup_messages_per_node(&self, _topo: &Topology) -> f64 {
+        self.setup_msgs_per_node
+    }
+
+    fn broadcast_transmissions(&self, _topo: &Topology, _id: u32) -> usize {
+        1
+    }
+
+    fn readable_tx_fraction(&self, _topo: &Topology, captured: &[u32]) -> f64 {
+        // The adversary's cluster-key set: each captured node's own cluster
+        // plus its set S.
+        let captured_set: HashSet<u32> = captured.iter().copied().collect();
+        let mut adversary_cids: HashSet<u32> = HashSet::new();
+        for &c in captured {
+            if let Some(cid) = self.cluster_of[c as usize] {
+                adversary_cids.insert(cid);
+            }
+            adversary_cids.extend(self.s_sets[c as usize].iter().copied());
+        }
+        let mut total = 0u64;
+        let mut readable = 0u64;
+        for id in 1..self.cluster_of.len() as u32 {
+            if captured_set.contains(&id) {
+                continue;
+            }
+            total += 1;
+            if let Some(cid) = self.cluster_of[id as usize] {
+                if adversary_cids.contains(&cid) {
+                    readable += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            readable as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_core::prelude::*;
+
+    fn adapter() -> (OursAdapter, SetupOutcome) {
+        let outcome = run_setup(&SetupParams {
+            n: 300,
+            density: 12.0,
+            seed: 8,
+            cfg: ProtocolConfig::default(),
+        });
+        (OursAdapter::from_handle(&outcome.handle), outcome)
+    }
+
+    #[test]
+    fn storage_is_a_handful_of_keys() {
+        let (ours, outcome) = adapter();
+        let topo = outcome.handle.sim().topology();
+        let mean: f64 = (1..300u32)
+            .map(|i| ours.keys_stored(topo, i) as f64)
+            .sum::<f64>()
+            / 299.0;
+        assert!((1.0..8.0).contains(&mean), "mean keys {mean}");
+    }
+
+    #[test]
+    fn capture_damage_is_localized() {
+        let (ours, outcome) = adapter();
+        let topo = outcome.handle.sim().topology();
+        assert_eq!(ours.readable_tx_fraction(topo, &[]), 0.0);
+        let one = ours.readable_tx_fraction(topo, &[42]);
+        assert!(one > 0.0, "capture reveals the victim's cluster");
+        assert!(one < 0.2, "but damage stays local: {one}");
+        // Monotone in captures, still bounded.
+        let five: Vec<u32> = vec![42, 80, 120, 160, 200];
+        let f5 = ours.readable_tx_fraction(topo, &five);
+        assert!(f5 >= one);
+        assert!(f5 < 0.6, "five captures must not expose most traffic: {f5}");
+    }
+
+    #[test]
+    fn setup_cost_matches_report() {
+        let (ours, outcome) = adapter();
+        let topo = outcome.handle.sim().topology();
+        assert_eq!(
+            ours.setup_messages_per_node(topo),
+            outcome.report.msgs_per_node
+        );
+        assert_eq!(ours.broadcast_transmissions(topo, 17), 1);
+    }
+}

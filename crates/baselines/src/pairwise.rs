@@ -1,0 +1,98 @@
+//! The full-pairwise reference point: every pair of nodes shares a unique
+//! key.
+//!
+//! "A solution would be for every pair of sensor nodes in the network to
+//! share a unique key. However this is not feasible due to memory
+//! constraints." — it anchors the resilience end of the spectrum (perfect
+//! localization) and the storage/broadcast-cost worst case.
+
+use crate::KeyScheme;
+use wsn_sim::topology::Topology;
+
+/// The every-pair-shares-a-key scheme.
+pub struct FullPairwise;
+
+impl KeyScheme for FullPairwise {
+    fn name(&self) -> &'static str {
+        "full-pairwise"
+    }
+
+    fn keys_stored(&self, topo: &Topology, _id: u32) -> usize {
+        // One key per *other* node in the network — the O(n) storage that
+        // makes the scheme unscalable.
+        topo.n() - 1
+    }
+
+    fn setup_messages_per_node(&self, _topo: &Topology) -> f64 {
+        0.0 // pre-loaded
+    }
+
+    fn broadcast_transmissions(&self, topo: &Topology, id: u32) -> usize {
+        // A "broadcast" must be re-encrypted per neighbor: d transmissions.
+        topo.degree(id).max(1)
+    }
+
+    fn readable_tx_fraction(&self, topo: &Topology, captured: &[u32]) -> f64 {
+        // Traffic between non-captured nodes is unreadable; transmissions
+        // *addressed to* a captured neighbor are readable by definition
+        // (the adversary owns the endpoint), but those don't count — the
+        // metric is over content also available to honest nodes. What
+        // remains readable: per-link transmissions from a non-captured
+        // sender to a captured receiver. Count them against the sender's
+        // total per-link sends.
+        let captured_set: std::collections::HashSet<u32> = captured.iter().copied().collect();
+        let mut total = 0u64;
+        let mut readable = 0u64;
+        for id in 1..topo.n() as u32 {
+            if captured_set.contains(&id) {
+                continue;
+            }
+            for &nbr in topo.neighbors(id) {
+                total += 1;
+                if captured_set.contains(&nbr) {
+                    readable += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            readable as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_sim::topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::random(&TopologyConfig::with_density(100, 10.0), 4)
+    }
+
+    #[test]
+    fn storage_scales_with_network_size() {
+        let t = topo();
+        assert_eq!(FullPairwise.keys_stored(&t, 1), 99);
+    }
+
+    #[test]
+    fn broadcast_costs_degree_transmissions() {
+        let t = topo();
+        let id = 5;
+        assert_eq!(
+            FullPairwise.broadcast_transmissions(&t, id),
+            t.degree(id).max(1)
+        );
+    }
+
+    #[test]
+    fn capture_leaks_only_victim_adjacent_traffic() {
+        let t = topo();
+        let f = FullPairwise.readable_tx_fraction(&t, &[7]);
+        assert!(f > 0.0, "traffic sent *to* node 7 is readable");
+        assert!(f < 0.05, "but nothing else: {f}");
+        assert_eq!(FullPairwise.readable_tx_fraction(&t, &[]), 0.0);
+    }
+}

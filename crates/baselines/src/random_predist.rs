@@ -1,0 +1,427 @@
+//! Random key pre-distribution: Eschenauer–Gligor and the q-composite
+//! variant.
+//!
+//! "Before deployment each sensor node is loaded with a set of symmetric
+//! keys that have been randomly chosen from a key pool. ... These schemes
+//! offer network resilience against node capture but they are not
+//! 'infinitely' scalable. ... Hence these schemes offer only
+//! 'probabilistic' security as other links may be exposed with certain
+//! probability." — this module makes both halves of that sentence
+//! measurable.
+//!
+//! Rings are derived deterministically from `(seed, node id)` so
+//! experiments replay; link keys follow the original papers: EG uses one
+//! shared pool key per link, q-composite hashes *all* shared keys together
+//! (an adversary must hold every one of them to read the link).
+
+use crate::KeyScheme;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use wsn_sim::rng::derive_seed;
+use wsn_sim::topology::Topology;
+
+/// Key-ring assignment shared by both schemes.
+#[derive(Clone, Debug)]
+pub struct RingConfig {
+    /// Key-pool size `P`.
+    pub pool: u32,
+    /// Ring size `m` (keys per node).
+    pub ring: usize,
+    /// Assignment seed.
+    pub seed: u64,
+}
+
+impl RingConfig {
+    /// The ring of node `id`: `ring` distinct pool-key IDs, sorted.
+    pub fn ring_of(&self, id: u32) -> Vec<u32> {
+        assert!(
+            (self.ring as u32) <= self.pool,
+            "ring larger than the pool"
+        );
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.seed, id as u64));
+        let mut picked = HashSet::with_capacity(self.ring);
+        while picked.len() < self.ring {
+            picked.insert(rng.gen_range(0..self.pool));
+        }
+        let mut v: Vec<u32> = picked.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Pool-key IDs shared by two sorted rings.
+    pub fn shared(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Analytical probability two random rings share ≥ 1 key
+    /// (Eschenauer–Gligor eq. for local connectivity):
+    /// `1 − C(P−m, m) / C(P, m)`.
+    pub fn p_share(&self) -> f64 {
+        let p = self.pool as f64;
+        let m = self.ring as f64;
+        let mut ratio = 1.0f64;
+        for i in 0..self.ring {
+            ratio *= (p - m - i as f64) / (p - i as f64);
+        }
+        1.0 - ratio
+    }
+
+    /// Analytical expected fraction of external links compromised after
+    /// `x` captures (Chan–Perrig–Song): `1 − (1 − m/P)^x`.
+    pub fn p_compromised(&self, x: usize) -> f64 {
+        1.0 - (1.0 - self.ring as f64 / self.pool as f64).powi(x as i32)
+    }
+}
+
+/// The basic Eschenauer–Gligor scheme: a link is secured by (any) one
+/// shared pool key.
+pub struct EgScheme {
+    /// Ring assignment.
+    pub cfg: RingConfig,
+}
+
+impl EgScheme {
+    /// Creates the scheme.
+    pub fn new(pool: u32, ring: usize, seed: u64) -> Self {
+        EgScheme {
+            cfg: RingConfig { pool, ring, seed },
+        }
+    }
+
+    /// The key ID securing link `(u, v)`, if any — EG picks one shared
+    /// key; we take the smallest for determinism.
+    pub fn link_key(&self, u: u32, v: u32) -> Option<u32> {
+        RingConfig::shared(&self.cfg.ring_of(u), &self.cfg.ring_of(v))
+            .first()
+            .copied()
+    }
+
+    /// Fraction of topology edges that can be secured (measured local
+    /// connectivity; compare with [`RingConfig::p_share`]).
+    pub fn measured_connectivity(&self, topo: &Topology) -> f64 {
+        let rings: Vec<Vec<u32>> = (0..topo.n() as u32).map(|i| self.cfg.ring_of(i)).collect();
+        let mut edges = 0u64;
+        let mut secured = 0u64;
+        for u in 0..topo.n() as u32 {
+            for &v in topo.neighbors(u) {
+                if v <= u {
+                    continue;
+                }
+                edges += 1;
+                if !RingConfig::shared(&rings[u as usize], &rings[v as usize]).is_empty() {
+                    secured += 1;
+                }
+            }
+        }
+        if edges == 0 {
+            0.0
+        } else {
+            secured as f64 / edges as f64
+        }
+    }
+}
+
+impl KeyScheme for EgScheme {
+    fn name(&self) -> &'static str {
+        "random-predist (EG)"
+    }
+
+    fn keys_stored(&self, _topo: &Topology, _id: u32) -> usize {
+        self.cfg.ring
+    }
+
+    fn setup_messages_per_node(&self, topo: &Topology) -> f64 {
+        // Shared-key discovery: one broadcast of key IDs per node, plus one
+        // confirmation per secured link direction.
+        let rings: Vec<Vec<u32>> = (0..topo.n() as u32).map(|i| self.cfg.ring_of(i)).collect();
+        let mut confirmations = 0u64;
+        for u in 0..topo.n() as u32 {
+            for &v in topo.neighbors(u) {
+                if !RingConfig::shared(&rings[u as usize], &rings[v as usize]).is_empty() {
+                    confirmations += 1;
+                }
+            }
+        }
+        1.0 + confirmations as f64 / topo.n() as f64
+    }
+
+    fn broadcast_transmissions(&self, topo: &Topology, id: u32) -> usize {
+        // One transmission per distinct link key among secured neighbors —
+        // "the transmitter must encrypt the message multiple times, each
+        // time with a key shared with a specific neighbor."
+        let mut keys = HashSet::new();
+        for &nbr in topo.neighbors(id) {
+            if let Some(k) = self.link_key(id, nbr) {
+                keys.insert(k);
+            }
+        }
+        keys.len().max(1)
+    }
+
+    fn readable_tx_fraction(&self, topo: &Topology, captured: &[u32]) -> f64 {
+        let captured_set: HashSet<u32> = captured.iter().copied().collect();
+        let mut adversary_pool: HashSet<u32> = HashSet::new();
+        for &c in captured {
+            adversary_pool.extend(self.cfg.ring_of(c));
+        }
+        let mut total = 0u64;
+        let mut readable = 0u64;
+        for id in 1..topo.n() as u32 {
+            if captured_set.contains(&id) {
+                continue;
+            }
+            // The node's broadcast = one tx per distinct link key.
+            let mut keys = HashSet::new();
+            for &nbr in topo.neighbors(id) {
+                if let Some(k) = self.link_key(id, nbr) {
+                    keys.insert(k);
+                }
+            }
+            for k in keys {
+                total += 1;
+                if adversary_pool.contains(&k) {
+                    readable += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            readable as f64 / total as f64
+        }
+    }
+}
+
+/// The q-composite variant: a link needs ≥ `q` shared keys and its key is
+/// the hash of *all* of them.
+pub struct QComposite {
+    /// Ring assignment.
+    pub cfg: RingConfig,
+    /// Minimum shared keys to secure a link.
+    pub q: usize,
+}
+
+impl QComposite {
+    /// Creates the scheme.
+    pub fn new(pool: u32, ring: usize, q: usize, seed: u64) -> Self {
+        assert!(q >= 1);
+        QComposite {
+            cfg: RingConfig { pool, ring, seed },
+            q,
+        }
+    }
+
+    /// The shared-key set securing link `(u, v)`, if ≥ q keys are shared.
+    pub fn link_keyset(&self, u: u32, v: u32) -> Option<Vec<u32>> {
+        let shared = RingConfig::shared(&self.cfg.ring_of(u), &self.cfg.ring_of(v));
+        (shared.len() >= self.q).then_some(shared)
+    }
+}
+
+impl KeyScheme for QComposite {
+    fn name(&self) -> &'static str {
+        "q-composite"
+    }
+
+    fn keys_stored(&self, _topo: &Topology, _id: u32) -> usize {
+        self.cfg.ring
+    }
+
+    fn setup_messages_per_node(&self, topo: &Topology) -> f64 {
+        let mut confirmations = 0u64;
+        for u in 0..topo.n() as u32 {
+            for &v in topo.neighbors(u) {
+                if self.link_keyset(u, v).is_some() {
+                    confirmations += 1;
+                }
+            }
+        }
+        1.0 + confirmations as f64 / topo.n() as f64
+    }
+
+    fn broadcast_transmissions(&self, topo: &Topology, id: u32) -> usize {
+        // Link keys are per-pair hashes: every secured neighbor needs its
+        // own copy.
+        let secured = topo
+            .neighbors(id)
+            .iter()
+            .filter(|&&nbr| self.link_keyset(id, nbr).is_some())
+            .count();
+        secured.max(1)
+    }
+
+    fn readable_tx_fraction(&self, topo: &Topology, captured: &[u32]) -> f64 {
+        let captured_set: HashSet<u32> = captured.iter().copied().collect();
+        let mut adversary_pool: HashSet<u32> = HashSet::new();
+        for &c in captured {
+            adversary_pool.extend(self.cfg.ring_of(c));
+        }
+        let mut total = 0u64;
+        let mut readable = 0u64;
+        for id in 1..topo.n() as u32 {
+            if captured_set.contains(&id) {
+                continue;
+            }
+            for &nbr in topo.neighbors(id) {
+                if let Some(keyset) = self.link_keyset(id, nbr) {
+                    total += 1;
+                    // Adversary reads the link only with the FULL key set.
+                    if keyset.iter().all(|k| adversary_pool.contains(k)) {
+                        readable += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            readable as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_sim::topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::random(&TopologyConfig::with_density(200, 12.0), 5)
+    }
+
+    #[test]
+    fn rings_are_deterministic_and_correct_size() {
+        let cfg = RingConfig {
+            pool: 10_000,
+            ring: 75,
+            seed: 1,
+        };
+        let r1 = cfg.ring_of(42);
+        assert_eq!(r1.len(), 75);
+        assert_eq!(r1, cfg.ring_of(42));
+        assert_ne!(r1, cfg.ring_of(43));
+        assert!(r1.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+        assert!(r1.iter().all(|&k| k < 10_000));
+    }
+
+    #[test]
+    fn shared_intersection() {
+        assert_eq!(RingConfig::shared(&[1, 3, 5], &[2, 3, 5, 9]), vec![3, 5]);
+        assert!(RingConfig::shared(&[1], &[2]).is_empty());
+        assert!(RingConfig::shared(&[], &[1]).is_empty());
+    }
+
+    #[test]
+    fn analytical_p_share_matches_measurement() {
+        // EG's canonical operating point: P = 10000, m = 75 → p ≈ 0.43.
+        let eg = EgScheme::new(10_000, 75, 2);
+        let analytical = eg.cfg.p_share();
+        assert!((analytical - 0.43).abs() < 0.02, "analytical {analytical}");
+        let measured = eg.measured_connectivity(&topo());
+        assert!(
+            (measured - analytical).abs() < 0.06,
+            "measured {measured} vs analytical {analytical}"
+        );
+    }
+
+    #[test]
+    fn p_compromised_grows_with_captures() {
+        let cfg = RingConfig {
+            pool: 10_000,
+            ring: 75,
+            seed: 0,
+        };
+        assert_eq!(cfg.p_compromised(0), 0.0);
+        let one = cfg.p_compromised(1);
+        let ten = cfg.p_compromised(10);
+        assert!((one - 0.0075).abs() < 1e-6);
+        assert!(ten > one * 9.0, "compounding: {ten} vs {one}");
+        assert!(ten < 1.0);
+    }
+
+    #[test]
+    fn eg_resilience_tracks_analytical_curve() {
+        let t = topo();
+        let eg = EgScheme::new(1_000, 40, 3);
+        let captured: Vec<u32> = (1..=10).collect();
+        let measured = eg.readable_tx_fraction(&t, &captured);
+        let analytical = eg.cfg.p_compromised(10);
+        assert!(
+            (measured - analytical).abs() < 0.12,
+            "measured {measured} vs analytical {analytical}"
+        );
+        // More captures, more exposure.
+        let more: Vec<u32> = (1..=40).collect();
+        assert!(eg.readable_tx_fraction(&t, &more) > measured);
+    }
+
+    #[test]
+    fn eg_broadcast_needs_multiple_transmissions() {
+        let t = topo();
+        let eg = EgScheme::new(1_000, 40, 3);
+        let mean: f64 = (1..t.n() as u32)
+            .map(|i| eg.broadcast_transmissions(&t, i) as f64)
+            .sum::<f64>()
+            / (t.n() - 1) as f64;
+        assert!(
+            mean > 2.0,
+            "EG broadcast should cost several transmissions, got {mean}"
+        );
+    }
+
+    #[test]
+    fn q_composite_harder_to_compromise_than_eg_small_x() {
+        let t = topo();
+        // Same pool/ring; q=2 requires the adversary to cover pairs.
+        let eg = EgScheme::new(500, 60, 3);
+        let qc = QComposite::new(500, 60, 2, 3);
+        let captured: Vec<u32> = (1..=3).collect();
+        let f_eg = eg.readable_tx_fraction(&t, &captured);
+        let f_qc = qc.readable_tx_fraction(&t, &captured);
+        assert!(
+            f_qc <= f_eg + 1e-9,
+            "q-composite should resist small capture counts: qc={f_qc} eg={f_eg}"
+        );
+    }
+
+    #[test]
+    fn q_composite_link_requires_q_shared() {
+        let qc = QComposite::new(50, 4, 3, 9);
+        // With tiny rings from a biggish pool, most pairs share < 3 keys.
+        let t = topo();
+        let secured = (1..50u32)
+            .flat_map(|u| t.neighbors(u).iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| qc.link_keyset(u, v).is_some())
+            .count();
+        let total = (1..50u32).map(|u| t.neighbors(u).len()).sum::<usize>();
+        assert!(
+            (secured as f64) < 0.2 * total as f64,
+            "q=3 with m=4,P=50 should secure few links ({secured}/{total})"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn ring_bigger_than_pool_panics() {
+        let cfg = RingConfig {
+            pool: 10,
+            ring: 11,
+            seed: 0,
+        };
+        let _ = cfg.ring_of(0);
+    }
+}

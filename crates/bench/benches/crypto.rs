@@ -1,0 +1,108 @@
+//! Cipher/MAC/PRF throughput — the ablation behind the protocol's choice
+//! of RC5-class primitives ("symmetric algorithms are two to four orders
+//! of magnitude faster" than public key; among symmetric options, the
+//! small-block ARX ciphers beat AES in software on mote-class hardware).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wsn_crypto::aes::Aes128;
+use wsn_crypto::authenc::AuthEnc;
+use wsn_crypto::cbcmac::CbcMac;
+use wsn_crypto::ctr::Ctr;
+use wsn_crypto::hmac::HmacSha256;
+use wsn_crypto::prf::Prf;
+use wsn_crypto::rc5::Rc5;
+use wsn_crypto::sha256::Sha256;
+use wsn_crypto::speck::{Speck128_128, Speck64_128};
+use wsn_crypto::xtea::Xtea;
+use wsn_crypto::{BlockCipher, Key128};
+
+const FRAME: usize = 64; // a typical radio frame payload
+
+fn bench_ctr<C: BlockCipher>(c: &mut Criterion, group: &str, name: &str, cipher: C) {
+    let ctr = Ctr::new(cipher);
+    let mut g = c.benchmark_group(group);
+    g.throughput(Throughput::Bytes(FRAME as u64));
+    let mut buf = vec![0xA5u8; FRAME];
+    g.bench_function(BenchmarkId::new("ctr-encrypt", name), |b| {
+        b.iter(|| {
+            ctr.apply(black_box(1024), black_box(&mut buf));
+        })
+    });
+    g.finish();
+}
+
+fn cipher_benches(c: &mut Criterion) {
+    let key = Key128::from_bytes([7; 16]);
+    bench_ctr(c, "cipher", "rc5-32/12/16", Rc5::new(&key));
+    bench_ctr(c, "cipher", "speck64/128", Speck64_128::new(&key));
+    bench_ctr(c, "cipher", "speck128/128", Speck128_128::new(&key));
+    bench_ctr(c, "cipher", "xtea", Xtea::new(&key));
+    bench_ctr(c, "cipher", "aes-128", Aes128::new(&key));
+}
+
+fn key_schedule_benches(c: &mut Criterion) {
+    let key = Key128::from_bytes([9; 16]);
+    let mut g = c.benchmark_group("key-schedule");
+    g.bench_function("rc5", |b| b.iter(|| black_box(Rc5::new(black_box(&key)))));
+    g.bench_function("speck64", |b| {
+        b.iter(|| black_box(Speck64_128::new(black_box(&key))))
+    });
+    g.bench_function("aes128", |b| {
+        b.iter(|| black_box(Aes128::new(black_box(&key))))
+    });
+    g.finish();
+}
+
+fn mac_benches(c: &mut Criterion) {
+    let key = Key128::from_bytes([3; 16]);
+    let data = vec![0x5Au8; FRAME];
+    let mut g = c.benchmark_group("mac");
+    g.throughput(Throughput::Bytes(FRAME as u64));
+    let cbc = CbcMac::new(Rc5::new(&key));
+    g.bench_function("cbcmac-rc5", |b| b.iter(|| black_box(cbc.tag(black_box(&data)))));
+    g.bench_function("hmac-sha256", |b| {
+        b.iter(|| black_box(HmacSha256::mac(key.as_bytes(), black_box(&data))))
+    });
+    g.finish();
+}
+
+fn hash_and_prf_benches(c: &mut Criterion) {
+    let data = vec![0xC3u8; 1024];
+    let mut g = c.benchmark_group("hash-prf");
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("sha256-1k", |b| {
+        b.iter(|| black_box(Sha256::digest(black_box(&data))))
+    });
+    g.finish();
+
+    let key = Key128::from_bytes([2; 16]);
+    c.bench_function("prf-derive", |b| {
+        b.iter(|| black_box(Prf::derive(black_box(&key), b"label")))
+    });
+    c.bench_function("prf-chain-step", |b| {
+        b.iter(|| black_box(Prf::chain_step(black_box(&key))))
+    });
+}
+
+fn authenc_benches(c: &mut Criterion) {
+    let ae = AuthEnc::new(Key128::from_bytes([1; 16]), Key128::from_bytes([2; 16]));
+    let msg = vec![0x11u8; FRAME];
+    let sealed = ae.seal(0, &msg);
+    let mut g = c.benchmark_group("authenc");
+    g.throughput(Throughput::Bytes(FRAME as u64));
+    g.bench_function("seal-64B", |b| {
+        b.iter(|| black_box(ae.seal(black_box(7), black_box(&msg))))
+    });
+    g.bench_function("open-64B", |b| {
+        b.iter(|| black_box(ae.open(black_box(0), black_box(&sealed)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = cipher_benches, key_schedule_benches, mac_benches, hash_and_prf_benches, authenc_benches
+}
+criterion_main!(benches);

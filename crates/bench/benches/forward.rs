@@ -1,0 +1,86 @@
+//! Secure-forwarding pipeline cost: Step 1 at the source, Step 2 per hop
+//! (unwrap + re-wrap), and a full in-simulator multi-hop delivery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsn_core::forward::{e2e_seal, unwrap, wrap};
+use wsn_core::msg::{DataUnit, Inner, Message};
+use wsn_core::prelude::*;
+use wsn_crypto::Key128;
+
+fn step1_bench(c: &mut Criterion) {
+    let ki = Key128::from_bytes([1; 16]);
+    c.bench_function("step1-e2e-seal-32B", |b| {
+        let mut ctr = 0u64;
+        b.iter(|| {
+            ctr += 1;
+            black_box(e2e_seal(&ki, 14, ctr, &[0x21u8; 32]))
+        })
+    });
+}
+
+fn step2_hop_bench(c: &mut Criterion) {
+    let cfg = ProtocolConfig::default();
+    let kc_a = Key128::from_bytes([2; 16]);
+    let kc_b = Key128::from_bytes([3; 16]);
+    let unit = DataUnit {
+        src: 14,
+        ctr: None,
+        sealed: true,
+        body: e2e_seal(&Key128::from_bytes([1; 16]), 14, 0, &[0x21u8; 32]),
+    };
+    let inner = Inner::Data(unit);
+    c.bench_function("step2-hop-unwrap-rewrap", |b| {
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            // Sender in cluster A wraps...
+            let Message::Wrapped { cid, nonce, sealed } =
+                wrap(&kc_a, 13, 14, seq, 1_000, 5, &inner)
+            else {
+                unreachable!()
+            };
+            // ...border node opens with A's key and re-wraps under B's.
+            let u = unwrap(&kc_a, cid, nonce, &sealed, 1_500, &cfg).unwrap();
+            black_box(wrap(&kc_b, 9, 8, seq, 1_500, 4, &u.inner))
+        })
+    });
+}
+
+fn multihop_delivery_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multihop-delivery");
+    g.sample_size(10);
+    for &n in &[200usize, 400] {
+        g.bench_with_input(BenchmarkId::new("send-reading", n), &n, |b, &n| {
+            // One set-up network reused across iterations; readings are
+            // cheap relative to setup.
+            let mut outcome = run_setup(&SetupParams {
+                n,
+                density: 14.0,
+                seed: 42,
+                cfg: ProtocolConfig::default(),
+            });
+            outcome.handle.establish_gradient();
+            let dist = outcome.handle.sim().topology().hop_distances(0);
+            let far = (1..n as u32)
+                .filter(|&id| dist[id as usize] != u32::MAX)
+                .max_by_key(|&id| dist[id as usize])
+                .unwrap();
+            b.iter(|| {
+                black_box(
+                    outcome
+                        .handle
+                        .send_reading(far, b"bench reading".to_vec(), true),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = step1_bench, step2_hop_bench, multihop_delivery_bench
+}
+criterion_main!(benches);

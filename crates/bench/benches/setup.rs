@@ -1,0 +1,57 @@
+//! Key-setup cost vs network size — the wall-clock face of the paper's
+//! scalability claim (per-node work is size-independent, so total setup
+//! time grows linearly and a 20k-node network is still trivial to set up).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wsn_core::prelude::*;
+
+fn setup_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("key-setup");
+    g.sample_size(10);
+    for &n in &[250usize, 500, 1000, 2000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("run_setup", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let outcome = run_setup(&SetupParams {
+                    n,
+                    density: 12.5,
+                    seed,
+                    cfg: ProtocolConfig::default(),
+                });
+                black_box(outcome.report.n_heads)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn density_effect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("key-setup-density");
+    g.sample_size(10);
+    for &density in &[8.0f64, 14.0, 20.0] {
+        g.bench_with_input(
+            BenchmarkId::new("n500", density as u64),
+            &density,
+            |b, &density| {
+                let mut seed = 100u64;
+                b.iter(|| {
+                    seed += 1;
+                    let outcome = run_setup(&SetupParams {
+                        n: 500,
+                        density,
+                        seed,
+                        cfg: ProtocolConfig::default(),
+                    });
+                    black_box(outcome.report.mean_keys_per_node)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, setup_scaling, density_effect);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Ablations over the protocol's design choices (DESIGN.md §3).
+//!
+//! * **Election rate λ** — the paper: the singleton-cluster tail "can be
+//!   minimized by the right exponential distribution of the time delays".
+//!   [`election_rate_ablation`] sweeps λ and reports singleton fraction
+//!   and head fraction.
+//! * **Counter transport** — implicit (resync window) vs explicit
+//!   (+8 bytes/frame): [`counter_mode_overhead`] measures the actual
+//!   radio-byte difference end to end.
+//! * **Refresh strategy** — hash refresh vs re-cluster refresh:
+//!   [`refresh_cost`] counts the messages each epoch costs (the security
+//!   difference is covered in `wsn-attacks`).
+
+use crate::MASTER_SEED;
+use wsn_core::config::{CounterMode, RefreshMode};
+use wsn_core::prelude::*;
+use wsn_metrics::Table;
+use wsn_sim::parallel::run_trials;
+use wsn_sim::rng::derive_seed;
+
+/// One row of the λ ablation.
+#[derive(Clone, Debug)]
+pub struct ElectionRateRow {
+    /// Election rate λ (per second).
+    pub lambda: f64,
+    /// Fraction of clusters of size 1.
+    pub singleton_fraction: f64,
+    /// Cluster heads / sensors.
+    pub head_fraction: f64,
+    /// Mean cluster size.
+    pub mean_cluster_size: f64,
+}
+
+/// Sweeps the election rate at fixed density and size.
+pub fn election_rate_ablation(
+    n: usize,
+    density: f64,
+    lambdas: &[f64],
+    trials: usize,
+) -> Vec<ElectionRateRow> {
+    lambdas
+        .iter()
+        .map(|&lambda| {
+            let results = run_trials(
+                derive_seed(MASTER_SEED, lambda.to_bits()),
+                trials,
+                |_, seed| {
+                    let r = run_setup(&SetupParams {
+                        n: n + 1,
+                        density,
+                        seed,
+                        cfg: ProtocolConfig::default().with_election_rate(lambda),
+                    })
+                    .report;
+                    (
+                        r.cluster_size_fraction(1),
+                        r.head_fraction,
+                        r.mean_cluster_size,
+                    )
+                },
+            );
+            let t = results.len() as f64;
+            let sum = results
+                .iter()
+                .fold((0.0, 0.0, 0.0), |a, r| (a.0 + r.0, a.1 + r.1, a.2 + r.2));
+            ElectionRateRow {
+                lambda,
+                singleton_fraction: sum.0 / t,
+                head_fraction: sum.1 / t,
+                mean_cluster_size: sum.2 / t,
+            }
+        })
+        .collect()
+}
+
+/// Renders the λ ablation as a table.
+pub fn election_rate_table(rows: &[ElectionRateRow]) -> Table {
+    let mut t = Table::new(&["λ (1/s)", "singleton fraction", "head fraction", "mean size"]);
+    for r in rows {
+        t.row(&[
+            format!("{}", r.lambda),
+            format!("{:.4}", r.singleton_fraction),
+            format!("{:.4}", r.head_fraction),
+            format!("{:.2}", r.mean_cluster_size),
+        ]);
+    }
+    t
+}
+
+/// Measures total radio bytes to deliver `readings` sealed readings under
+/// each counter mode. Returns `(implicit_bytes, explicit_bytes)`.
+pub fn counter_mode_overhead(n: usize, density: f64, readings: usize) -> (u64, u64) {
+    let run = |mode: CounterMode| -> u64 {
+        let mut o = run_setup(&SetupParams {
+            n: n + 1,
+            density,
+            seed: derive_seed(MASTER_SEED, 0xAB1),
+            cfg: ProtocolConfig::default().with_counter_mode(mode),
+        });
+        o.handle.establish_gradient();
+        let baseline: u64 = o.handle.sim().counters().tx_bytes.iter().sum();
+        let srcs = o.handle.sensor_ids();
+        for k in 0..readings {
+            let src = srcs[(k * 7) % srcs.len()];
+            o.handle.send_reading(src, vec![0x42; 16], true);
+        }
+        let total: u64 = o.handle.sim().counters().tx_bytes.iter().sum();
+        total - baseline
+    };
+    (run(CounterMode::Implicit), run(CounterMode::Explicit))
+}
+
+/// Messages one refresh epoch costs under each strategy. Returns
+/// `(hash_msgs, recluster_msgs)`.
+pub fn refresh_cost(n: usize, density: f64) -> (u64, u64) {
+    let run = |mode: RefreshMode| -> u64 {
+        let mut o = run_setup(&SetupParams {
+            n: n + 1,
+            density,
+            seed: derive_seed(MASTER_SEED, 0xAB2),
+            cfg: ProtocolConfig::default().with_refresh_mode(mode),
+        });
+        let before = o.handle.total_tx();
+        o.handle.refresh();
+        o.handle.total_tx() - before
+    };
+    (run(RefreshMode::Hash), run(RefreshMode::Recluster))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_elections_mean_more_singletons() {
+        let rows = election_rate_ablation(400, 10.0, &[1.0, 20.0], 3);
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1].singleton_fraction > rows[0].singleton_fraction,
+            "λ=20 ({}) should produce more singleton clusters than λ=1 ({})",
+            rows[1].singleton_fraction,
+            rows[0].singleton_fraction
+        );
+        // More heads overall, too (collisions create extra heads).
+        assert!(rows[1].head_fraction > rows[0].head_fraction);
+        let md = election_rate_table(&rows).to_markdown();
+        assert!(md.contains("singleton"));
+    }
+
+    #[test]
+    fn explicit_counters_cost_more_bytes() {
+        let (implicit, explicit) = counter_mode_overhead(200, 12.0, 10);
+        assert!(
+            explicit > implicit,
+            "explicit counters must cost extra bytes: {explicit} vs {implicit}"
+        );
+        // Roughly 8 bytes per frame transmission (source + every forward).
+        let delta = explicit - implicit;
+        assert!(delta >= 8 * 10, "at least 8B per originated reading: {delta}");
+    }
+
+    #[test]
+    fn hash_refresh_is_free_recluster_is_not() {
+        let (hash, recluster) = refresh_cost(200, 12.0);
+        assert_eq!(hash, 0, "hash refresh costs zero messages");
+        assert!(
+            recluster > 0,
+            "re-cluster refresh must spend messages: {recluster}"
+        );
+    }
+}

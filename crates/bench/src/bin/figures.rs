@@ -1,0 +1,205 @@
+//! Regenerates every figure in the paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p wsn-bench --release --bin figures -- all
+//! cargo run -p wsn-bench --release --bin figures -- fig1 fig6 security
+//! WSN_TRIALS=30 cargo run -p wsn-bench --release --bin figures -- fig9
+//! ```
+//!
+//! Markdown tables go to stdout; CSVs to `target/figures/`.
+
+use std::fs;
+use std::path::PathBuf;
+use wsn_bench::ablations::{
+    counter_mode_overhead, election_rate_ablation, election_rate_table, refresh_cost,
+};
+use wsn_bench::energy::{broadcast_energy_table, fusion_energy_savings};
+use wsn_bench::figures::{
+    default_trials, fig1_cluster_size_distribution, fig1_table, fig6_keys_per_node,
+    fig7_cluster_size, fig8_head_fraction, fig9_setup_messages, scale_invariance, series_table,
+};
+use wsn_bench::security::{cost_table, hello_flood_table, resilience_sweep, ResilienceParams};
+use wsn_metrics::{Series, Table};
+
+fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&dir).expect("create target/figures");
+    dir
+}
+
+fn emit_table(name: &str, table: &Table) {
+    println!("## {name}\n");
+    println!("{}", table.to_markdown());
+    let path = out_dir().join(format!("{name}.csv"));
+    fs::write(&path, table.to_csv()).expect("write csv");
+    println!("(csv: {})\n", path.display());
+}
+
+fn emit_series(name: &str, series: &Series, x: &str, y: &str) {
+    emit_table(name, &series_table(series, x, y));
+    let path = out_dir().join(format!("{name}_series.csv"));
+    fs::write(&path, series.to_csv()).expect("write csv");
+}
+
+fn run_fig1(trials: usize) {
+    println!("# Figure 1 — distribution of nodes to clusters ({trials} trials)\n");
+    for (density, hist) in fig1_cluster_size_distribution(trials) {
+        emit_table(
+            &format!("fig1_density_{density}"),
+            &fig1_table(density, &hist),
+        );
+        println!(
+            "density {density}: {} clusters observed, mean size {:.2}, singleton fraction {:.3}\n",
+            hist.total(),
+            hist.mean(),
+            hist.fraction(1)
+        );
+    }
+}
+
+fn run_scale(trials: usize) {
+    println!("# Section V — size invariance at density 12.5 ({trials} trials)\n");
+    let sizes = [500usize, 1000, 2000, 2500, 3600, 5000, 10_000, 20_000];
+    let rows = scale_invariance(12.5, &sizes, trials);
+    let mut t = Table::new(&[
+        "n",
+        "keys/node",
+        "cluster size",
+        "head fraction",
+        "setup msgs/node",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.n.to_string(),
+            format!("{:.3}", r.keys_per_node),
+            format!("{:.3}", r.cluster_size),
+            format!("{:.4}", r.head_fraction),
+            format!("{:.4}", r.msgs_per_node),
+        ]);
+    }
+    emit_table("scale_invariance", &t);
+}
+
+fn run_security(trials: usize) {
+    println!("# Section VI — security comparison ({trials} trials)\n");
+    let params = ResilienceParams::default();
+    for series in resilience_sweep(&params, trials) {
+        emit_series(
+            &format!(
+                "security_resilience_{}",
+                series.name.replace([' ', '(', ')', '-'], "_")
+            ),
+            &series,
+            "captured nodes",
+            "readable traffic fraction",
+        );
+    }
+    emit_table("security_costs", &cost_table(1000, 12.0, 0xC0));
+    emit_table("security_hello_flood", &hello_flood_table());
+}
+
+fn run_ablations(trials: usize) {
+    println!("# Ablations (DESIGN.md §3)\n");
+    let rows = election_rate_ablation(1000, 8.0, &[0.5, 1.0, 2.0, 5.0, 10.0, 20.0], trials);
+    emit_table("ablation_election_rate", &election_rate_table(&rows));
+
+    let (implicit, explicit) = counter_mode_overhead(400, 12.0, 40);
+    let mut t = Table::new(&["counter mode", "radio bytes for 40 sealed readings"]);
+    t.row(&["implicit (resync window)".into(), implicit.to_string()]);
+    t.row(&["explicit (+8B/frame)".into(), explicit.to_string()]);
+    emit_table("ablation_counter_mode", &t);
+
+    let (hash, recluster) = refresh_cost(400, 12.0);
+    let mut t = Table::new(&["refresh mode", "messages per epoch"]);
+    t.row(&["hash (Kc <- F(Kc))".into(), hash.to_string()]);
+    t.row(&["re-cluster (head-generated keys)".into(), recluster.to_string()]);
+    emit_table("ablation_refresh_mode", &t);
+}
+
+fn run_energy() {
+    println!("# Energy experiments\n");
+    emit_table("energy_broadcast", &broadcast_energy_table(1000, 12.0, 40));
+    let s = fusion_energy_savings(400, 14.0, 4);
+    let mut t = Table::new(&["fusion suppression", "radio energy (µJ)", "readings at BS"]);
+    t.row(&["off".into(), format!("{:.0}", s.baseline_uj), s.baseline_delivered.to_string()]);
+    t.row(&["on".into(), format!("{:.0}", s.suppressed_uj), s.suppressed_delivered.to_string()]);
+    emit_table("energy_fusion", &t);
+    println!("fusion suppression saves {:.1}% of radio energy on the redundant workload\n", s.saving() * 100.0);
+}
+
+const KNOWN: [&str; 10] = [
+    "all",
+    "fig1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "scale",
+    "security",
+    "ablations",
+    "energy",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(unknown) = args.iter().find(|a| !KNOWN.contains(&a.as_str())) {
+        eprintln!("unknown experiment '{unknown}'. Known: {}", KNOWN.join(", "));
+        std::process::exit(1);
+    }
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+    let trials = default_trials();
+
+    if want("fig1") {
+        run_fig1(trials);
+    }
+    if want("fig6") {
+        println!("# Figure 6 — cluster keys per node vs density\n");
+        emit_series(
+            "fig6_keys_per_node",
+            &fig6_keys_per_node(trials),
+            "density",
+            "keys/node",
+        );
+    }
+    if want("fig7") {
+        println!("# Figure 7 — nodes per cluster vs density\n");
+        emit_series(
+            "fig7_cluster_size",
+            &fig7_cluster_size(trials),
+            "density",
+            "nodes/cluster",
+        );
+    }
+    if want("fig8") {
+        println!("# Figure 8 — cluster-head fraction vs density\n");
+        emit_series(
+            "fig8_head_fraction",
+            &fig8_head_fraction(trials),
+            "density",
+            "heads/n",
+        );
+    }
+    if want("fig9") {
+        println!("# Figure 9 — setup messages per node vs density (n = 2000)\n");
+        emit_series(
+            "fig9_setup_messages",
+            &fig9_setup_messages(trials),
+            "density",
+            "msgs/node",
+        );
+    }
+    if want("scale") {
+        run_scale(trials.min(3));
+    }
+    if want("security") {
+        run_security(trials.min(5));
+    }
+    if want("ablations") {
+        run_ablations(trials.min(5));
+    }
+    if want("energy") {
+        run_energy();
+    }
+    println!("done.");
+}

@@ -1,0 +1,250 @@
+//! Regenerators for the paper's Section V figures.
+//!
+//! | Figure | Paper series | Function |
+//! |--------|--------------|----------|
+//! | Fig. 1 | fraction of clusters vs cluster size, densities 8 & 20 | [`fig1_cluster_size_distribution`] |
+//! | Fig. 6 | avg cluster keys per node vs density | [`fig6_keys_per_node`] |
+//! | Fig. 7 | avg nodes per cluster vs density | [`fig7_cluster_size`] |
+//! | Fig. 8 | cluster heads / network size vs density | [`fig8_head_fraction`] |
+//! | Fig. 9 | setup messages per node vs density (n = 2000) | [`fig9_setup_messages`] |
+//! | §V | size-invariance claim ("2000 or 20000 nodes") | [`scale_invariance`] |
+
+use wsn_core::prelude::*;
+use wsn_metrics::{Histogram, Series, Table};
+use wsn_sim::parallel::run_trials;
+use wsn_sim::rng::derive_seed;
+
+use crate::{DEFAULT_TRIALS, DENSITIES, MASTER_SEED};
+
+/// Node counts used for the density sweeps (the paper deployed
+/// "2500 to 3600"); the BS is node 0 on top of these sensors.
+pub const SWEEP_N: usize = 2500;
+/// Node count for the message-cost figure ("a network of 2000 nodes").
+pub const FIG9_N: usize = 2000;
+
+fn one_setup(n: usize, density: f64, seed: u64) -> SetupReport {
+    run_setup(&SetupParams {
+        n: n + 1, // + base station
+        density,
+        seed,
+        cfg: ProtocolConfig::default(),
+    })
+    .report
+}
+
+/// Figure 1: distribution of cluster sizes at densities 8 and 20.
+///
+/// Returns `(density, histogram-of-cluster-sizes)` pairs. The paper's
+/// observation: "for smaller densities a larger percentage of nodes forms
+/// clusters of size one. However, the probability of this event decreases
+/// as the density becomes larger."
+pub fn fig1_cluster_size_distribution(trials: usize) -> Vec<(f64, Histogram)> {
+    [8.0f64, 20.0]
+        .iter()
+        .map(|&density| {
+            let hists = run_trials(
+                derive_seed(MASTER_SEED, density.to_bits()),
+                trials,
+                |_, seed| {
+                    let report = one_setup(SWEEP_N, density, seed);
+                    Histogram::from_iter(report.cluster_sizes.iter().copied())
+                },
+            );
+            let mut merged = Histogram::new();
+            for h in &hists {
+                merged.merge(h);
+            }
+            (density, merged)
+        })
+        .collect()
+}
+
+/// Renders a Figure-1 histogram as a table of `size, fraction` rows
+/// (sizes 1..=max, mirroring the paper's bar chart).
+pub fn fig1_table(density: f64, hist: &Histogram) -> Table {
+    let mut t = Table::new(&["cluster size", &format!("fraction (density {density})")]);
+    let max = hist.max_value().unwrap_or(0);
+    for size in 1..=max {
+        t.row(&[size.to_string(), format!("{:.4}", hist.fraction(size))]);
+    }
+    t
+}
+
+/// The generic density sweep powering Figures 6–8: runs `trials`
+/// independent deployments per density and records the requested metric.
+pub fn density_sweep(
+    name: &str,
+    n: usize,
+    trials: usize,
+    metric: impl Fn(&SetupReport) -> f64 + Sync,
+) -> Series {
+    let mut series = Series::new(name);
+    for &density in &DENSITIES {
+        let values = run_trials(
+            derive_seed(MASTER_SEED, density.to_bits()),
+            trials,
+            |_, seed| metric(&one_setup(n, density, seed)),
+        );
+        for v in values {
+            series.record(density, v);
+        }
+    }
+    series
+}
+
+/// Figure 6: average number of cluster keys held per node vs density.
+pub fn fig6_keys_per_node(trials: usize) -> Series {
+    density_sweep("keys-per-node", SWEEP_N, trials, |r| r.mean_keys_per_node)
+}
+
+/// Figure 7: average number of nodes per cluster vs density.
+pub fn fig7_cluster_size(trials: usize) -> Series {
+    density_sweep("nodes-per-cluster", SWEEP_N, trials, |r| {
+        r.mean_cluster_size
+    })
+}
+
+/// Figure 8: fraction of nodes that become cluster heads vs density.
+pub fn fig8_head_fraction(trials: usize) -> Series {
+    density_sweep("head-fraction", SWEEP_N, trials, |r| r.head_fraction)
+}
+
+/// Figure 9: key-setup transmissions per node vs density (n = 2000).
+pub fn fig9_setup_messages(trials: usize) -> Series {
+    density_sweep("setup-msgs-per-node", FIG9_N, trials, |r| r.msgs_per_node)
+}
+
+/// One row of the scale-invariance experiment.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// Sensors deployed.
+    pub n: usize,
+    /// Mean cluster keys per node.
+    pub keys_per_node: f64,
+    /// Mean cluster size.
+    pub cluster_size: f64,
+    /// Head fraction.
+    pub head_fraction: f64,
+    /// Setup messages per node.
+    pub msgs_per_node: f64,
+}
+
+/// The §V scalability claim: at fixed density, every per-node metric is
+/// independent of network size — "our protocol behaves the same way in a
+/// network with 2000 or 20000 nodes".
+pub fn scale_invariance(density: f64, sizes: &[usize], trials: usize) -> Vec<ScaleRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let reports = run_trials(derive_seed(MASTER_SEED, n as u64), trials, |_, seed| {
+                let r = one_setup(n, density, seed);
+                (
+                    r.mean_keys_per_node,
+                    r.mean_cluster_size,
+                    r.head_fraction,
+                    r.msgs_per_node,
+                )
+            });
+            let t = reports.len() as f64;
+            let sum = reports.iter().fold((0.0, 0.0, 0.0, 0.0), |a, r| {
+                (a.0 + r.0, a.1 + r.1, a.2 + r.2, a.3 + r.3)
+            });
+            ScaleRow {
+                n,
+                keys_per_node: sum.0 / t,
+                cluster_size: sum.1 / t,
+                head_fraction: sum.2 / t,
+                msgs_per_node: sum.3 / t,
+            }
+        })
+        .collect()
+}
+
+/// Renders a [`Series`] as a two-column markdown table.
+pub fn series_table(series: &Series, x_label: &str, y_label: &str) -> Table {
+    let mut t = Table::new(&[x_label, y_label, "±95% CI", "trials"]);
+    for p in series.points() {
+        t.row(&[
+            format!("{}", p.x),
+            format!("{:.3}", p.mean),
+            format!("{:.3}", p.ci95),
+            p.n.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Default-trials convenience used by the binary (`WSN_TRIALS` env var,
+/// clamped to at least 1; unparsable values fall back to the default).
+pub fn default_trials() -> usize {
+    std::env::var("WSN_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_TRIALS)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Small-n smoke tests; the real figures run via the binary in release
+    // mode.
+
+    #[test]
+    fn sweep_produces_all_densities() {
+        let s = density_sweep("t", 150, 1, |r| r.mean_keys_per_node);
+        assert_eq!(s.points().len(), DENSITIES.len());
+        for p in s.points() {
+            assert!(p.mean >= 1.0, "at least own cluster key: {}", p.mean);
+        }
+    }
+
+    #[test]
+    fn fig1_shape_small() {
+        let hists = fig1_cluster_size_distribution_small(300, 2);
+        let (d8, h8) = &hists[0];
+        let (d20, h20) = &hists[1];
+        assert_eq!(*d8, 8.0);
+        assert_eq!(*d20, 20.0);
+        // Sparser networks have relatively more singleton clusters.
+        assert!(
+            h8.fraction(1) > h20.fraction(1),
+            "density 8 singleton fraction {} should exceed density 20's {}",
+            h8.fraction(1),
+            h20.fraction(1)
+        );
+    }
+
+    /// Reduced-size variant for tests.
+    fn fig1_cluster_size_distribution_small(n: usize, trials: usize) -> Vec<(f64, Histogram)> {
+        [8.0f64, 20.0]
+            .iter()
+            .map(|&density| {
+                let hists = run_trials(
+                    derive_seed(MASTER_SEED, density.to_bits()),
+                    trials,
+                    |_, seed| {
+                        let report = one_setup(n, density, seed);
+                        Histogram::from_iter(report.cluster_sizes.iter().copied())
+                    },
+                );
+                let mut merged = Histogram::new();
+                for h in &hists {
+                    merged.merge(h);
+                }
+                (density, merged)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scale_rows_cover_sizes() {
+        let rows = scale_invariance(10.0, &[200, 400], 1);
+        assert_eq!(rows.len(), 2);
+        // Size-invariance (loose tolerance at these small n).
+        let rel = (rows[0].keys_per_node - rows[1].keys_per_node).abs()
+            / rows[0].keys_per_node;
+        assert!(rel < 0.25, "keys/node should be roughly size-free: {rel}");
+    }
+}

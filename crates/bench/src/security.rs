@@ -1,0 +1,198 @@
+//! The Section VI security comparison: resilience under node capture,
+//! ours vs every baseline, plus the HELLO-flood head-to-head.
+
+use wsn_baselines::global_key::GlobalKey;
+use wsn_baselines::leap::Leap;
+use wsn_baselines::ours::OursAdapter;
+use wsn_baselines::pairwise::FullPairwise;
+use wsn_baselines::random_predist::{EgScheme, QComposite};
+use wsn_baselines::KeyScheme;
+use wsn_core::prelude::*;
+use wsn_metrics::{Series, Table};
+use wsn_sim::rng::derive_seed;
+
+use crate::MASTER_SEED;
+
+/// Parameters for the capture-resilience sweep.
+#[derive(Clone, Debug)]
+pub struct ResilienceParams {
+    /// Sensors (+1 BS is added internally).
+    pub n: usize,
+    /// Target density.
+    pub density: f64,
+    /// Capture counts to evaluate.
+    pub capture_counts: Vec<usize>,
+    /// EG/q-composite pool size.
+    pub pool: u32,
+    /// EG/q-composite ring size.
+    pub ring: usize,
+}
+
+impl Default for ResilienceParams {
+    fn default() -> Self {
+        ResilienceParams {
+            n: 1000,
+            density: 12.0,
+            capture_counts: vec![1, 2, 5, 10, 20, 30, 50],
+            pool: 10_000,
+            ring: 75,
+        }
+    }
+}
+
+/// Runs the capture-resilience sweep: for each scheme, the fraction of
+/// honest traffic readable after `k` captures (captures spread across the
+/// field). One series per scheme.
+pub fn resilience_sweep(params: &ResilienceParams, trials: usize) -> Vec<Series> {
+    let mut series: Vec<Series> = [
+        "ours (localized clusters)",
+        "LEAP-like",
+        "global-key",
+        "random-predist (EG)",
+        "q-composite",
+        "full-pairwise",
+    ]
+    .iter()
+    .map(|n| Series::new(*n))
+    .collect();
+
+    for trial in 0..trials {
+        let seed = derive_seed(MASTER_SEED, SECURITY_SEED_STREAM + trial as u64);
+        let outcome = run_setup(&SetupParams {
+            n: params.n + 1,
+            density: params.density,
+            seed,
+            cfg: ProtocolConfig::default(),
+        });
+        let topo = outcome.handle.sim().topology();
+        let ours = OursAdapter::from_handle(&outcome.handle);
+        let eg = EgScheme::new(params.pool, params.ring, seed);
+        let qc = QComposite::new(params.pool, params.ring, 2, seed);
+        let schemes: [&dyn KeyScheme; 6] =
+            [&ours, &Leap, &GlobalKey, &eg, &qc, &FullPairwise];
+
+        // Spread captures across the field deterministically.
+        let ids: Vec<u32> = (1..=params.n as u32).collect();
+        for &k in &params.capture_counts {
+            let step = (ids.len() / k.max(1)).max(1);
+            let captured: Vec<u32> = ids.iter().copied().step_by(step).take(k).collect();
+            for (s, scheme) in schemes.iter().enumerate() {
+                series[s].record(
+                    k as f64,
+                    scheme.readable_tx_fraction(topo, &captured),
+                );
+            }
+        }
+    }
+    series
+}
+
+/// Seed-stream offset for the security experiments.
+const SECURITY_SEED_STREAM: u64 = 0x5EC0_0000;
+
+/// The scheme-comparison cost table (storage / setup / broadcast) at a
+/// fixed deployment.
+pub fn cost_table(n: usize, density: f64, seed_stream: u64) -> Table {
+    let outcome = run_setup(&SetupParams {
+        n: n + 1,
+        density,
+        seed: derive_seed(MASTER_SEED, seed_stream),
+        cfg: ProtocolConfig::default(),
+    });
+    let topo = outcome.handle.sim().topology();
+    let ours = OursAdapter::from_handle(&outcome.handle);
+    let eg = EgScheme::new(10_000, 75, 7);
+    let qc = QComposite::new(10_000, 75, 2, 7);
+    let schemes: [&dyn KeyScheme; 6] = [&ours, &Leap, &GlobalKey, &eg, &qc, &FullPairwise];
+
+    let mut t = Table::new(&[
+        "scheme",
+        "keys/node",
+        "setup msgs/node",
+        "tx per broadcast",
+        "readable after 1 capture",
+        "readable after 20 captures",
+    ]);
+    for scheme in schemes {
+        let r1 = wsn_baselines::evaluate(scheme, topo, 1);
+        let r20 = wsn_baselines::evaluate(scheme, topo, 20);
+        t.row(&[
+            r1.name.to_string(),
+            format!("{:.1}", r1.mean_keys),
+            format!("{:.2}", r1.setup_msgs),
+            format!("{:.2}", r1.mean_broadcast_tx),
+            format!("{:.4}", r1.readable_after_capture),
+            format!("{:.4}", r20.readable_after_capture),
+        ]);
+    }
+    t
+}
+
+/// The HELLO-flood head-to-head of §III/§VI.
+pub fn hello_flood_table() -> Table {
+    let params = SetupParams {
+        n: 400,
+        density: 12.0,
+        seed: derive_seed(MASTER_SEED, 0xF1),
+        cfg: ProtocolConfig::default(),
+    };
+    let (ours_report, _) =
+        wsn_attacks::hello_flood::flood_setup_phase(&params, &[40, 160, 280], 25);
+    let leap_accepted = Leap.hello_flood_accepted(ours_report.injected);
+    let mut t = Table::new(&["scheme", "forged HELLOs", "associations accepted"]);
+    t.row(&[
+        "ours (authenticated HELLOs)".into(),
+        ours_report.injected.to_string(),
+        ours_report.suborned.to_string(),
+    ]);
+    t.row(&[
+        "LEAP-like (open neighbor discovery)".into(),
+        ours_report.injected.to_string(),
+        leap_accepted.to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resilience_sweep_small() {
+        let params = ResilienceParams {
+            n: 200,
+            density: 10.0,
+            capture_counts: vec![1, 5],
+            pool: 1_000,
+            ring: 50,
+        };
+        let series = resilience_sweep(&params, 1);
+        assert_eq!(series.len(), 6);
+        // Global key: 1.0 at any capture count.
+        let global = series.iter().find(|s| s.name == "global-key").unwrap();
+        assert_eq!(global.mean_at(1.0), Some(1.0));
+        // Ours stays below global everywhere.
+        let ours = series
+            .iter()
+            .find(|s| s.name.starts_with("ours"))
+            .unwrap();
+        assert!(ours.mean_at(5.0).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn cost_table_has_all_schemes() {
+        let t = cost_table(300, 12.0, 0xC0);
+        assert_eq!(t.len(), 6);
+        let md = t.to_markdown();
+        assert!(md.contains("ours"));
+        assert!(md.contains("full-pairwise"));
+    }
+
+    #[test]
+    fn hello_flood_rows() {
+        let t = hello_flood_table();
+        assert_eq!(t.len(), 2);
+        let md = t.to_markdown();
+        assert!(md.contains("| 0"), "ours accepts zero: {md}");
+    }
+}

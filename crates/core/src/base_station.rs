@@ -1,0 +1,518 @@
+//! The base station.
+//!
+//! A resource-rich, trusted sink: it was "given all the ID numbers and keys
+//! used in the network before the deployment phase", so it can open any
+//! cluster's Step-2 envelope and any node's Step-1 seal. By convention it
+//! is node 0 in the deployed topology and behaves as a **silent singleton
+//! cluster** (CID 0): it never sends a HELLO (so no sensor joins it) but
+//! does advertise its cluster key in phase 2 so its radio neighbors can
+//! authenticate the beacons it originates.
+
+use crate::config::{CounterMode, ProtocolConfig};
+use crate::error::ProtocolError;
+use crate::evict::build_revoke;
+use crate::forward::{self, e2e_open, seal_setup, wrap, CounterWindow};
+use crate::fusion::DedupCache;
+use crate::msg::{ClusterId, DataUnit, Inner, Message};
+use crate::node::DropCounts;
+use crate::refresh;
+use crate::routing::Gradient;
+use rand::Rng;
+use std::collections::HashMap;
+use wsn_crypto::keychain::KeyChain;
+use wsn_crypto::Key128;
+use wsn_sim::event::MILLI;
+use wsn_sim::node::{App, Ctx, NodeId, TimerKey};
+
+/// Timer: originate a routing beacon flood.
+pub const TIMER_BEACON: TimerKey = 10;
+/// Timer: transmit queued revocation commands.
+pub const TIMER_REVOKE: TimerKey = 11;
+/// Timer: phase-2 link advertisement (shared with sensors' TIMER_LINK).
+pub const TIMER_BS_LINK: TimerKey = 2;
+/// Timer: autonomous periodic hash refresh (same schedule as the sensors',
+/// so key epochs stay aligned network-wide without any coordination
+/// traffic).
+pub const TIMER_BS_AUTO_REFRESH: TimerKey = 6;
+/// Timer: disclose the chain links of announced two-phase revocations.
+pub const TIMER_REVEAL: TimerKey = 12;
+
+/// A reading accepted by the base station.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reading {
+    /// Originating sensor.
+    pub src: u32,
+    /// Recovered plaintext.
+    pub data: Vec<u8>,
+    /// End-to-end counter the message verified under (None for unsealed
+    /// fusion-mode traffic).
+    pub ctr: Option<u64>,
+}
+
+/// Base-station state.
+pub struct BaseStation {
+    cfg: ProtocolConfig,
+    /// BS node ID (0 by convention).
+    id: u32,
+    /// Master key (the BS is trusted; it keeps `Km`).
+    km: Key128,
+    /// Own singleton-cluster key (`F(KMC, id)`).
+    own_kc: Key128,
+    /// `id -> Ki` registry.
+    registry: HashMap<u32, Key128>,
+    /// Every potential cluster key, rolled forward on refresh.
+    cluster_keys: HashMap<ClusterId, Key128>,
+    /// Revocation chain (BS side).
+    chain: KeyChain,
+    /// Next revocation sequence number.
+    revoke_seq: u32,
+    /// Commands queued for TIMER_REVOKE.
+    pending_revocations: Vec<Vec<ClusterId>>,
+    /// Two-phase revocation: announced commands whose links await
+    /// disclosure on TIMER_REVEAL.
+    pending_reveals: Vec<(u32, Key128)>,
+    /// Per-source end-to-end counter state.
+    windows: HashMap<u32, CounterWindow>,
+    /// Nodes evicted so far (their Step-1 traffic is refused).
+    evicted: Vec<u32>,
+    /// Per-sender message sequence (nonce uniqueness).
+    seq: u64,
+    /// Refresh epoch.
+    epoch: u32,
+    /// Whether the phase-2 link advertisement already went out (guards
+    /// against re-advertising when the simulator is rebuilt for node
+    /// addition).
+    link_advertised: bool,
+    /// Duplicate suppression: the same unit arriving over several forwarding
+    /// paths is processed once.
+    dedup: DedupCache,
+    /// Copies suppressed as multi-path duplicates.
+    pub duplicates: u64,
+    /// Accepted readings, in arrival order.
+    pub received: Vec<Reading>,
+    /// Drops by reason.
+    pub drops: DropCounts,
+    /// Replay/window rejections (kept separate from `drops.bad_auth` so
+    /// tests can distinguish).
+    pub counter_rejects: u64,
+}
+
+impl BaseStation {
+    /// Builds the base station. `cluster_keys` must contain `F(KMC, i)` for
+    /// every provisioned node ID `i` (any of them may become a head), and
+    /// `registry` the corresponding `Ki` map.
+    pub fn new(
+        cfg: ProtocolConfig,
+        id: u32,
+        km: Key128,
+        registry: HashMap<u32, Key128>,
+        cluster_keys: HashMap<ClusterId, Key128>,
+        chain: KeyChain,
+    ) -> Self {
+        let own_kc = *cluster_keys
+            .get(&id)
+            .expect("BS id must be in the cluster-key map");
+        let dedup = DedupCache::new(cfg.dedup_cache);
+        BaseStation {
+            cfg,
+            id,
+            km,
+            own_kc,
+            registry,
+            cluster_keys,
+            chain,
+            revoke_seq: 0,
+            pending_revocations: Vec::new(),
+            pending_reveals: Vec::new(),
+            windows: HashMap::new(),
+            evicted: Vec::new(),
+            seq: 0,
+            epoch: 0,
+            link_advertised: false,
+            dedup,
+            duplicates: 0,
+            received: Vec::new(),
+            drops: DropCounts::default(),
+            counter_rejects: 0,
+        }
+    }
+
+    /// BS node id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Current refresh epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Nodes evicted so far.
+    pub fn evicted(&self) -> &[u32] {
+        &self.evicted
+    }
+
+    /// Queues a revocation command for the given clusters and marks the
+    /// member nodes evicted. Fired on the next [`TIMER_REVOKE`].
+    pub fn queue_revocation(&mut self, cids: Vec<ClusterId>, compromised_nodes: Vec<u32>) {
+        self.evicted.extend(compromised_nodes);
+        self.pending_revocations.push(cids);
+    }
+
+    /// Rolls every cluster key forward one hash-refresh epoch (the BS
+    /// tracks the network's epoch).
+    pub fn apply_hash_refresh(&mut self) {
+        for kc in self.cluster_keys.values_mut() {
+            *kc = refresh::hash_step(kc);
+        }
+        self.own_kc = self.cluster_keys[&self.id];
+        self.epoch += 1;
+    }
+
+    /// Registers a node provisioned after initial deployment (§IV-E): its
+    /// `Ki` joins the registry and its potential cluster key the key map.
+    pub fn register_node(&mut self, id: u32, ki: Key128, kc: Key128) {
+        self.registry.insert(id, ki);
+        self.cluster_keys.insert(id, kc);
+    }
+
+    /// Installs an out-of-band-learned cluster key (re-cluster refresh:
+    /// heads generate random keys the BS cannot derive; the simulation
+    /// harness syncs it — see DESIGN.md "known deviations").
+    pub fn set_cluster_key(&mut self, cid: ClusterId, kc: Key128) {
+        self.cluster_keys.insert(cid, kc);
+        if cid == self.id {
+            self.own_kc = kc;
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Arms the next autonomous refresh tick at the shared absolute
+    /// boundaries `erase_km_at + k · period` (mirrors the sensors'
+    /// schedule so the whole network rolls keys in lockstep).
+    fn arm_auto_refresh(&mut self, ctx: &mut Ctx) {
+        if self.cfg.auto_refresh_epochs == 0 || self.epoch >= self.cfg.auto_refresh_epochs {
+            return;
+        }
+        let p = self.cfg.auto_refresh_period;
+        let base = self.cfg.erase_km_at;
+        let now = ctx.now();
+        let next = base + (now.saturating_sub(base) / p + 1) * p;
+        ctx.set_timer(TIMER_BS_AUTO_REFRESH, next - now);
+    }
+
+    fn accept_data(&mut self, unit: DataUnit) {
+        if !self.dedup.insert(unit.dedup_key()) {
+            self.duplicates += 1;
+            return;
+        }
+        if self.evicted.contains(&unit.src) {
+            self.drops.wrong_phase += 1;
+            return;
+        }
+        if !unit.sealed {
+            // Fusion-mode plaintext: nothing end-to-end to verify.
+            self.received.push(Reading {
+                src: unit.src,
+                data: unit.body.to_vec(),
+                ctr: None,
+            });
+            return;
+        }
+        let Some(ki) = self.registry.get(&unit.src).copied() else {
+            self.drops.unknown_cluster += 1;
+            return;
+        };
+        let window = self.windows.entry(unit.src).or_default();
+        let accepted = match (self.cfg.counter_mode, unit.ctr) {
+            (CounterMode::Explicit, Some(ctr)) => {
+                match e2e_open(&ki, unit.src, ctr, &unit.body) {
+                    Ok(data) => {
+                        if window.accept(ctr).is_err() {
+                            None // replay
+                        } else {
+                            Some((data, ctr))
+                        }
+                    }
+                    Err(_) => None,
+                }
+            }
+            (CounterMode::Implicit, _) => {
+                // "The receiver can try a small window of counter values to
+                // recover the message."
+                let mut hit = None;
+                for ctr in window.candidates(self.cfg.counter_window) {
+                    if let Ok(data) = e2e_open(&ki, unit.src, ctr, &unit.body) {
+                        hit = Some((data, ctr));
+                        break;
+                    }
+                }
+                if let Some((_, ctr)) = hit {
+                    let _ = window.accept(ctr);
+                }
+                hit
+            }
+            (CounterMode::Explicit, None) => None,
+        };
+        match accepted {
+            Some((data, ctr)) => self.received.push(Reading {
+                src: unit.src,
+                data,
+                ctr: Some(ctr),
+            }),
+            None => self.counter_rejects += 1,
+        }
+    }
+
+    fn handle_wrapped(&mut self, ctx: &mut Ctx, cid: ClusterId, nonce: u64, sealed: &[u8]) {
+        let Some(key) = self.cluster_keys.get(&cid).copied() else {
+            self.drops.unknown_cluster += 1;
+            return;
+        };
+        match forward::unwrap(&key, cid, nonce, sealed, ctx.now(), &self.cfg) {
+            Ok(u) => match u.inner {
+                Inner::Data(unit) => self.accept_data(unit),
+                // The BS is the gradient root; beacons and refresh HELLOs
+                // from the field carry nothing it needs.
+                Inner::Beacon | Inner::RefreshHello { .. } => {}
+            },
+            Err(ProtocolError::Stale) => self.drops.stale += 1,
+            Err(ProtocolError::Crypto(_)) => self.drops.bad_auth += 1,
+            Err(_) => self.drops.malformed += 1,
+        }
+    }
+}
+
+impl App for BaseStation {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        // Advertise the BS's own cluster key in phase 2, like every node,
+        // so radio neighbors can authenticate BS-originated beacons.
+        if !self.link_advertised {
+            let jitter = ctx.rng().gen_range(0..200 * MILLI);
+            ctx.set_timer(TIMER_BS_LINK, self.cfg.link_phase_at + jitter);
+        }
+        self.arm_auto_refresh(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, key: TimerKey) {
+        match key {
+            TIMER_BS_LINK => {
+                self.link_advertised = true;
+                let seq = self.next_seq();
+                let (nonce, sealed) = seal_setup(&self.km, self.id, seq, self.id, &self.own_kc);
+                ctx.broadcast(Message::LinkAdvert { nonce, sealed }.encode());
+            }
+            TIMER_BEACON => {
+                let seq = self.next_seq();
+                let msg = wrap(
+                    &self.own_kc,
+                    self.id,
+                    self.id,
+                    seq,
+                    ctx.now(),
+                    Gradient::at(0).hops(),
+                    &Inner::Beacon,
+                );
+                ctx.broadcast(msg.encode());
+            }
+            TIMER_BS_AUTO_REFRESH => {
+                self.apply_hash_refresh();
+                self.arm_auto_refresh(ctx);
+            }
+            TIMER_REVOKE => {
+                for cids in std::mem::take(&mut self.pending_revocations) {
+                    let Some(link) = self.chain.reveal_next() else {
+                        // Chain exhausted; command cannot be authenticated.
+                        self.drops.wrong_phase += 1;
+                        continue;
+                    };
+                    self.revoke_seq += 1;
+                    if self.cfg.two_phase_revocation {
+                        // Phase 1: announce under the undisclosed link.
+                        let tag = crate::evict::revoke_tag(&link, self.revoke_seq, &cids);
+                        ctx.broadcast(
+                            Message::RevokeAnnounce {
+                                seq: self.revoke_seq,
+                                cids,
+                                tag,
+                            }
+                            .encode(),
+                        );
+                        self.pending_reveals.push((self.revoke_seq, link));
+                        ctx.set_timer(TIMER_REVEAL, self.cfg.revocation_disclosure_delay);
+                    } else {
+                        ctx.broadcast(build_revoke(link, self.revoke_seq, cids).encode());
+                    }
+                }
+            }
+            TIMER_REVEAL => {
+                for (seq, link) in std::mem::take(&mut self.pending_reveals) {
+                    ctx.broadcast(Message::RevokeReveal { seq, link }.encode());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, payload: &[u8]) {
+        match Message::decode(payload) {
+            Ok(Message::Wrapped { cid, nonce, sealed }) => {
+                self.handle_wrapped(ctx, cid, nonce, &sealed)
+            }
+            // Setup chatter and flood echoes: the BS doesn't need them.
+            Ok(_) => {}
+            Err(_) => self.drops.malformed += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::e2e_seal;
+    use crate::keys::Provisioner;
+    use bytes::Bytes;
+
+    fn bs_with(cfg: ProtocolConfig) -> (BaseStation, Provisioner) {
+        let mut p = Provisioner::new(7);
+        // Provision BS (0) and a couple of sensors.
+        for id in 0..4 {
+            p.provision(id);
+        }
+        let registry = p.registry().clone();
+        let cluster_keys: HashMap<u32, Key128> =
+            (0..4).map(|i| (i, p.cluster_key_of(i))).collect();
+        let bs = BaseStation::new(cfg, 0, p.km(), registry, cluster_keys, p.revocation_chain());
+        (bs, p)
+    }
+
+    fn sealed_unit(p: &Provisioner, src: u32, ctr: u64, data: &[u8], explicit: bool) -> DataUnit {
+        let ki = p.node_key(src);
+        DataUnit {
+            src,
+            ctr: explicit.then_some(ctr),
+            sealed: true,
+            body: e2e_seal(&ki, src, ctr, data),
+        }
+    }
+
+    #[test]
+    fn accepts_explicit_counter_reading() {
+        let cfg = ProtocolConfig::default().with_counter_mode(CounterMode::Explicit);
+        let (mut bs, p) = bs_with(cfg);
+        bs.accept_data(sealed_unit(&p, 2, 0, b"r0", true));
+        assert_eq!(bs.received.len(), 1);
+        assert_eq!(bs.received[0].src, 2);
+        assert_eq!(bs.received[0].data, b"r0");
+        assert_eq!(bs.received[0].ctr, Some(0));
+    }
+
+    #[test]
+    fn rejects_explicit_replay() {
+        let cfg = ProtocolConfig::default().with_counter_mode(CounterMode::Explicit);
+        let (mut bs, p) = bs_with(cfg);
+        let unit = sealed_unit(&p, 2, 0, b"r0", true);
+        // A byte-identical copy (multi-path flooding) is suppressed by the
+        // dedup cache, not counted as an attack.
+        bs.accept_data(unit.clone());
+        bs.accept_data(unit);
+        assert_eq!(bs.received.len(), 1);
+        assert_eq!(bs.duplicates, 1);
+        assert_eq!(bs.counter_rejects, 0);
+        // A *different* message reusing an old counter (clone misbehaving)
+        // is a counter replay.
+        bs.accept_data(sealed_unit(&p, 2, 0, b"other", true));
+        assert_eq!(bs.received.len(), 1);
+        assert_eq!(bs.counter_rejects, 1);
+    }
+
+    #[test]
+    fn implicit_mode_resynchronizes_within_window() {
+        let (mut bs, p) = bs_with(ProtocolConfig::default());
+        // Counters 0..3 lost in transit; 4 arrives first.
+        bs.accept_data(sealed_unit(&p, 2, 4, b"r4", false));
+        assert_eq!(bs.received.len(), 1);
+        assert_eq!(bs.received[0].ctr, Some(4));
+        // Next message continues from 5.
+        bs.accept_data(sealed_unit(&p, 2, 5, b"r5", false));
+        assert_eq!(bs.received.len(), 2);
+    }
+
+    #[test]
+    fn implicit_mode_rejects_outside_window() {
+        let (mut bs, p) = bs_with(ProtocolConfig::default());
+        let beyond = ProtocolConfig::default().counter_window + 3;
+        bs.accept_data(sealed_unit(&p, 2, beyond, b"far", false));
+        assert_eq!(bs.received.len(), 0);
+        assert_eq!(bs.counter_rejects, 1);
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let (mut bs, p) = bs_with(ProtocolConfig::default());
+        let ki = Key128::from_bytes([0xAB; 16]);
+        let unit = DataUnit {
+            src: 999,
+            ctr: None,
+            sealed: true,
+            body: e2e_seal(&ki, 999, 0, b"evil"),
+        };
+        let _ = p;
+        bs.accept_data(unit);
+        assert!(bs.received.is_empty());
+    }
+
+    #[test]
+    fn evicted_source_refused() {
+        let (mut bs, p) = bs_with(ProtocolConfig::default());
+        bs.queue_revocation(vec![2], vec![2]);
+        bs.accept_data(sealed_unit(&p, 2, 0, b"r", false));
+        assert!(bs.received.is_empty());
+        // Other nodes unaffected.
+        bs.accept_data(sealed_unit(&p, 3, 0, b"ok", false));
+        assert_eq!(bs.received.len(), 1);
+    }
+
+    #[test]
+    fn unsealed_fusion_reading_accepted() {
+        let (mut bs, _p) = bs_with(ProtocolConfig::default());
+        bs.accept_data(DataUnit {
+            src: 3,
+            ctr: None,
+            sealed: false,
+            body: Bytes::from_static(b"plaintext"),
+        });
+        assert_eq!(bs.received.len(), 1);
+        assert_eq!(bs.received[0].ctr, None);
+    }
+
+    #[test]
+    fn hash_refresh_keeps_own_key_synced() {
+        let (mut bs, p) = bs_with(ProtocolConfig::default());
+        let before = bs.own_kc;
+        bs.apply_hash_refresh();
+        assert_eq!(bs.epoch(), 1);
+        assert_ne!(bs.own_kc, before);
+        assert_eq!(
+            bs.own_kc,
+            refresh::cluster_key_at_epoch(&p.kmc(), 0, 1)
+        );
+    }
+
+    #[test]
+    fn corrupted_body_counted() {
+        let (mut bs, p) = bs_with(ProtocolConfig::default());
+        let mut unit = sealed_unit(&p, 2, 0, b"r0", false);
+        let mut body = unit.body.to_vec();
+        body[0] ^= 1;
+        unit.body = Bytes::from(body);
+        bs.accept_data(unit);
+        assert!(bs.received.is_empty());
+        assert_eq!(bs.counter_rejects, 1);
+    }
+}

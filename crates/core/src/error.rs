@@ -1,0 +1,66 @@
+//! Protocol-level error types.
+
+use wsn_crypto::CryptoError;
+
+/// Everything that can go wrong processing a protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The frame could not be parsed (truncated, bad type byte, bad arity).
+    Malformed,
+    /// Cryptographic verification failed (bad tag, bad commitment).
+    Crypto(CryptoError),
+    /// The message's cluster ID is not in this node's key set `S`.
+    UnknownCluster,
+    /// The message's freshness timestamp τ fell outside the window.
+    Stale,
+    /// Counter replay: the (source, counter) pair was already accepted.
+    Replay,
+    /// The end-to-end counter was outside the base station's
+    /// resynchronization window.
+    CounterOutOfWindow,
+    /// The sender is unknown to the base station registry (e.g. evicted).
+    UnknownNode,
+    /// A phase-inappropriate message (e.g. HELLO after `Km` was erased).
+    WrongPhase,
+}
+
+impl From<CryptoError> for ProtocolError {
+    fn from(e: CryptoError) -> Self {
+        ProtocolError::Crypto(e)
+    }
+}
+
+impl core::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProtocolError::Malformed => write!(f, "malformed frame"),
+            ProtocolError::Crypto(e) => write!(f, "crypto failure: {e}"),
+            ProtocolError::UnknownCluster => write!(f, "unknown cluster id"),
+            ProtocolError::Stale => write!(f, "stale timestamp"),
+            ProtocolError::Replay => write!(f, "replayed message"),
+            ProtocolError::CounterOutOfWindow => write!(f, "counter outside window"),
+            ProtocolError::UnknownNode => write!(f, "unknown or evicted node"),
+            ProtocolError::WrongPhase => write!(f, "message out of phase"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtocolError::Crypto(CryptoError::BadTag);
+        assert!(e.to_string().contains("tag"));
+        assert!(ProtocolError::Replay.to_string().contains("replay"));
+    }
+
+    #[test]
+    fn from_crypto_error() {
+        let e: ProtocolError = CryptoError::Truncated.into();
+        assert_eq!(e, ProtocolError::Crypto(CryptoError::Truncated));
+    }
+}

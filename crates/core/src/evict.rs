@@ -1,0 +1,153 @@
+//! Eviction of compromised nodes (paper §IV-D).
+//!
+//! The base station authenticates revocation commands with a one-way hash
+//! key chain: the command carries the next unrevealed chain link `K_l`; a
+//! node verifies that applying `F` to the link (up to a bounded number of
+//! times, tolerating missed commands) reproduces its stored commitment,
+//! then advances the commitment and deletes the listed cluster keys.
+//!
+//! The command payload is bound to the link with `MAC_link(seq | cids)`.
+//! Note the paper's scheme (and this faithful implementation) reveals the
+//! link in the same frame that uses it, so an adversary observing a command
+//! in flight could race a forged payload under the same link to nodes that
+//! have not yet processed the genuine one — a gap µTESLA-style delayed
+//! disclosure would close; see DESIGN.md ("known deviations").
+
+use crate::error::ProtocolError;
+use crate::msg::{ClusterId, Message, SHORT_TAG};
+use wsn_crypto::hmac::HmacSha256;
+use wsn_crypto::keychain::ChainVerifier;
+use wsn_crypto::{ct, Key128};
+
+/// Computes `MAC_link(seq | cids)` truncated to [`SHORT_TAG`] bytes.
+pub fn revoke_tag(link: &Key128, seq: u32, cids: &[ClusterId]) -> [u8; SHORT_TAG] {
+    let mut h = HmacSha256::new(link.as_bytes());
+    h.update(b"wsn/revoke");
+    h.update(&seq.to_be_bytes());
+    h.update(&(cids.len() as u32).to_be_bytes());
+    for cid in cids {
+        h.update(&cid.to_be_bytes());
+    }
+    let full = h.finalize();
+    let mut tag = [0u8; SHORT_TAG];
+    tag.copy_from_slice(&full[..SHORT_TAG]);
+    tag
+}
+
+/// Builds a revocation command (base-station side). `link` must be the
+/// next unrevealed chain link.
+pub fn build_revoke(link: Key128, seq: u32, cids: Vec<ClusterId>) -> Message {
+    let tag = revoke_tag(&link, seq, &cids);
+    Message::Revoke {
+        link,
+        seq,
+        cids,
+        tag,
+    }
+}
+
+/// Verifies a received revocation command against the node's chain
+/// verifier; on success the verifier's commitment has advanced to `link`.
+pub fn verify_revoke(
+    chain: &mut ChainVerifier,
+    link: &Key128,
+    seq: u32,
+    cids: &[ClusterId],
+    tag: &[u8; SHORT_TAG],
+    max_skip: usize,
+) -> Result<(), ProtocolError> {
+    // Check the payload binding first — it is cheap and does not mutate
+    // the verifier.
+    let expected = revoke_tag(link, seq, cids);
+    if !ct::eq(&expected, tag) {
+        return Err(ProtocolError::Crypto(wsn_crypto::CryptoError::BadTag));
+    }
+    chain.accept(link, max_skip)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_crypto::keychain::KeyChain;
+
+    fn chain_pair() -> (KeyChain, ChainVerifier) {
+        let chain = KeyChain::generate(&Key128::from_bytes([5; 16]), 8);
+        let verifier = ChainVerifier::new(chain.commitment());
+        (chain, verifier)
+    }
+
+    #[test]
+    fn build_and_verify() {
+        let (mut chain, mut verifier) = chain_pair();
+        let link = chain.reveal_next().unwrap();
+        let Message::Revoke {
+            link, seq, cids, tag,
+        } = build_revoke(link, 1, vec![13, 9])
+        else {
+            unreachable!()
+        };
+        assert!(verify_revoke(&mut verifier, &link, seq, &cids, &tag, 4).is_ok());
+    }
+
+    #[test]
+    fn tampered_cid_list_rejected_without_advancing_chain() {
+        let (mut chain, mut verifier) = chain_pair();
+        let link = chain.reveal_next().unwrap();
+        let Message::Revoke {
+            link, seq, tag, ..
+        } = build_revoke(link, 1, vec![13])
+        else {
+            unreachable!()
+        };
+        // Adversary swaps the victim list.
+        let forged = vec![99u32];
+        let before = verifier.commitment();
+        assert!(verify_revoke(&mut verifier, &link, seq, &forged, &tag, 4).is_err());
+        assert_eq!(verifier.commitment(), before, "chain must not advance");
+        // Genuine command still verifies afterwards.
+        assert!(verify_revoke(&mut verifier, &link, seq, &[13], &tag, 4).is_ok());
+    }
+
+    #[test]
+    fn forged_link_rejected() {
+        let (_, mut verifier) = chain_pair();
+        let bogus = Key128::from_bytes([0xBB; 16]);
+        let tag = revoke_tag(&bogus, 1, &[13]);
+        assert_eq!(
+            verify_revoke(&mut verifier, &bogus, 1, &[13], &tag, 4),
+            Err(ProtocolError::Crypto(
+                wsn_crypto::CryptoError::BadCommitment
+            ))
+        );
+    }
+
+    #[test]
+    fn skipped_commands_tolerated_within_window() {
+        let (mut chain, mut verifier) = chain_pair();
+        let _missed = chain.reveal_next().unwrap();
+        let _missed = chain.reveal_next().unwrap();
+        let link3 = chain.reveal_next().unwrap();
+        let tag = revoke_tag(&link3, 3, &[7]);
+        assert!(verify_revoke(&mut verifier, &link3, 3, &[7], &tag, 4).is_ok());
+    }
+
+    #[test]
+    fn replayed_command_rejected() {
+        let (mut chain, mut verifier) = chain_pair();
+        let link = chain.reveal_next().unwrap();
+        let tag = revoke_tag(&link, 1, &[13]);
+        verify_revoke(&mut verifier, &link, 1, &[13], &tag, 4).unwrap();
+        assert!(verify_revoke(&mut verifier, &link, 1, &[13], &tag, 4).is_err());
+    }
+
+    #[test]
+    fn tag_depends_on_every_field() {
+        let link = Key128::from_bytes([1; 16]);
+        let base = revoke_tag(&link, 1, &[2, 3]);
+        assert_ne!(base, revoke_tag(&link, 2, &[2, 3]));
+        assert_ne!(base, revoke_tag(&link, 1, &[2]));
+        assert_ne!(base, revoke_tag(&link, 1, &[3, 2]));
+        assert_ne!(base, revoke_tag(&Key128::from_bytes([2; 16]), 1, &[2, 3]));
+    }
+}

@@ -1,0 +1,255 @@
+//! Initialization phase (paper §IV-A): pre-deployment key provisioning.
+//!
+//! "Sensor nodes are assigned a unique ID ... as well as three symmetric
+//! keys" — the node key `Ki`, the potential cluster key `Kci`, and the
+//! master key `Km` — plus (for the revocation scheme of §IV-D) the key
+//! chain commitment `K0`. The base station "is then given all the ID
+//! numbers and keys used in the network before the deployment phase";
+//! [`Provisioner`] plays the role of that manufacturing-time authority.
+
+use std::collections::HashMap;
+use wsn_crypto::drbg::HmacDrbg;
+use wsn_crypto::keychain::{ChainVerifier, KeyChain};
+use wsn_crypto::prf::Prf;
+use wsn_crypto::Key128;
+
+/// The key material loaded into one sensor node before deployment.
+#[derive(Clone, Debug)]
+pub struct NodeKeyMaterial {
+    /// Node ID.
+    pub id: u32,
+    /// Node key `Ki`, shared with the base station (end-to-end security).
+    pub ki: Key128,
+    /// Potential cluster key `Kci = F(KMC, i)`: used only if this node
+    /// elects itself cluster head.
+    pub kci: Key128,
+    /// Master key `Km` for the setup phase. `None` after erasure, and never
+    /// present on nodes added after initial deployment.
+    pub km: Option<Key128>,
+    /// Master-cluster key `KMC`, loaded only into nodes added after initial
+    /// deployment (§IV-E). `None` after the join completes and erases it.
+    pub kmc: Option<Key128>,
+    /// Verifier state for the base station's revocation chain (`K0`
+    /// preloaded at manufacture).
+    pub chain: ChainVerifier,
+}
+
+impl NodeKeyMaterial {
+    /// Erases the master key (end of the cluster key setup phase: "all
+    /// nodes erase key Km from their memory").
+    pub fn erase_km(&mut self) {
+        if let Some(mut km) = self.km.take() {
+            km.zeroize();
+        }
+    }
+
+    /// Erases the master-cluster key (end of the node-addition phase:
+    /// "the master key KMC is deleted from the memory of the nodes").
+    pub fn erase_kmc(&mut self) {
+        if let Some(mut kmc) = self.kmc.take() {
+            kmc.zeroize();
+        }
+    }
+}
+
+/// Manufacturing-time key authority: generates all pre-deployment material
+/// deterministically from a master seed and hands the base station its
+/// registry.
+pub struct Provisioner {
+    km: Key128,
+    kmc: Key128,
+    node_key_root: Key128,
+    chain_seed: Key128,
+    chain_commitment: Key128,
+    registry: HashMap<u32, Key128>,
+}
+
+/// Length of the revocation key chain generated at network setup.
+pub const CHAIN_LEN: usize = 64;
+
+impl Provisioner {
+    /// Creates the authority from a master seed.
+    pub fn new(seed: u64) -> Self {
+        let mut drbg = HmacDrbg::from_u64(seed);
+        let km = drbg.next_key();
+        let kmc = drbg.next_key();
+        let node_key_root = drbg.next_key();
+        let chain_seed = drbg.next_key();
+        let chain_commitment = KeyChain::generate(&chain_seed, CHAIN_LEN).commitment();
+        Provisioner {
+            km,
+            kmc,
+            node_key_root,
+            chain_seed,
+            chain_commitment,
+            registry: HashMap::new(),
+        }
+    }
+
+    /// Provisions key material for node `id` (and records `Ki` in the base
+    /// station registry). Derivations are order-independent: `Ki` depends
+    /// only on `(seed, id)`.
+    pub fn provision(&mut self, id: u32) -> NodeKeyMaterial {
+        let ki = self.node_key(id);
+        self.registry.insert(id, ki);
+        NodeKeyMaterial {
+            id,
+            ki,
+            kci: Prf::cluster_key(&self.kmc, id),
+            km: Some(self.km),
+            kmc: None,
+            chain: ChainVerifier::new(self.chain_commitment),
+        }
+    }
+
+    /// Provisions a node deployed *after* initial setup (§IV-E): it carries
+    /// `KMC` instead of `Km` (which no longer exists anywhere).
+    pub fn provision_new_node(&mut self, id: u32) -> NodeKeyMaterial {
+        let mut m = self.provision(id);
+        m.km = None;
+        m.kmc = Some(self.kmc);
+        m
+    }
+
+    /// The node key of `id` (base-station side; does not register).
+    pub fn node_key(&self, id: u32) -> Key128 {
+        Prf::derive(&self.node_key_root, &id.to_be_bytes())
+    }
+
+    /// The cluster key any node `id` *would* use as head: `F(KMC, id)`.
+    /// The base station can reconstruct every cluster key from this.
+    pub fn cluster_key_of(&self, id: u32) -> Key128 {
+        Prf::cluster_key(&self.kmc, id)
+    }
+
+    /// The master key `Km` (setup phase only).
+    pub fn km(&self) -> Key128 {
+        self.km
+    }
+
+    /// The master-cluster key `KMC`, loaded into *new* nodes so they can
+    /// derive cluster keys during the addition phase (§IV-E).
+    pub fn kmc(&self) -> Key128 {
+        self.kmc
+    }
+
+    /// A fresh base-station-side revocation chain (the chain links are a
+    /// function of the seed, so BS state can be reconstructed).
+    pub fn revocation_chain(&self) -> KeyChain {
+        KeyChain::generate(&self.chain_seed, CHAIN_LEN)
+    }
+
+    /// The chain commitment preloaded into nodes.
+    pub fn chain_commitment(&self) -> Key128 {
+        self.chain_commitment
+    }
+
+    /// The `id -> Ki` registry accumulated so far (for the base station).
+    pub fn registry(&self) -> &HashMap<u32, Key128> {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provisioning_is_deterministic() {
+        let mut a = Provisioner::new(5);
+        let mut b = Provisioner::new(5);
+        let ka = a.provision(7);
+        let kb = b.provision(7);
+        assert_eq!(ka.ki, kb.ki);
+        assert_eq!(ka.kci, kb.kci);
+        assert_eq!(ka.km, kb.km);
+        assert_eq!(a.chain_commitment(), b.chain_commitment());
+    }
+
+    #[test]
+    fn provisioning_is_order_independent() {
+        let mut a = Provisioner::new(9);
+        let mut b = Provisioner::new(9);
+        let a1 = a.provision(1);
+        let _a2 = a.provision(2);
+        let _b2 = b.provision(2);
+        let b1 = b.provision(1);
+        assert_eq!(a1.ki, b1.ki);
+        assert_eq!(a1.kci, b1.kci);
+    }
+
+    #[test]
+    fn distinct_nodes_distinct_keys() {
+        let mut p = Provisioner::new(1);
+        let k1 = p.provision(1);
+        let k2 = p.provision(2);
+        assert_ne!(k1.ki, k2.ki);
+        assert_ne!(k1.kci, k2.kci);
+        // ... but the same master key.
+        assert_eq!(k1.km, k2.km);
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_networks() {
+        let mut a = Provisioner::new(1);
+        let mut b = Provisioner::new(2);
+        assert_ne!(a.provision(1).ki, b.provision(1).ki);
+        assert_ne!(a.km(), b.km());
+        assert_ne!(a.kmc(), b.kmc());
+    }
+
+    #[test]
+    fn kci_matches_cluster_key_of() {
+        let mut p = Provisioner::new(3);
+        let m = p.provision(42);
+        assert_eq!(m.kci, p.cluster_key_of(42));
+    }
+
+    #[test]
+    fn erase_km() {
+        let mut p = Provisioner::new(1);
+        let mut m = p.provision(4);
+        assert!(m.km.is_some());
+        m.erase_km();
+        assert!(m.km.is_none());
+        m.erase_km(); // idempotent
+        assert!(m.km.is_none());
+    }
+
+    #[test]
+    fn chain_verifies_against_provisioned_commitment() {
+        let mut p = Provisioner::new(11);
+        let m = p.provision(1);
+        let mut chain = p.revocation_chain();
+        let mut verifier = m.chain;
+        let link = chain.reveal_next().unwrap();
+        assert!(verifier.accept(&link, 1).is_ok());
+    }
+
+    #[test]
+    fn new_node_material_carries_kmc_not_km() {
+        let mut p = Provisioner::new(8);
+        let m = p.provision_new_node(99);
+        assert!(m.km.is_none(), "post-deployment nodes never see Km");
+        assert_eq!(m.kmc, Some(p.kmc()));
+        // Ki/Kci identical to what an initially deployed node 99 would get.
+        let mut p2 = Provisioner::new(8);
+        let m2 = p2.provision(99);
+        assert_eq!(m.ki, m2.ki);
+        assert_eq!(m.kci, m2.kci);
+        // And KMC is erasable.
+        let mut m = m;
+        m.erase_kmc();
+        assert!(m.kmc.is_none());
+        m.erase_kmc(); // idempotent
+    }
+
+    #[test]
+    fn registry_tracks_provisioned_nodes() {
+        let mut p = Provisioner::new(2);
+        p.provision(10);
+        p.provision(20);
+        assert_eq!(p.registry().len(), 2);
+        assert_eq!(p.registry()[&10], p.node_key(10));
+    }
+}

@@ -1,0 +1,1070 @@
+//! The sensor-node state machine: everything one mote runs.
+//!
+//! Phase behaviour follows §IV:
+//!
+//! * **Election** — wait `Exp(λ)`, then self-elect and broadcast a HELLO
+//!   unless a HELLO arrived first (join silently: *zero* transmissions for
+//!   members, the property behind Figure 9's ≈1.1 messages/node).
+//! * **Link establishment** — one local broadcast of `(CID, Kc)` under
+//!   `Km`; neighbors in other clusters add it to their key set `S`.
+//! * **Erase** — `Km` is wiped; any late setup traffic is dropped as
+//!   [`ProtocolError::WrongPhase`].
+//! * **Steady state** — originate readings (Step 1 + Step 2), forward
+//!   others' traffic downhill ([`crate::routing::Gradient`]), fuse
+//!   duplicates, process revocations, answer join requests, refresh keys.
+
+use crate::config::{CounterMode, ProtocolConfig, RefreshMode};
+use crate::error::ProtocolError;
+use crate::evict;
+use crate::forward::{self, e2e_seal, open_setup, seal_setup, wrap};
+use crate::fusion::{DedupCache, PeekAggregator};
+use crate::join::{join_tag, verify_join_tag};
+use crate::keys::NodeKeyMaterial;
+use crate::msg::{ClusterId, DataUnit, Inner, Message};
+use crate::refresh;
+use crate::routing::Gradient;
+use bytes::Bytes;
+use rand::Rng;
+use std::collections::{HashMap, HashSet, VecDeque};
+use wsn_crypto::Key128;
+use wsn_sim::event::{SimTime, MILLI, SECOND};
+use wsn_sim::node::{App, Ctx, NodeId, TimerKey};
+use wsn_sim::rng::exp_delay;
+
+/// Timer: cluster-head election (Exp(λ) delay).
+pub const TIMER_ELECTION: TimerKey = 1;
+/// Timer: phase-2 link broadcast.
+pub const TIMER_LINK: TimerKey = 2;
+/// Timer: erase `Km`.
+pub const TIMER_ERASE: TimerKey = 3;
+/// Timer: transmit the next queued sensor reading.
+pub const TIMER_SEND: TimerKey = 4;
+/// Timer: close the join-response collection window.
+pub const TIMER_JOIN: TimerKey = 5;
+/// Timer: autonomous periodic hash refresh.
+pub const TIMER_AUTO_REFRESH: TimerKey = 6;
+
+/// One candidate payload of a two-phase revocation announce:
+/// `(cluster ids, MAC under the not-yet-disclosed link)`.
+type AnnounceCandidate = (Vec<ClusterId>, [u8; crate::msg::SHORT_TAG]);
+
+/// A node's role after the election phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Not yet decided (election phase only).
+    Undecided,
+    /// Elected itself and broadcast a HELLO. "From this point on, cluster
+    /// heads turn to normal members" — the role is only a historical
+    /// marker, not a privilege.
+    Head,
+    /// Joined another node's cluster.
+    Member,
+    /// Deployed post-setup, currently running the §IV-E join protocol.
+    Joining,
+}
+
+/// Counts of dropped frames by reason — the node-side evidence for the
+/// security analysis (an attack shows up as a specific drop column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DropCounts {
+    /// MAC/decrypt failures.
+    pub bad_auth: u64,
+    /// CID not in the key set `S`.
+    pub unknown_cluster: u64,
+    /// Freshness window exceeded.
+    pub stale: u64,
+    /// Setup traffic after `Km` erasure (or other phase violations).
+    pub wrong_phase: u64,
+    /// Unparseable frames.
+    pub malformed: u64,
+}
+
+impl DropCounts {
+    /// Total drops.
+    pub fn total(&self) -> u64 {
+        self.bad_auth + self.unknown_cluster + self.stale + self.wrong_phase + self.malformed
+    }
+}
+
+/// Per-node protocol statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeStats {
+    /// Readings this node originated.
+    pub originated: u64,
+    /// Frames re-wrapped and forwarded downhill.
+    pub forwarded: u64,
+    /// Duplicates suppressed by the fusion peek.
+    pub fused_duplicates: u64,
+    /// Frames dropped, by reason.
+    pub drops: DropCounts,
+}
+
+/// Key material extracted from a captured node — what an adversary gets
+/// (the paper assumes no tamper resistance).
+#[derive(Clone, Debug)]
+pub struct CapturedKeys {
+    /// Captured node's ID.
+    pub id: u32,
+    /// Its node key `Ki`.
+    pub ki: Key128,
+    /// Its cluster's ID and key, if clustered.
+    pub cluster: Option<(ClusterId, Key128)>,
+    /// Its neighboring clusters' keys (set `S`).
+    pub neighbor_keys: Vec<(ClusterId, Key128)>,
+    /// `Km`, if captured before erasure (catastrophic).
+    pub km: Option<Key128>,
+    /// `KMC`, if captured mid-join (catastrophic for future clusters).
+    pub kmc: Option<Key128>,
+}
+
+/// One reading queued for transmission.
+#[derive(Clone, Debug)]
+pub struct PendingReading {
+    /// Application payload.
+    pub data: Vec<u8>,
+    /// Apply Step 1 (confidential to the base station) or leave plaintext
+    /// for in-network fusion.
+    pub sealed: bool,
+}
+
+/// The protocol state machine for one sensor node.
+pub struct ProtocolNode {
+    cfg: ProtocolConfig,
+    keys: NodeKeyMaterial,
+    role: Role,
+    cid: Option<ClusterId>,
+    cluster_key: Option<Key128>,
+    /// The set `S`: keys of neighboring clusters.
+    neighbor_keys: HashMap<ClusterId, Key128>,
+    /// Per-sender message sequence (CTR nonce uniqueness).
+    seq: u64,
+    /// Step-1 end-to-end counter shared with the base station.
+    e2e_ctr: u64,
+    gradient: Gradient,
+    dedup: DedupCache,
+    /// Fusion-mode redundancy envelope (only consulted when
+    /// `cfg.fusion_suppression` is on).
+    peek: PeekAggregator,
+    /// Revocation command sequence numbers already processed/flooded.
+    revoke_seen: HashSet<u32>,
+    /// Two-phase revocation: buffered announce candidates per seq (bounded
+    /// per seq so a flooding adversary cannot exhaust memory, and a list —
+    /// not a single slot — so a forged announce cannot front-run the
+    /// genuine one).
+    pending_announces: HashMap<u32, Vec<AnnounceCandidate>>,
+    /// Two-phase revocation: chain-verified links awaiting a matching
+    /// announce (reveal/announce reordering across flood paths).
+    verified_links: HashMap<u32, Key128>,
+    /// Set when this node's own cluster was revoked.
+    revoked: bool,
+    /// Key-refresh epoch.
+    epoch: u32,
+    /// Queued readings awaiting TIMER_SEND.
+    pending: VecDeque<PendingReading>,
+    /// Selective-forwarding compromise: a muted node receives and decrypts
+    /// but silently refuses to forward others' traffic (§VI).
+    muted: bool,
+    /// Join-responses collected while `role == Joining`, in arrival order.
+    join_responses: Vec<(ClusterId, Key128)>,
+    /// Protocol statistics.
+    pub stats: NodeStats,
+}
+
+impl ProtocolNode {
+    /// Creates a node for initial deployment (runs the setup phases).
+    pub fn new(cfg: ProtocolConfig, keys: NodeKeyMaterial) -> Self {
+        let dedup = DedupCache::new(cfg.dedup_cache);
+        ProtocolNode {
+            cfg,
+            keys,
+            role: Role::Undecided,
+            cid: None,
+            cluster_key: None,
+            neighbor_keys: HashMap::new(),
+            seq: 0,
+            e2e_ctr: 0,
+            gradient: Gradient::default(),
+            dedup,
+            peek: PeekAggregator::default(),
+            revoke_seen: HashSet::new(),
+            pending_announces: HashMap::new(),
+            verified_links: HashMap::new(),
+            revoked: false,
+            epoch: 0,
+            muted: false,
+            pending: VecDeque::new(),
+            join_responses: Vec::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Creates a node deployed post-setup that must join via §IV-E
+    /// (`keys` must carry `KMC`; see
+    /// [`crate::keys::Provisioner::provision_new_node`]).
+    pub fn new_joiner(cfg: ProtocolConfig, keys: NodeKeyMaterial) -> Self {
+        assert!(keys.kmc.is_some(), "joiner needs KMC");
+        let mut n = Self::new(cfg, keys);
+        n.role = Role::Joining;
+        n
+    }
+
+    // --- accessors -----------------------------------------------------
+
+    /// Node ID.
+    pub fn id(&self) -> u32 {
+        self.keys.id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Cluster ID, once clustered.
+    pub fn cid(&self) -> Option<ClusterId> {
+        self.cid
+    }
+
+    /// Whether this node's cluster was revoked out from under it.
+    pub fn is_revoked(&self) -> bool {
+        self.revoked
+    }
+
+    /// Number of cluster keys held (own + set `S`) — the storage metric of
+    /// Figure 6.
+    pub fn keys_held(&self) -> usize {
+        self.neighbor_keys.len() + usize::from(self.cluster_key.is_some())
+    }
+
+    /// The neighboring-cluster IDs in the set `S`.
+    pub fn neighbor_cids(&self) -> Vec<ClusterId> {
+        let mut v: Vec<ClusterId> = self.neighbor_keys.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Hop distance to the base station (`u32::MAX` before any beacon).
+    pub fn hops_to_bs(&self) -> u32 {
+        self.gradient.hops()
+    }
+
+    /// Whether `Km` is still in memory (setup phase).
+    pub fn holds_km(&self) -> bool {
+        self.keys.km.is_some()
+    }
+
+    /// Current refresh epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Queues a reading; the driver must arm [`TIMER_SEND`] for it to go
+    /// out (see `NetworkHandle::send_reading`).
+    pub fn queue_reading(&mut self, reading: PendingReading) {
+        self.pending.push_back(reading);
+    }
+
+    /// Everything an adversary learns by capturing this node right now.
+    pub fn extract_keys(&self) -> CapturedKeys {
+        CapturedKeys {
+            id: self.keys.id,
+            ki: self.keys.ki,
+            cluster: self.cid.zip(self.cluster_key),
+            neighbor_keys: {
+                let mut v: Vec<(ClusterId, Key128)> =
+                    self.neighbor_keys.iter().map(|(c, k)| (*c, *k)).collect();
+                v.sort_unstable_by_key(|(c, _)| *c);
+                v
+            },
+            km: self.keys.km,
+            kmc: self.keys.kmc,
+        }
+    }
+
+    /// Marks this node as a selective forwarder (compromised: drops all
+    /// data it should relay). Used by the §VI attack experiments.
+    pub fn set_muted(&mut self, muted: bool) {
+        self.muted = muted;
+    }
+
+    /// Whether the node is muted (selective forwarding).
+    pub fn is_muted(&self) -> bool {
+        self.muted
+    }
+
+    /// Forgets the gradient so the next beacon flood re-establishes it
+    /// (used after topology changes, e.g. node addition — beacons only
+    /// propagate on improvement, so stale gradients would stop the flood
+    /// before it reaches newcomers).
+    pub fn reset_gradient(&mut self) {
+        self.gradient = Gradient::default();
+    }
+
+    /// Applies a hash refresh locally: own key and every key in `S` roll
+    /// forward one epoch. (Driven at the epoch boundary; zero messages.)
+    pub fn apply_hash_refresh(&mut self) {
+        if let Some(kc) = self.cluster_key.as_mut() {
+            *kc = refresh::hash_step(kc);
+        }
+        for kc in self.neighbor_keys.values_mut() {
+            *kc = refresh::hash_step(kc);
+        }
+        self.epoch += 1;
+    }
+
+    /// As the (historical) cluster head, generates a fresh cluster key and
+    /// returns the RefreshHello to broadcast under the *current* key.
+    /// Returns `None` if this node heads no cluster.
+    pub fn initiate_recluster_refresh(&mut self, new_kc: Key128, now: SimTime) -> Option<Bytes> {
+        if self.role != Role::Head || self.revoked {
+            return None;
+        }
+        let (cid, old_kc) = (self.cid?, self.cluster_key?);
+        let inner = Inner::RefreshHello {
+            epoch: self.epoch + 1,
+            new_kc,
+        };
+        let msg = wrap(
+            &old_kc,
+            cid,
+            self.keys.id,
+            self.next_seq(),
+            now,
+            self.gradient.hops(),
+            &inner,
+        );
+        // Adopt the new key immediately.
+        self.cluster_key = Some(new_kc);
+        self.epoch += 1;
+        Some(msg.encode())
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    // --- phase machinery -----------------------------------------------
+
+    fn start_initial_deployment(&mut self, ctx: &mut Ctx) {
+        // Election: Exp(λ) seconds, clamped inside the election window so
+        // the phases cannot interleave.
+        let raw = exp_delay(ctx.rng(), self.cfg.election_rate);
+        let delay_us = (raw * SECOND as f64) as SimTime;
+        let max = self.cfg.link_phase_at * 9 / 10;
+        ctx.set_timer(TIMER_ELECTION, delay_us.min(max));
+        // Link phase with a little jitter so broadcasts don't pile onto a
+        // single instant.
+        let jitter = ctx.rng().gen_range(0..200 * MILLI);
+        ctx.set_timer(TIMER_LINK, self.cfg.link_phase_at + jitter);
+        ctx.set_timer(TIMER_ERASE, self.cfg.erase_km_at);
+    }
+
+    fn become_head(&mut self, ctx: &mut Ctx, announce: bool) {
+        self.role = Role::Head;
+        self.cid = Some(self.keys.id);
+        self.cluster_key = Some(self.keys.kci);
+        if announce {
+            if let Some(km) = self.keys.km {
+                let (nonce, sealed) =
+                    seal_setup(&km, self.keys.id, self.next_seq(), self.keys.id, &self.keys.kci);
+                ctx.broadcast(Message::Hello { nonce, sealed }.encode());
+            }
+        }
+    }
+
+    fn broadcast_link_advert(&mut self, ctx: &mut Ctx) {
+        let (Some(cid), Some(kc)) = (self.cid, self.cluster_key) else {
+            return;
+        };
+        let Some(km) = self.keys.km else {
+            return;
+        };
+        let (nonce, sealed) = seal_setup(&km, self.keys.id, self.next_seq(), cid, &kc);
+        ctx.broadcast(Message::LinkAdvert { nonce, sealed }.encode());
+    }
+
+    /// Arms the next autonomous hash-refresh tick, aligned to the absolute
+    /// boundaries `erase_km_at + k · period` so every key holder — including
+    /// nodes that joined later — rolls at the same virtual instants with no
+    /// coordination traffic.
+    fn arm_auto_refresh(&mut self, ctx: &mut Ctx) {
+        if self.cfg.auto_refresh_epochs == 0 || self.epoch >= self.cfg.auto_refresh_epochs {
+            return;
+        }
+        let p = self.cfg.auto_refresh_period;
+        let base = self.cfg.erase_km_at;
+        let now = ctx.now();
+        let next = base + (now.saturating_sub(base) / p + 1) * p;
+        ctx.set_timer(TIMER_AUTO_REFRESH, next - now);
+    }
+
+    fn send_next_reading(&mut self, ctx: &mut Ctx) {
+        let Some(reading) = self.pending.pop_front() else {
+            return;
+        };
+        let ctr = self.e2e_ctr;
+        self.e2e_ctr += 1;
+        let body = if reading.sealed {
+            e2e_seal(&self.keys.ki, self.keys.id, ctr, &reading.data)
+        } else {
+            Bytes::from(reading.data)
+        };
+        let unit = DataUnit {
+            src: self.keys.id,
+            ctr: match self.cfg.counter_mode {
+                CounterMode::Explicit => Some(ctr),
+                CounterMode::Implicit => None,
+            },
+            sealed: reading.sealed,
+            body,
+        };
+        // Remember our own unit so echoes from forwarders are not
+        // re-forwarded back out.
+        self.dedup.insert(unit.dedup_key());
+        self.stats.originated += 1;
+        self.broadcast_wrapped(ctx, &Inner::Data(unit));
+    }
+
+    fn broadcast_wrapped(&mut self, ctx: &mut Ctx, inner: &Inner) {
+        let (Some(cid), Some(kc)) = (self.cid, self.cluster_key) else {
+            return;
+        };
+        let msg = wrap(
+            &kc,
+            cid,
+            self.keys.id,
+            self.next_seq(),
+            ctx.now(),
+            self.gradient.hops(),
+            inner,
+        );
+        ctx.broadcast(msg.encode());
+    }
+
+    // --- message handling ----------------------------------------------
+
+    fn handle_hello(&mut self, ctx: &mut Ctx, nonce: u64, sealed: &[u8]) {
+        let Some(km) = self.keys.km else {
+            self.stats.drops.wrong_phase += 1;
+            return;
+        };
+        match open_setup(&km, nonce, sealed) {
+            Ok((head_id, kc)) => {
+                if self.role == Role::Undecided {
+                    // Join the first head heard; no transmission at all.
+                    self.role = Role::Member;
+                    self.cid = Some(head_id);
+                    self.cluster_key = Some(kc);
+                    ctx.cancel_timer(TIMER_ELECTION);
+                }
+                // Already decided: "the node rejects the message".
+            }
+            Err(_) => self.stats.drops.bad_auth += 1,
+        }
+    }
+
+    fn handle_link_advert(&mut self, nonce: u64, sealed: &[u8]) {
+        let Some(km) = self.keys.km else {
+            self.stats.drops.wrong_phase += 1;
+            return;
+        };
+        match open_setup(&km, nonce, sealed) {
+            Ok((cid, kc)) => {
+                // "Nodes of the same cluster simply ignore the message."
+                if self.cid != Some(cid) {
+                    self.neighbor_keys.insert(cid, kc);
+                }
+            }
+            Err(_) => self.stats.drops.bad_auth += 1,
+        }
+    }
+
+    fn cluster_key_for(&self, cid: ClusterId) -> Option<Key128> {
+        if self.cid == Some(cid) {
+            self.cluster_key
+        } else {
+            self.neighbor_keys.get(&cid).copied()
+        }
+    }
+
+    fn handle_wrapped(&mut self, ctx: &mut Ctx, cid: ClusterId, nonce: u64, sealed: &[u8]) {
+        let Some(key) = self.cluster_key_for(cid) else {
+            self.stats.drops.unknown_cluster += 1;
+            return;
+        };
+        let unwrapped = match forward::unwrap(&key, cid, nonce, sealed, ctx.now(), &self.cfg) {
+            Ok(u) => u,
+            Err(ProtocolError::Stale) => {
+                self.stats.drops.stale += 1;
+                return;
+            }
+            Err(ProtocolError::Crypto(_)) => {
+                self.stats.drops.bad_auth += 1;
+                return;
+            }
+            Err(_) => {
+                self.stats.drops.malformed += 1;
+                return;
+            }
+        };
+        match unwrapped.inner {
+            Inner::Beacon => {
+                if self.gradient.observe_beacon(unwrapped.sender_hops) {
+                    self.broadcast_wrapped(ctx, &Inner::Beacon);
+                }
+            }
+            Inner::Data(unit) => self.handle_data(ctx, unit, unwrapped.sender_hops),
+            Inner::RefreshHello { epoch, new_kc } => {
+                self.handle_refresh_hello(ctx, cid, epoch, new_kc)
+            }
+        }
+    }
+
+    fn handle_data(&mut self, ctx: &mut Ctx, unit: DataUnit, sender_hops: u32) {
+        // The fusion peek, level 1: discard byte-identical copies before
+        // spending a transmission.
+        if !self.dedup.insert(unit.dedup_key()) {
+            self.stats.fused_duplicates += 1;
+            return;
+        }
+        if self.gradient.should_forward(sender_hops) && !self.muted {
+            // Level 2 (optional): for plaintext fusion readings, discard
+            // values inside the envelope of readings already relayed —
+            // "some processing of the raw data to discard extraneous
+            // reports" (§II).
+            if self.cfg.fusion_suppression && !unit.sealed {
+                if self.peek.is_redundant(&unit.body) {
+                    self.stats.fused_duplicates += 1;
+                    return;
+                }
+                self.peek.observe(&unit.body);
+            }
+            self.stats.forwarded += 1;
+            self.broadcast_wrapped(ctx, &Inner::Data(unit));
+        }
+    }
+
+    fn handle_refresh_hello(
+        &mut self,
+        ctx: &mut Ctx,
+        outer_cid: ClusterId,
+        epoch: u32,
+        new_kc: Key128,
+    ) {
+        if self.cfg.refresh_mode != RefreshMode::Recluster {
+            self.stats.drops.wrong_phase += 1;
+            return;
+        }
+        if self.cid == Some(outer_cid) {
+            // Our own cluster re-keys. Only accept the immediate next epoch.
+            if epoch == self.epoch + 1 {
+                // Re-broadcast under the OLD key before adopting the new
+                // one: cluster *neighbors* can be two hops from the head
+                // (adjacent to a far-side member), so members must relay the
+                // refresh exactly as every node relayed its key during link
+                // establishment. Epoch gating makes this flood terminate:
+                // once updated, duplicates carry epoch == self.epoch.
+                if let (Some(cid), Some(old_kc)) = (self.cid, self.cluster_key) {
+                    let msg = wrap(
+                        &old_kc,
+                        cid,
+                        self.keys.id,
+                        self.next_seq(),
+                        ctx.now(),
+                        self.gradient.hops(),
+                        &Inner::RefreshHello { epoch, new_kc },
+                    );
+                    ctx.broadcast(msg.encode());
+                }
+                self.cluster_key = Some(new_kc);
+                self.epoch = epoch;
+            }
+        } else if self.neighbor_keys.contains_key(&outer_cid) {
+            // A neighboring cluster re-keys; roll our S entry.
+            self.neighbor_keys.insert(outer_cid, new_kc);
+        }
+    }
+
+    fn handle_revoke(
+        &mut self,
+        ctx: &mut Ctx,
+        link: Key128,
+        seq: u32,
+        cids: Vec<ClusterId>,
+        tag: [u8; crate::msg::SHORT_TAG],
+    ) {
+        if self.revoke_seen.contains(&seq) {
+            return;
+        }
+        if evict::verify_revoke(
+            &mut self.keys.chain,
+            &link,
+            seq,
+            &cids,
+            &tag,
+            self.cfg.max_chain_skip,
+        )
+        .is_err()
+        {
+            self.stats.drops.bad_auth += 1;
+            return;
+        }
+        self.revoke_seen.insert(seq);
+        self.apply_revocation(&cids);
+        // Flood the authenticated command onward (once per seq).
+        ctx.broadcast(
+            Message::Revoke {
+                link,
+                seq,
+                cids,
+                tag,
+            }
+            .encode(),
+        );
+    }
+
+    fn apply_revocation(&mut self, cids: &[ClusterId]) {
+        for cid in cids {
+            self.neighbor_keys.remove(cid);
+            if self.cid == Some(*cid) {
+                self.cid = None;
+                self.cluster_key = None;
+                self.revoked = true;
+            }
+        }
+    }
+
+    /// Two-phase revocation, phase 1: buffer the announce (up to a few
+    /// candidates per seq, so a forged announce cannot front-run the
+    /// genuine one while memory stays bounded) and flood each new
+    /// candidate once.
+    fn handle_revoke_announce(
+        &mut self,
+        ctx: &mut Ctx,
+        seq: u32,
+        cids: Vec<ClusterId>,
+        tag: [u8; crate::msg::SHORT_TAG],
+    ) {
+        const MAX_CANDIDATES: usize = 4;
+        if self.revoke_seen.contains(&seq) {
+            return; // already acted on this seq
+        }
+        let candidates = self.pending_announces.entry(seq).or_default();
+        if candidates.iter().any(|(c, t)| *t == tag && *c == cids) {
+            return; // duplicate flood copy
+        }
+        if candidates.len() >= MAX_CANDIDATES {
+            return; // bounded buffering under announce floods
+        }
+        candidates.push((cids.clone(), tag));
+        ctx.broadcast(Message::RevokeAnnounce { seq, cids, tag }.encode());
+        self.complete_revocation_if_ready(seq);
+    }
+
+    /// Two-phase revocation, phase 2: verify the disclosed link against
+    /// the chain *before* flooding it (so a forged reveal can neither
+    /// propagate nor block the genuine one), then act on the matching
+    /// buffered announce.
+    fn handle_revoke_reveal(&mut self, ctx: &mut Ctx, seq: u32, link: Key128) {
+        if self.revoke_seen.contains(&seq) || self.verified_links.contains_key(&seq) {
+            return;
+        }
+        if self
+            .keys
+            .chain
+            .accept(&link, self.cfg.max_chain_skip)
+            .is_err()
+        {
+            self.stats.drops.bad_auth += 1;
+            return;
+        }
+        self.verified_links.insert(seq, link);
+        ctx.broadcast(Message::RevokeReveal { seq, link }.encode());
+        self.complete_revocation_if_ready(seq);
+    }
+
+    fn complete_revocation_if_ready(&mut self, seq: u32) {
+        let Some(link) = self.verified_links.get(&seq).copied() else {
+            return;
+        };
+        let Some(candidates) = self.pending_announces.get(&seq) else {
+            return;
+        };
+        // At most one candidate verifies under the genuine link; forged
+        // candidates stay parked (harmless) until then.
+        let verified = candidates
+            .iter()
+            .find(|(cids, tag)| evict::revoke_tag(&link, seq, cids) == *tag)
+            .cloned();
+        if let Some((cids, _)) = verified {
+            self.revoke_seen.insert(seq);
+            self.pending_announces.remove(&seq);
+            self.verified_links.remove(&seq);
+            self.apply_revocation(&cids);
+        }
+    }
+
+    fn handle_join_request(&mut self, ctx: &mut Ctx, from: NodeId, new_id: u32) {
+        let (Some(cid), Some(kc)) = (self.cid, self.cluster_key) else {
+            return;
+        };
+        if self.revoked {
+            return;
+        }
+        let tag = join_tag(&kc, cid, new_id, self.epoch);
+        ctx.send(
+            from,
+            Message::JoinResponse {
+                cid,
+                epoch: self.epoch,
+                tag,
+            }
+            .encode(),
+        );
+    }
+
+    fn handle_join_response(&mut self, cid: ClusterId, epoch: u32, tag: [u8; 8]) {
+        if self.role != Role::Joining {
+            return;
+        }
+        let Some(kmc) = self.keys.kmc else {
+            return;
+        };
+        // Derive the claimed cluster's key from KMC and verify the MAC —
+        // this is what defeats the impersonation attack.
+        let kc = refresh::cluster_key_at_epoch(&kmc, cid, epoch);
+        if !verify_join_tag(&kc, cid, self.keys.id, epoch, &tag) {
+            self.stats.drops.bad_auth += 1;
+            return;
+        }
+        if self.join_responses.iter().all(|(c, _)| *c != cid) {
+            self.join_responses.push((cid, kc));
+            self.epoch = self.epoch.max(epoch);
+        }
+    }
+
+    fn finish_join(&mut self) {
+        if self.role != Role::Joining {
+            return;
+        }
+        // "A new node receiving such a collection of cluster ids will
+        // consider itself a member of the first such cluster while the rest
+        // will be the neighboring ones."
+        let mut responses = std::mem::take(&mut self.join_responses);
+        if responses.is_empty() {
+            // No neighbors answered; stay Joining (driver may retry).
+            self.role = Role::Joining;
+            return;
+        }
+        let (own_cid, own_kc) = responses.remove(0);
+        self.role = Role::Member;
+        self.cid = Some(own_cid);
+        self.cluster_key = Some(own_kc);
+        for (cid, kc) in responses {
+            self.neighbor_keys.insert(cid, kc);
+        }
+        self.keys.erase_kmc();
+    }
+}
+
+impl App for ProtocolNode {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        match self.role {
+            Role::Joining => {
+                ctx.broadcast(
+                    Message::JoinRequest {
+                        new_id: self.keys.id,
+                    }
+                    .encode(),
+                );
+                ctx.set_timer(TIMER_JOIN, SECOND);
+            }
+            Role::Undecided => self.start_initial_deployment(ctx),
+            // Already clustered: this is a simulator rebuild (node
+            // addition), not a fresh deployment. Pending timers did not
+            // survive the rebuild; re-arm the autonomous refresh schedule.
+            Role::Head | Role::Member => self.arm_auto_refresh(ctx),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, key: TimerKey) {
+        match key {
+            TIMER_ELECTION
+                if self.role == Role::Undecided => {
+                    self.become_head(ctx, true);
+                }
+            TIMER_LINK => {
+                // Safety net: a node that somehow never decided becomes a
+                // silent singleton head so it has a key to advertise.
+                if self.role == Role::Undecided {
+                    self.become_head(ctx, false);
+                }
+                self.broadcast_link_advert(ctx);
+            }
+            TIMER_ERASE => {
+                self.keys.erase_km();
+                self.arm_auto_refresh(ctx);
+            }
+            TIMER_AUTO_REFRESH => {
+                self.apply_hash_refresh();
+                self.arm_auto_refresh(ctx);
+            }
+            TIMER_SEND => {
+                self.send_next_reading(ctx);
+            }
+            TIMER_JOIN => {
+                self.finish_join();
+                if self.role == Role::Member {
+                    self.arm_auto_refresh(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, payload: &[u8]) {
+        let msg = match Message::decode(payload) {
+            Ok(m) => m,
+            Err(_) => {
+                self.stats.drops.malformed += 1;
+                return;
+            }
+        };
+        match msg {
+            Message::Hello { nonce, sealed } => self.handle_hello(ctx, nonce, &sealed),
+            Message::LinkAdvert { nonce, sealed } => self.handle_link_advert(nonce, &sealed),
+            Message::Wrapped { cid, nonce, sealed } => {
+                self.handle_wrapped(ctx, cid, nonce, &sealed)
+            }
+            Message::Revoke {
+                link,
+                seq,
+                cids,
+                tag,
+            } => self.handle_revoke(ctx, link, seq, cids, tag),
+            Message::RevokeAnnounce { seq, cids, tag } => {
+                self.handle_revoke_announce(ctx, seq, cids, tag)
+            }
+            Message::RevokeReveal { seq, link } => self.handle_revoke_reveal(ctx, seq, link),
+            Message::JoinRequest { new_id } => self.handle_join_request(ctx, from, new_id),
+            Message::JoinResponse { cid, epoch, tag } => {
+                self.handle_join_response(cid, epoch, tag)
+            }
+        }
+    }
+}
+
+/// The app type deployed on every simulated node: a sensor or the base
+/// station.
+pub enum ProtocolApp {
+    /// A regular sensor node.
+    Sensor(ProtocolNode),
+    /// The base station (node 0 by convention in [`crate::setup`]).
+    Base(crate::base_station::BaseStation),
+}
+
+impl ProtocolApp {
+    /// The sensor node inside, if this is one.
+    pub fn as_sensor(&self) -> Option<&ProtocolNode> {
+        match self {
+            ProtocolApp::Sensor(n) => Some(n),
+            ProtocolApp::Base(_) => None,
+        }
+    }
+
+    /// Mutable sensor access.
+    pub fn as_sensor_mut(&mut self) -> Option<&mut ProtocolNode> {
+        match self {
+            ProtocolApp::Sensor(n) => Some(n),
+            ProtocolApp::Base(_) => None,
+        }
+    }
+
+    /// The base station inside, if this is it.
+    pub fn as_base(&self) -> Option<&crate::base_station::BaseStation> {
+        match self {
+            ProtocolApp::Base(b) => Some(b),
+            ProtocolApp::Sensor(_) => None,
+        }
+    }
+
+    /// Mutable base-station access.
+    pub fn as_base_mut(&mut self) -> Option<&mut crate::base_station::BaseStation> {
+        match self {
+            ProtocolApp::Base(b) => Some(b),
+            ProtocolApp::Sensor(_) => None,
+        }
+    }
+}
+
+impl App for ProtocolApp {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        match self {
+            ProtocolApp::Sensor(n) => n.on_start(ctx),
+            ProtocolApp::Base(b) => b.on_start(ctx),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, key: TimerKey) {
+        match self {
+            ProtocolApp::Sensor(n) => n.on_timer(ctx, key),
+            ProtocolApp::Base(b) => b.on_timer(ctx, key),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, payload: &[u8]) {
+        match self {
+            ProtocolApp::Sensor(n) => n.on_message(ctx, from, payload),
+            ProtocolApp::Base(b) => b.on_message(ctx, from, payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Provisioner;
+
+    fn node(id: u32) -> ProtocolNode {
+        let mut p = Provisioner::new(1);
+        ProtocolNode::new(ProtocolConfig::default(), p.provision(id))
+    }
+
+    #[test]
+    fn fresh_node_state() {
+        let n = node(3);
+        assert_eq!(n.role(), Role::Undecided);
+        assert_eq!(n.cid(), None);
+        assert_eq!(n.keys_held(), 0);
+        assert!(n.holds_km());
+        assert!(!n.is_revoked());
+        assert_eq!(n.hops_to_bs(), u32::MAX);
+    }
+
+    #[test]
+    fn extract_keys_reflects_state() {
+        let n = node(5);
+        let captured = n.extract_keys();
+        assert_eq!(captured.id, 5);
+        assert!(captured.km.is_some(), "pre-erasure capture reveals Km");
+        assert!(captured.cluster.is_none());
+        assert!(captured.kmc.is_none());
+    }
+
+    #[test]
+    fn hash_refresh_rolls_keys_and_epoch() {
+        let mut n = node(2);
+        // Manually cluster it for the test.
+        n.role = Role::Head;
+        n.cid = Some(2);
+        n.cluster_key = Some(n.keys.kci);
+        n.neighbor_keys.insert(9, Key128::from_bytes([9; 16]));
+        let before_own = n.cluster_key.unwrap();
+        let before_nbr = n.neighbor_keys[&9];
+        n.apply_hash_refresh();
+        assert_eq!(n.epoch(), 1);
+        assert_ne!(n.cluster_key.unwrap(), before_own);
+        assert_ne!(n.neighbor_keys[&9], before_nbr);
+        assert_eq!(n.cluster_key.unwrap(), refresh::hash_step(&before_own));
+    }
+
+    #[test]
+    fn recluster_refresh_only_from_head() {
+        let mut n = node(2);
+        assert!(n
+            .initiate_recluster_refresh(Key128::from_bytes([1; 16]), 0)
+            .is_none());
+        n.role = Role::Head;
+        n.cid = Some(2);
+        n.cluster_key = Some(n.keys.kci);
+        let frame = n.initiate_recluster_refresh(Key128::from_bytes([1; 16]), 0);
+        assert!(frame.is_some());
+        assert_eq!(n.epoch(), 1);
+        assert_eq!(n.cluster_key.unwrap(), Key128::from_bytes([1; 16]));
+    }
+
+    #[test]
+    fn joiner_requires_kmc() {
+        let mut p = Provisioner::new(1);
+        let m = p.provision_new_node(50);
+        let n = ProtocolNode::new_joiner(ProtocolConfig::default(), m);
+        assert_eq!(n.role(), Role::Joining);
+    }
+
+    #[test]
+    #[should_panic]
+    fn joiner_without_kmc_panics() {
+        let mut p = Provisioner::new(1);
+        let m = p.provision(50); // no KMC
+        let _ = ProtocolNode::new_joiner(ProtocolConfig::default(), m);
+    }
+
+    #[test]
+    fn join_response_verification() {
+        let mut p = Provisioner::new(1);
+        let mut joiner = ProtocolNode::new_joiner(ProtocolConfig::default(), p.provision_new_node(50));
+        let kmc = p.kmc();
+        // Valid response from cluster 7 at epoch 0.
+        let kc7 = refresh::cluster_key_at_epoch(&kmc, 7, 0);
+        let tag = join_tag(&kc7, 7, 50, 0);
+        joiner.handle_join_response(7, 0, tag);
+        assert_eq!(joiner.join_responses.len(), 1);
+        // Forged response for cluster 8 (adversary lacks the real key).
+        let forged = join_tag(&Key128::from_bytes([0xEE; 16]), 8, 50, 0);
+        joiner.handle_join_response(8, 0, forged);
+        assert_eq!(joiner.join_responses.len(), 1);
+        assert_eq!(joiner.stats.drops.bad_auth, 1);
+        // Finish: adopts cluster 7, erases KMC.
+        joiner.finish_join();
+        assert_eq!(joiner.role(), Role::Member);
+        assert_eq!(joiner.cid(), Some(7));
+        assert!(joiner.keys.kmc.is_none());
+    }
+
+    #[test]
+    fn muted_flag_toggles() {
+        let mut n = node(6);
+        assert!(!n.is_muted());
+        n.set_muted(true);
+        assert!(n.is_muted());
+        n.set_muted(false);
+        assert!(!n.is_muted());
+    }
+
+    #[test]
+    fn drop_counts_total() {
+        let d = DropCounts {
+            bad_auth: 1,
+            unknown_cluster: 2,
+            stale: 3,
+            wrong_phase: 4,
+            malformed: 5,
+        };
+        assert_eq!(d.total(), 15);
+        assert_eq!(DropCounts::default().total(), 0);
+    }
+
+    #[test]
+    fn duplicate_join_responses_for_same_cluster_collapse() {
+        let mut p = Provisioner::new(1);
+        let mut joiner =
+            ProtocolNode::new_joiner(ProtocolConfig::default(), p.provision_new_node(50));
+        let kmc = p.kmc();
+        let kc7 = refresh::cluster_key_at_epoch(&kmc, 7, 0);
+        let tag = join_tag(&kc7, 7, 50, 0);
+        joiner.handle_join_response(7, 0, tag);
+        joiner.handle_join_response(7, 0, tag); // second member of cluster 7
+        assert_eq!(joiner.join_responses.len(), 1);
+    }
+
+    #[test]
+    fn join_with_no_responses_stays_joining() {
+        let mut p = Provisioner::new(1);
+        let mut joiner = ProtocolNode::new_joiner(ProtocolConfig::default(), p.provision_new_node(50));
+        joiner.finish_join();
+        assert_eq!(joiner.role(), Role::Joining);
+        assert!(joiner.keys.kmc.is_some(), "KMC kept for retry");
+    }
+}

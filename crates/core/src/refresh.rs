@@ -1,0 +1,68 @@
+//! Cluster-key refresh (paper §IV-C, hardened per §VI).
+//!
+//! Two strategies, selected by [`crate::config::RefreshMode`]:
+//!
+//! * **Hash refresh** — every holder of a cluster key applies
+//!   `Kc <- F(Kc)` locally at the agreed epoch boundary. Zero messages,
+//!   and the §VI HELLO-flood attack on key refresh is "useless" because no
+//!   HELLOs exist to flood.
+//! * **Re-keying by HELLO** — each cluster's head generates a fresh key and
+//!   broadcasts it under the *current* cluster key
+//!   ([`crate::msg::Inner::RefreshHello`]). Constrained within clusters
+//!   (structure unchanged) per the paper's own mitigation, so a compromised
+//!   node can never enlarge its footprint through refresh.
+//!
+//! Neighbors of a cluster hold its key in their set `S` and roll it the
+//! same way (they hear the RefreshHello / apply the same hash), so
+//! cross-cluster translation keeps working across epochs.
+
+use wsn_crypto::prf::Prf;
+use wsn_crypto::Key128;
+
+/// One hash-refresh step.
+pub fn hash_step(kc: &Key128) -> Key128 {
+    Prf::refresh(kc)
+}
+
+/// The cluster key of head `cid` at a given hash-refresh epoch:
+/// `F_refresh^epoch(F_cluster(KMC, cid))`. New nodes carrying `KMC` use
+/// this to derive current keys when joining a refreshed network.
+pub fn cluster_key_at_epoch(kmc: &Key128, cid: u32, epoch: u32) -> Key128 {
+    let mut k = Prf::cluster_key(kmc, cid);
+    for _ in 0..epoch {
+        k = hash_step(&k);
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_zero_is_base_key() {
+        let kmc = Key128::from_bytes([7; 16]);
+        assert_eq!(cluster_key_at_epoch(&kmc, 5, 0), Prf::cluster_key(&kmc, 5));
+    }
+
+    #[test]
+    fn epochs_chain() {
+        let kmc = Key128::from_bytes([7; 16]);
+        let e1 = cluster_key_at_epoch(&kmc, 5, 1);
+        assert_eq!(e1, hash_step(&Prf::cluster_key(&kmc, 5)));
+        let e3 = cluster_key_at_epoch(&kmc, 5, 3);
+        assert_eq!(e3, hash_step(&hash_step(&e1)));
+    }
+
+    #[test]
+    fn refresh_is_one_way_looking() {
+        // Successive epochs are all distinct (no short cycles in practice).
+        let kmc = Key128::from_bytes([3; 16]);
+        let keys: Vec<Key128> = (0..16).map(|e| cluster_key_at_epoch(&kmc, 9, e)).collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Experiment orchestration: deploy, run the key-setup phase, then drive
+//! the steady-state network (beacons, readings, refresh, eviction, node
+//! addition) through a [`NetworkHandle`].
+
+use crate::base_station::{BaseStation, TIMER_BEACON, TIMER_REVOKE};
+use crate::config::{ProtocolConfig, RefreshMode};
+use crate::keys::Provisioner;
+use crate::msg::ClusterId;
+use crate::node::{PendingReading, ProtocolApp, ProtocolNode, TIMER_SEND};
+use crate::stats::SetupReport;
+use std::collections::HashMap;
+use wsn_crypto::drbg::HmacDrbg;
+use wsn_crypto::Key128;
+use wsn_sim::geom::Point;
+use wsn_sim::net::{Counters, Simulator};
+use wsn_sim::radio::RadioConfig;
+use wsn_sim::rng::derive_seed;
+use wsn_sim::topology::{Topology, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one deployment experiment.
+#[derive(Clone, Debug)]
+pub struct SetupParams {
+    /// Total nodes including the base station (node 0).
+    pub n: usize,
+    /// Target density (mean neighbors per node).
+    pub density: f64,
+    /// Master seed; everything (topology, timers, keys) derives from it.
+    pub seed: u64,
+    /// Protocol configuration.
+    pub cfg: ProtocolConfig,
+}
+
+/// The result of running the key-setup phase.
+pub struct SetupOutcome {
+    /// Live network, ready for steady-state operations.
+    pub handle: NetworkHandle,
+    /// Statistics captured at the end of setup.
+    pub report: SetupReport,
+}
+
+/// Runs initialization + cluster key setup + link establishment + `Km`
+/// erasure on a fresh random deployment, with default radio parameters.
+pub fn run_setup(params: &SetupParams) -> SetupOutcome {
+    run_setup_with_radio(params, RadioConfig::default())
+}
+
+/// [`run_setup`] with an explicit radio model (e.g. lossy links).
+pub fn run_setup_with_radio(params: &SetupParams, radio: RadioConfig) -> SetupOutcome {
+    run_setup_with_attack(params, radio, |_| {})
+}
+
+/// [`run_setup`] with an adversary: `attack` runs after node construction
+/// but before the simulation starts, so it can schedule frame injections
+/// that interleave with the election and link phases (HELLO floods,
+/// setup-time replays).
+pub fn run_setup_with_attack(
+    params: &SetupParams,
+    radio: RadioConfig,
+    attack: impl FnOnce(&mut Simulator<ProtocolApp>),
+) -> SetupOutcome {
+    assert!(params.n >= 2, "need a base station and at least one sensor");
+    let topo = Topology::random(
+        &TopologyConfig::with_density(params.n, params.density),
+        derive_seed(params.seed, 0),
+    );
+    let mut provisioner = Provisioner::new(derive_seed(params.seed, 1));
+    // Provision everyone up front so the BS registry is complete.
+    let mut materials: Vec<_> = (0..params.n as u32)
+        .map(|id| provisioner.provision(id))
+        .collect();
+
+    let registry = provisioner.registry().clone();
+    let cluster_keys: HashMap<ClusterId, Key128> = (0..params.n as u32)
+        .map(|id| (id, provisioner.cluster_key_of(id)))
+        .collect();
+    let cfg = params.cfg.clone();
+
+    let mut pool: Vec<Option<ProtocolApp>> = materials
+        .drain(..)
+        .map(|m| {
+            Some(if m.id == 0 {
+                ProtocolApp::Base(BaseStation::new(
+                    cfg.clone(),
+                    0,
+                    provisioner.km(),
+                    registry.clone(),
+                    cluster_keys.clone(),
+                    provisioner.revocation_chain(),
+                ))
+            } else {
+                ProtocolApp::Sensor(ProtocolNode::new(cfg.clone(), m))
+            })
+        })
+        .collect();
+
+    let mut sim = Simulator::with_config(topo, radio, derive_seed(params.seed, 2), |id| {
+        pool[id as usize].take().expect("app built once")
+    });
+    attack(&mut sim);
+    sim.run();
+
+    let setup_counters = sim.counters().clone();
+    let report = SetupReport::from_simulation(&sim, &setup_counters);
+    let handle = NetworkHandle {
+        sim,
+        cfg,
+        provisioner,
+        setup_counters,
+        key_rng: HmacDrbg::from_u64(derive_seed(params.seed, 3)),
+        aux_rng: StdRng::seed_from_u64(derive_seed(params.seed, 4)),
+        next_id: params.n as u32,
+    };
+    SetupOutcome { handle, report }
+}
+
+/// A live, set-up network: the driver for everything after the key-setup
+/// phase. Owns the simulator plus the provisioning authority (needed for
+/// node addition) and a key-generation DRBG (for re-cluster refresh).
+pub struct NetworkHandle {
+    sim: Simulator<ProtocolApp>,
+    cfg: ProtocolConfig,
+    provisioner: Provisioner,
+    setup_counters: Counters,
+    key_rng: HmacDrbg,
+    aux_rng: StdRng,
+    next_id: u32,
+}
+
+impl NetworkHandle {
+    /// The underlying simulator (topology, counters, apps).
+    pub fn sim(&self) -> &Simulator<ProtocolApp> {
+        &self.sim
+    }
+
+    /// Mutable simulator access (frame injection for attack experiments).
+    pub fn sim_mut(&mut self) -> &mut Simulator<ProtocolApp> {
+        &mut self.sim
+    }
+
+    /// The protocol configuration in force.
+    pub fn cfg(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// Traffic counters as they stood at the end of the setup phase.
+    pub fn setup_counters(&self) -> &Counters {
+        &self.setup_counters
+    }
+
+    /// The sensor app of node `id`. Panics if `id` is the base station.
+    pub fn sensor(&self, id: u32) -> &ProtocolNode {
+        self.sim.apps()[id as usize]
+            .as_sensor()
+            .expect("not a sensor")
+    }
+
+    /// Mutable sensor access.
+    pub fn sensor_mut(&mut self, id: u32) -> &mut ProtocolNode {
+        self.sim
+            .app_mut(id)
+            .as_sensor_mut()
+            .expect("not a sensor")
+    }
+
+    /// The base station.
+    pub fn bs(&self) -> &BaseStation {
+        self.sim.apps()[0].as_base().expect("node 0 is the BS")
+    }
+
+    /// Mutable base-station access.
+    pub fn bs_mut(&mut self) -> &mut BaseStation {
+        self.sim.app_mut(0).as_base_mut().expect("node 0 is the BS")
+    }
+
+    /// All sensor IDs.
+    pub fn sensor_ids(&self) -> Vec<u32> {
+        (1..self.sim.topology().n() as u32).collect()
+    }
+
+    /// Recomputes the setup report from current state.
+    pub fn report(&self) -> SetupReport {
+        SetupReport::from_simulation(&self.sim, &self.setup_counters)
+    }
+
+    /// Floods a base-station beacon and runs until the gradient converges.
+    /// Existing gradients are reset first so the flood reaches nodes added
+    /// since the last beacon (beacons only propagate on improvement).
+    pub fn establish_gradient(&mut self) {
+        for id in self.sensor_ids() {
+            self.sensor_mut(id).reset_gradient();
+        }
+        self.sim.schedule_timer(0, TIMER_BEACON, 1);
+        self.sim.run();
+    }
+
+    /// Queues a reading at `src` and runs the network until quiescent.
+    /// Returns how many readings the BS has accepted in total afterwards.
+    pub fn send_reading(&mut self, src: u32, data: Vec<u8>, sealed: bool) -> usize {
+        self.sensor_mut(src)
+            .queue_reading(PendingReading { data, sealed });
+        self.sim.schedule_timer(src, TIMER_SEND, 1);
+        self.sim.run();
+        self.bs().received.len()
+    }
+
+    /// Performs one key-refresh epoch according to the configured
+    /// [`RefreshMode`].
+    pub fn refresh(&mut self) {
+        match self.cfg.refresh_mode {
+            RefreshMode::Hash => {
+                for id in 0..self.sim.topology().n() as u32 {
+                    match self.sim.app_mut(id) {
+                        ProtocolApp::Sensor(n) => n.apply_hash_refresh(),
+                        ProtocolApp::Base(b) => b.apply_hash_refresh(),
+                    }
+                }
+            }
+            RefreshMode::Recluster => {
+                // Each head generates a fresh key and broadcasts a
+                // RefreshHello under the current cluster key.
+                let heads: Vec<u32> = self
+                    .sensor_ids()
+                    .into_iter()
+                    .filter(|&id| {
+                        self.sim.apps()[id as usize]
+                            .as_sensor()
+                            .is_some_and(|n| n.role() == crate::node::Role::Head)
+                    })
+                    .collect();
+                let now = self.sim.now();
+                for head in heads {
+                    let new_kc = self.key_rng.next_key();
+                    let frame = self
+                        .sensor_mut(head)
+                        .initiate_recluster_refresh(new_kc, now);
+                    if let Some(frame) = frame {
+                        self.sim.inject_broadcast_at(head, head, 1, frame);
+                        // The BS cannot derive head-generated keys; the
+                        // harness syncs it (documented simulation shortcut).
+                        self.bs_mut().set_cluster_key(head, new_kc);
+                    }
+                }
+                self.sim.run();
+            }
+        }
+    }
+
+    /// Evicts captured nodes: revokes their clusters and all neighboring
+    /// clusters (paper §IV-D: clones could appear in "the group it
+    /// originated from or its neighboring ones"). The detection mechanism
+    /// is assumed, per the paper; callers supply the culprit list.
+    pub fn evict_nodes(&mut self, nodes: &[u32]) {
+        let mut cids: Vec<ClusterId> = Vec::new();
+        for &id in nodes {
+            let sensor = self.sensor(id);
+            if let Some(c) = sensor.cid() {
+                cids.push(c);
+            }
+            cids.extend(sensor.neighbor_cids());
+        }
+        cids.sort_unstable();
+        cids.dedup();
+        self.bs_mut().queue_revocation(cids, nodes.to_vec());
+        self.sim.schedule_timer(0, TIMER_REVOKE, 1);
+        self.sim.run();
+    }
+
+    /// Deploys `k` new sensors at random positions (paper §IV-E) and runs
+    /// the join protocol. Returns the IDs assigned to the new nodes.
+    pub fn add_nodes(&mut self, k: usize) -> Vec<u32> {
+        let old_topo = self.sim.topology();
+        let side = old_topo.config().side;
+        let mut positions: Vec<Point> =
+            (0..old_topo.n() as u32).map(|i| old_topo.position(i)).collect();
+        let new_ids: Vec<u32> = (0..k).map(|i| self.next_id + i as u32).collect();
+        self.next_id += k as u32;
+        for _ in 0..k {
+            positions.push(Point::new(
+                self.aux_rng.gen::<f64>() * side,
+                self.aux_rng.gen::<f64>() * side,
+            ));
+        }
+        let new_cfg = TopologyConfig {
+            n: positions.len(),
+            ..old_topo.config().clone()
+        };
+        let topo = Topology::from_positions(new_cfg, positions);
+
+        // Provision joiners and register them with the BS.
+        let joiner_apps: Vec<ProtocolApp> = new_ids
+            .iter()
+            .map(|&id| {
+                let m = self.provisioner.provision_new_node(id);
+                ProtocolApp::Sensor(ProtocolNode::new_joiner(self.cfg.clone(), m))
+            })
+            .collect();
+        let registrations: Vec<(u32, Key128, Key128)> = new_ids
+            .iter()
+            .map(|&id| {
+                (
+                    id,
+                    self.provisioner.node_key(id),
+                    self.provisioner.cluster_key_of(id),
+                )
+            })
+            .collect();
+
+        // Rebuild the simulator with the old apps carried over.
+        let seed = self.aux_rng.gen::<u64>();
+        let placeholder = Simulator::new(
+            Topology::from_positions(
+                TopologyConfig {
+                    n: 2,
+                    side: 1.0,
+                    radius: 1.0,
+                    wrap: false,
+                },
+                vec![Point::new(0.1, 0.1), Point::new(0.9, 0.9)],
+            ),
+            |_| ProtocolApp::Sensor(ProtocolNode::new(self.cfg.clone(), {
+                let mut p = Provisioner::new(0);
+                p.provision(u32::MAX)
+            })),
+        );
+        let old_sim = std::mem::replace(&mut self.sim, placeholder);
+        // Keep virtual time monotonic across the rebuild so freshness
+        // windows and refresh boundaries stay meaningful.
+        let resume_at = old_sim.now();
+        let (_, old_apps, _) = old_sim.into_parts();
+        let mut pool: Vec<Option<ProtocolApp>> = old_apps
+            .into_iter()
+            .chain(joiner_apps)
+            .map(Some)
+            .collect();
+        for (id, ki, kc) in registrations {
+            if let Some(ProtocolApp::Base(bs)) = pool[0].as_mut() {
+                bs.register_node(id, ki, kc);
+            }
+        }
+        self.sim =
+            Simulator::with_config_at(topo, RadioConfig::default(), seed, resume_at, |id| {
+                pool[id as usize].take().expect("app built once")
+            });
+        self.sim.run();
+        new_ids
+    }
+
+    /// Total frames transmitted since the simulation began.
+    pub fn total_tx(&self) -> u64 {
+        self.sim.counters().total_tx_msgs()
+    }
+}

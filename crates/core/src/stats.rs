@@ -1,0 +1,184 @@
+//! Post-setup network statistics — the raw data behind Figures 1 and 6–9.
+
+use crate::msg::ClusterId;
+use crate::node::{ProtocolApp, Role};
+use std::collections::HashMap;
+use wsn_sim::event::SimTime;
+use wsn_sim::net::{Counters, Simulator};
+
+/// Everything the paper's evaluation section measures about one completed
+/// key-setup phase. The base station is excluded from all statistics (it is
+/// infrastructure, not a sensor).
+#[derive(Clone, Debug)]
+pub struct SetupReport {
+    /// Number of sensor nodes (network size minus the base station).
+    pub n_sensors: usize,
+    /// Realized mean degree of the deployment (the density actually
+    /// achieved, cf. the requested one).
+    pub measured_density: f64,
+    /// Cluster membership per sensor (by node ID, BS at index 0 is `None`).
+    pub cluster_of: Vec<Option<ClusterId>>,
+    /// Size of each cluster (sensors only), unordered.
+    pub cluster_sizes: Vec<usize>,
+    /// Number of cluster heads elected — Figure 8's numerator.
+    pub n_heads: usize,
+    /// Cluster keys held per sensor (own + set `S`) — Figure 6's data.
+    pub keys_per_node: Vec<usize>,
+    /// Mean of `keys_per_node`.
+    pub mean_keys_per_node: f64,
+    /// Mean cluster size — Figure 7's data.
+    pub mean_cluster_size: f64,
+    /// Head fraction `n_heads / n_sensors` — Figure 8's data.
+    pub head_fraction: f64,
+    /// Mean setup transmissions per sensor — Figure 9's data.
+    pub msgs_per_node: f64,
+    /// Virtual time when the last setup event fired, µs.
+    pub setup_time: SimTime,
+}
+
+impl SetupReport {
+    /// Builds the report from a finished setup simulation.
+    pub fn from_simulation(sim: &Simulator<ProtocolApp>, setup_counters: &Counters) -> Self {
+        let n = sim.topology().n();
+        let mut cluster_of: Vec<Option<ClusterId>> = Vec::with_capacity(n);
+        let mut sizes: HashMap<ClusterId, usize> = HashMap::new();
+        let mut keys_per_node = Vec::new();
+        let mut n_heads = 0usize;
+        let mut n_sensors = 0usize;
+
+        for app in sim.apps() {
+            match app {
+                ProtocolApp::Base(_) => cluster_of.push(None),
+                ProtocolApp::Sensor(node) => {
+                    n_sensors += 1;
+                    cluster_of.push(node.cid());
+                    if let Some(cid) = node.cid() {
+                        *sizes.entry(cid).or_insert(0) += 1;
+                    }
+                    if node.role() == Role::Head {
+                        n_heads += 1;
+                    }
+                    keys_per_node.push(node.keys_held());
+                }
+            }
+        }
+
+        let cluster_sizes: Vec<usize> = sizes.values().copied().collect();
+        let mean_cluster_size = if cluster_sizes.is_empty() {
+            0.0
+        } else {
+            cluster_sizes.iter().sum::<usize>() as f64 / cluster_sizes.len() as f64
+        };
+        let mean_keys_per_node = if keys_per_node.is_empty() {
+            0.0
+        } else {
+            keys_per_node.iter().sum::<usize>() as f64 / keys_per_node.len() as f64
+        };
+
+        // Setup transmissions per *sensor* (BS excluded: index 0).
+        let sensor_tx: u64 = setup_counters.tx_msgs.iter().skip(1).sum();
+
+        SetupReport {
+            n_sensors,
+            measured_density: sim.topology().mean_degree(),
+            cluster_of,
+            cluster_sizes,
+            n_heads,
+            keys_per_node,
+            mean_keys_per_node,
+            mean_cluster_size,
+            head_fraction: n_heads as f64 / n_sensors.max(1) as f64,
+            msgs_per_node: sensor_tx as f64 / n_sensors.max(1) as f64,
+            setup_time: sim.now(),
+        }
+    }
+
+    /// Fraction of clusters having exactly `size` members — Figure 1's
+    /// y-axis.
+    pub fn cluster_size_fraction(&self, size: usize) -> f64 {
+        if self.cluster_sizes.is_empty() {
+            return 0.0;
+        }
+        let hits = self.cluster_sizes.iter().filter(|&&s| s == size).count();
+        hits as f64 / self.cluster_sizes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn report(seed: u64) -> SetupReport {
+        run_setup(&SetupParams {
+            n: 200,
+            density: 10.0,
+            seed,
+            cfg: ProtocolConfig::default(),
+        })
+        .report
+    }
+
+    #[test]
+    fn internal_consistency() {
+        let r = report(1);
+        assert_eq!(r.n_sensors, 199);
+        // Every sensor is in exactly one cluster.
+        assert_eq!(r.cluster_sizes.iter().sum::<usize>(), r.n_sensors);
+        // Heads are a subset of clusters (every cluster has one historical
+        // head; silent singleton heads exist but never announce).
+        assert!(r.n_heads <= r.cluster_sizes.len());
+        assert!(r.n_heads >= 1);
+        // Head fraction and messages relate as Fig 9 = 1 + Fig 8:
+        // every sensor sends one LINK, heads also one HELLO.
+        assert!(
+            (r.msgs_per_node - (1.0 + r.head_fraction)).abs() < 1e-9,
+            "msgs {} vs 1 + heads {}",
+            r.msgs_per_node,
+            r.head_fraction
+        );
+        // Mean cluster size consistent with its parts.
+        let recomputed =
+            r.cluster_sizes.iter().sum::<usize>() as f64 / r.cluster_sizes.len() as f64;
+        assert!((r.mean_cluster_size - recomputed).abs() < 1e-12);
+        // BS (index 0) has no cluster; sensors all do.
+        assert!(r.cluster_of[0].is_none());
+        assert!(r.cluster_of[1..].iter().all(|c| c.is_some()));
+    }
+
+    #[test]
+    fn size_fractions_sum_to_one() {
+        let r = report(2);
+        let max = *r.cluster_sizes.iter().max().unwrap();
+        let total: f64 = (1..=max).map(|s| r.cluster_size_fraction(s)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "fractions sum to {total}");
+        assert_eq!(r.cluster_size_fraction(max + 1), 0.0);
+    }
+
+    #[test]
+    fn keys_per_node_matches_live_nodes() {
+        let outcome = run_setup(&SetupParams {
+            n: 150,
+            density: 9.0,
+            seed: 3,
+            cfg: ProtocolConfig::default(),
+        });
+        let r = &outcome.report;
+        assert_eq!(r.keys_per_node.len(), 149);
+        let live: Vec<usize> = outcome
+            .handle
+            .sensor_ids()
+            .iter()
+            .map(|&id| outcome.handle.sensor(id).keys_held())
+            .collect();
+        assert_eq!(r.keys_per_node, live);
+        let mean = live.iter().sum::<usize>() as f64 / live.len() as f64;
+        assert!((r.mean_keys_per_node - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_density_is_plausible() {
+        let r = report(4);
+        assert!((r.measured_density - 10.0).abs() < 2.0);
+        assert!(r.setup_time > 0);
+    }
+}

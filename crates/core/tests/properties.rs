@@ -1,0 +1,244 @@
+//! Property-based tests over the protocol's codecs and cryptographic
+//! message processing.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use wsn_core::config::ProtocolConfig;
+use wsn_core::forward::{
+    e2e_open, e2e_seal, open_setup, seal_setup, unwrap, wrap, CounterWindow,
+};
+use wsn_core::join::{join_tag, verify_join_tag};
+use wsn_core::keys::Provisioner;
+use wsn_core::msg::{DataUnit, Inner, Message, SHORT_TAG};
+use wsn_core::refresh::{cluster_key_at_epoch, hash_step};
+use wsn_crypto::Key128;
+
+fn key_strategy() -> impl Strategy<Value = Key128> {
+    any::<[u8; 16]>().prop_map(Key128::from_bytes)
+}
+
+fn data_unit_strategy() -> impl Strategy<Value = DataUnit> {
+    (
+        any::<u32>(),
+        proptest::option::of(any::<u64>()),
+        any::<bool>(),
+        proptest::collection::vec(any::<u8>(), 0..128),
+    )
+        .prop_map(|(src, ctr, sealed, body)| DataUnit {
+            src,
+            ctr,
+            sealed,
+            body: Bytes::from(body),
+        })
+}
+
+fn inner_strategy() -> impl Strategy<Value = Inner> {
+    prop_oneof![
+        Just(Inner::Beacon),
+        (any::<u32>(), key_strategy())
+            .prop_map(|(epoch, new_kc)| Inner::RefreshHello { epoch, new_kc }),
+        data_unit_strategy().prop_map(Inner::Data),
+    ]
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(nonce, sealed)| Message::Hello {
+                nonce,
+                sealed: Bytes::from(sealed),
+            }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(nonce, sealed)| Message::LinkAdvert {
+                nonce,
+                sealed: Bytes::from(sealed),
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(cid, nonce, sealed)| Message::Wrapped {
+                cid,
+                nonce,
+                sealed: Bytes::from(sealed),
+            }),
+        (
+            key_strategy(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u32>(), 0..20),
+            any::<[u8; SHORT_TAG]>()
+        )
+            .prop_map(|(link, seq, cids, tag)| Message::Revoke {
+                link,
+                seq,
+                cids,
+                tag,
+            }),
+        (
+            any::<u32>(),
+            proptest::collection::vec(any::<u32>(), 0..20),
+            any::<[u8; SHORT_TAG]>()
+        )
+            .prop_map(|(seq, cids, tag)| Message::RevokeAnnounce { seq, cids, tag }),
+        (any::<u32>(), key_strategy())
+            .prop_map(|(seq, link)| Message::RevokeReveal { seq, link }),
+        any::<u32>().prop_map(|new_id| Message::JoinRequest { new_id }),
+        (any::<u32>(), any::<u32>(), any::<[u8; SHORT_TAG]>())
+            .prop_map(|(cid, epoch, tag)| Message::JoinResponse { cid, epoch, tag }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn message_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn inner_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Inner::decode(&bytes);
+    }
+
+    #[test]
+    fn message_roundtrip(msg in message_strategy()) {
+        let enc = msg.encode();
+        prop_assert_eq!(Message::decode(&enc).unwrap(), msg);
+    }
+
+    #[test]
+    fn message_encoding_is_canonical(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        // Whatever parses must re-encode to the identical byte string.
+        if let Ok(msg) = Message::decode(&bytes) {
+            prop_assert_eq!(msg.encode().to_vec(), bytes);
+        }
+    }
+
+    #[test]
+    fn inner_roundtrip(inner in inner_strategy()) {
+        let enc = inner.encode();
+        prop_assert_eq!(Inner::decode(&enc).unwrap(), inner);
+    }
+
+    #[test]
+    fn wrap_unwrap_roundtrip(
+        kc in key_strategy(),
+        cid in any::<u32>(),
+        sender in any::<u32>(),
+        seq in any::<u32>(),
+        tau in 0u64..1_000_000_000,
+        hops in any::<u32>(),
+        inner in inner_strategy(),
+    ) {
+        let cfg = ProtocolConfig::default();
+        let Message::Wrapped { cid, nonce, sealed } =
+            wrap(&kc, cid, sender, seq as u64, tau, hops, &inner)
+        else { unreachable!() };
+        // Receive within the freshness window.
+        let now = tau + cfg.freshness_window / 2;
+        let u = unwrap(&kc, cid, nonce, &sealed, now, &cfg).unwrap();
+        prop_assert_eq!(u.inner, inner);
+        prop_assert_eq!(u.tau, tau);
+        prop_assert_eq!(u.sender_hops, hops);
+    }
+
+    #[test]
+    fn wrap_rejects_any_bitflip(
+        kc in key_strategy(),
+        inner in inner_strategy(),
+        flip_byte in any::<proptest::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let cfg = ProtocolConfig::default();
+        let Message::Wrapped { cid, nonce, sealed } = wrap(&kc, 7, 3, 0, 100, 2, &inner)
+        else { unreachable!() };
+        let mut bad = sealed.to_vec();
+        let idx = flip_byte.index(bad.len());
+        bad[idx] ^= 1 << flip_bit;
+        prop_assert!(unwrap(&kc, cid, nonce, &bad, 100, &cfg).is_err());
+    }
+
+    #[test]
+    fn setup_seal_roundtrip(
+        km in key_strategy(),
+        kc in key_strategy(),
+        sender in any::<u32>(),
+        seq in any::<u32>(),
+        id in any::<u32>(),
+    ) {
+        let (nonce, sealed) = seal_setup(&km, sender, seq as u64, id, &kc);
+        let (got_id, got_kc) = open_setup(&km, nonce, &sealed).unwrap();
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got_kc, kc);
+    }
+
+    #[test]
+    fn e2e_roundtrip_and_binding(
+        ki in key_strategy(),
+        src in any::<u32>(),
+        ctr in any::<u32>(),
+        data in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let c1 = e2e_seal(&ki, src, ctr as u64, &data);
+        prop_assert_eq!(e2e_open(&ki, src, ctr as u64, &c1).unwrap(), data);
+        // Counter and source binding.
+        prop_assert!(e2e_open(&ki, src, ctr as u64 + 1, &c1).is_err());
+        prop_assert!(e2e_open(&ki, src.wrapping_add(1), ctr as u64, &c1).is_err());
+    }
+
+    #[test]
+    fn counter_window_monotone(accepts in proptest::collection::vec(any::<u32>(), 1..30)) {
+        let mut w = CounterWindow::new();
+        let mut highest: Option<u64> = None;
+        for a in accepts {
+            let a = a as u64;
+            let result = w.accept(a);
+            match highest {
+                Some(h) if a <= h => prop_assert!(result.is_err()),
+                _ => {
+                    prop_assert!(result.is_ok());
+                    highest = Some(a);
+                }
+            }
+        }
+        // Candidates always start just past the highest accepted.
+        let first = w.candidates(4).next().unwrap();
+        prop_assert_eq!(first, highest.map_or(0, |h| h + 1));
+    }
+
+    #[test]
+    fn provisioning_deterministic_and_distinct(
+        seed in any::<u64>(),
+        a in any::<u32>(),
+        b in any::<u32>(),
+    ) {
+        prop_assume!(a != b);
+        let mut p1 = Provisioner::new(seed);
+        let mut p2 = Provisioner::new(seed);
+        prop_assert_eq!(p1.provision(a).ki, p2.provision(a).ki);
+        prop_assert_ne!(p1.provision(a).ki, p1.provision(b).ki);
+        prop_assert_ne!(p1.cluster_key_of(a), p1.cluster_key_of(b));
+    }
+
+    #[test]
+    fn refresh_epochs_compose(kmc in key_strategy(), cid in any::<u32>(), e in 0u32..12) {
+        prop_assert_eq!(
+            cluster_key_at_epoch(&kmc, cid, e + 1),
+            hash_step(&cluster_key_at_epoch(&kmc, cid, e))
+        );
+    }
+
+    #[test]
+    fn join_tag_forgery_resistance(
+        kc in key_strategy(),
+        other in key_strategy(),
+        cid in any::<u32>(),
+        new_id in any::<u32>(),
+        epoch in any::<u32>(),
+    ) {
+        prop_assume!(kc != other);
+        let tag = join_tag(&kc, cid, new_id, epoch);
+        prop_assert!(verify_join_tag(&kc, cid, new_id, epoch, &tag));
+        prop_assert!(!verify_join_tag(&other, cid, new_id, epoch, &tag));
+    }
+}

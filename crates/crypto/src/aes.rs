@@ -1,0 +1,327 @@
+//! AES-128 (FIPS-197), implemented from the field arithmetic up.
+//!
+//! Included as the "big" cipher end of the ablation: the paper's class of
+//! motes ran RC5 because AES was considered heavy, and the cipher benchmark
+//! in `wsn-bench` quantifies that gap. The S-box and its inverse are derived
+//! at first use from GF(2⁸) inversion plus the affine transform rather than
+//! transcribed, so a table typo is impossible; correctness is pinned by the
+//! FIPS-197 test vectors.
+//!
+//! This is a straightforward table-free-of-typos software implementation —
+//! byte-sliced lookups, no T-tables, no attempt at constant-time S-box
+//! access. Fine for a simulator; do not lift into a side-channel-sensitive
+//! production context.
+
+use crate::block::BlockCipher;
+use crate::Key128;
+use std::sync::OnceLock;
+
+const ROUNDS: usize = 10;
+
+/// Multiplies two elements of GF(2⁸) modulo the AES polynomial x⁸+x⁴+x³+x+1.
+#[inline]
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut out = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            out ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    out
+}
+
+/// Multiplicative inverse in GF(2⁸) (with 0 ↦ 0), via a ↦ a^254.
+fn gf_inv(a: u8) -> u8 {
+    // a^254 = a^(2+4+8+16+32+64+128); square-and-multiply unrolled.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u8;
+    while exp != 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+#[allow(clippy::needless_range_loop)]
+fn build_tables() -> ([u8; 256], [u8; 256]) {
+    let mut sbox = [0u8; 256];
+    let mut inv = [0u8; 256];
+    for x in 0..256usize {
+        let b = gf_inv(x as u8);
+        let s = b
+            ^ b.rotate_left(1)
+            ^ b.rotate_left(2)
+            ^ b.rotate_left(3)
+            ^ b.rotate_left(4)
+            ^ 0x63;
+        sbox[x] = s;
+        inv[s as usize] = x as u8;
+    }
+    (sbox, inv)
+}
+
+fn tables() -> &'static ([u8; 256], [u8; 256]) {
+    static TABLES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    TABLES.get_or_init(build_tables)
+}
+
+/// An AES-128 instance holding the expanded key schedule.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11 round keys.
+    #[allow(clippy::needless_range_loop)]
+    pub fn new(key: &Key128) -> Self {
+        let (sbox, _) = tables();
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key.as_bytes()[4 * i..4 * i + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in 4..w.len() {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for t in temp.iter_mut() {
+                    *t = sbox[*t as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16], table: &[u8; 256]) {
+    for s in state.iter_mut() {
+        *s = table[*s as usize];
+    }
+}
+
+/// State layout: `state[r + 4c]` is row r, column c (FIPS-197 input order).
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    // Row 1: rotate left by 1.
+    let t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    // Row 2: rotate left by 2.
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: rotate left by 3 (== right by 1).
+    let t = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = t;
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    // Row 1: rotate right by 1.
+    let t = state[13];
+    state[13] = state[9];
+    state[9] = state[5];
+    state[5] = state[1];
+    state[1] = t;
+    // Row 2: rotate right by 2 (same as left by 2).
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: rotate right by 3 (== left by 1).
+    let t = state[3];
+    state[3] = state[7];
+    state[7] = state[11];
+    state[11] = state[15];
+    state[15] = t;
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+        col[0] = gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3;
+        col[1] = a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3;
+        col[2] = a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3);
+        col[3] = gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+        col[0] = gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^ gf_mul(a3, 9);
+        col[1] = gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^ gf_mul(a3, 13);
+        col[2] = gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^ gf_mul(a3, 11);
+        col[3] = gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^ gf_mul(a3, 14);
+    }
+}
+
+impl BlockCipher for Aes128 {
+    const BLOCK_BYTES: usize = 16;
+
+    fn encrypt_block(&self, block: &mut [u8]) {
+        debug_assert_eq!(block.len(), Self::BLOCK_BYTES);
+        let (sbox, _) = tables();
+        let mut state = [0u8; 16];
+        state.copy_from_slice(block);
+
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..ROUNDS {
+            sub_bytes(&mut state, sbox);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state, sbox);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[ROUNDS]);
+
+        block.copy_from_slice(&state);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) {
+        debug_assert_eq!(block.len(), Self::BLOCK_BYTES);
+        let (_, inv_sbox) = tables();
+        let mut state = [0u8; 16];
+        state.copy_from_slice(block);
+
+        add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        for round in (1..ROUNDS).rev() {
+            inv_shift_rows(&mut state);
+            sub_bytes(&mut state, inv_sbox);
+            add_round_key(&mut state, &self.round_keys[round]);
+            inv_mix_columns(&mut state);
+        }
+        inv_shift_rows(&mut state);
+        sub_bytes(&mut state, inv_sbox);
+        add_round_key(&mut state, &self.round_keys[0]);
+
+        block.copy_from_slice(&state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::check_inverse;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        let (sbox, inv) = tables();
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x01], 0x7C);
+        assert_eq!(sbox[0x53], 0xED);
+        assert_eq!(sbox[0xFF], 0x16);
+        assert_eq!(inv[0x63], 0x00);
+        for x in 0..256usize {
+            assert_eq!(inv[sbox[x] as usize] as usize, x);
+        }
+    }
+
+    /// FIPS-197 Appendix C.1.
+    #[test]
+    fn fips197_c1() {
+        let key = Key128::from_slice(&hex("000102030405060708090a0b0c0d0e0f"));
+        let aes = Aes128::new(&key);
+        let mut block = hex("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, hex("00112233445566778899aabbccddeeff"));
+    }
+
+    /// FIPS-197 Appendix B worked example.
+    #[test]
+    fn fips197_appendix_b() {
+        let key = Key128::from_slice(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        let aes = Aes128::new(&key);
+        let mut block = hex("3243f6a8885a308d313198a2e0370734");
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, hex("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn inverse_property() {
+        check_inverse(&Aes128::new(&Key128::from_bytes([0x77; 16])));
+    }
+
+    #[test]
+    fn gf_mul_examples() {
+        // From FIPS-197 §4.2: {57} · {83} = {c1}.
+        assert_eq!(gf_mul(0x57, 0x83), 0xC1);
+        // {57} · {13} = {fe}.
+        assert_eq!(gf_mul(0x57, 0x13), 0xFE);
+        assert_eq!(gf_mul(0x00, 0x99), 0x00);
+        assert_eq!(gf_mul(0x01, 0x99), 0x99);
+    }
+
+    #[test]
+    fn gf_inv_roundtrip() {
+        for x in 1..=255u8 {
+            assert_eq!(gf_mul(x, gf_inv(x)), 1, "inverse failed for {x}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    #[test]
+    fn shift_rows_inverse() {
+        let mut s: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let orig = s;
+        shift_rows(&mut s);
+        assert_ne!(s, orig);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn mix_columns_inverse() {
+        let mut s: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(17));
+        let orig = s;
+        mix_columns(&mut s);
+        inv_mix_columns(&mut s);
+        assert_eq!(s, orig);
+    }
+}

@@ -1,0 +1,193 @@
+//! Encrypt-then-MAC composition — the paper's Figure 3 / Figure 4 pattern.
+//!
+//! Step 1 (Figure 3) computes `y1 = E_Kencr(D)`, `t1 = MAC_Kmac(y1)`,
+//! `c1 = y1 | t1`; Step 2 (Figure 4) applies the same composition with
+//! cluster-derived keys around a larger payload. [`AuthEnc`] captures the
+//! shared shape: CTR encryption under one key, a MAC over the *ciphertext*
+//! (encrypt-then-MAC, the provably-sound order) under an independent key.
+//!
+//! The default cipher/MAC pairing is RC5-CTR + CBC-MAC(RC5) with an 8-byte
+//! tag; see [`AuthEncAead`] for the generic version.
+
+use crate::cbcmac::CbcMac;
+use crate::ctr::Ctr;
+use crate::rc5::Rc5;
+use crate::{BlockCipher, CryptoError, Key128};
+
+/// Authenticated encryption generic over the block cipher.
+pub struct AuthEncAead<C: BlockCipher> {
+    enc: Ctr<C>,
+    mac: CbcMac<C>,
+    tag_bytes: usize,
+}
+
+impl<C: BlockCipher> AuthEncAead<C> {
+    /// Builds from two *independently keyed* cipher instances (encryption
+    /// and MAC keys must differ — the paper calls this out explicitly) and a
+    /// transmitted tag length.
+    pub fn from_ciphers(enc_cipher: C, mac_cipher: C, tag_bytes: usize) -> Self {
+        assert!(tag_bytes >= 4, "tags below 4 bytes are trivially forgeable");
+        assert!(tag_bytes <= C::BLOCK_BYTES, "tag longer than cipher block");
+        AuthEncAead {
+            enc: Ctr::new(enc_cipher),
+            mac: CbcMac::new(mac_cipher),
+            tag_bytes,
+        }
+    }
+
+    /// Transmitted tag length in bytes.
+    pub fn tag_bytes(&self) -> usize {
+        self.tag_bytes
+    }
+
+    /// Seals `plaintext` under `nonce`: returns `ciphertext | tag`.
+    ///
+    /// The MAC covers the nonce and the ciphertext, so a receiver that
+    /// reconstructs the nonce from its counter detects desynchronization as
+    /// a tag failure rather than as garbled plaintext.
+    pub fn seal(&self, nonce: u64, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = self.enc.encrypt(nonce, plaintext);
+        let tag = self.mac_input_tag(nonce, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Opens `sealed` (= `ciphertext | tag`) under `nonce`.
+    pub fn open(&self, nonce: u64, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < self.tag_bytes {
+            return Err(CryptoError::Truncated);
+        }
+        let split = sealed.len() - self.tag_bytes;
+        let (ct, tag) = sealed.split_at(split);
+        let expected = self.mac_input_tag(nonce, ct);
+        if !crate::ct::eq(&expected, tag) {
+            return Err(CryptoError::BadTag);
+        }
+        Ok(self.enc.decrypt(nonce, ct))
+    }
+
+    fn mac_input_tag(&self, nonce: u64, ct: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + ct.len());
+        buf.extend_from_slice(&nonce.to_be_bytes());
+        buf.extend_from_slice(ct);
+        self.mac.tag_truncated(&buf, self.tag_bytes)
+    }
+}
+
+/// The protocol's default authenticated-encryption configuration:
+/// RC5-32/12/16 in CTR mode + length-prepended CBC-MAC(RC5), 8-byte tags.
+pub struct AuthEnc {
+    inner: AuthEncAead<Rc5>,
+}
+
+/// Default transmitted tag length (one full RC5 block).
+pub const DEFAULT_TAG_BYTES: usize = 8;
+
+impl AuthEnc {
+    /// Builds from independent encryption and MAC keys.
+    pub fn new(k_encr: Key128, k_mac: Key128) -> Self {
+        AuthEnc {
+            inner: AuthEncAead::from_ciphers(
+                Rc5::new(&k_encr),
+                Rc5::new(&k_mac),
+                DEFAULT_TAG_BYTES,
+            ),
+        }
+    }
+
+    /// See [`AuthEncAead::seal`].
+    pub fn seal(&self, nonce: u64, plaintext: &[u8]) -> Vec<u8> {
+        self.inner.seal(nonce, plaintext)
+    }
+
+    /// See [`AuthEncAead::open`].
+    pub fn open(&self, nonce: u64, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        self.inner.open(nonce, sealed)
+    }
+
+    /// Overhead added by sealing, in bytes.
+    pub fn overhead(&self) -> usize {
+        self.inner.tag_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speck::Speck128_128;
+
+    fn ae() -> AuthEnc {
+        AuthEnc::new(Key128::from_bytes([0xA1; 16]), Key128::from_bytes([0xB2; 16]))
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let ae = ae();
+        for len in [0usize, 1, 8, 13, 64] {
+            let msg = vec![0xCD; len];
+            let sealed = ae.seal(5, &msg);
+            assert_eq!(sealed.len(), len + DEFAULT_TAG_BYTES);
+            assert_eq!(ae.open(5, &sealed).unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let ae = ae();
+        let sealed = ae.seal(5, b"data");
+        assert_eq!(ae.open(6, &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let ae = ae();
+        let mut sealed = ae.seal(5, b"data data data");
+        sealed[2] ^= 0x80;
+        assert_eq!(ae.open(5, &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let ae = ae();
+        let mut sealed = ae.seal(5, b"data");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 1;
+        assert_eq!(ae.open(5, &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let ae = ae();
+        assert_eq!(ae.open(5, &[0u8; 3]), Err(CryptoError::Truncated));
+        assert_eq!(ae.open(5, &[]), Err(CryptoError::Truncated));
+    }
+
+    #[test]
+    fn wrong_keys_rejected() {
+        let ae1 = ae();
+        let ae2 = AuthEnc::new(Key128::from_bytes([0xA1; 16]), Key128::from_bytes([0xB3; 16]));
+        let sealed = ae1.seal(1, b"msg");
+        assert_eq!(ae2.open(1, &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn generic_over_speck128() {
+        let ae = AuthEncAead::from_ciphers(
+            Speck128_128::new(&Key128::from_bytes([1; 16])),
+            Speck128_128::new(&Key128::from_bytes([2; 16])),
+            16,
+        );
+        let sealed = ae.seal(9, b"sixteen byte tag");
+        assert_eq!(ae.open(9, &sealed).unwrap(), b"sixteen byte tag");
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_tag_rejected_at_construction() {
+        let _ = AuthEncAead::from_ciphers(
+            Rc5::new(&Key128::ZERO),
+            Rc5::new(&Key128::ZERO),
+            2,
+        );
+    }
+}

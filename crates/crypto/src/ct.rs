@@ -1,0 +1,45 @@
+//! Constant-time comparison helpers.
+//!
+//! MAC verification must not leak how many tag bytes matched; a classic
+//! remote timing attack recovers tags byte-by-byte against naive `==`.
+
+/// Constant-time equality for equal-length byte slices.
+///
+/// Returns `false` immediately (and cheaply) when lengths differ — lengths
+/// are public in every place this is used.
+#[inline]
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Collapse to 0/1 without a data-dependent branch.
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(eq(b"", b""));
+        assert!(eq(b"abc", b"abc"));
+        assert!(eq(&[0u8; 64], &[0u8; 64]));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!eq(b"abc", b"abd"));
+        assert!(!eq(b"abc", b"ab"));
+        assert!(!eq(b"", b"x"));
+        // differ only in last byte
+        let mut a = [7u8; 32];
+        let b = a;
+        a[31] ^= 1;
+        assert!(!eq(&a, &b));
+    }
+}

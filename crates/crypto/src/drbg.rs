@@ -1,0 +1,158 @@
+//! HMAC-DRBG (NIST SP 800-90A style), for deterministic key generation.
+//!
+//! Every stochastic element of the reproduction — pre-deployment key
+//! material, election timers, deployment coordinates — must flow from a
+//! single seed so experiments are replayable bit-for-bit. This DRBG supplies
+//! the *key material* stream (the simulator uses `rand::StdRng` for
+//! topology/timing, seeded from the same master seed).
+//!
+//! The implementation follows the HMAC_DRBG Update/Generate skeleton of
+//! SP 800-90A with SHA-256, minus personalization strings and reseed
+//! counters that a simulator does not need.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_BYTES;
+use crate::{Key128, KEY_BYTES};
+
+/// A deterministic random bit generator keyed by a seed.
+pub struct HmacDrbg {
+    key: [u8; DIGEST_BYTES],
+    value: [u8; DIGEST_BYTES],
+}
+
+impl HmacDrbg {
+    /// Instantiates from arbitrary seed material.
+    pub fn new(seed: &[u8]) -> Self {
+        let mut drbg = HmacDrbg {
+            key: [0x00; DIGEST_BYTES],
+            value: [0x01; DIGEST_BYTES],
+        };
+        drbg.update(Some(seed));
+        drbg
+    }
+
+    /// Instantiates from a `u64` seed (convenience for simulations).
+    pub fn from_u64(seed: u64) -> Self {
+        Self::new(&seed.to_be_bytes())
+    }
+
+    fn update(&mut self, provided: Option<&[u8]>) {
+        let mut h = HmacSha256::new(&self.key);
+        h.update(&self.value);
+        h.update(&[0x00]);
+        if let Some(p) = provided {
+            h.update(p);
+        }
+        self.key = h.finalize();
+        self.value = HmacSha256::mac(&self.key, &self.value);
+
+        if let Some(p) = provided {
+            let mut h = HmacSha256::new(&self.key);
+            h.update(&self.value);
+            h.update(&[0x01]);
+            h.update(p);
+            self.key = h.finalize();
+            self.value = HmacSha256::mac(&self.key, &self.value);
+        }
+    }
+
+    /// Fills `out` with pseudo-random bytes.
+    pub fn fill(&mut self, out: &mut [u8]) {
+        let mut written = 0;
+        while written < out.len() {
+            self.value = HmacSha256::mac(&self.key, &self.value);
+            let take = (out.len() - written).min(DIGEST_BYTES);
+            out[written..written + take].copy_from_slice(&self.value[..take]);
+            written += take;
+        }
+        self.update(None);
+    }
+
+    /// Draws a fresh 128-bit key.
+    pub fn next_key(&mut self) -> Key128 {
+        let mut k = [0u8; KEY_BYTES];
+        self.fill(&mut k);
+        Key128::from_bytes(k)
+    }
+
+    /// Draws a pseudo-random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = HmacDrbg::from_u64(1234);
+        let mut b = HmacDrbg::from_u64(1234);
+        for _ in 0..10 {
+            assert_eq!(a.next_key(), b.next_key());
+        }
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = HmacDrbg::from_u64(1);
+        let mut b = HmacDrbg::from_u64(2);
+        assert_ne!(a.next_key(), b.next_key());
+    }
+
+    #[test]
+    fn stream_is_not_repeating() {
+        let mut d = HmacDrbg::from_u64(77);
+        let keys: Vec<Key128> = (0..200).map(|_| d.next_key()).collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn fill_lengths() {
+        let mut d = HmacDrbg::from_u64(5);
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            let mut buf = vec![0u8; len];
+            d.fill(&mut buf);
+            if len >= 16 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len} produced zeros");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_fill_matches_contiguous() {
+        // Generate-then-update semantics: one fill(48) is one generate call,
+        // which differs from two fill(24) calls; but two instances making
+        // the same call sequence must agree.
+        let mut a = HmacDrbg::from_u64(9);
+        let mut b = HmacDrbg::from_u64(9);
+        let mut buf_a = [0u8; 48];
+        a.fill(&mut buf_a);
+        let mut buf_b = [0u8; 48];
+        b.fill(&mut buf_b);
+        assert_eq!(buf_a, buf_b);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        // Not a statistical test suite — just a sanity check that byte
+        // values cover the space.
+        let mut d = HmacDrbg::from_u64(31337);
+        let mut buf = vec![0u8; 16384];
+        d.fill(&mut buf);
+        let mut seen = [false; 256];
+        for &b in &buf {
+            seen[b as usize] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert!(covered > 250, "only {covered}/256 byte values seen");
+    }
+}

@@ -1,0 +1,141 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//!
+//! Serves two roles in the reproduction: the end-to-end MAC of the paper's
+//! Step 1 (any secure MAC works there) and the keyed core of the PRF `F`
+//! used everywhere keys are derived.
+
+use crate::ct;
+use crate::sha256::{Sha256, BLOCK_BYTES, DIGEST_BYTES};
+
+/// Streaming HMAC-SHA256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK_BYTES],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; BLOCK_BYTES];
+        if key.len() > BLOCK_BYTES {
+            let digest = Sha256::digest(key);
+            block_key[..DIGEST_BYTES].copy_from_slice(&digest);
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad_key = [0u8; BLOCK_BYTES];
+        let mut opad_key = [0u8; BLOCK_BYTES];
+        for i in 0..BLOCK_BYTES {
+            ipad_key[i] = block_key[i] ^ 0x36;
+            opad_key[i] = block_key[i] ^ 0x5C;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad_key);
+        HmacSha256 { inner, opad_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the 32-byte tag.
+    pub fn finalize(self) -> [u8; DIGEST_BYTES] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot tag computation.
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; DIGEST_BYTES] {
+        let mut h = HmacSha256::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// One-shot verification in constant time.
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        ct::eq(&Self::mac(key, data), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 4231 test cases.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = vec![0x0b; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            tag.to_vec(),
+            hex("b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7")
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_vec(),
+            hex("5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = vec![0xaa; 20];
+        let data = vec![0xdd; 50];
+        let tag = HmacSha256::mac(&key, &data);
+        assert_eq!(
+            tag.to_vec(),
+            hex("773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe")
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = vec![0xaa; 131];
+        let tag = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            tag.to_vec(),
+            hex("60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54")
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = HmacSha256::mac(b"k", b"msg");
+        assert!(HmacSha256::verify(b"k", b"msg", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!HmacSha256::verify(b"k", b"msg", &bad));
+        assert!(!HmacSha256::verify(b"k2", b"msg", &tag));
+        assert!(!HmacSha256::verify(b"k", b"msg2", &tag));
+        assert!(!HmacSha256::verify(b"k", b"msg", &tag[..31]));
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..300u32).map(|i| i as u8).collect();
+        let oneshot = HmacSha256::mac(b"key material", &data);
+        let mut h = HmacSha256::new(b"key material");
+        for piece in data.chunks(7) {
+            h.update(piece);
+        }
+        assert_eq!(h.finalize(), oneshot);
+    }
+}

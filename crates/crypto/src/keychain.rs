@@ -1,0 +1,173 @@
+//! One-way hash key chains for authenticated revocation (paper §IV-D).
+//!
+//! During network setup the base station generates
+//! `K_n -> K_{n-1} -> ... -> K_0` with `K_{l-1} = F(K_l)` and preloads the
+//! commitment `K_0` into every node. Each revocation command carries the
+//! next unrevealed link; a node verifies authenticity by checking that
+//! repeatedly applying `F` to the received link reproduces its stored
+//! commitment, then advances the commitment. Because `F` is one-way, an
+//! adversary holding `K_{l-1}` cannot forge `K_l`.
+
+use crate::prf::Prf;
+use crate::{CryptoError, Key128};
+
+/// The base-station side: the full chain, revealed link by link.
+pub struct KeyChain {
+    /// links[l] = K_l, so links[0] is the commitment K_0.
+    links: Vec<Key128>,
+    /// Index of the next link to reveal (1-based into `links`).
+    next: usize,
+}
+
+impl KeyChain {
+    /// Generates a chain of `n` usable links from `seed` (`K_n = F(seed)`).
+    ///
+    /// `n` is the number of revocation commands the chain supports.
+    pub fn generate(seed: &Key128, n: usize) -> Self {
+        assert!(n >= 1, "chain needs at least one usable link");
+        let mut links = vec![Key128::ZERO; n + 1];
+        links[n] = Prf::chain_step(seed);
+        for l in (0..n).rev() {
+            links[l] = Prf::chain_step(&links[l + 1]);
+        }
+        KeyChain { links, next: 1 }
+    }
+
+    /// The commitment `K_0` to preload into sensor nodes.
+    pub fn commitment(&self) -> Key128 {
+        self.links[0]
+    }
+
+    /// Reveals the next chain link (for attaching to a revocation command),
+    /// or `None` when the chain is exhausted.
+    pub fn reveal_next(&mut self) -> Option<Key128> {
+        let link = self.links.get(self.next).copied()?;
+        self.next += 1;
+        Some(link)
+    }
+
+    /// How many links remain unrevealed.
+    pub fn remaining(&self) -> usize {
+        self.links.len() - self.next
+    }
+}
+
+/// The sensor-node side: just the latest verified commitment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainVerifier {
+    commitment: Key128,
+}
+
+impl ChainVerifier {
+    /// Starts from the preloaded commitment `K_0`.
+    pub fn new(commitment: Key128) -> Self {
+        ChainVerifier { commitment }
+    }
+
+    /// The current commitment (last verified link).
+    pub fn commitment(&self) -> Key128 {
+        self.commitment
+    }
+
+    /// Verifies a received chain link and, on success, replaces the stored
+    /// commitment with it.
+    ///
+    /// `max_skip` bounds how many chain positions ahead the link may be —
+    /// nodes can miss revocation messages, so the verifier walks up to
+    /// `max_skip` applications of `F` looking for its commitment.
+    pub fn accept(&mut self, link: &Key128, max_skip: usize) -> Result<(), CryptoError> {
+        let mut probe = *link;
+        for _ in 0..max_skip.max(1) {
+            probe = Prf::chain_step(&probe);
+            if probe == self.commitment {
+                self.commitment = *link;
+                return Ok(());
+            }
+        }
+        Err(CryptoError::BadCommitment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed() -> Key128 {
+        Key128::from_bytes([0x42; 16])
+    }
+
+    #[test]
+    fn generate_and_verify_in_order() {
+        let mut chain = KeyChain::generate(&seed(), 5);
+        let mut verifier = ChainVerifier::new(chain.commitment());
+        for _ in 0..5 {
+            let link = chain.reveal_next().unwrap();
+            assert!(verifier.accept(&link, 1).is_ok());
+            assert_eq!(verifier.commitment(), link);
+        }
+        assert!(chain.reveal_next().is_none());
+        assert_eq!(chain.remaining(), 0);
+    }
+
+    #[test]
+    fn skipped_links_verify_with_window() {
+        let mut chain = KeyChain::generate(&seed(), 10);
+        let mut verifier = ChainVerifier::new(chain.commitment());
+        let _missed1 = chain.reveal_next().unwrap();
+        let _missed2 = chain.reveal_next().unwrap();
+        let k3 = chain.reveal_next().unwrap();
+        // Window 1 is not enough to bridge two missed links...
+        assert_eq!(verifier.accept(&k3, 1), Err(CryptoError::BadCommitment));
+        // ...window 3 is.
+        assert!(verifier.accept(&k3, 3).is_ok());
+    }
+
+    #[test]
+    fn forged_link_rejected() {
+        let mut chain = KeyChain::generate(&seed(), 3);
+        let mut verifier = ChainVerifier::new(chain.commitment());
+        let forged = Key128::from_bytes([0xEE; 16]);
+        assert_eq!(verifier.accept(&forged, 8), Err(CryptoError::BadCommitment));
+        // Real link still works afterwards.
+        let k1 = chain.reveal_next().unwrap();
+        assert!(verifier.accept(&k1, 1).is_ok());
+    }
+
+    #[test]
+    fn replayed_link_rejected() {
+        let mut chain = KeyChain::generate(&seed(), 3);
+        let mut verifier = ChainVerifier::new(chain.commitment());
+        let k1 = chain.reveal_next().unwrap();
+        verifier.accept(&k1, 1).unwrap();
+        // Replaying K_1: F(K_1) is now behind the commitment, so it fails.
+        assert_eq!(verifier.accept(&k1, 4), Err(CryptoError::BadCommitment));
+    }
+
+    #[test]
+    fn old_commitment_cannot_forge_forward() {
+        // An adversary who captured a node knows K_l; one-wayness means it
+        // cannot produce K_{l+1}. We simulate by checking a *random* guess
+        // doesn't verify — the structural property (F applied the right
+        // number of times) is what the verifier enforces.
+        let mut chain = KeyChain::generate(&seed(), 4);
+        let k1 = chain.reveal_next().unwrap();
+        let mut verifier = ChainVerifier::new(chain.commitment());
+        verifier.accept(&k1, 1).unwrap();
+        // Guess derived from k1 (e.g. F(k1)) is *backwards*, not forwards.
+        let guess = Prf::chain_step(&k1);
+        assert_eq!(verifier.accept(&guess, 8), Err(CryptoError::BadCommitment));
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_chains() {
+        let c1 = KeyChain::generate(&Key128::from_bytes([1; 16]), 3);
+        let c2 = KeyChain::generate(&Key128::from_bytes([2; 16]), 3);
+        assert_ne!(c1.commitment(), c2.commitment());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_length_chain_panics() {
+        let _ = KeyChain::generate(&seed(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! The paper's pseudo-random function `F`, realized as HMAC-SHA256.
+//!
+//! `F` appears in four places in the protocol:
+//!
+//! 1. Step 1 key separation: `K_encr = F(Ki, 0)`, `K_mac = F(Ki, 1)` — "a
+//!    good security practice is to use different keys for different
+//!    cryptographic operations".
+//! 2. Cluster-key derivation for node addition: `Kc_i = F(KMC, i)`, so a new
+//!    node carrying `KMC` can regenerate any cluster key while compromise of
+//!    one cluster key reveals nothing about `KMC` (one-wayness).
+//! 3. One-way key chains for revocation: `K_{l-1} = F(K_l)`.
+//! 4. Cluster-key refresh by hashing: `Kc <- F(Kc)`.
+
+use crate::hmac::HmacSha256;
+use crate::{Key128, KEY_BYTES};
+
+/// Namespace labels keeping the four uses of `F` in disjoint input domains.
+/// (The paper uses one symbol `F` for all of them; domain separation is the
+/// standard hardening and costs nothing.)
+mod domain {
+    pub const DERIVE: &[u8] = b"wsn/derive";
+    pub const CLUSTER: &[u8] = b"wsn/cluster-key";
+    pub const CHAIN: &[u8] = b"wsn/key-chain";
+    pub const REFRESH: &[u8] = b"wsn/refresh";
+}
+
+/// Stateless PRF operations (all associated functions).
+pub struct Prf;
+
+impl Prf {
+    fn eval(key: &Key128, dom: &[u8], input: &[u8]) -> Key128 {
+        let mut h = HmacSha256::new(key.as_bytes());
+        h.update(dom);
+        h.update(&[0x00]); // unambiguous domain/input separator
+        h.update(input);
+        let digest = h.finalize();
+        Key128::from_slice(&digest[..KEY_BYTES])
+    }
+
+    /// General key derivation `F(K, label)` — used for `K_encr`/`K_mac`.
+    pub fn derive(key: &Key128, label: &[u8]) -> Key128 {
+        Self::eval(key, domain::DERIVE, label)
+    }
+
+    /// Cluster-key derivation `Kc_i = F(KMC, i)`.
+    pub fn cluster_key(kmc: &Key128, node_id: u32) -> Key128 {
+        Self::eval(kmc, domain::CLUSTER, &node_id.to_be_bytes())
+    }
+
+    /// One step of the one-way key chain: `K_{l-1} = F(K_l)`.
+    pub fn chain_step(link: &Key128) -> Key128 {
+        Self::eval(link, domain::CHAIN, &[])
+    }
+
+    /// Cluster-key refresh by hashing: `Kc <- F(Kc)` (Section IV-C/VI).
+    pub fn refresh(kc: &Key128) -> Key128 {
+        Self::eval(kc, domain::REFRESH, &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let k = Key128::from_bytes([9; 16]);
+        assert_eq!(Prf::derive(&k, b"x"), Prf::derive(&k, b"x"));
+        assert_eq!(Prf::cluster_key(&k, 7), Prf::cluster_key(&k, 7));
+    }
+
+    #[test]
+    fn label_separation() {
+        let k = Key128::from_bytes([9; 16]);
+        assert_ne!(Prf::derive(&k, &[0]), Prf::derive(&k, &[1]));
+    }
+
+    #[test]
+    fn domain_separation() {
+        let k = Key128::from_bytes([9; 16]);
+        // Same empty input, different domains → different outputs.
+        let refresh = Prf::refresh(&k);
+        let chain = Prf::chain_step(&k);
+        assert_ne!(refresh, chain);
+        assert_ne!(refresh, Prf::derive(&k, &[]));
+    }
+
+    #[test]
+    fn key_separation() {
+        let k1 = Key128::from_bytes([1; 16]);
+        let k2 = Key128::from_bytes([2; 16]);
+        assert_ne!(Prf::derive(&k1, b"l"), Prf::derive(&k2, b"l"));
+    }
+
+    #[test]
+    fn cluster_keys_distinct_per_node() {
+        let kmc = Key128::from_bytes([3; 16]);
+        let keys: Vec<Key128> = (0..100).map(|i| Prf::cluster_key(&kmc, i)).collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "collision between node {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_not_all_zero() {
+        let k = Key128::from_bytes([0; 16]);
+        assert!(!Prf::derive(&k, b"anything").is_zero());
+    }
+}

@@ -1,0 +1,157 @@
+//! XTEA (Needham & Wheeler, 1997) — 64-bit blocks, 128-bit keys, 64
+//! Feistel rounds.
+//!
+//! Alongside RC5 and Speck, XTEA rounds out the mote-class cipher options:
+//! it was the other cipher routinely deployed on 8/16-bit sensor
+//! platforms (Contiki-era stacks) thanks to its ~10-line round function
+//! and zero tables. Included in the `wsn-bench` cipher ablation.
+//!
+//! Validated against the widely published known-answer tests (e.g. key
+//! `00..0f`, plaintext `"ABCDEFGH"` → `497DF3D0 72612CB5`).
+
+use crate::block::BlockCipher;
+use crate::Key128;
+
+const ROUNDS: u32 = 32; // 32 iterations = 64 Feistel rounds
+const DELTA: u32 = 0x9E37_79B9;
+
+/// An XTEA instance (the key is used directly; there is no schedule).
+#[derive(Clone)]
+pub struct Xtea {
+    key: [u32; 4],
+}
+
+impl Xtea {
+    /// Wraps a 128-bit key (big-endian word loading).
+    pub fn new(key: &Key128) -> Self {
+        let kb = key.as_bytes();
+        let word = |i: usize| u32::from_be_bytes(kb[4 * i..4 * i + 4].try_into().unwrap());
+        Xtea {
+            key: [word(0), word(1), word(2), word(3)],
+        }
+    }
+
+    #[inline]
+    fn encrypt_words(&self, mut v0: u32, mut v1: u32) -> (u32, u32) {
+        let mut sum = 0u32;
+        for _ in 0..ROUNDS {
+            v0 = v0.wrapping_add(
+                (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                    ^ sum.wrapping_add(self.key[(sum & 3) as usize]),
+            );
+            sum = sum.wrapping_add(DELTA);
+            v1 = v1.wrapping_add(
+                (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                    ^ sum.wrapping_add(self.key[((sum >> 11) & 3) as usize]),
+            );
+        }
+        (v0, v1)
+    }
+
+    #[inline]
+    fn decrypt_words(&self, mut v0: u32, mut v1: u32) -> (u32, u32) {
+        let mut sum = DELTA.wrapping_mul(ROUNDS);
+        for _ in 0..ROUNDS {
+            v1 = v1.wrapping_sub(
+                (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                    ^ sum.wrapping_add(self.key[((sum >> 11) & 3) as usize]),
+            );
+            sum = sum.wrapping_sub(DELTA);
+            v0 = v0.wrapping_sub(
+                (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                    ^ sum.wrapping_add(self.key[(sum & 3) as usize]),
+            );
+        }
+        (v0, v1)
+    }
+}
+
+impl BlockCipher for Xtea {
+    const BLOCK_BYTES: usize = 8;
+
+    fn encrypt_block(&self, block: &mut [u8]) {
+        debug_assert_eq!(block.len(), Self::BLOCK_BYTES);
+        let v0 = u32::from_be_bytes(block[0..4].try_into().unwrap());
+        let v1 = u32::from_be_bytes(block[4..8].try_into().unwrap());
+        let (v0, v1) = self.encrypt_words(v0, v1);
+        block[0..4].copy_from_slice(&v0.to_be_bytes());
+        block[4..8].copy_from_slice(&v1.to_be_bytes());
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) {
+        debug_assert_eq!(block.len(), Self::BLOCK_BYTES);
+        let v0 = u32::from_be_bytes(block[0..4].try_into().unwrap());
+        let v1 = u32::from_be_bytes(block[4..8].try_into().unwrap());
+        let (v0, v1) = self.decrypt_words(v0, v1);
+        block[0..4].copy_from_slice(&v0.to_be_bytes());
+        block[4..8].copy_from_slice(&v1.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::check_inverse;
+
+    fn seq_key() -> Key128 {
+        Key128::from_bytes(core::array::from_fn(|i| i as u8))
+    }
+
+    // The widely published XTEA known-answer tests (big-endian convention),
+    // cross-checked against the Needham–Wheeler reference code.
+    #[test]
+    fn kat_abcdefgh() {
+        let c = Xtea::new(&seq_key());
+        assert_eq!(
+            c.encrypt_words(0x4142_4344, 0x4546_4748),
+            (0x497D_F3D0, 0x7261_2CB5)
+        );
+    }
+
+    #[test]
+    fn kat_all_a() {
+        let c = Xtea::new(&seq_key());
+        assert_eq!(
+            c.encrypt_words(0x4141_4141, 0x4141_4141),
+            (0xE78F_2D13, 0x7443_41D8)
+        );
+    }
+
+    #[test]
+    fn kat_zero_key() {
+        let c = Xtea::new(&Key128::ZERO);
+        assert_eq!(c.encrypt_words(0, 0), (0xDEE9_D4D8, 0xF713_1ED9));
+        assert_eq!(
+            c.encrypt_words(0x4141_4141, 0x4141_4141),
+            (0xED23_375A, 0x821A_8C2D)
+        );
+    }
+
+    #[test]
+    fn inverse_property() {
+        check_inverse(&Xtea::new(&Key128::from_bytes([0x5B; 16])));
+    }
+
+    #[test]
+    fn byte_interface_roundtrip() {
+        let c = Xtea::new(&seq_key());
+        let mut block = *b"ABCDEFGH";
+        c.encrypt_block(&mut block);
+        assert_eq!(block, [0x49, 0x7D, 0xF3, 0xD0, 0x72, 0x61, 0x2C, 0xB5]);
+        c.decrypt_block(&mut block);
+        assert_eq!(&block, b"ABCDEFGH");
+    }
+
+    #[test]
+    fn works_in_ctr_and_cbcmac() {
+        use crate::cbcmac::CbcMac;
+        use crate::ctr::Ctr;
+        let ctr = Ctr::new(Xtea::new(&seq_key()));
+        let msg = b"xtea in counter mode";
+        assert_eq!(ctr.decrypt(7 << 10, &ctr.encrypt(7 << 10, msg)), msg);
+        let mac = CbcMac::new(Xtea::new(&seq_key()));
+        let tag = mac.tag(msg);
+        assert!(mac.verify(msg, &tag));
+        assert!(!mac.verify(b"xtea in counter modf", &tag));
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests over the crypto toolkit's core invariants.
+
+use proptest::prelude::*;
+use wsn_crypto::aes::Aes128;
+use wsn_crypto::authenc::{AuthEnc, AuthEncAead};
+use wsn_crypto::cbcmac::CbcMac;
+use wsn_crypto::ctr::Ctr;
+use wsn_crypto::drbg::HmacDrbg;
+use wsn_crypto::hmac::HmacSha256;
+use wsn_crypto::keychain::{ChainVerifier, KeyChain};
+use wsn_crypto::prf::Prf;
+use wsn_crypto::rc5::Rc5;
+use wsn_crypto::sha256::Sha256;
+use wsn_crypto::speck::{Speck128_128, Speck64_128};
+use wsn_crypto::xtea::Xtea;
+use wsn_crypto::{BlockCipher, Key128};
+
+fn key_strategy() -> impl Strategy<Value = Key128> {
+    any::<[u8; 16]>().prop_map(Key128::from_bytes)
+}
+
+proptest! {
+    #[test]
+    fn rc5_block_roundtrip(key in key_strategy(), block in any::<[u8; 8]>()) {
+        let c = Rc5::new(&key);
+        let mut b = block;
+        c.encrypt_block(&mut b);
+        c.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn speck64_block_roundtrip(key in key_strategy(), block in any::<[u8; 8]>()) {
+        let c = Speck64_128::new(&key);
+        let mut b = block;
+        c.encrypt_block(&mut b);
+        c.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn speck128_block_roundtrip(key in key_strategy(), block in any::<[u8; 16]>()) {
+        let c = Speck128_128::new(&key);
+        let mut b = block;
+        c.encrypt_block(&mut b);
+        c.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn xtea_block_roundtrip(key in key_strategy(), block in any::<[u8; 8]>()) {
+        let c = Xtea::new(&key);
+        let mut b = block;
+        c.encrypt_block(&mut b);
+        c.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn aes_block_roundtrip(key in key_strategy(), block in any::<[u8; 16]>()) {
+        let c = Aes128::new(&key);
+        let mut b = block;
+        c.encrypt_block(&mut b);
+        c.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn ctr_roundtrip_any_length(
+        key in key_strategy(),
+        nonce in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let ctr = Ctr::new(Rc5::new(&key));
+        prop_assert_eq!(ctr.decrypt(nonce, &ctr.encrypt(nonce, &msg)), msg);
+    }
+
+    #[test]
+    fn authenc_roundtrip(
+        ke in key_strategy(),
+        km in key_strategy(),
+        nonce in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        prop_assume!(ke != km);
+        let ae = AuthEnc::new(ke, km);
+        let sealed = ae.seal(nonce, &msg);
+        prop_assert_eq!(ae.open(nonce, &sealed).unwrap(), msg);
+    }
+
+    #[test]
+    fn authenc_rejects_bitflips(
+        ke in key_strategy(),
+        km in key_strategy(),
+        msg in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_byte in any::<proptest::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let ae = AuthEnc::new(ke, km);
+        let mut sealed = ae.seal(0, &msg);
+        let idx = flip_byte.index(sealed.len());
+        sealed[idx] ^= 1 << flip_bit;
+        prop_assert!(ae.open(0, &sealed).is_err());
+    }
+
+    #[test]
+    fn authenc_generic_speck_roundtrip(
+        ke in key_strategy(),
+        km in key_strategy(),
+        nonce in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let ae = AuthEncAead::from_ciphers(
+            Speck128_128::new(&ke),
+            Speck128_128::new(&km),
+            12,
+        );
+        let sealed = ae.seal(nonce, &msg);
+        prop_assert_eq!(ae.open(nonce, &sealed).unwrap(), msg);
+    }
+
+    #[test]
+    fn cbcmac_no_collisions_on_mutation(
+        key in key_strategy(),
+        msg in proptest::collection::vec(any::<u8>(), 1..96),
+        flip_byte in any::<proptest::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mac = CbcMac::new(Rc5::new(&key));
+        let tag = mac.tag(&msg);
+        let mut mutated = msg.clone();
+        let idx = flip_byte.index(mutated.len());
+        mutated[idx] ^= 1 << flip_bit;
+        prop_assert_ne!(mac.tag(&mutated), tag);
+    }
+
+    #[test]
+    fn cbcmac_prefix_distinct(
+        key in key_strategy(),
+        msg in proptest::collection::vec(any::<u8>(), 2..96),
+    ) {
+        // A message and any strict prefix must have different tags (length
+        // prepend at work).
+        let mac = CbcMac::new(Rc5::new(&key));
+        prop_assert_ne!(mac.tag(&msg), mac.tag(&msg[..msg.len() - 1]));
+    }
+
+    #[test]
+    fn sha256_chunking_invariance(
+        msg in proptest::collection::vec(any::<u8>(), 0..512),
+        split in any::<proptest::sample::Index>(),
+    ) {
+        let oneshot = Sha256::digest(&msg);
+        let cut = split.index(msg.len() + 1);
+        let mut h = Sha256::new();
+        h.update(&msg[..cut]);
+        h.update(&msg[cut..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn hmac_key_and_message_sensitivity(
+        k1 in proptest::collection::vec(any::<u8>(), 1..80),
+        m1 in proptest::collection::vec(any::<u8>(), 0..80),
+        m2 in proptest::collection::vec(any::<u8>(), 0..80),
+    ) {
+        prop_assume!(m1 != m2);
+        prop_assert_ne!(HmacSha256::mac(&k1, &m1), HmacSha256::mac(&k1, &m2));
+    }
+
+    #[test]
+    fn prf_injective_in_practice(key in key_strategy(), a in any::<u32>(), b in any::<u32>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Prf::cluster_key(&key, a), Prf::cluster_key(&key, b));
+    }
+
+    #[test]
+    fn keychain_out_of_order_acceptance(
+        seed in key_strategy(),
+        skip in 1usize..6,
+    ) {
+        let mut chain = KeyChain::generate(&seed, 8);
+        let mut verifier = ChainVerifier::new(chain.commitment());
+        // Skip `skip - 1` links, accept the next with a window >= skip.
+        let mut link = Key128::ZERO;
+        for _ in 0..skip {
+            link = chain.reveal_next().unwrap();
+        }
+        prop_assert!(verifier.accept(&link, skip).is_ok());
+        // And the link after that verifies with window 1.
+        let next = chain.reveal_next().unwrap();
+        prop_assert!(verifier.accept(&next, 1).is_ok());
+    }
+
+    #[test]
+    fn drbg_reproducible(seed in any::<u64>(), n in 1usize..20) {
+        let mut a = HmacDrbg::from_u64(seed);
+        let mut b = HmacDrbg::from_u64(seed);
+        for _ in 0..n {
+            prop_assert_eq!(a.next_key(), b.next_key());
+        }
+    }
+}

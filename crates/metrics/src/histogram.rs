@@ -1,0 +1,138 @@
+//! Integer-bucket histograms (e.g. Figure 1: fraction of clusters of each
+//! size).
+
+use serde::Serialize;
+
+/// A histogram over small non-negative integer values.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn add(&mut self, value: usize) {
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Builds from an iterator of observations.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(values: impl IntoIterator<Item = usize>) -> Self {
+        let mut h = Histogram::new();
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Count in bucket `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Fraction of observations equal to `value` (0 if empty).
+    pub fn fraction(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest value with a non-zero count (None if empty).
+    pub fn max_value(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// Mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Iterates `(value, count)` for all non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            if v >= self.counts.len() {
+                self.counts.resize(v + 1, 0);
+            }
+            self.counts[v] += c;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let h = Histogram::from_iter([1, 1, 2, 3, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.count(9), 0);
+        assert!((h.fraction(1) - 0.6).abs() < 1e-12);
+        assert_eq!(h.max_value(), Some(3));
+        assert!((h.mean() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction(0), 0.0);
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = Histogram::from_iter([0, 1, 1]);
+        let b = Histogram::from_iter([1, 5]);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.count(1), 3);
+        assert_eq!(a.count(5), 1);
+        assert_eq!(a.max_value(), Some(5));
+    }
+
+    #[test]
+    fn iter_skips_empty_buckets() {
+        let h = Histogram::from_iter([0, 4]);
+        let buckets: Vec<(usize, u64)> = h.iter().collect();
+        assert_eq!(buckets, vec![(0, 1), (4, 1)]);
+    }
+}

@@ -1,0 +1,19 @@
+//! # wsn-metrics
+//!
+//! Measurement plumbing for the reproduction: summary statistics,
+//! histograms, x/y series and table emitters (markdown + CSV). The figure
+//! harness in `wsn-bench` uses these to print the same rows/series the
+//! paper's Figures 1 and 6–9 report and to persist CSVs for plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use series::Series;
+pub use summary::Summary;
+pub use table::Table;

@@ -1,0 +1,129 @@
+//! X/Y data series with error bars — the shape of Figures 6–9 (metric vs
+//! network density).
+
+use crate::summary::Summary;
+use serde::Serialize;
+
+/// One point of a series: an x value and the distribution of measurements
+/// observed there.
+#[derive(Clone, Debug, Serialize)]
+pub struct SeriesPoint {
+    /// Independent variable (e.g. density).
+    pub x: f64,
+    /// Mean of the measured values.
+    pub mean: f64,
+    /// 95% confidence half-width.
+    pub ci95: f64,
+    /// Number of trials.
+    pub n: u64,
+}
+
+/// A named x/y series aggregated over trials.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Series {
+    /// Series name (figure legend label).
+    pub name: String,
+    points: Vec<(f64, Summary)>,
+}
+
+impl Series {
+    /// Creates an empty named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Records one measurement `y` at position `x` (creates the x bucket on
+    /// first sight; x values compare bitwise).
+    pub fn record(&mut self, x: f64, y: f64) {
+        match self.points.iter_mut().find(|(px, _)| *px == x) {
+            Some((_, s)) => s.add(y),
+            None => {
+                let mut s = Summary::new();
+                s.add(y);
+                self.points.push((x, s));
+            }
+        }
+    }
+
+    /// The aggregated points, sorted by x.
+    pub fn points(&self) -> Vec<SeriesPoint> {
+        let mut pts: Vec<SeriesPoint> = self
+            .points
+            .iter()
+            .map(|(x, s)| SeriesPoint {
+                x: *x,
+                mean: s.mean(),
+                ci95: s.ci95(),
+                n: s.count(),
+            })
+            .collect();
+        pts.sort_by(|a, b| a.x.total_cmp(&b.x));
+        pts
+    }
+
+    /// Mean at a given x, if recorded.
+    pub fn mean_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| *px == x)
+            .map(|(_, s)| s.mean())
+    }
+
+    /// Renders as CSV (`x,mean,ci95,n` with a header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,mean,ci95,n\n");
+        for p in self.points() {
+            out.push_str(&format!("{},{},{},{}\n", p.x, p.mean, p.ci95, p.n));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_aggregate() {
+        let mut s = Series::new("keys-per-node");
+        s.record(8.0, 2.0);
+        s.record(8.0, 4.0);
+        s.record(20.0, 5.0);
+        let pts = s.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].x, 8.0);
+        assert!((pts[0].mean - 3.0).abs() < 1e-12);
+        assert_eq!(pts[0].n, 2);
+        assert_eq!(pts[1].x, 20.0);
+    }
+
+    #[test]
+    fn points_sorted_by_x() {
+        let mut s = Series::new("t");
+        s.record(20.0, 1.0);
+        s.record(8.0, 1.0);
+        s.record(12.5, 1.0);
+        let xs: Vec<f64> = s.points().iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![8.0, 12.5, 20.0]);
+    }
+
+    #[test]
+    fn mean_at_lookup() {
+        let mut s = Series::new("t");
+        s.record(1.0, 10.0);
+        assert_eq!(s.mean_at(1.0), Some(10.0));
+        assert_eq!(s.mean_at(2.0), None);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut s = Series::new("t");
+        s.record(1.0, 2.0);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("x,mean,ci95,n\n"));
+        assert!(csv.contains("1,2,0,1"));
+    }
+}

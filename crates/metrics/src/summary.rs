@@ -1,0 +1,179 @@
+//! Streaming summary statistics (Welford's algorithm).
+
+use serde::Serialize;
+
+/// Mean / standard deviation / extrema of a stream of observations,
+/// computed in one pass with Welford's numerically stable update.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Builds a summary from an iterator.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = Summary::new();
+        for v in values {
+            s.add(v);
+        }
+        s
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n-1 denominator; 0 with fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of an ~95% confidence interval on the mean
+    /// (normal approximation).
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+
+    /// Smallest observation (NaN-free input assumed; ∞ if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another summary into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = Summary::from_iter([1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!((s.variance() - 2.5).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e = Summary::new();
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.std_dev(), 0.0);
+        let one = Summary::from_iter([7.0]);
+        assert_eq!(one.mean(), 7.0);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.ci95(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let full = Summary::from_iter(xs.iter().copied());
+        let mut a = Summary::from_iter(xs[..37].iter().copied());
+        let b = Summary::from_iter(xs[37..].iter().copied());
+        a.merge(&b);
+        assert_eq!(a.count(), full.count());
+        assert!((a.mean() - full.mean()).abs() < 1e-9);
+        assert!((a.variance() - full.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), full.min());
+        assert_eq!(a.max(), full.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Summary::from_iter([1.0, 2.0]);
+        let before = a.clone();
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), before.count());
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let few = Summary::from_iter((0..10).map(|i| i as f64));
+        let many = Summary::from_iter((0..1000).map(|i| (i % 10) as f64));
+        assert!(many.ci95() < few.ci95());
+    }
+}

@@ -1,0 +1,233 @@
+//! 2D geometry and a uniform spatial grid for neighbor queries.
+//!
+//! Building the adjacency of a 20 000-node deployment by all-pairs distance
+//! checks is O(n²) and dominates experiment time; the grid makes it
+//! O(n · neighbors) — this is what lets the scalability sweep of Section V
+//! ("2000 or 20000 nodes") run in seconds.
+
+/// A point in the deployment plane, in meters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Constructs a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Squared distance on a torus of side `side` (wrap-around deployment,
+    /// used to eliminate border effects when exact density control is
+    /// needed).
+    #[inline]
+    pub fn dist2_torus(&self, other: &Point, side: f64) -> f64 {
+        let mut dx = (self.x - other.x).abs();
+        let mut dy = (self.y - other.y).abs();
+        if dx > side / 2.0 {
+            dx = side - dx;
+        }
+        if dy > side / 2.0 {
+            dy = side - dy;
+        }
+        dx * dx + dy * dy
+    }
+}
+
+/// A uniform grid over `[0, side]²` with cells of at least `radius`,
+/// supporting "all points within `radius`" queries in O(1) cells.
+pub struct SpatialGrid {
+    cells: Vec<Vec<u32>>,
+    cols: usize,
+    cell: f64,
+    side: f64,
+}
+
+impl SpatialGrid {
+    /// Builds a grid over `points` (indices into the slice are the IDs
+    /// returned by queries).
+    pub fn build(points: &[Point], side: f64, radius: f64) -> Self {
+        assert!(radius > 0.0 && side > 0.0);
+        // Cell edge >= radius so a query only inspects the 3x3 block.
+        let cols = ((side / radius).floor() as usize).max(1);
+        let cell = side / cols as f64;
+        let mut cells = vec![Vec::new(); cols * cols];
+        for (i, p) in points.iter().enumerate() {
+            let (cx, cy) = Self::cell_of(p, cell, cols);
+            cells[cy * cols + cx].push(i as u32);
+        }
+        SpatialGrid {
+            cells,
+            cols,
+            cell,
+            side,
+        }
+    }
+
+    fn cell_of(p: &Point, cell: f64, cols: usize) -> (usize, usize) {
+        let cx = ((p.x / cell) as usize).min(cols - 1);
+        let cy = ((p.y / cell) as usize).min(cols - 1);
+        (cx, cy)
+    }
+
+    /// Calls `visit` with every point index within `radius` of `p`
+    /// (excluding `exclude`, typically the querying point itself).
+    /// `wrap` enables torus distances.
+    pub fn for_each_within(
+        &self,
+        points: &[Point],
+        p: &Point,
+        radius: f64,
+        exclude: Option<u32>,
+        wrap: bool,
+        mut visit: impl FnMut(u32),
+    ) {
+        let r2 = radius * radius;
+        let (cx, cy) = Self::cell_of(p, self.cell, self.cols);
+        let cols = self.cols as isize;
+        // With wrap and fewer than 3 columns, distinct (dx, dy) offsets can
+        // land on the same cell; dedupe so no point is visited twice.
+        let mut seen_cells = [usize::MAX; 9];
+        let mut seen_len = 0usize;
+        for dy in -1isize..=1 {
+            for dx in -1isize..=1 {
+                let (gx, gy) = if wrap {
+                    (
+                        (cx as isize + dx).rem_euclid(cols) as usize,
+                        (cy as isize + dy).rem_euclid(cols) as usize,
+                    )
+                } else {
+                    let gx = cx as isize + dx;
+                    let gy = cy as isize + dy;
+                    if gx < 0 || gy < 0 || gx >= cols || gy >= cols {
+                        continue;
+                    }
+                    (gx as usize, gy as usize)
+                };
+                let cell_index = gy * self.cols + gx;
+                if seen_cells[..seen_len].contains(&cell_index) {
+                    continue;
+                }
+                seen_cells[seen_len] = cell_index;
+                seen_len += 1;
+                for &idx in &self.cells[cell_index] {
+                    if Some(idx) == exclude {
+                        continue;
+                    }
+                    let q = &points[idx as usize];
+                    let d2 = if wrap {
+                        p.dist2_torus(q, self.side)
+                    } else {
+                        p.dist2(q)
+                    };
+                    if d2 <= r2 {
+                        visit(idx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist2(&b), 25.0);
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let a = Point::new(0.5, 0.5);
+        let b = Point::new(9.5, 9.5);
+        // On a 10x10 torus these are sqrt(2) apart, not ~12.7.
+        assert!((a.dist2_torus(&b, 10.0) - 2.0).abs() < 1e-9);
+        // Points in the middle are unaffected.
+        let c = Point::new(4.0, 4.0);
+        let d = Point::new(5.0, 5.0);
+        assert!((c.dist2_torus(&d, 10.0) - c.dist2(&d)).abs() < 1e-12);
+    }
+
+    fn brute_force(points: &[Point], p: &Point, r: f64, exclude: Option<u32>) -> Vec<u32> {
+        let mut out: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(i, q)| Some(*i as u32) != exclude && p.dist2(q) <= r * r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn grid_matches_brute_force() {
+        // Deterministic pseudo-random points via a tiny LCG.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let side = 100.0;
+        let points: Vec<Point> = (0..500)
+            .map(|_| Point::new(next() * side, next() * side))
+            .collect();
+        let grid = SpatialGrid::build(&points, side, 7.5);
+        for probe in [0usize, 13, 77, 499] {
+            let mut got = Vec::new();
+            grid.for_each_within(&points, &points[probe], 7.5, Some(probe as u32), false, |i| {
+                got.push(i)
+            });
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&points, &points[probe], 7.5, Some(probe as u32)));
+        }
+    }
+
+    #[test]
+    fn grid_edge_points() {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(99.999, 99.999),
+            Point::new(0.0, 99.999),
+        ];
+        let grid = SpatialGrid::build(&points, 100.0, 5.0);
+        let mut got = Vec::new();
+        grid.for_each_within(&points, &points[0], 5.0, Some(0), false, |i| got.push(i));
+        assert!(got.is_empty());
+        // With wrap, the far corner is adjacent.
+        let mut got = Vec::new();
+        grid.for_each_within(&points, &points[0], 5.0, Some(0), true, |i| got.push(i));
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn grid_radius_larger_than_side() {
+        let points = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let grid = SpatialGrid::build(&points, 3.0, 10.0);
+        let mut got = Vec::new();
+        grid.for_each_within(&points, &points[0], 10.0, Some(0), false, |i| got.push(i));
+        assert_eq!(got, vec![1]);
+    }
+}

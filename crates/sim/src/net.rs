@@ -1,0 +1,539 @@
+//! The simulator proper: wires topology, event queue, radio and apps
+//! together and keeps the books.
+
+use crate::energy::EnergyMeter;
+use crate::event::{EventKind, EventQueue, SimTime};
+use crate::node::{Action, App, Ctx, NodeId, TimerKey};
+use crate::radio::RadioConfig;
+use crate::topology::Topology;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Per-node and aggregate traffic counters — the raw material of Figures 8
+/// and 9 (messages per node during key setup) and the energy comparisons.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    /// Frames transmitted per node.
+    pub tx_msgs: Vec<u64>,
+    /// Frames received per node.
+    pub rx_msgs: Vec<u64>,
+    /// Bytes transmitted per node.
+    pub tx_bytes: Vec<u64>,
+    /// Bytes received per node.
+    pub rx_bytes: Vec<u64>,
+    /// Energy meters per node.
+    pub energy: Vec<EnergyMeter>,
+}
+
+impl Counters {
+    fn new(n: usize) -> Self {
+        Counters {
+            tx_msgs: vec![0; n],
+            rx_msgs: vec![0; n],
+            tx_bytes: vec![0; n],
+            rx_bytes: vec![0; n],
+            energy: vec![EnergyMeter::default(); n],
+        }
+    }
+
+    /// Total frames transmitted network-wide.
+    pub fn total_tx_msgs(&self) -> u64 {
+        self.tx_msgs.iter().sum()
+    }
+
+    /// Mean frames transmitted per node.
+    pub fn mean_tx_per_node(&self) -> f64 {
+        self.total_tx_msgs() as f64 / self.tx_msgs.len() as f64
+    }
+
+    /// Total radio energy, microjoules.
+    pub fn total_energy_uj(&self) -> f64 {
+        self.energy.iter().map(|e| e.total_uj()).sum()
+    }
+}
+
+/// A discrete-event simulation of one deployed network running app `A` on
+/// every node.
+pub struct Simulator<A: App> {
+    topo: Topology,
+    apps: Vec<A>,
+    queue: EventQueue,
+    now: SimTime,
+    radio: RadioConfig,
+    rng: StdRng,
+    counters: Counters,
+    /// Latest armed generation per (node, timer key); stale timer events
+    /// are dropped when popped.
+    timers: HashMap<(NodeId, TimerKey), u64>,
+    timer_gen: u64,
+    scratch_actions: Vec<Action>,
+    events_processed: u64,
+}
+
+impl<A: App> Simulator<A> {
+    /// Builds a simulator over `topo`, constructing each node's app with
+    /// `make_app`, using seed 0 for the simulation RNG and default radio.
+    pub fn new(topo: Topology, make_app: impl FnMut(NodeId) -> A) -> Self {
+        Self::with_config(topo, RadioConfig::default(), 0, make_app)
+    }
+
+    /// Full-control constructor.
+    pub fn with_config(
+        topo: Topology,
+        radio: RadioConfig,
+        seed: u64,
+        make_app: impl FnMut(NodeId) -> A,
+    ) -> Self {
+        Self::with_config_at(topo, radio, seed, 0, make_app)
+    }
+
+    /// [`Self::with_config`] starting the virtual clock at `start` instead
+    /// of 0. Used when a simulation is rebuilt mid-experiment (node
+    /// addition): keeping time monotonic preserves freshness-window and
+    /// refresh-boundary semantics across the rebuild.
+    pub fn with_config_at(
+        topo: Topology,
+        radio: RadioConfig,
+        seed: u64,
+        start: SimTime,
+        mut make_app: impl FnMut(NodeId) -> A,
+    ) -> Self {
+        let n = topo.n();
+        let apps: Vec<A> = (0..n as NodeId).map(&mut make_app).collect();
+        let mut queue = EventQueue::new();
+        for id in 0..n as NodeId {
+            queue.schedule(start, EventKind::Start(id));
+        }
+        Simulator {
+            topo,
+            apps,
+            queue,
+            now: start,
+            radio,
+            rng: StdRng::seed_from_u64(seed),
+            counters: Counters::new(n),
+            timers: HashMap::new(),
+            timer_gen: 0,
+            scratch_actions: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// The deployed topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Traffic counters so far.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// All node apps (indexable by `NodeId`).
+    pub fn apps(&self) -> &[A] {
+        &self.apps
+    }
+
+    /// Mutable access to one node's app (for post-phase reconfiguration,
+    /// e.g. the base station issuing a command between phases).
+    pub fn app_mut(&mut self, id: NodeId) -> &mut A {
+        &mut self.apps[id as usize]
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Injects a frame delivered to every node within radio range of
+    /// node position `origin`, `delay` µs from now, appearing to come from
+    /// `claimed_from`. This is the adversary's entry point (HELLO floods,
+    /// replays): the attacker is *not* a simulated node and pays no cost.
+    pub fn inject_broadcast_at(
+        &mut self,
+        origin: NodeId,
+        claimed_from: NodeId,
+        delay: SimTime,
+        payload: impl Into<Bytes>,
+    ) {
+        let payload: Bytes = payload.into();
+        let at = self.now + delay + self.radio.airtime_us(payload.len());
+        // Deliver to origin's neighborhood *and* origin itself: the
+        // adversary transmits from origin's position.
+        let mut targets: Vec<NodeId> = self.topo.neighbors(origin).to_vec();
+        targets.push(origin);
+        for to in targets {
+            self.queue.schedule(
+                at,
+                EventKind::Deliver {
+                    from: claimed_from,
+                    to,
+                    payload: payload.clone(),
+                },
+            );
+        }
+    }
+
+    /// Schedules a timer for `node` from outside the app hooks (used by
+    /// experiment drivers to kick off later phases).
+    pub fn schedule_timer(&mut self, node: NodeId, key: TimerKey, delay: SimTime) {
+        self.timer_gen += 1;
+        let gen = self.timer_gen;
+        self.timers.insert((node, key), gen);
+        self.queue
+            .schedule(self.now + delay, EventKind::Timer { node, key, gen });
+    }
+
+    /// Runs until the event queue drains. Returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs every event scheduled at or before `deadline`, then advances
+    /// the clock to `deadline` (pending later events stay queued).
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+        self.now
+    }
+
+    /// Processes one event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        self.now = ev.at;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Start(id) => {
+                self.dispatch(id, |app, ctx| app.on_start(ctx));
+            }
+            EventKind::Timer { node, key, gen } => {
+                if self.timers.get(&(node, key)) == Some(&gen) {
+                    self.timers.remove(&(node, key));
+                    self.dispatch(node, |app, ctx| app.on_timer(ctx, key));
+                }
+            }
+            EventKind::Deliver { from, to, payload } => {
+                // Per-receiver loss.
+                if self.radio.loss > 0.0 && self.rng.gen::<f64>() < self.radio.loss {
+                    return true;
+                }
+                let idx = to as usize;
+                self.counters.rx_msgs[idx] += 1;
+                self.counters.rx_bytes[idx] += payload.len() as u64;
+                self.counters.energy[idx].record_rx(payload.len(), &self.radio);
+                self.dispatch(to, |app, ctx| app.on_message(ctx, from, &payload));
+            }
+        }
+        true
+    }
+
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut A, &mut Ctx)) {
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        {
+            let mut ctx = Ctx {
+                id,
+                now: self.now,
+                rng: &mut self.rng,
+                actions: &mut actions,
+            };
+            f(&mut self.apps[id as usize], &mut ctx);
+        }
+        for action in actions.drain(..) {
+            self.apply(id, action);
+        }
+        self.scratch_actions = actions;
+    }
+
+    fn apply(&mut self, id: NodeId, action: Action) {
+        match action {
+            Action::Broadcast(payload) => {
+                self.charge_tx(id, payload.len());
+                let at = self.now + self.radio.airtime_us(payload.len());
+                for &to in self.topo.neighbors(id) {
+                    self.queue.schedule(
+                        at,
+                        EventKind::Deliver {
+                            from: id,
+                            to,
+                            payload: payload.clone(),
+                        },
+                    );
+                }
+            }
+            Action::Send(to, payload) => {
+                self.charge_tx(id, payload.len());
+                // Addressed frame: delivered only to `to`, and only if in
+                // range.
+                if self.topo.neighbors(id).binary_search(&to).is_ok() {
+                    let at = self.now + self.radio.airtime_us(payload.len());
+                    self.queue
+                        .schedule(at, EventKind::Deliver { from: id, to, payload });
+                }
+            }
+            Action::SetTimer(key, delay) => {
+                self.timer_gen += 1;
+                let gen = self.timer_gen;
+                self.timers.insert((id, key), gen);
+                self.queue
+                    .schedule(self.now + delay, EventKind::Timer { node: id, key, gen });
+            }
+            Action::CancelTimer(key) => {
+                self.timers.remove(&(id, key));
+            }
+        }
+    }
+
+    fn charge_tx(&mut self, id: NodeId, bytes: usize) {
+        let idx = id as usize;
+        self.counters.tx_msgs[idx] += 1;
+        self.counters.tx_bytes[idx] += bytes as u64;
+        self.counters.energy[idx].record_tx(bytes, &self.radio);
+    }
+
+    /// Consumes the simulator, returning the apps and counters (for
+    /// post-run analysis without borrow gymnastics).
+    pub fn into_parts(self) -> (Topology, Vec<A>, Counters) {
+        (self.topo, self.apps, self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    /// Counts receptions; node 0 broadcasts once at start.
+    struct Echo {
+        sent: bool,
+        heard: usize,
+    }
+
+    impl App for Echo {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            if ctx.id() == 0 {
+                ctx.broadcast(vec![1, 2, 3]);
+                self.sent = true;
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, payload: &[u8]) {
+            assert_eq!(payload, &[1, 2, 3]);
+            self.heard += 1;
+        }
+    }
+
+    fn small_topo(seed: u64) -> Topology {
+        Topology::random(&TopologyConfig::with_density(50, 10.0), seed)
+    }
+
+    #[test]
+    fn broadcast_reaches_exactly_neighbors() {
+        let topo = small_topo(1);
+        let deg0 = topo.degree(0);
+        let mut sim = Simulator::new(topo, |_| Echo { sent: false, heard: 0 });
+        sim.run();
+        let heard: usize = sim.apps().iter().map(|a| a.heard).sum();
+        assert_eq!(heard, deg0);
+        assert_eq!(sim.counters().total_tx_msgs(), 1);
+        assert_eq!(sim.counters().tx_msgs[0], 1);
+    }
+
+    #[test]
+    fn counters_track_bytes_and_energy() {
+        let topo = small_topo(2);
+        let mut sim = Simulator::new(topo, |_| Echo { sent: false, heard: 0 });
+        sim.run();
+        assert_eq!(sim.counters().tx_bytes[0], 3);
+        assert!(sim.counters().energy[0].tx_uj > 0.0);
+        let rx_total: u64 = sim.counters().rx_msgs.iter().sum();
+        assert_eq!(rx_total as usize, sim.topology().degree(0));
+    }
+
+    struct TimerApp {
+        fired: Vec<TimerKey>,
+    }
+    impl App for TimerApp {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(1, 100);
+            ctx.set_timer(2, 50);
+            ctx.set_timer(3, 75);
+            ctx.cancel_timer(3);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx, key: TimerKey) {
+            self.fired.push(key);
+        }
+    }
+
+    #[test]
+    fn run_until_advances_clock_and_preserves_later_events() {
+        let topo = small_topo(12);
+        let mut sim = Simulator::new(topo, |_| TimerApp { fired: vec![] });
+        // Timers at 50 and 100 exist (key 2 and key 1). Stop at 70.
+        sim.run_until(70);
+        assert_eq!(sim.now(), 70, "clock must advance to the deadline");
+        assert!(sim.apps().iter().all(|a| a.fired == vec![2]));
+        // The 100 µs timer is still pending and fires on resume.
+        sim.run();
+        assert!(sim.apps().iter().all(|a| a.fired == vec![2, 1]));
+        // A deadline in the past does not rewind the clock.
+        assert_eq!(sim.run_until(5), 100);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        let cfg = TopologyConfig {
+            n: 2,
+            side: 10.0,
+            radius: 1.0,
+            wrap: false,
+        };
+        let topo = Topology::from_positions(
+            cfg,
+            vec![
+                crate::geom::Point::new(1.0, 1.0),
+                crate::geom::Point::new(9.0, 9.0),
+            ],
+        );
+        let mut sim = Simulator::new(topo, |_| TimerApp { fired: vec![] });
+        sim.run();
+        assert_eq!(sim.apps()[0].fired, vec![2, 1]);
+        assert_eq!(sim.now(), 100);
+    }
+
+    struct RearmApp {
+        fired: usize,
+    }
+    impl App for RearmApp {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(7, 100);
+            // Re-arm the same key: only the second instance may fire.
+            ctx.set_timer(7, 200);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, key: TimerKey) {
+            assert_eq!(key, 7);
+            assert_eq!(ctx.now(), 200);
+            self.fired += 1;
+        }
+    }
+
+    #[test]
+    fn rearming_supersedes() {
+        let topo = small_topo(3);
+        let mut sim = Simulator::new(topo, |_| RearmApp { fired: 0 });
+        sim.run();
+        for app in sim.apps() {
+            assert_eq!(app.fired, 1);
+        }
+    }
+
+    #[test]
+    fn unicast_only_reaches_target_in_range() {
+        struct Uni {
+            heard: usize,
+        }
+        impl App for Uni {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                if ctx.id() == 0 {
+                    ctx.send(1, vec![9]); // in range
+                    ctx.send(2, vec![9]); // out of range: charged, not delivered
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, _p: &[u8]) {
+                self.heard += 1;
+            }
+        }
+        // Line topology: 0-1 adjacent; 0-2 not.
+        let cfg = TopologyConfig {
+            n: 3,
+            side: 100.0,
+            radius: 1.5,
+            wrap: false,
+        };
+        let topo = Topology::from_positions(
+            cfg,
+            vec![
+                crate::geom::Point::new(1.0, 1.0),
+                crate::geom::Point::new(2.0, 1.0),
+                crate::geom::Point::new(50.0, 50.0),
+            ],
+        );
+        let mut sim = Simulator::new(topo, |_| Uni { heard: 0 });
+        sim.run();
+        assert_eq!(sim.apps()[1].heard, 1);
+        assert_eq!(sim.apps()[2].heard, 0);
+        // Both sends were charged even though one was undeliverable.
+        assert_eq!(sim.counters().tx_msgs[0], 2);
+    }
+
+    #[test]
+    fn injected_broadcast_delivers_with_fake_sender() {
+        struct Sink {
+            from: Vec<NodeId>,
+        }
+        impl App for Sink {
+            fn on_message(&mut self, _ctx: &mut Ctx, from: NodeId, _p: &[u8]) {
+                self.from.push(from);
+            }
+        }
+        let topo = small_topo(4);
+        let victim_neighbors = topo.degree(5);
+        let mut sim = Simulator::new(topo, |_| Sink { from: vec![] });
+        sim.inject_broadcast_at(5, 0xDEAD, 10, vec![1]);
+        sim.run();
+        let heard: usize = sim.apps().iter().map(|a| a.from.len()).sum();
+        assert_eq!(heard, victim_neighbors + 1); // neighborhood + node 5 itself
+        assert!(sim
+            .apps()
+            .iter()
+            .flat_map(|a| a.from.iter())
+            .all(|&f| f == 0xDEAD));
+        // The attacker pays nothing.
+        assert_eq!(sim.counters().total_tx_msgs(), 0);
+    }
+
+    #[test]
+    fn lossy_radio_drops_frames() {
+        let topo = small_topo(6);
+        let deg0 = topo.degree(0);
+        assert!(deg0 >= 5, "need a reasonably connected node for this test");
+        let radio = RadioConfig::default().with_loss(0.99);
+        let mut sim =
+            Simulator::with_config(topo, radio, 42, |_| Echo { sent: false, heard: 0 });
+        sim.run();
+        let heard: usize = sim.apps().iter().map(|a| a.heard).sum();
+        assert!(heard < deg0, "99% loss should drop something");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let topo = small_topo(7);
+            let mut sim = Simulator::with_config(
+                topo,
+                RadioConfig::default().with_loss(0.3),
+                9,
+                |_| Echo { sent: false, heard: 0 },
+            );
+            sim.run();
+            (
+                sim.apps().iter().map(|a| a.heard).collect::<Vec<_>>(),
+                sim.events_processed(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,85 @@
+//! The radio model: timing, loss and energy parameters.
+//!
+//! A unit-disk broadcast medium: one transmission reaches every node within
+//! the communication radius. Defaults approximate the Mica-mote radios of
+//! the paper's era (TR1000-class, ~19.2 kbit/s), whose costs motivate the
+//! paper's "one transmission per broadcast" design goal.
+
+/// Radio timing, loss and energy parameters.
+#[derive(Clone, Debug)]
+pub struct RadioConfig {
+    /// Time to push one byte onto the air, microseconds (19.2 kbit/s ≈
+    /// 417 µs/byte).
+    pub byte_time_us: u64,
+    /// Fixed propagation + processing delay per hop, microseconds.
+    pub prop_delay_us: u64,
+    /// Independent per-receiver frame-loss probability in `[0, 1)`.
+    pub loss: f64,
+    /// Transmit energy, microjoules per byte.
+    pub tx_uj_per_byte: f64,
+    /// Receive energy, microjoules per byte.
+    pub rx_uj_per_byte: f64,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            byte_time_us: 417,
+            prop_delay_us: 10,
+            loss: 0.0,
+            // SPINS-era figures: transmission is the dominant cost, roughly
+            // tx ≈ 16 µJ/byte and rx ≈ 12 µJ/byte on the Mica platform.
+            tx_uj_per_byte: 16.25,
+            rx_uj_per_byte: 12.5,
+        }
+    }
+}
+
+impl RadioConfig {
+    /// A lossy variant of `self` (for failure-injection experiments).
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        self.loss = loss;
+        self
+    }
+
+    /// Airtime of a frame of `bytes` payload bytes, microseconds.
+    pub fn airtime_us(&self, bytes: usize) -> u64 {
+        self.prop_delay_us + self.byte_time_us * bytes as u64
+    }
+
+    /// Transmit energy of a frame, microjoules.
+    pub fn tx_energy_uj(&self, bytes: usize) -> f64 {
+        self.tx_uj_per_byte * bytes as f64
+    }
+
+    /// Receive energy of a frame, microjoules.
+    pub fn rx_energy_uj(&self, bytes: usize) -> f64 {
+        self.rx_uj_per_byte * bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn airtime_scales_with_size() {
+        let r = RadioConfig::default();
+        assert!(r.airtime_us(100) > r.airtime_us(10));
+        assert_eq!(r.airtime_us(0), r.prop_delay_us);
+    }
+
+    #[test]
+    fn energy_accounting() {
+        let r = RadioConfig::default();
+        assert!(r.tx_energy_uj(32) > r.rx_energy_uj(32));
+        assert_eq!(r.tx_energy_uj(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_loss_rejected() {
+        let _ = RadioConfig::default().with_loss(1.0);
+    }
+}

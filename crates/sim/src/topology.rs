@@ -1,0 +1,285 @@
+//! Random deployments with controlled density.
+//!
+//! The paper's evaluation parameter is the network **density**: the average
+//! number of neighbors per node. For `n` nodes uniform in an area `A` with
+//! communication radius `r`, the expected degree (away from borders) is
+//! `(n-1)·πr²/A`. [`TopologyConfig::with_density`] inverts that formula;
+//! deployments default to a torus (wrap-around) metric so the measured mean
+//! degree matches the requested density tightly — with borders enabled the
+//! measured density droops at the edges exactly as it would in a field
+//! deployment, and both modes are supported.
+
+use crate::geom::{Point, SpatialGrid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deployment parameters.
+#[derive(Clone, Debug)]
+pub struct TopologyConfig {
+    /// Number of sensor nodes.
+    pub n: usize,
+    /// Side of the square deployment area, meters.
+    pub side: f64,
+    /// Communication radius, meters.
+    pub radius: f64,
+    /// Use torus (wrap-around) distances, eliminating border effects.
+    pub wrap: bool,
+}
+
+impl TopologyConfig {
+    /// Configuration for `n` nodes at a target average density (mean number
+    /// of neighbors per node), deployed in a unit-side-scaled area.
+    ///
+    /// The deployment area is fixed at 1000 m × 1000 m and the radius is
+    /// solved from `density = (n-1)·πr²/A`.
+    pub fn with_density(n: usize, density: f64) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        assert!(density > 0.0);
+        let side = 1000.0;
+        let area = side * side;
+        let radius = (density * area / ((n as f64 - 1.0) * std::f64::consts::PI)).sqrt();
+        TopologyConfig {
+            n,
+            side,
+            radius,
+            wrap: true,
+        }
+    }
+
+    /// Disables torus wrap-around (border effects included).
+    pub fn with_borders(mut self) -> Self {
+        self.wrap = false;
+        self
+    }
+}
+
+/// An immutable deployed topology: node positions plus the symmetric
+/// adjacency induced by the unit-disk radio model.
+pub struct Topology {
+    config: TopologyConfig,
+    positions: Vec<Point>,
+    /// CSR-style adjacency: `neighbors[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl Topology {
+    /// Deploys `config.n` nodes uniformly at random (seeded) and computes
+    /// the adjacency.
+    pub fn random(config: &TopologyConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions: Vec<Point> = (0..config.n)
+            .map(|_| {
+                Point::new(
+                    rng.gen::<f64>() * config.side,
+                    rng.gen::<f64>() * config.side,
+                )
+            })
+            .collect();
+        Self::from_positions(config.clone(), positions)
+    }
+
+    /// Builds a topology from explicit positions (used by tests and by the
+    /// node-addition machinery, which drops new nodes into an existing
+    /// field).
+    pub fn from_positions(config: TopologyConfig, positions: Vec<Point>) -> Self {
+        assert_eq!(positions.len(), config.n, "n != positions.len()");
+        let grid = SpatialGrid::build(&positions, config.side, config.radius);
+        let mut offsets = Vec::with_capacity(config.n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0u32);
+        for (i, p) in positions.iter().enumerate() {
+            let mut local = Vec::new();
+            grid.for_each_within(
+                &positions,
+                p,
+                config.radius,
+                Some(i as u32),
+                config.wrap,
+                |j| local.push(j),
+            );
+            local.sort_unstable();
+            neighbors.extend_from_slice(&local);
+            offsets.push(neighbors.len() as u32);
+        }
+        Topology {
+            config,
+            positions,
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.config.n
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &TopologyConfig {
+        &self.config
+    }
+
+    /// Position of node `i`.
+    pub fn position(&self, i: u32) -> Point {
+        self.positions[i as usize]
+    }
+
+    /// Neighbor IDs of node `i` (sorted).
+    pub fn neighbors(&self, i: u32) -> &[u32] {
+        let a = self.offsets[i as usize] as usize;
+        let b = self.offsets[i as usize + 1] as usize;
+        &self.neighbors[a..b]
+    }
+
+    /// Degree of node `i`.
+    pub fn degree(&self, i: u32) -> usize {
+        self.neighbors(i).len()
+    }
+
+    /// Measured mean degree (the realized density).
+    pub fn mean_degree(&self) -> f64 {
+        self.neighbors.len() as f64 / self.config.n as f64
+    }
+
+    /// Whether the unit-disk graph is connected (BFS from node 0).
+    pub fn is_connected(&self) -> bool {
+        if self.config.n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.config.n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0u32);
+        let mut count = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == self.config.n
+    }
+
+    /// Hop distance from every node to `root` (BFS), `u32::MAX` if
+    /// unreachable. Used to build gradient routing toward the base station.
+    pub fn hop_distances(&self, root: u32) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.config.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[root as usize] = 0;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for &v in self.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_formula_realized() {
+        for &density in &[8.0, 12.5, 20.0] {
+            let topo = Topology::random(&TopologyConfig::with_density(2000, density), 1);
+            let measured = topo.mean_degree();
+            assert!(
+                (measured - density).abs() / density < 0.10,
+                "target {density}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn border_mode_reduces_density() {
+        let cfg = TopologyConfig::with_density(2000, 12.0);
+        let torus = Topology::random(&cfg, 3);
+        let bordered = Topology::random(&cfg.clone().with_borders(), 3);
+        assert!(bordered.mean_degree() < torus.mean_degree());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let topo = Topology::random(&TopologyConfig::with_density(500, 10.0), 7);
+        for i in 0..topo.n() as u32 {
+            for &j in topo.neighbors(i) {
+                assert!(
+                    topo.neighbors(j).binary_search(&i).is_ok(),
+                    "{j} missing reverse edge to {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let topo = Topology::random(&TopologyConfig::with_density(300, 15.0), 9);
+        for i in 0..topo.n() as u32 {
+            assert!(!topo.neighbors(i).contains(&i));
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = TopologyConfig::with_density(400, 9.0);
+        let a = Topology::random(&cfg, 5);
+        let b = Topology::random(&cfg, 5);
+        assert_eq!(a.neighbors.len(), b.neighbors.len());
+        for i in 0..a.n() as u32 {
+            assert_eq!(a.neighbors(i), b.neighbors(i));
+            assert_eq!(a.position(i), b.position(i));
+        }
+        let c = Topology::random(&cfg, 6);
+        assert_ne!(a.position(0), c.position(0));
+    }
+
+    #[test]
+    fn dense_network_connected() {
+        let topo = Topology::random(&TopologyConfig::with_density(1000, 20.0), 11);
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn hop_distances_bfs() {
+        // A line of 4 nodes spaced 1 apart, radius 1.2.
+        let cfg = TopologyConfig {
+            n: 4,
+            side: 10.0,
+            radius: 1.2,
+            wrap: false,
+        };
+        let pos = vec![
+            Point::new(1.0, 5.0),
+            Point::new(2.0, 5.0),
+            Point::new(3.0, 5.0),
+            Point::new(4.0, 5.0),
+        ];
+        let topo = Topology::from_positions(cfg, pos);
+        assert_eq!(topo.hop_distances(0), vec![0, 1, 2, 3]);
+        assert_eq!(topo.hop_distances(3), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn disconnected_pair() {
+        let cfg = TopologyConfig {
+            n: 2,
+            side: 100.0,
+            radius: 1.0,
+            wrap: false,
+        };
+        let pos = vec![Point::new(0.0, 0.0), Point::new(50.0, 50.0)];
+        let topo = Topology::from_positions(cfg, pos);
+        assert!(!topo.is_connected());
+        assert_eq!(topo.hop_distances(0)[1], u32::MAX);
+    }
+}

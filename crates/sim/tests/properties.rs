@@ -1,0 +1,135 @@
+//! Property-based tests over the simulator substrate.
+
+use proptest::prelude::*;
+use wsn_sim::event::{EventKind, EventQueue};
+use wsn_sim::geom::{Point, SpatialGrid};
+use wsn_sim::rng::derive_seed;
+use wsn_sim::topology::{Topology, TopologyConfig};
+
+fn points_strategy(side: f64) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0..side, 0.0..side), 2..120)
+        .prop_map(|ps| ps.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn grid_query_matches_brute_force(
+        points in points_strategy(50.0),
+        radius in 1.0f64..20.0,
+        probe in any::<proptest::sample::Index>(),
+        wrap in any::<bool>(),
+    ) {
+        let side = 50.0;
+        let grid = SpatialGrid::build(&points, side, radius);
+        let i = probe.index(points.len()) as u32;
+        let p = points[i as usize];
+        let mut got = Vec::new();
+        grid.for_each_within(&points, &p, radius, Some(i), wrap, |j| got.push(j));
+        got.sort_unstable();
+        let mut expected: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(j, q)| {
+                *j as u32 != i && {
+                    let d2 = if wrap { p.dist2_torus(q, side) } else { p.dist2(q) };
+                    d2 <= radius * radius
+                }
+            })
+            .map(|(j, _)| j as u32)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn topology_adjacency_invariants(
+        points in points_strategy(100.0),
+        radius in 2.0f64..30.0,
+        wrap in any::<bool>(),
+    ) {
+        let cfg = TopologyConfig {
+            n: points.len(),
+            side: 100.0,
+            radius,
+            wrap,
+        };
+        let topo = Topology::from_positions(cfg, points);
+        for u in 0..topo.n() as u32 {
+            let nbrs = topo.neighbors(u);
+            // Sorted, no self loops, symmetric.
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!nbrs.contains(&u));
+            for &v in nbrs {
+                prop_assert!(topo.neighbors(v).binary_search(&u).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn hop_distances_are_lipschitz(
+        n in 20usize..150,
+        density in 6.0f64..15.0,
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::random(&TopologyConfig::with_density(n, density), seed);
+        let dist = topo.hop_distances(0);
+        prop_assert_eq!(dist[0], 0);
+        for u in 0..topo.n() as u32 {
+            for &v in topo.neighbors(u) {
+                let (du, dv) = (dist[u as usize], dist[v as usize]);
+                if du != u32::MAX {
+                    // A neighbor can be at most one hop farther.
+                    prop_assert!(dv != u32::MAX && dv <= du + 1,
+                        "u={u} d={du}, neighbor v={v} d={dv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derive_seed_no_collisions_in_sample(master in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(derive_seed(master, a), derive_seed(master, b));
+    }
+
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in proptest::collection::vec(any::<u32>(), 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t as u64, EventKind::Start(i as u32));
+        }
+        let mut last_time = 0u64;
+        let mut last_seq_at_time: Option<u32> = None;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.at >= last_time);
+            let EventKind::Start(id) = ev.kind else { unreachable!() };
+            if ev.at == last_time {
+                if let Some(prev) = last_seq_at_time {
+                    prop_assert!(id > prev, "FIFO within equal timestamps");
+                }
+            } else {
+                last_time = ev.at;
+                last_seq_at_time = None;
+            }
+            if times[id as usize] as u64 == last_time {
+                last_seq_at_time = Some(id);
+            }
+        }
+    }
+
+    #[test]
+    fn measured_density_tracks_target(
+        n in 300usize..800,
+        density in 6.0f64..18.0,
+        seed in any::<u64>(),
+    ) {
+        let topo = Topology::random(&TopologyConfig::with_density(n, density), seed);
+        let measured = topo.mean_degree();
+        prop_assert!(
+            (measured - density).abs() / density < 0.25,
+            "target {density}, measured {measured}"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! The scheme-comparison table, asserted: the qualitative orderings the
+//! paper's Sections II–III claim must hold on a concrete topology.
+
+use wsn_baselines::global_key::GlobalKey;
+use wsn_baselines::leap::Leap;
+use wsn_baselines::ours::OursAdapter;
+use wsn_baselines::pairwise::FullPairwise;
+use wsn_baselines::random_predist::EgScheme;
+use wsn_baselines::evaluate;
+use wsn_core::prelude::*;
+
+struct Bench {
+    ours: OursAdapter,
+    outcome: SetupOutcome,
+}
+
+fn bench(seed: u64) -> Bench {
+    let outcome = run_setup(&SetupParams {
+        n: 500,
+        density: 12.0,
+        seed,
+        cfg: ProtocolConfig::default(),
+    });
+    Bench {
+        ours: OursAdapter::from_handle(&outcome.handle),
+        outcome,
+    }
+}
+
+#[test]
+fn storage_ordering_matches_the_paper() {
+    let b = bench(1);
+    let topo = b.outcome.handle.sim().topology();
+    let eg = EgScheme::new(10_000, 75, 1);
+    let rows = [
+        evaluate(&GlobalKey, topo, 0),
+        evaluate(&b.ours, topo, 0),
+        evaluate(&Leap, topo, 0),
+        evaluate(&eg, topo, 0),
+        evaluate(&FullPairwise, topo, 0),
+    ];
+    // global (1) < ours (handful) < LEAP (2d+1) < EG ring (75) < pairwise (n-1).
+    for w in rows.windows(2) {
+        assert!(
+            w[0].mean_keys < w[1].mean_keys,
+            "{} ({}) must store fewer keys than {} ({})",
+            w[0].name,
+            w[0].mean_keys,
+            w[1].name,
+            w[1].mean_keys
+        );
+    }
+    // And ours is a small constant.
+    assert!(rows[1].mean_keys < 8.0);
+}
+
+#[test]
+fn broadcast_cost_ordering() {
+    let b = bench(2);
+    let topo = b.outcome.handle.sim().topology();
+    let eg = EgScheme::new(10_000, 75, 2);
+    let ours = evaluate(&b.ours, topo, 0);
+    let leap = evaluate(&Leap, topo, 0);
+    let eg_row = evaluate(&eg, topo, 0);
+    let pw = evaluate(&FullPairwise, topo, 0);
+    assert_eq!(ours.mean_broadcast_tx, 1.0, "one transmission per broadcast");
+    assert_eq!(leap.mean_broadcast_tx, 1.0);
+    assert!(
+        eg_row.mean_broadcast_tx > 1.5,
+        "random predistribution broadcasts cost several transmissions: {}",
+        eg_row.mean_broadcast_tx
+    );
+    assert!(pw.mean_broadcast_tx > eg_row.mean_broadcast_tx);
+}
+
+#[test]
+fn setup_cost_ours_far_below_leap() {
+    let b = bench(3);
+    let topo = b.outcome.handle.sim().topology();
+    let ours = evaluate(&b.ours, topo, 0);
+    let leap = evaluate(&Leap, topo, 0);
+    assert!(ours.setup_msgs < 1.5, "ours ≈ 1.1: {}", ours.setup_msgs);
+    assert!(
+        leap.setup_msgs > 10.0 * ours.setup_msgs,
+        "LEAP bootstrap must be an order of magnitude costlier: {} vs {}",
+        leap.setup_msgs,
+        ours.setup_msgs
+    );
+}
+
+#[test]
+fn resilience_after_one_capture() {
+    let b = bench(4);
+    let topo = b.outcome.handle.sim().topology();
+    let eg = EgScheme::new(10_000, 75, 4);
+    let global = evaluate(&GlobalKey, topo, 1);
+    let ours = evaluate(&b.ours, topo, 1);
+    let pw = evaluate(&FullPairwise, topo, 1);
+    assert_eq!(global.readable_after_capture, 1.0, "global key: total loss");
+    assert!(
+        ours.readable_after_capture < 0.15,
+        "ours: localized: {}",
+        ours.readable_after_capture
+    );
+    assert!(pw.readable_after_capture < ours.readable_after_capture);
+    let eg1 = evaluate(&eg, topo, 1);
+    assert!(eg1.readable_after_capture < 0.1, "EG resists 1 capture");
+}
+
+#[test]
+fn resilience_crossover_eg_degrades_ours_stays_local() {
+    // The paper's core security argument: random predistribution leaks
+    // *globally* as captures accumulate (every captured ring exposes links
+    // anywhere in the network), while our damage stays proportional to the
+    // captured neighborhoods.
+    let b = bench(5);
+    let topo = b.outcome.handle.sim().topology();
+    // A small pool makes EG degrade within a handful of captures.
+    let eg = EgScheme::new(500, 60, 5);
+    let k = 12;
+    let eg_row = evaluate(&eg, topo, k);
+    let ours_row = evaluate(&b.ours, topo, k);
+    assert!(
+        eg_row.readable_after_capture > ours_row.readable_after_capture,
+        "at {k} captures EG ({}) must leak more than ours ({})",
+        eg_row.readable_after_capture,
+        ours_row.readable_after_capture
+    );
+}

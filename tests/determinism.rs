@@ -1,0 +1,72 @@
+//! Reproducibility: a master seed fully determines every experiment.
+
+use wsn_core::prelude::*;
+use wsn_sim::parallel::run_trials_on;
+
+fn setup(seed: u64) -> SetupOutcome {
+    run_setup(&SetupParams {
+        n: 300,
+        density: 10.0,
+        seed,
+        cfg: ProtocolConfig::default(),
+    })
+}
+
+#[test]
+fn identical_seeds_identical_networks() {
+    let a = setup(42);
+    let b = setup(42);
+    assert_eq!(a.report.n_heads, b.report.n_heads);
+    assert_eq!(a.report.msgs_per_node, b.report.msgs_per_node);
+    assert_eq!(a.report.cluster_of, b.report.cluster_of);
+    assert_eq!(a.report.keys_per_node, b.report.keys_per_node);
+    assert_eq!(a.report.setup_time, b.report.setup_time);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = setup(1);
+    let b = setup(2);
+    assert_ne!(
+        a.report.cluster_of, b.report.cluster_of,
+        "different seeds should cluster differently"
+    );
+}
+
+#[test]
+fn full_steady_state_replay_is_identical() {
+    let run = |seed| {
+        let mut o = setup(seed);
+        o.handle.establish_gradient();
+        let src = o.handle.sensor_ids()[7];
+        o.handle.send_reading(src, b"x".to_vec(), true);
+        o.handle.refresh();
+        o.handle.send_reading(src, b"y".to_vec(), true);
+        (
+            o.handle.bs().received.clone(),
+            o.handle.total_tx(),
+            o.handle.sim().now(),
+        )
+    };
+    let (ra, ta, na) = run(9);
+    let (rb, tb, nb) = run(9);
+    assert_eq!(ra, rb);
+    assert_eq!(ta, tb);
+    assert_eq!(na, nb);
+}
+
+#[test]
+fn parallel_trial_results_independent_of_thread_count() {
+    let experiment = |_, seed: u64| {
+        let o = run_setup(&SetupParams {
+            n: 150,
+            density: 9.0,
+            seed,
+            cfg: ProtocolConfig::default(),
+        });
+        (o.report.n_heads, o.report.mean_keys_per_node.to_bits())
+    };
+    let seq = run_trials_on(5, 8, 1, experiment);
+    let par4 = run_trials_on(5, 8, 4, experiment);
+    assert_eq!(seq, par4);
+}

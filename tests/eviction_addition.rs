@@ -1,0 +1,226 @@
+//! Eviction of compromised nodes (§IV-D), key refresh (§IV-C), and
+//! addition of new nodes (§IV-E), exercised end-to-end.
+
+use wsn_core::config::RefreshMode;
+use wsn_core::node::Role;
+use wsn_core::prelude::*;
+
+fn setup(seed: u64) -> SetupOutcome {
+    run_setup(&SetupParams {
+        n: 300,
+        density: 14.0,
+        seed,
+        cfg: ProtocolConfig::default(),
+    })
+}
+
+#[test]
+fn eviction_revokes_cluster_and_neighbor_keys_network_wide() {
+    let mut o = setup(1);
+    o.handle.establish_gradient();
+
+    // Capture a sensor: the adversary gets its cluster + S keys.
+    let victim = o.handle.sensor_ids()[17];
+    let captured = o.handle.sensor(victim).extract_keys();
+    let (victim_cid, _) = captured.cluster.unwrap();
+    let mut revoked_cids: Vec<u32> = captured.neighbor_keys.iter().map(|(c, _)| *c).collect();
+    revoked_cids.push(victim_cid);
+
+    o.handle.evict_nodes(&[victim]);
+
+    // Every sensor must have deleted every revoked cluster key.
+    for id in o.handle.sensor_ids() {
+        let node = o.handle.sensor(id);
+        for cid in &revoked_cids {
+            assert!(
+                !node.neighbor_cids().contains(cid),
+                "node {id} still holds revoked cluster key {cid}"
+            );
+        }
+        if node.cid() == Some(victim_cid) || revoked_cids.contains(&node.cid().unwrap_or(u32::MAX))
+        {
+            unreachable!("revoked members should have cid == None");
+        }
+    }
+    // Members of revoked clusters are keyless and flagged.
+    let orphaned = o
+        .handle
+        .sensor_ids()
+        .into_iter()
+        .filter(|&id| o.handle.sensor(id).is_revoked())
+        .count();
+    assert!(orphaned >= 1, "at least the victim's cluster is orphaned");
+}
+
+#[test]
+fn base_station_refuses_evicted_node() {
+    let mut o = setup(2);
+    o.handle.establish_gradient();
+    let victim = o.handle.sensor_ids()[5];
+    o.handle.evict_nodes(&[victim]);
+    let before = o.handle.bs().received.len();
+    // The evicted node tries to report (its cluster key is gone, but even a
+    // clone with the old Ki must be refused at the BS).
+    o.handle.send_reading(victim, b"evil".to_vec(), true);
+    assert_eq!(o.handle.bs().received.len(), before);
+}
+
+#[test]
+fn network_keeps_working_for_unaffected_nodes_after_eviction() {
+    let mut o = setup(3);
+    o.handle.establish_gradient();
+    let ids = o.handle.sensor_ids();
+    let victim = ids[10];
+    o.handle.evict_nodes(&[victim]);
+    // Find a sensor that kept its cluster and its gradient.
+    let dist = o.handle.sim().topology().hop_distances(0);
+    let ok_sender = ids
+        .iter()
+        .copied()
+        .find(|&id| {
+            id != victim
+                && !o.handle.sensor(id).is_revoked()
+                && o.handle.sensor(id).cid().is_some()
+                && dist[id as usize] <= 2
+        })
+        .expect("some unaffected sensor near the BS");
+    let n = o.handle.send_reading(ok_sender, b"still fine".to_vec(), true);
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn hash_refresh_rolls_keys_and_keeps_delivering() {
+    let mut o = setup(4);
+    o.handle.establish_gradient();
+    let src = o.handle.sensor_ids()[8];
+    let key_before = o.handle.sensor(src).extract_keys().cluster.unwrap().1;
+
+    o.handle.refresh();
+
+    let node = o.handle.sensor(src);
+    assert_eq!(node.epoch(), 1);
+    let key_after = node.extract_keys().cluster.unwrap().1;
+    assert_ne!(key_before, key_after);
+
+    let n = o.handle.send_reading(src, b"post-refresh".to_vec(), true);
+    assert_eq!(n, 1);
+    assert_eq!(o.handle.bs().received[0].data, b"post-refresh");
+}
+
+#[test]
+fn recluster_refresh_keeps_delivering() {
+    let mut o = run_setup(&SetupParams {
+        n: 300,
+        density: 14.0,
+        seed: 5,
+        cfg: ProtocolConfig::default().with_refresh_mode(RefreshMode::Recluster),
+    });
+    o.handle.establish_gradient();
+    let src = o.handle.sensor_ids()[12];
+    let key_before = o.handle.sensor(src).extract_keys().cluster.unwrap().1;
+
+    o.handle.refresh();
+
+    let key_after = o.handle.sensor(src).extract_keys().cluster.unwrap().1;
+    assert_ne!(key_before, key_after, "recluster refresh must roll the key");
+
+    let n = o.handle.send_reading(src, b"post-recluster".to_vec(), true);
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn multiple_refresh_epochs_stack() {
+    let mut o = setup(6);
+    o.handle.establish_gradient();
+    for _ in 0..3 {
+        o.handle.refresh();
+    }
+    let src = o.handle.sensor_ids()[4];
+    assert_eq!(o.handle.sensor(src).epoch(), 3);
+    assert_eq!(o.handle.bs().epoch(), 3);
+    let n = o.handle.send_reading(src, b"epoch3".to_vec(), true);
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn new_nodes_join_and_become_operational() {
+    let mut o = setup(7);
+    o.handle.establish_gradient();
+
+    let new_ids = o.handle.add_nodes(10);
+    assert_eq!(new_ids.len(), 10);
+
+    let mut joined = 0;
+    for &id in &new_ids {
+        let node = o.handle.sensor(id);
+        if node.role() == Role::Member {
+            joined += 1;
+            assert!(node.cid().is_some());
+            assert!(node.keys_held() >= 1);
+            // KMC must be erased once joined.
+            assert!(
+                node.extract_keys().kmc.is_none(),
+                "joiner {id} kept KMC after joining"
+            );
+        }
+    }
+    // Random placement can strand a joiner with no neighbors; the vast
+    // majority must join.
+    assert!(joined >= 8, "only {joined}/10 joiners made it");
+
+    // A joined node's derived cluster key must match its adopted cluster's
+    // actual key (cross-check against the head).
+    let sample = new_ids
+        .iter()
+        .copied()
+        .find(|&id| o.handle.sensor(id).role() == Role::Member)
+        .unwrap();
+    let cid = o.handle.sensor(sample).cid().unwrap();
+    let derived = o.handle.sensor(sample).extract_keys().cluster.unwrap().1;
+    let real = o.handle.sensor(cid).extract_keys().cluster.unwrap().1;
+    assert_eq!(derived, real, "KMC-derived key diverges from cluster key");
+}
+
+#[test]
+fn joined_node_can_report_to_base_station() {
+    let mut o = setup(8);
+    o.handle.establish_gradient();
+    let new_ids = o.handle.add_nodes(5);
+    // Refresh the gradient so newcomers learn their hop counts.
+    o.handle.establish_gradient();
+    let joined = new_ids
+        .iter()
+        .copied()
+        .find(|&id| {
+            o.handle.sensor(id).role() == Role::Member
+                && o.handle.sensor(id).hops_to_bs() != u32::MAX
+        })
+        .expect("a joiner with gradient");
+    let n = o.handle.send_reading(joined, b"newcomer".to_vec(), true);
+    assert_eq!(n, 1);
+    let r = o.handle.bs().received.last().unwrap();
+    assert_eq!(r.src, joined);
+    assert_eq!(r.data, b"newcomer");
+}
+
+#[test]
+fn join_works_after_hash_refresh_epochs() {
+    // The epoch-aware join: keys have rolled twice; the joiner must derive
+    // current keys from KMC + epoch.
+    let mut o = setup(9);
+    o.handle.establish_gradient();
+    o.handle.refresh();
+    o.handle.refresh();
+    let new_ids = o.handle.add_nodes(4);
+    let joined = new_ids
+        .iter()
+        .copied()
+        .find(|&id| o.handle.sensor(id).role() == Role::Member)
+        .expect("someone joined");
+    let node = o.handle.sensor(joined);
+    assert_eq!(node.epoch(), 2, "joiner must sync to the network epoch");
+    let cid = node.cid().unwrap();
+    let derived = node.extract_keys().cluster.unwrap().1;
+    let real = o.handle.sensor(cid).extract_keys().cluster.unwrap().1;
+    assert_eq!(derived, real);
+}
