@@ -6,12 +6,12 @@
 //! claim: damage is confined to the victims' clusters and their immediate
 //! cluster neighborhoods.
 
+use bytes::Bytes;
 use std::collections::HashSet;
 use wsn_core::forward::wrap;
 use wsn_core::msg::{ClusterId, DataUnit, Inner};
 use wsn_core::node::CapturedKeys;
 use wsn_core::setup::NetworkHandle;
-use bytes::Bytes;
 
 /// What a capture experiment measured.
 #[derive(Clone, Debug)]
@@ -30,7 +30,10 @@ pub struct CaptureReport {
 
 /// Captures `nodes` and measures the blast radius.
 pub fn capture_nodes(handle: &NetworkHandle, nodes: &[u32]) -> CaptureReport {
-    let haul: Vec<CapturedKeys> = nodes.iter().map(|&id| handle.sensor(id).extract_keys()).collect();
+    let haul: Vec<CapturedKeys> = nodes
+        .iter()
+        .map(|&id| handle.sensor(id).extract_keys())
+        .collect();
     let mut cids: HashSet<ClusterId> = HashSet::new();
     for k in &haul {
         if let Some((cid, _)) = k.cluster {
@@ -98,7 +101,15 @@ pub fn inject_clone(handle: &mut NetworkHandle, victim: u32, at: u32) -> CloneOu
     let now = handle.sim().now();
     // sender_hops = MAX so every accepting neighbor forwards — acceptance
     // becomes observable in the forwarding stats.
-    let msg = wrap(&kc, cid, victim, 0xFEED_F00D, now, u32::MAX, &Inner::Data(unit));
+    let msg = wrap(
+        &kc,
+        cid,
+        victim,
+        0xFEED_F00D,
+        now,
+        u32::MAX,
+        &Inner::Data(unit),
+    );
 
     // Snapshot neighbor accept-evidence before.
     let topo_neighbors: Vec<u32> = handle
@@ -120,7 +131,9 @@ pub fn inject_clone(handle: &mut NetworkHandle, victim: u32, at: u32) -> CloneOu
         })
         .collect();
 
-    handle.sim_mut().inject_broadcast_at(at, victim, 1, msg.encode());
+    handle
+        .sim_mut()
+        .inject_broadcast_at(at, victim, 1, msg.encode());
     handle.sim_mut().run();
 
     let mut accepted = false;

@@ -7,12 +7,32 @@
 //! remain opaque without the source's node key `Ki`, which never leaves
 //! the source and the base station.
 
+use bytes::Bytes;
 use wsn_core::config::ProtocolConfig;
 use wsn_core::forward::{e2e_seal, unwrap, wrap};
 use wsn_core::msg::{DataUnit, Inner, Message};
 use wsn_core::node::CapturedKeys;
-use bytes::Bytes;
 use wsn_crypto::Key128;
+use wsn_trace::{FrameKind, TraceEvent, TraceRecord};
+
+/// What a global passive adversary tapes off the air from a recorded
+/// trace: every `Wrapped` frame any node transmitted, with the virtual
+/// time it was sent. Frames come back exactly as they crossed the air
+/// (the trace holds the transmitted bytes, refcounted, not a copy).
+pub fn harvest_wrapped(records: &[TraceRecord]) -> Vec<(u64, Bytes)> {
+    records
+        .iter()
+        .filter_map(|rec| {
+            let payload = match &rec.event {
+                TraceEvent::TxBroadcast { payload, .. } | TraceEvent::TxUnicast { payload, .. } => {
+                    payload
+                }
+                _ => return None,
+            };
+            (FrameKind::classify(payload) == FrameKind::Wrapped).then(|| (rec.at, payload.clone()))
+        })
+        .collect()
+}
 
 /// What an eavesdropper with some captured key material can extract from
 /// one recorded frame.
@@ -32,12 +52,7 @@ pub enum Extraction {
 
 /// Attempts to extract information from a recorded `Wrapped` frame using
 /// captured key material.
-pub fn extract(
-    frame: &[u8],
-    haul: &[CapturedKeys],
-    now: u64,
-    cfg: &ProtocolConfig,
-) -> Extraction {
+pub fn extract(frame: &[u8], haul: &[CapturedKeys], now: u64, cfg: &ProtocolConfig) -> Extraction {
     let Ok(Message::Wrapped { cid, nonce, sealed }) = Message::decode(frame) else {
         return Extraction::Nothing;
     };
@@ -140,6 +155,50 @@ mod tests {
             Extraction::MetadataOnly { src } => assert_eq!(src, victim.id),
             other => panic!("expected metadata-only, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn harvested_trace_exposes_exactly_what_keys_allow() {
+        // The eavesdropper's tape is the trace itself: run a traced
+        // network, pull every Wrapped frame off the air, and try to read
+        // each one.
+        let mut o = run_setup_traced(
+            &SetupParams {
+                n: 150,
+                density: 10.0,
+                seed: 11,
+                cfg: ProtocolConfig::default(),
+            },
+            wsn_trace::MemorySink::new(),
+        );
+        o.handle.establish_gradient();
+        let src = o.handle.sensor_ids()[9];
+        o.handle
+            .send_reading(src, b"fusion reading".to_vec(), false);
+        let records = o
+            .handle
+            .sim_mut()
+            .take_trace()
+            .expect("sink installed")
+            .drain();
+        let tape = harvest_wrapped(&records);
+        assert!(
+            !tape.is_empty(),
+            "steady-state traffic must appear on the tape"
+        );
+
+        let cfg = o.handle.cfg().clone();
+        // Without keys the whole tape is opaque.
+        assert!(tape
+            .iter()
+            .all(|(at, frame)| extract(frame, &[], *at, &cfg) == Extraction::Nothing));
+        // With the victim's own key material the reading leaks (fusion
+        // mode trades exactly this).
+        let haul = vec![o.handle.sensor(src).extract_keys()];
+        assert!(tape.iter().any(|(at, frame)| matches!(
+            extract(frame, &haul, *at, &cfg),
+            Extraction::Plaintext(ref body) if body == b"fusion reading"
+        )));
     }
 
     #[test]

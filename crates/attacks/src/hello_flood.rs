@@ -50,8 +50,13 @@ pub fn flood_setup_phase(
     let outcome = run_setup_with_attack(params, RadioConfig::default(), |sim| {
         for &site in sites {
             for k in 0..per_site {
-                let (nonce, sealed) =
-                    seal_setup(&attacker_key, ATTACKER_ID, k as u64, ATTACKER_ID, &attacker_key);
+                let (nonce, sealed) = seal_setup(
+                    &attacker_key,
+                    ATTACKER_ID,
+                    k as u64,
+                    ATTACKER_ID,
+                    &attacker_key,
+                );
                 let frame = Message::Hello { nonce, sealed }.encode();
                 // Spread the flood across the election window.
                 sim.inject_broadcast_at(site, ATTACKER_ID, 10 + k as u64 * 1000, frame);
@@ -83,7 +88,11 @@ pub fn flood_setup_phase(
 /// Floods refresh HELLOs using a *captured* cluster key (the §VI
 /// laptop-class-insider scenario) and reports how many nodes outside the
 /// captured cluster adopted the attacker's key.
-pub fn flood_refresh_phase(handle: &mut NetworkHandle, victim: u32, frames: usize) -> HelloFloodReport {
+pub fn flood_refresh_phase(
+    handle: &mut NetworkHandle,
+    victim: u32,
+    frames: usize,
+) -> HelloFloodReport {
     let keys = handle.sensor(victim).extract_keys();
     let Some((cid, kc)) = keys.cluster else {
         return HelloFloodReport {
@@ -155,8 +164,7 @@ mod tests {
 
     #[test]
     fn setup_flood_suborns_nobody() {
-        let (report, handle) =
-            flood_setup_phase(&params(1, RefreshMode::Hash), &[30, 90, 150], 20);
+        let (report, handle) = flood_setup_phase(&params(1, RefreshMode::Hash), &[30, 90, 150], 20);
         assert_eq!(report.injected, 60);
         assert_eq!(report.suborned, 0, "authenticated HELLOs defeat the flood");
         assert!(

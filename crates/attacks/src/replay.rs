@@ -24,7 +24,16 @@ pub fn recorded_frame(handle: &NetworkHandle, src: u32, tau: u64, body: &'static
         sealed: false,
         body: Bytes::from_static(body),
     };
-    wrap(&kc, cid, src, 0xBEEF_0000, tau, u32::MAX, &Inner::Data(unit)).encode()
+    wrap(
+        &kc,
+        cid,
+        src,
+        0xBEEF_0000,
+        tau,
+        u32::MAX,
+        &Inner::Data(unit),
+    )
+    .encode()
 }
 
 /// Replays `frame` into `at`'s neighborhood `copies` times and returns the
@@ -67,6 +76,41 @@ mod tests {
         // Ten replays: zero additional readings.
         let extra = replay_at(&mut handle, src, frame, 10);
         assert_eq!(extra, 0, "replays must not double-count readings");
+    }
+
+    #[test]
+    fn frames_taped_off_the_trace_replay_harmlessly() {
+        // The adversary does not reconstruct frames here: it replays the
+        // genuine bytes harvested from a recorded trace of the network.
+        let mut o = run_setup_traced(
+            &SetupParams {
+                n: 150,
+                density: 12.0,
+                seed: 5,
+                cfg: ProtocolConfig::default(),
+            },
+            wsn_trace::MemorySink::new(),
+        );
+        o.handle.establish_gradient();
+        let src = o.handle.sensor_ids()[20];
+        o.handle.send_reading(src, b"reading-Y".to_vec(), false);
+        let received = o.handle.bs().received.len();
+        let records = o
+            .handle
+            .sim_mut()
+            .take_trace()
+            .expect("sink installed")
+            .drain();
+        let tape = crate::eavesdrop::harvest_wrapped(&records);
+        assert!(!tape.is_empty());
+        // Replay every taped frame right back into the source's
+        // neighborhood: dedup caches and the BS counter absorb them all.
+        let mut handle = o.handle;
+        for (_, frame) in tape {
+            let extra = replay_at(&mut handle, src, frame, 2);
+            assert_eq!(extra, 0, "replayed tape must not add readings");
+        }
+        assert_eq!(handle.bs().received.len(), received);
     }
 
     #[test]
@@ -135,7 +179,9 @@ mod tests {
             &Inner::Data(unit),
         );
         // Inject right next to the BS so it definitely arrives.
-        handle.sim_mut().inject_broadcast_at(0, 0xDEAD, 1, msg.encode());
+        handle
+            .sim_mut()
+            .inject_broadcast_at(0, 0xDEAD, 1, msg.encode());
         handle.sim_mut().run();
         assert_eq!(handle.bs().received.len(), 1, "no double delivery");
         assert!(

@@ -35,10 +35,7 @@ pub struct RingConfig {
 impl RingConfig {
     /// The ring of node `id`: `ring` distinct pool-key IDs, sorted.
     pub fn ring_of(&self, id: u32) -> Vec<u32> {
-        assert!(
-            (self.ring as u32) <= self.pool,
-            "ring larger than the pool"
-        );
+        assert!((self.ring as u32) <= self.pool, "ring larger than the pool");
         let mut rng = StdRng::seed_from_u64(derive_seed(self.seed, id as u64));
         let mut picked = HashSet::with_capacity(self.ring);
         while picked.len() < self.ring {

@@ -60,7 +60,9 @@ fn mac_benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("mac");
     g.throughput(Throughput::Bytes(FRAME as u64));
     let cbc = CbcMac::new(Rc5::new(&key));
-    g.bench_function("cbcmac-rc5", |b| b.iter(|| black_box(cbc.tag(black_box(&data)))));
+    g.bench_function("cbcmac-rc5", |b| {
+        b.iter(|| black_box(cbc.tag(black_box(&data))))
+    });
     g.bench_function("hmac-sha256", |b| {
         b.iter(|| black_box(HmacSha256::mac(key.as_bytes(), black_box(&data))))
     });

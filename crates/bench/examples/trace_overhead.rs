@@ -1,0 +1,42 @@
+//! Measures the wall-clock cost of an installed `NullSink` on a full
+//! 2500-node density-10 setup run (the acceptance gate is <2%).
+
+use std::time::Instant;
+use wsn_core::prelude::*;
+use wsn_trace::NullSink;
+
+fn params(seed: u64) -> SetupParams {
+    SetupParams {
+        n: 2501,
+        density: 10.0,
+        seed,
+        cfg: ProtocolConfig::default(),
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let reps = 21;
+    let mut plain = Vec::new();
+    let mut nulled = Vec::new();
+    // Interleave to cancel thermal/allocator drift.
+    for rep in 0..reps {
+        let t = Instant::now();
+        let o = run_setup(&params(rep));
+        std::hint::black_box(o.report.n_heads);
+        plain.push(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let o = run_setup_traced(&params(rep), NullSink);
+        std::hint::black_box(o.report.n_heads);
+        nulled.push(t.elapsed().as_secs_f64());
+    }
+    let (p, n) = (median(plain), median(nulled));
+    println!("plain:    {p:.4}s");
+    println!("nullsink: {n:.4}s");
+    println!("overhead: {:+.2}%", (n / p - 1.0) * 100.0);
+}

@@ -75,7 +75,12 @@ pub fn election_rate_ablation(
 
 /// Renders the λ ablation as a table.
 pub fn election_rate_table(rows: &[ElectionRateRow]) -> Table {
-    let mut t = Table::new(&["λ (1/s)", "singleton fraction", "head fraction", "mean size"]);
+    let mut t = Table::new(&[
+        "λ (1/s)",
+        "singleton fraction",
+        "head fraction",
+        "mean size",
+    ]);
     for r in rows {
         t.row(&[
             format!("{}", r.lambda),
@@ -156,7 +161,10 @@ mod tests {
         );
         // Roughly 8 bytes per frame transmission (source + every forward).
         let delta = explicit - implicit;
-        assert!(delta >= 8 * 10, "at least 8B per originated reading: {delta}");
+        assert!(
+            delta >= 8 * 10,
+            "at least 8B per originated reading: {delta}"
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ use wsn_bench::figures::{
     fig7_cluster_size, fig8_head_fraction, fig9_setup_messages, scale_invariance, series_table,
 };
 use wsn_bench::security::{cost_table, hello_flood_table, resilience_sweep, ResilienceParams};
+use wsn_bench::MASTER_SEED;
 use wsn_metrics::{Series, Table};
+use wsn_trace::RunManifest;
 
 fn out_dir() -> PathBuf {
     let dir = PathBuf::from("target/figures");
@@ -27,18 +29,35 @@ fn out_dir() -> PathBuf {
     dir
 }
 
-fn emit_table(name: &str, table: &Table) {
+/// Writes the provenance sidecar for one emitted artifact: seed, trial
+/// count, version and a digest of the artifact's exact bytes, so any CSV
+/// in `target/figures/` can be reproduced (or disowned) later.
+fn emit_manifest(name: &str, artifact_bytes: &[u8], trials: usize) {
+    let manifest = RunManifest::new(name, env!("CARGO_PKG_VERSION"))
+        .seed(MASTER_SEED)
+        .trials(trials as u32)
+        .config("generator", "figures")
+        .digest_of(artifact_bytes);
+    let path = out_dir().join(format!("{name}.manifest.json"));
+    fs::write(&path, manifest.to_json()).expect("write manifest");
+}
+
+fn emit_table(name: &str, table: &Table, trials: usize) {
     println!("## {name}\n");
     println!("{}", table.to_markdown());
+    let csv = table.to_csv();
     let path = out_dir().join(format!("{name}.csv"));
-    fs::write(&path, table.to_csv()).expect("write csv");
+    fs::write(&path, &csv).expect("write csv");
+    emit_manifest(name, csv.as_bytes(), trials);
     println!("(csv: {})\n", path.display());
 }
 
-fn emit_series(name: &str, series: &Series, x: &str, y: &str) {
-    emit_table(name, &series_table(series, x, y));
+fn emit_series(name: &str, series: &Series, x: &str, y: &str, trials: usize) {
+    emit_table(name, &series_table(series, x, y), trials);
+    let csv = series.to_csv();
     let path = out_dir().join(format!("{name}_series.csv"));
-    fs::write(&path, series.to_csv()).expect("write csv");
+    fs::write(&path, &csv).expect("write csv");
+    emit_manifest(&format!("{name}_series"), csv.as_bytes(), trials);
 }
 
 fn run_fig1(trials: usize) {
@@ -47,6 +66,7 @@ fn run_fig1(trials: usize) {
         emit_table(
             &format!("fig1_density_{density}"),
             &fig1_table(density, &hist),
+            trials,
         );
         println!(
             "density {density}: {} clusters observed, mean size {:.2}, singleton fraction {:.3}\n",
@@ -77,7 +97,7 @@ fn run_scale(trials: usize) {
             format!("{:.4}", r.msgs_per_node),
         ]);
     }
-    emit_table("scale_invariance", &t);
+    emit_table("scale_invariance", &t, trials);
 }
 
 fn run_security(trials: usize) {
@@ -92,39 +112,62 @@ fn run_security(trials: usize) {
             &series,
             "captured nodes",
             "readable traffic fraction",
+            trials,
         );
     }
-    emit_table("security_costs", &cost_table(1000, 12.0, 0xC0));
-    emit_table("security_hello_flood", &hello_flood_table());
+    emit_table("security_costs", &cost_table(1000, 12.0, 0xC0), 1);
+    emit_table("security_hello_flood", &hello_flood_table(), 1);
 }
 
 fn run_ablations(trials: usize) {
     println!("# Ablations (DESIGN.md §3)\n");
     let rows = election_rate_ablation(1000, 8.0, &[0.5, 1.0, 2.0, 5.0, 10.0, 20.0], trials);
-    emit_table("ablation_election_rate", &election_rate_table(&rows));
+    emit_table(
+        "ablation_election_rate",
+        &election_rate_table(&rows),
+        trials,
+    );
 
     let (implicit, explicit) = counter_mode_overhead(400, 12.0, 40);
     let mut t = Table::new(&["counter mode", "radio bytes for 40 sealed readings"]);
     t.row(&["implicit (resync window)".into(), implicit.to_string()]);
     t.row(&["explicit (+8B/frame)".into(), explicit.to_string()]);
-    emit_table("ablation_counter_mode", &t);
+    emit_table("ablation_counter_mode", &t, 1);
 
     let (hash, recluster) = refresh_cost(400, 12.0);
     let mut t = Table::new(&["refresh mode", "messages per epoch"]);
     t.row(&["hash (Kc <- F(Kc))".into(), hash.to_string()]);
-    t.row(&["re-cluster (head-generated keys)".into(), recluster.to_string()]);
-    emit_table("ablation_refresh_mode", &t);
+    t.row(&[
+        "re-cluster (head-generated keys)".into(),
+        recluster.to_string(),
+    ]);
+    emit_table("ablation_refresh_mode", &t, 1);
 }
 
 fn run_energy() {
     println!("# Energy experiments\n");
-    emit_table("energy_broadcast", &broadcast_energy_table(1000, 12.0, 40));
+    emit_table(
+        "energy_broadcast",
+        &broadcast_energy_table(1000, 12.0, 40),
+        1,
+    );
     let s = fusion_energy_savings(400, 14.0, 4);
     let mut t = Table::new(&["fusion suppression", "radio energy (µJ)", "readings at BS"]);
-    t.row(&["off".into(), format!("{:.0}", s.baseline_uj), s.baseline_delivered.to_string()]);
-    t.row(&["on".into(), format!("{:.0}", s.suppressed_uj), s.suppressed_delivered.to_string()]);
-    emit_table("energy_fusion", &t);
-    println!("fusion suppression saves {:.1}% of radio energy on the redundant workload\n", s.saving() * 100.0);
+    t.row(&[
+        "off".into(),
+        format!("{:.0}", s.baseline_uj),
+        s.baseline_delivered.to_string(),
+    ]);
+    t.row(&[
+        "on".into(),
+        format!("{:.0}", s.suppressed_uj),
+        s.suppressed_delivered.to_string(),
+    ]);
+    emit_table("energy_fusion", &t, 1);
+    println!(
+        "fusion suppression saves {:.1}% of radio energy on the redundant workload\n",
+        s.saving() * 100.0
+    );
 }
 
 const KNOWN: [&str; 10] = [
@@ -143,7 +186,10 @@ const KNOWN: [&str; 10] = [
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(unknown) = args.iter().find(|a| !KNOWN.contains(&a.as_str())) {
-        eprintln!("unknown experiment '{unknown}'. Known: {}", KNOWN.join(", "));
+        eprintln!(
+            "unknown experiment '{unknown}'. Known: {}",
+            KNOWN.join(", ")
+        );
         std::process::exit(1);
     }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -160,6 +206,7 @@ fn main() {
             &fig6_keys_per_node(trials),
             "density",
             "keys/node",
+            trials,
         );
     }
     if want("fig7") {
@@ -169,6 +216,7 @@ fn main() {
             &fig7_cluster_size(trials),
             "density",
             "nodes/cluster",
+            trials,
         );
     }
     if want("fig8") {
@@ -178,6 +226,7 @@ fn main() {
             &fig8_head_fraction(trials),
             "density",
             "heads/n",
+            trials,
         );
     }
     if want("fig9") {
@@ -187,6 +236,7 @@ fn main() {
             &fig9_setup_messages(trials),
             "density",
             "msgs/node",
+            trials,
         );
     }
     if want("scale") {

@@ -14,7 +14,7 @@
 use crate::MASTER_SEED;
 use wsn_baselines::ours::OursAdapter;
 use wsn_baselines::random_predist::EgScheme;
-use wsn_baselines::{KeyScheme, leap::Leap, pairwise::FullPairwise};
+use wsn_baselines::{leap::Leap, pairwise::FullPairwise, KeyScheme};
 use wsn_core::prelude::*;
 use wsn_metrics::Table;
 use wsn_sim::radio::RadioConfig;
@@ -146,9 +146,7 @@ mod tests {
         assert_eq!(t.len(), 4);
         let csv = t.to_csv();
         let rows: Vec<&str> = csv.lines().skip(1).collect();
-        let tx_of = |row: &str| -> f64 {
-            row.split(',').nth(1).unwrap().parse().unwrap()
-        };
+        let tx_of = |row: &str| -> f64 { row.split(',').nth(1).unwrap().parse().unwrap() };
         // ours == LEAP == 1 < EG < pairwise.
         assert_eq!(tx_of(rows[0]), 1.0);
         assert_eq!(tx_of(rows[1]), 1.0);

@@ -243,8 +243,7 @@ mod tests {
         let rows = scale_invariance(10.0, &[200, 400], 1);
         assert_eq!(rows.len(), 2);
         // Size-invariance (loose tolerance at these small n).
-        let rel = (rows[0].keys_per_node - rows[1].keys_per_node).abs()
-            / rows[0].keys_per_node;
+        let rel = (rows[0].keys_per_node - rows[1].keys_per_node).abs() / rows[0].keys_per_node;
         assert!(rel < 0.25, "keys/node should be roughly size-free: {rel}");
     }
 }

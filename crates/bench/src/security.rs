@@ -68,8 +68,7 @@ pub fn resilience_sweep(params: &ResilienceParams, trials: usize) -> Vec<Series>
         let ours = OursAdapter::from_handle(&outcome.handle);
         let eg = EgScheme::new(params.pool, params.ring, seed);
         let qc = QComposite::new(params.pool, params.ring, 2, seed);
-        let schemes: [&dyn KeyScheme; 6] =
-            [&ours, &Leap, &GlobalKey, &eg, &qc, &FullPairwise];
+        let schemes: [&dyn KeyScheme; 6] = [&ours, &Leap, &GlobalKey, &eg, &qc, &FullPairwise];
 
         // Spread captures across the field deterministically.
         let ids: Vec<u32> = (1..=params.n as u32).collect();
@@ -77,10 +76,7 @@ pub fn resilience_sweep(params: &ResilienceParams, trials: usize) -> Vec<Series>
             let step = (ids.len() / k.max(1)).max(1);
             let captured: Vec<u32> = ids.iter().copied().step_by(step).take(k).collect();
             for (s, scheme) in schemes.iter().enumerate() {
-                series[s].record(
-                    k as f64,
-                    scheme.readable_tx_fraction(topo, &captured),
-                );
+                series[s].record(k as f64, scheme.readable_tx_fraction(topo, &captured));
             }
         }
     }
@@ -172,10 +168,7 @@ mod tests {
         let global = series.iter().find(|s| s.name == "global-key").unwrap();
         assert_eq!(global.mean_at(1.0), Some(1.0));
         // Ours stays below global everywhere.
-        let ours = series
-            .iter()
-            .find(|s| s.name.starts_with("ours"))
-            .unwrap();
+        let ours = series.iter().find(|s| s.name.starts_with("ours")).unwrap();
         assert!(ours.mean_at(5.0).unwrap() < 1.0);
     }
 

@@ -385,8 +385,7 @@ mod tests {
             p.provision(id);
         }
         let registry = p.registry().clone();
-        let cluster_keys: HashMap<u32, Key128> =
-            (0..4).map(|i| (i, p.cluster_key_of(i))).collect();
+        let cluster_keys: HashMap<u32, Key128> = (0..4).map(|i| (i, p.cluster_key_of(i))).collect();
         let bs = BaseStation::new(cfg, 0, p.km(), registry, cluster_keys, p.revocation_chain());
         (bs, p)
     }
@@ -498,10 +497,7 @@ mod tests {
         bs.apply_hash_refresh();
         assert_eq!(bs.epoch(), 1);
         assert_ne!(bs.own_kc, before);
-        assert_eq!(
-            bs.own_kc,
-            refresh::cluster_key_at_epoch(&p.kmc(), 0, 1)
-        );
+        assert_eq!(bs.own_kc, refresh::cluster_key_at_epoch(&p.kmc(), 0, 1));
     }
 
     #[test]

@@ -82,7 +82,10 @@ mod tests {
         let (mut chain, mut verifier) = chain_pair();
         let link = chain.reveal_next().unwrap();
         let Message::Revoke {
-            link, seq, cids, tag,
+            link,
+            seq,
+            cids,
+            tag,
         } = build_revoke(link, 1, vec![13, 9])
         else {
             unreachable!()
@@ -94,10 +97,7 @@ mod tests {
     fn tampered_cid_list_rejected_without_advancing_chain() {
         let (mut chain, mut verifier) = chain_pair();
         let link = chain.reveal_next().unwrap();
-        let Message::Revoke {
-            link, seq, tag, ..
-        } = build_revoke(link, 1, vec![13])
-        else {
+        let Message::Revoke { link, seq, tag, .. } = build_revoke(link, 1, vec![13]) else {
             unreachable!()
         };
         // Adversary swaps the victim list.

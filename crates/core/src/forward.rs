@@ -274,8 +274,7 @@ mod tests {
     fn unwrap_rejects_wrong_cluster_key() {
         let kc = Key128::from_bytes([9; 16]);
         let other = Key128::from_bytes([10; 16]);
-        let Message::Wrapped { cid, nonce, sealed } =
-            wrap(&kc, 13, 17, 0, 0, 1, &Inner::Beacon)
+        let Message::Wrapped { cid, nonce, sealed } = wrap(&kc, 13, 17, 0, 0, 1, &Inner::Beacon)
         else {
             unreachable!()
         };
@@ -289,8 +288,7 @@ mod tests {
         // or by the CID echo (same key, e.g. two clusters that happen to
         // share a key in a contrived setup).
         let kc = Key128::from_bytes([9; 16]);
-        let Message::Wrapped { nonce, sealed, .. } =
-            wrap(&kc, 13, 17, 0, 0, 1, &Inner::Beacon)
+        let Message::Wrapped { nonce, sealed, .. } = wrap(&kc, 13, 17, 0, 0, 1, &Inner::Beacon)
         else {
             unreachable!()
         };
@@ -351,8 +349,7 @@ mod tests {
             body: Bytes::from_static(b"c1 bytes here"),
         };
         let inner = Inner::Data(unit.clone());
-        let Message::Wrapped { cid, nonce, sealed } = wrap(&kc, 9, 14, 0, 50, 3, &inner)
-        else {
+        let Message::Wrapped { cid, nonce, sealed } = wrap(&kc, 9, 14, 0, 50, 3, &inner) else {
             unreachable!()
         };
         let u = unwrap(&kc, cid, nonce, &sealed, 60, &cfg()).unwrap();

@@ -70,7 +70,7 @@ pub mod prelude {
     pub use crate::error::ProtocolError;
     pub use crate::keys::{NodeKeyMaterial, Provisioner};
     pub use crate::node::{ProtocolApp, ProtocolNode, Role};
-    pub use crate::setup::{run_setup, NetworkHandle, SetupOutcome, SetupParams};
+    pub use crate::setup::{run_setup, run_setup_traced, NetworkHandle, SetupOutcome, SetupParams};
     pub use crate::stats::SetupReport;
 }
 

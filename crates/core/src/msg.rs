@@ -441,12 +441,7 @@ impl DataUnit {
     pub fn dedup_key(&self) -> u64 {
         // FNV-1a over src | body — cheap and adequate for a dedup cache.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &byte in self
-            .src
-            .to_be_bytes()
-            .iter()
-            .chain(self.body.iter())
-        {
+        for &byte in self.src.to_be_bytes().iter().chain(self.body.iter()) {
             h ^= byte as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
@@ -457,6 +452,26 @@ impl DataUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_frame_kinds_mirror_wire_tags() {
+        // wsn-trace classifies frames by first byte without depending on
+        // this crate; pin its mapping to the real wire constants so the
+        // two vocabularies cannot drift apart silently.
+        use wsn_trace::FrameKind;
+        for (tag, kind) in [
+            (T_HELLO, FrameKind::Hello),
+            (T_LINK, FrameKind::LinkAdvert),
+            (T_WRAPPED, FrameKind::Wrapped),
+            (T_REVOKE, FrameKind::Revoke),
+            (T_JOIN_REQ, FrameKind::JoinRequest),
+            (T_JOIN_RESP, FrameKind::JoinResponse),
+            (T_REVOKE_ANNOUNCE, FrameKind::RevokeAnnounce),
+            (T_REVOKE_REVEAL, FrameKind::RevokeReveal),
+        ] {
+            assert_eq!(FrameKind::classify(&[tag]), kind, "tag 0x{tag:02x}");
+        }
+    }
 
     fn roundtrip(m: Message) {
         let enc = m.encode();

@@ -30,6 +30,7 @@ use wsn_crypto::Key128;
 use wsn_sim::event::{SimTime, MILLI, SECOND};
 use wsn_sim::node::{App, Ctx, NodeId, TimerKey};
 use wsn_sim::rng::exp_delay;
+use wsn_trace::TraceEvent;
 
 /// Timer: cluster-head election (Exp(λ) delay).
 pub const TIMER_ELECTION: TimerKey = 1;
@@ -365,11 +366,18 @@ impl ProtocolNode {
         self.role = Role::Head;
         self.cid = Some(self.keys.id);
         self.cluster_key = Some(self.keys.kci);
+        ctx.trace(TraceEvent::BecameHead);
         if announce {
             if let Some(km) = self.keys.km {
-                let (nonce, sealed) =
-                    seal_setup(&km, self.keys.id, self.next_seq(), self.keys.id, &self.keys.kci);
+                let (nonce, sealed) = seal_setup(
+                    &km,
+                    self.keys.id,
+                    self.next_seq(),
+                    self.keys.id,
+                    &self.keys.kci,
+                );
                 ctx.broadcast(Message::Hello { nonce, sealed }.encode());
+                ctx.trace(TraceEvent::HelloSent);
             }
         }
     }
@@ -383,6 +391,7 @@ impl ProtocolNode {
         };
         let (nonce, sealed) = seal_setup(&km, self.keys.id, self.next_seq(), cid, &kc);
         ctx.broadcast(Message::LinkAdvert { nonce, sealed }.encode());
+        ctx.trace(TraceEvent::LinkAdvertSent);
     }
 
     /// Arms the next autonomous hash-refresh tick, aligned to the absolute
@@ -458,6 +467,7 @@ impl ProtocolNode {
                     self.cid = Some(head_id);
                     self.cluster_key = Some(kc);
                     ctx.cancel_timer(TIMER_ELECTION);
+                    ctx.trace(TraceEvent::ClusterJoined { head: head_id });
                 }
                 // Already decided: "the node rejects the message".
             }
@@ -465,7 +475,7 @@ impl ProtocolNode {
         }
     }
 
-    fn handle_link_advert(&mut self, nonce: u64, sealed: &[u8]) {
+    fn handle_link_advert(&mut self, ctx: &mut Ctx, nonce: u64, sealed: &[u8]) {
         let Some(km) = self.keys.km else {
             self.stats.drops.wrong_phase += 1;
             return;
@@ -475,6 +485,7 @@ impl ProtocolNode {
                 // "Nodes of the same cluster simply ignore the message."
                 if self.cid != Some(cid) {
                     self.neighbor_keys.insert(cid, kc);
+                    ctx.trace(TraceEvent::LinkStored { cid });
                 }
             }
             Err(_) => self.stats.drops.bad_auth += 1,
@@ -580,10 +591,18 @@ impl ProtocolNode {
                 }
                 self.cluster_key = Some(new_kc);
                 self.epoch = epoch;
+                ctx.trace(TraceEvent::KeyRefreshed {
+                    cid: outer_cid,
+                    epoch,
+                });
             }
-        } else if self.neighbor_keys.contains_key(&outer_cid) {
+        } else if let Some(entry) = self.neighbor_keys.get_mut(&outer_cid) {
             // A neighboring cluster re-keys; roll our S entry.
-            self.neighbor_keys.insert(outer_cid, new_kc);
+            *entry = new_kc;
+            ctx.trace(TraceEvent::KeyRefreshed {
+                cid: outer_cid,
+                epoch,
+            });
         }
     }
 
@@ -612,7 +631,7 @@ impl ProtocolNode {
             return;
         }
         self.revoke_seen.insert(seq);
-        self.apply_revocation(&cids);
+        self.apply_revocation(ctx, &cids);
         // Flood the authenticated command onward (once per seq).
         ctx.broadcast(
             Message::Revoke {
@@ -625,13 +644,17 @@ impl ProtocolNode {
         );
     }
 
-    fn apply_revocation(&mut self, cids: &[ClusterId]) {
+    fn apply_revocation(&mut self, ctx: &mut Ctx, cids: &[ClusterId]) {
         for cid in cids {
-            self.neighbor_keys.remove(cid);
+            let mut dropped = self.neighbor_keys.remove(cid).is_some();
             if self.cid == Some(*cid) {
                 self.cid = None;
                 self.cluster_key = None;
                 self.revoked = true;
+                dropped = true;
+            }
+            if dropped {
+                ctx.trace(TraceEvent::ClusterRevoked { cid: *cid });
             }
         }
     }
@@ -660,7 +683,7 @@ impl ProtocolNode {
         }
         candidates.push((cids.clone(), tag));
         ctx.broadcast(Message::RevokeAnnounce { seq, cids, tag }.encode());
-        self.complete_revocation_if_ready(seq);
+        self.complete_revocation_if_ready(ctx, seq);
     }
 
     /// Two-phase revocation, phase 2: verify the disclosed link against
@@ -682,10 +705,10 @@ impl ProtocolNode {
         }
         self.verified_links.insert(seq, link);
         ctx.broadcast(Message::RevokeReveal { seq, link }.encode());
-        self.complete_revocation_if_ready(seq);
+        self.complete_revocation_if_ready(ctx, seq);
     }
 
-    fn complete_revocation_if_ready(&mut self, seq: u32) {
+    fn complete_revocation_if_ready(&mut self, ctx: &mut Ctx, seq: u32) {
         let Some(link) = self.verified_links.get(&seq).copied() else {
             return;
         };
@@ -702,7 +725,7 @@ impl ProtocolNode {
             self.revoke_seen.insert(seq);
             self.pending_announces.remove(&seq);
             self.verified_links.remove(&seq);
-            self.apply_revocation(&cids);
+            self.apply_revocation(ctx, &cids);
         }
     }
 
@@ -791,10 +814,9 @@ impl App for ProtocolNode {
 
     fn on_timer(&mut self, ctx: &mut Ctx, key: TimerKey) {
         match key {
-            TIMER_ELECTION
-                if self.role == Role::Undecided => {
-                    self.become_head(ctx, true);
-                }
+            TIMER_ELECTION if self.role == Role::Undecided => {
+                self.become_head(ctx, true);
+            }
             TIMER_LINK => {
                 // Safety net: a node that somehow never decided becomes a
                 // silent singleton head so it has a key to advertise.
@@ -804,19 +826,34 @@ impl App for ProtocolNode {
                 self.broadcast_link_advert(ctx);
             }
             TIMER_ERASE => {
+                if self.keys.km.is_some() {
+                    ctx.trace(TraceEvent::KmErased);
+                }
                 self.keys.erase_km();
                 self.arm_auto_refresh(ctx);
             }
             TIMER_AUTO_REFRESH => {
                 self.apply_hash_refresh();
+                if let Some(cid) = self.cid {
+                    ctx.trace(TraceEvent::KeyRefreshed {
+                        cid,
+                        epoch: self.epoch,
+                    });
+                }
                 self.arm_auto_refresh(ctx);
             }
             TIMER_SEND => {
                 self.send_next_reading(ctx);
             }
             TIMER_JOIN => {
+                let was_joining = self.role == Role::Joining;
                 self.finish_join();
                 if self.role == Role::Member {
+                    if was_joining {
+                        if let Some(cid) = self.cid {
+                            ctx.trace(TraceEvent::JoinCompleted { cid });
+                        }
+                    }
                     self.arm_auto_refresh(ctx);
                 }
             }
@@ -834,7 +871,7 @@ impl App for ProtocolNode {
         };
         match msg {
             Message::Hello { nonce, sealed } => self.handle_hello(ctx, nonce, &sealed),
-            Message::LinkAdvert { nonce, sealed } => self.handle_link_advert(nonce, &sealed),
+            Message::LinkAdvert { nonce, sealed } => self.handle_link_advert(ctx, nonce, &sealed),
             Message::Wrapped { cid, nonce, sealed } => {
                 self.handle_wrapped(ctx, cid, nonce, &sealed)
             }
@@ -849,9 +886,7 @@ impl App for ProtocolNode {
             }
             Message::RevokeReveal { seq, link } => self.handle_revoke_reveal(ctx, seq, link),
             Message::JoinRequest { new_id } => self.handle_join_request(ctx, from, new_id),
-            Message::JoinResponse { cid, epoch, tag } => {
-                self.handle_join_response(cid, epoch, tag)
-            }
+            Message::JoinResponse { cid, epoch, tag } => self.handle_join_response(cid, epoch, tag),
         }
     }
 }
@@ -1004,7 +1039,8 @@ mod tests {
     #[test]
     fn join_response_verification() {
         let mut p = Provisioner::new(1);
-        let mut joiner = ProtocolNode::new_joiner(ProtocolConfig::default(), p.provision_new_node(50));
+        let mut joiner =
+            ProtocolNode::new_joiner(ProtocolConfig::default(), p.provision_new_node(50));
         let kmc = p.kmc();
         // Valid response from cluster 7 at epoch 0.
         let kc7 = refresh::cluster_key_at_epoch(&kmc, 7, 0);
@@ -1062,7 +1098,8 @@ mod tests {
     #[test]
     fn join_with_no_responses_stays_joining() {
         let mut p = Provisioner::new(1);
-        let mut joiner = ProtocolNode::new_joiner(ProtocolConfig::default(), p.provision_new_node(50));
+        let mut joiner =
+            ProtocolNode::new_joiner(ProtocolConfig::default(), p.provision_new_node(50));
         joiner.finish_join();
         assert_eq!(joiner.role(), Role::Joining);
         assert!(joiner.keys.kmc.is_some(), "KMC kept for retry");

@@ -8,6 +8,8 @@ use crate::keys::Provisioner;
 use crate::msg::ClusterId;
 use crate::node::{PendingReading, ProtocolApp, ProtocolNode, TIMER_SEND};
 use crate::stats::SetupReport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use wsn_crypto::drbg::HmacDrbg;
 use wsn_crypto::Key128;
@@ -16,8 +18,6 @@ use wsn_sim::net::{Counters, Simulator};
 use wsn_sim::radio::RadioConfig;
 use wsn_sim::rng::derive_seed;
 use wsn_sim::topology::{Topology, TopologyConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of one deployment experiment.
 #[derive(Clone, Debug)]
@@ -49,6 +49,19 @@ pub fn run_setup(params: &SetupParams) -> SetupOutcome {
 /// [`run_setup`] with an explicit radio model (e.g. lossy links).
 pub fn run_setup_with_radio(params: &SetupParams, radio: RadioConfig) -> SetupOutcome {
     run_setup_with_attack(params, radio, |_| {})
+}
+
+/// [`run_setup`] with a trace sink installed before the first event, so
+/// the trace covers the election, link, and erase phases in full. The
+/// sink stays installed on the returned handle; retrieve it with
+/// `handle.sim_mut().take_trace()`.
+pub fn run_setup_traced(
+    params: &SetupParams,
+    sink: impl wsn_trace::TraceSink + 'static,
+) -> SetupOutcome {
+    run_setup_with_attack(params, RadioConfig::default(), |sim| {
+        sim.install_trace(sink)
+    })
 }
 
 /// [`run_setup`] with an adversary: `attack` runs after node construction
@@ -158,10 +171,7 @@ impl NetworkHandle {
 
     /// Mutable sensor access.
     pub fn sensor_mut(&mut self, id: u32) -> &mut ProtocolNode {
-        self.sim
-            .app_mut(id)
-            .as_sensor_mut()
-            .expect("not a sensor")
+        self.sim.app_mut(id).as_sensor_mut().expect("not a sensor")
     }
 
     /// The base station.
@@ -211,9 +221,19 @@ impl NetworkHandle {
         match self.cfg.refresh_mode {
             RefreshMode::Hash => {
                 for id in 0..self.sim.topology().n() as u32 {
-                    match self.sim.app_mut(id) {
-                        ProtocolApp::Sensor(n) => n.apply_hash_refresh(),
-                        ProtocolApp::Base(b) => b.apply_hash_refresh(),
+                    let rolled = match self.sim.app_mut(id) {
+                        ProtocolApp::Sensor(n) => {
+                            n.apply_hash_refresh();
+                            n.cid().map(|cid| (cid, n.epoch()))
+                        }
+                        ProtocolApp::Base(b) => {
+                            b.apply_hash_refresh();
+                            None
+                        }
+                    };
+                    if let Some((cid, epoch)) = rolled {
+                        self.sim
+                            .trace_record(id, wsn_trace::TraceEvent::KeyRefreshed { cid, epoch });
                     }
                 }
             }
@@ -272,8 +292,9 @@ impl NetworkHandle {
     pub fn add_nodes(&mut self, k: usize) -> Vec<u32> {
         let old_topo = self.sim.topology();
         let side = old_topo.config().side;
-        let mut positions: Vec<Point> =
-            (0..old_topo.n() as u32).map(|i| old_topo.position(i)).collect();
+        let mut positions: Vec<Point> = (0..old_topo.n() as u32)
+            .map(|i| old_topo.position(i))
+            .collect();
         let new_ids: Vec<u32> = (0..k).map(|i| self.next_id + i as u32).collect();
         self.next_id += k as u32;
         for _ in 0..k {
@@ -319,30 +340,31 @@ impl NetworkHandle {
                 },
                 vec![Point::new(0.1, 0.1), Point::new(0.9, 0.9)],
             ),
-            |_| ProtocolApp::Sensor(ProtocolNode::new(self.cfg.clone(), {
-                let mut p = Provisioner::new(0);
-                p.provision(u32::MAX)
-            })),
+            |_| {
+                ProtocolApp::Sensor(ProtocolNode::new(self.cfg.clone(), {
+                    let mut p = Provisioner::new(0);
+                    p.provision(u32::MAX)
+                }))
+            },
         );
-        let old_sim = std::mem::replace(&mut self.sim, placeholder);
+        let mut old_sim = std::mem::replace(&mut self.sim, placeholder);
         // Keep virtual time monotonic across the rebuild so freshness
-        // windows and refresh boundaries stay meaningful.
+        // windows and refresh boundaries stay meaningful. The trace sink
+        // (and its sequence counter) survive the rebuild the same way.
         let resume_at = old_sim.now();
+        let trace_state = old_sim.take_trace_state();
         let (_, old_apps, _) = old_sim.into_parts();
-        let mut pool: Vec<Option<ProtocolApp>> = old_apps
-            .into_iter()
-            .chain(joiner_apps)
-            .map(Some)
-            .collect();
+        let mut pool: Vec<Option<ProtocolApp>> =
+            old_apps.into_iter().chain(joiner_apps).map(Some).collect();
         for (id, ki, kc) in registrations {
             if let Some(ProtocolApp::Base(bs)) = pool[0].as_mut() {
                 bs.register_node(id, ki, kc);
             }
         }
-        self.sim =
-            Simulator::with_config_at(topo, RadioConfig::default(), seed, resume_at, |id| {
-                pool[id as usize].take().expect("app built once")
-            });
+        self.sim = Simulator::with_config_at(topo, RadioConfig::default(), seed, resume_at, |id| {
+            pool[id as usize].take().expect("app built once")
+        });
+        self.sim.restore_trace_state(trace_state);
         self.sim.run();
         new_ids
     }

@@ -4,9 +4,7 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use wsn_core::config::ProtocolConfig;
-use wsn_core::forward::{
-    e2e_open, e2e_seal, open_setup, seal_setup, unwrap, wrap, CounterWindow,
-};
+use wsn_core::forward::{e2e_open, e2e_seal, open_setup, seal_setup, unwrap, wrap, CounterWindow};
 use wsn_core::join::{join_tag, verify_join_tag};
 use wsn_core::keys::Provisioner;
 use wsn_core::msg::{DataUnit, Inner, Message, SHORT_TAG};
@@ -43,16 +41,18 @@ fn inner_strategy() -> impl Strategy<Value = Inner> {
 
 fn message_strategy() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
-            .prop_map(|(nonce, sealed)| Message::Hello {
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
+            |(nonce, sealed)| Message::Hello {
                 nonce,
                 sealed: Bytes::from(sealed),
-            }),
-        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
-            .prop_map(|(nonce, sealed)| Message::LinkAdvert {
+            }
+        ),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
+            |(nonce, sealed)| Message::LinkAdvert {
                 nonce,
                 sealed: Bytes::from(sealed),
-            }),
+            }
+        ),
         (
             any::<u32>(),
             any::<u64>(),
@@ -81,8 +81,7 @@ fn message_strategy() -> impl Strategy<Value = Message> {
             any::<[u8; SHORT_TAG]>()
         )
             .prop_map(|(seq, cids, tag)| Message::RevokeAnnounce { seq, cids, tag }),
-        (any::<u32>(), key_strategy())
-            .prop_map(|(seq, link)| Message::RevokeReveal { seq, link }),
+        (any::<u32>(), key_strategy()).prop_map(|(seq, link)| Message::RevokeReveal { seq, link }),
         any::<u32>().prop_map(|new_id| Message::JoinRequest { new_id }),
         (any::<u32>(), any::<u32>(), any::<[u8; SHORT_TAG]>())
             .prop_map(|(cid, epoch, tag)| Message::JoinResponse { cid, epoch, tag }),

@@ -58,12 +58,8 @@ fn build_tables() -> ([u8; 256], [u8; 256]) {
     let mut inv = [0u8; 256];
     for x in 0..256usize {
         let b = gf_inv(x as u8);
-        let s = b
-            ^ b.rotate_left(1)
-            ^ b.rotate_left(2)
-            ^ b.rotate_left(3)
-            ^ b.rotate_left(4)
-            ^ 0x63;
+        let s =
+            b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
         sbox[x] = s;
         inv[s as usize] = x as u8;
     }

@@ -117,7 +117,10 @@ mod tests {
     use crate::speck::Speck128_128;
 
     fn ae() -> AuthEnc {
-        AuthEnc::new(Key128::from_bytes([0xA1; 16]), Key128::from_bytes([0xB2; 16]))
+        AuthEnc::new(
+            Key128::from_bytes([0xA1; 16]),
+            Key128::from_bytes([0xB2; 16]),
+        )
     }
 
     #[test]
@@ -165,7 +168,10 @@ mod tests {
     #[test]
     fn wrong_keys_rejected() {
         let ae1 = ae();
-        let ae2 = AuthEnc::new(Key128::from_bytes([0xA1; 16]), Key128::from_bytes([0xB3; 16]));
+        let ae2 = AuthEnc::new(
+            Key128::from_bytes([0xA1; 16]),
+            Key128::from_bytes([0xB3; 16]),
+        );
         let sealed = ae1.seal(1, b"msg");
         assert_eq!(ae2.open(1, &sealed), Err(CryptoError::BadTag));
     }
@@ -184,10 +190,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn tiny_tag_rejected_at_construction() {
-        let _ = AuthEncAead::from_ciphers(
-            Rc5::new(&Key128::ZERO),
-            Rc5::new(&Key128::ZERO),
-            2,
-        );
+        let _ = AuthEncAead::from_ciphers(Rc5::new(&Key128::ZERO), Rc5::new(&Key128::ZERO), 2);
     }
 }

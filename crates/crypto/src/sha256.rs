@@ -160,7 +160,10 @@ mod tests {
     use super::*;
 
     fn hexdigest(data: &[u8]) -> String {
-        Sha256::digest(data).iter().map(|b| format!("{b:02x}")).collect()
+        Sha256::digest(data)
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect()
     }
 
     #[test]

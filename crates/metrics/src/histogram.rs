@@ -1,10 +1,8 @@
 //! Integer-bucket histograms (e.g. Figure 1: fraction of clusters of each
 //! size).
 
-use serde::Serialize;
-
 /// A histogram over small non-negative integer values.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,

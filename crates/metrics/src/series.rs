@@ -2,11 +2,9 @@
 //! network density).
 
 use crate::summary::Summary;
-use serde::Serialize;
-
 /// One point of a series: an x value and the distribution of measurements
 /// observed there.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SeriesPoint {
     /// Independent variable (e.g. density).
     pub x: f64,
@@ -19,7 +17,7 @@ pub struct SeriesPoint {
 }
 
 /// A named x/y series aggregated over trials.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Series {
     /// Series name (figure legend label).
     pub name: String,

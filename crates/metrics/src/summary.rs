@@ -1,10 +1,8 @@
 //! Streaming summary statistics (Welford's algorithm).
 
-use serde::Serialize;
-
 /// Mean / standard deviation / extrema of a stream of observations,
 /// computed in one pass with Welford's numerically stable update.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Summary {
     count: u64,
     mean: f64,

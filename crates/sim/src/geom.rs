@@ -186,7 +186,9 @@ mod tests {
         // Deterministic pseudo-random points via a tiny LCG.
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         let side = 100.0;
@@ -196,11 +198,19 @@ mod tests {
         let grid = SpatialGrid::build(&points, side, 7.5);
         for probe in [0usize, 13, 77, 499] {
             let mut got = Vec::new();
-            grid.for_each_within(&points, &points[probe], 7.5, Some(probe as u32), false, |i| {
-                got.push(i)
-            });
+            grid.for_each_within(
+                &points,
+                &points[probe],
+                7.5,
+                Some(probe as u32),
+                false,
+                |i| got.push(i),
+            );
             got.sort_unstable();
-            assert_eq!(got, brute_force(&points, &points[probe], 7.5, Some(probe as u32)));
+            assert_eq!(
+                got,
+                brute_force(&points, &points[probe], 7.5, Some(probe as u32))
+            );
         }
     }
 

@@ -10,6 +10,7 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use wsn_trace::{TraceEvent, TraceRecord, TraceSink};
 
 /// Per-node and aggregate traffic counters — the raw material of Figures 8
 /// and 9 (messages per node during key setup) and the energy comparisons.
@@ -70,6 +71,11 @@ pub struct Simulator<A: App> {
     timer_gen: u64,
     scratch_actions: Vec<Action>,
     events_processed: u64,
+    /// Optional trace sink. `None` costs one branch per potential event;
+    /// trace payloads are reference-counted so recording is cheap too.
+    sink: Option<Box<dyn TraceSink>>,
+    /// Global sequence number for the next trace record.
+    trace_seq: u64,
 }
 
 impl<A: App> Simulator<A> {
@@ -118,6 +124,68 @@ impl<A: App> Simulator<A> {
             timer_gen: 0,
             scratch_actions: Vec::new(),
             events_processed: 0,
+            sink: None,
+            trace_seq: 0,
+        }
+    }
+
+    /// Installs a trace sink; every subsequent simulator and protocol
+    /// event is recorded into it. Replaces any previous sink.
+    pub fn install_trace(&mut self, sink: impl TraceSink + 'static) {
+        self.sink = Some(Box::new(sink));
+    }
+
+    /// Removes and returns the installed sink (flushed), leaving the
+    /// simulator untraced. The sequence counter is preserved, so a sink
+    /// installed later continues the same total order.
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut sink = self.sink.take();
+        if let Some(s) = sink.as_mut() {
+            s.flush();
+        }
+        sink
+    }
+
+    /// Whether a trace sink is installed.
+    pub fn tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Detaches the full trace state — sink plus sequence counter — so a
+    /// driver rebuilding the simulator (e.g. for node addition) can carry
+    /// the trace across into the replacement via
+    /// [`Self::restore_trace_state`].
+    pub fn take_trace_state(&mut self) -> (Option<Box<dyn TraceSink>>, u64) {
+        (self.sink.take(), self.trace_seq)
+    }
+
+    /// Re-attaches trace state detached by [`Self::take_trace_state`].
+    pub fn restore_trace_state(&mut self, state: (Option<Box<dyn TraceSink>>, u64)) {
+        self.sink = state.0;
+        self.trace_seq = state.1;
+    }
+
+    /// Records a protocol-layer event on behalf of `node` at the current
+    /// virtual time. Used by experiment drivers that act outside app
+    /// hooks (e.g. a driver-initiated key refresh); apps inside hooks use
+    /// [`Ctx::trace`] instead.
+    pub fn trace_record(&mut self, node: NodeId, event: TraceEvent) {
+        self.trace_with(node, || event);
+    }
+
+    /// Records an event, constructing it only if a sink is installed —
+    /// the zero-overhead-when-disabled path.
+    #[inline]
+    fn trace_with(&mut self, node: NodeId, make: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            let rec = TraceRecord {
+                seq: self.trace_seq,
+                at: self.now,
+                node,
+                event: make(),
+            };
+            self.trace_seq += 1;
+            sink.record(rec);
         }
     }
 
@@ -169,6 +237,11 @@ impl<A: App> Simulator<A> {
         // adversary transmits from origin's position.
         let mut targets: Vec<NodeId> = self.topo.neighbors(origin).to_vec();
         targets.push(origin);
+        let neighbors = targets.len() as u32;
+        self.trace_with(origin, || TraceEvent::Injected {
+            payload: payload.clone(),
+            neighbors,
+        });
         for to in targets {
             self.queue.schedule(
                 at,
@@ -187,8 +260,10 @@ impl<A: App> Simulator<A> {
         self.timer_gen += 1;
         let gen = self.timer_gen;
         self.timers.insert((node, key), gen);
+        let fire_at = self.now + delay;
+        self.trace_with(node, || TraceEvent::TimerSet { key, fire_at });
         self.queue
-            .schedule(self.now + delay, EventKind::Timer { node, key, gen });
+            .schedule(fire_at, EventKind::Timer { node, key, gen });
     }
 
     /// Runs until the event queue drains. Returns the final virtual time.
@@ -224,18 +299,27 @@ impl<A: App> Simulator<A> {
             EventKind::Timer { node, key, gen } => {
                 if self.timers.get(&(node, key)) == Some(&gen) {
                     self.timers.remove(&(node, key));
+                    self.trace_with(node, || TraceEvent::TimerFired { key });
                     self.dispatch(node, |app, ctx| app.on_timer(ctx, key));
                 }
             }
             EventKind::Deliver { from, to, payload } => {
                 // Per-receiver loss.
                 if self.radio.loss > 0.0 && self.rng.gen::<f64>() < self.radio.loss {
+                    self.trace_with(to, || TraceEvent::RadioDrop {
+                        from,
+                        bytes: payload.len() as u32,
+                    });
                     return true;
                 }
                 let idx = to as usize;
                 self.counters.rx_msgs[idx] += 1;
                 self.counters.rx_bytes[idx] += payload.len() as u64;
                 self.counters.energy[idx].record_rx(payload.len(), &self.radio);
+                self.trace_with(to, || TraceEvent::Rx {
+                    from,
+                    payload: payload.clone(),
+                });
                 self.dispatch(to, |app, ctx| app.on_message(ctx, from, &payload));
             }
         }
@@ -250,6 +334,8 @@ impl<A: App> Simulator<A> {
                 now: self.now,
                 rng: &mut self.rng,
                 actions: &mut actions,
+                sink: self.sink.as_deref_mut(),
+                trace_seq: &mut self.trace_seq,
             };
             f(&mut self.apps[id as usize], &mut ctx);
         }
@@ -263,6 +349,15 @@ impl<A: App> Simulator<A> {
         match action {
             Action::Broadcast(payload) => {
                 self.charge_tx(id, payload.len());
+                // Gated lookup: the degree read only happens when a sink
+                // will actually see the event.
+                if self.sink.is_some() {
+                    let neighbors = self.topo.degree(id) as u32;
+                    self.trace_with(id, || TraceEvent::TxBroadcast {
+                        payload: payload.clone(),
+                        neighbors,
+                    });
+                }
                 let at = self.now + self.radio.airtime_us(payload.len());
                 for &to in self.topo.neighbors(id) {
                     self.queue.schedule(
@@ -277,23 +372,37 @@ impl<A: App> Simulator<A> {
             }
             Action::Send(to, payload) => {
                 self.charge_tx(id, payload.len());
+                self.trace_with(id, || TraceEvent::TxUnicast {
+                    to,
+                    payload: payload.clone(),
+                });
                 // Addressed frame: delivered only to `to`, and only if in
                 // range.
                 if self.topo.neighbors(id).binary_search(&to).is_ok() {
                     let at = self.now + self.radio.airtime_us(payload.len());
-                    self.queue
-                        .schedule(at, EventKind::Deliver { from: id, to, payload });
+                    self.queue.schedule(
+                        at,
+                        EventKind::Deliver {
+                            from: id,
+                            to,
+                            payload,
+                        },
+                    );
                 }
             }
             Action::SetTimer(key, delay) => {
                 self.timer_gen += 1;
                 let gen = self.timer_gen;
                 self.timers.insert((id, key), gen);
+                let fire_at = self.now + delay;
+                self.trace_with(id, || TraceEvent::TimerSet { key, fire_at });
                 self.queue
-                    .schedule(self.now + delay, EventKind::Timer { node: id, key, gen });
+                    .schedule(fire_at, EventKind::Timer { node: id, key, gen });
             }
             Action::CancelTimer(key) => {
-                self.timers.remove(&(id, key));
+                if self.timers.remove(&(id, key)).is_some() {
+                    self.trace_with(id, || TraceEvent::TimerCanceled { key });
+                }
             }
         }
     }
@@ -344,7 +453,10 @@ mod tests {
     fn broadcast_reaches_exactly_neighbors() {
         let topo = small_topo(1);
         let deg0 = topo.degree(0);
-        let mut sim = Simulator::new(topo, |_| Echo { sent: false, heard: 0 });
+        let mut sim = Simulator::new(topo, |_| Echo {
+            sent: false,
+            heard: 0,
+        });
         sim.run();
         let heard: usize = sim.apps().iter().map(|a| a.heard).sum();
         assert_eq!(heard, deg0);
@@ -355,7 +467,10 @@ mod tests {
     #[test]
     fn counters_track_bytes_and_energy() {
         let topo = small_topo(2);
-        let mut sim = Simulator::new(topo, |_| Echo { sent: false, heard: 0 });
+        let mut sim = Simulator::new(topo, |_| Echo {
+            sent: false,
+            heard: 0,
+        });
         sim.run();
         assert_eq!(sim.counters().tx_bytes[0], 3);
         assert!(sim.counters().energy[0].tx_uj > 0.0);
@@ -511,8 +626,10 @@ mod tests {
         let deg0 = topo.degree(0);
         assert!(deg0 >= 5, "need a reasonably connected node for this test");
         let radio = RadioConfig::default().with_loss(0.99);
-        let mut sim =
-            Simulator::with_config(topo, radio, 42, |_| Echo { sent: false, heard: 0 });
+        let mut sim = Simulator::with_config(topo, radio, 42, |_| Echo {
+            sent: false,
+            heard: 0,
+        });
         sim.run();
         let heard: usize = sim.apps().iter().map(|a| a.heard).sum();
         assert!(heard < deg0, "99% loss should drop something");
@@ -522,12 +639,11 @@ mod tests {
     fn deterministic_replay() {
         let run = || {
             let topo = small_topo(7);
-            let mut sim = Simulator::with_config(
-                topo,
-                RadioConfig::default().with_loss(0.3),
-                9,
-                |_| Echo { sent: false, heard: 0 },
-            );
+            let mut sim =
+                Simulator::with_config(topo, RadioConfig::default().with_loss(0.3), 9, |_| Echo {
+                    sent: false,
+                    heard: 0,
+                });
             sim.run();
             (
                 sim.apps().iter().map(|a| a.heard).collect::<Vec<_>>(),

@@ -7,6 +7,7 @@
 use crate::event::SimTime;
 use bytes::Bytes;
 use rand::rngs::StdRng;
+use wsn_trace::{TraceEvent, TraceRecord, TraceSink};
 
 /// Node identifier (also the index into the topology).
 pub type NodeId = u32;
@@ -33,6 +34,8 @@ pub struct Ctx<'a> {
     pub(crate) now: SimTime,
     pub(crate) rng: &'a mut StdRng,
     pub(crate) actions: &'a mut Vec<Action>,
+    pub(crate) sink: Option<&'a mut (dyn TraceSink + 'static)>,
+    pub(crate) trace_seq: &'a mut u64,
 }
 
 impl<'a> Ctx<'a> {
@@ -75,6 +78,29 @@ impl<'a> Ctx<'a> {
     /// Cancels any pending instance of timer `key`.
     pub fn cancel_timer(&mut self, key: TimerKey) {
         self.actions.push(Action::CancelTimer(key));
+    }
+
+    /// Whether a trace sink is installed. Lets callers skip building
+    /// expensive events entirely when tracing is off; [`Ctx::trace`]
+    /// already does this for its own argument via laziness at the
+    /// simulator layer, so plain call sites don't need to check.
+    pub fn tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records a protocol-layer trace event at this node and the current
+    /// virtual time. No-op (one branch) when tracing is off.
+    pub fn trace(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let rec = TraceRecord {
+                seq: *self.trace_seq,
+                at: self.now,
+                node: self.id,
+                event,
+            };
+            *self.trace_seq += 1;
+            sink.record(rec);
+        }
     }
 }
 

@@ -2,13 +2,14 @@
 //!
 //! Every figure in the paper is an average over independent random
 //! topologies. Trials share nothing, so this is embarrassingly parallel:
-//! [`run_trials`] fans them out over scoped threads (crossbeam) while
-//! keeping results **identical to a sequential run** — each trial derives
-//! its own seed from `(master_seed, trial_index)`, and results are returned
-//! in trial order regardless of which thread ran what.
+//! [`run_trials`] fans them out over scoped threads while keeping results
+//! **identical to a sequential run** — each trial derives its own seed
+//! from `(master_seed, trial_index)`, and results are returned in trial
+//! order regardless of which thread ran what.
 
 use crate::rng::derive_seed;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Runs `trials` independent experiments in parallel and returns their
 /// results in trial order.
@@ -35,39 +36,42 @@ where
     F: Fn(usize, u64) -> T + Sync,
 {
     assert!(threads >= 1);
-    let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
     if trials == 0 {
         return Vec::new();
     }
 
     if threads == 1 {
-        for (i, slot) in results.iter_mut().enumerate() {
-            *slot = Some(f(i, derive_seed(master_seed, i as u64)));
-        }
-    } else {
-        // Work-stealing over a shared atomic index; each worker writes only
-        // its own disjoint slots, handed out via split_at_mut chunks.
-        let next = &AtomicUsize::new(0);
-        let f = &f;
-        let slots: Vec<parking_lot::Mutex<&mut Option<T>>> = results
-            .iter_mut()
-            .map(parking_lot::Mutex::new)
+        return (0..trials)
+            .map(|i| f(i, derive_seed(master_seed, i as u64)))
             .collect();
-        let slots = &slots;
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(move |_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= trials {
-                        break;
-                    }
-                    let out = f(i, derive_seed(master_seed, i as u64));
-                    **slots[i].lock() = Some(out);
-                });
-            }
-        })
-        .expect("trial worker panicked");
     }
+
+    // Work-stealing over a shared atomic index. Workers send `(index,
+    // result)` pairs over a channel and the parent re-assembles them in
+    // trial order, so no worker ever touches the results vector.
+    let next = &AtomicUsize::new(0);
+    let f = &f;
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let out = f(i, derive_seed(master_seed, i as u64));
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, out) in rx {
+            results[i] = Some(out);
+        }
+    });
 
     results
         .into_iter()

@@ -10,9 +10,7 @@ use rand::Rng;
 /// SplitMix64-style mix. Distinct streams give statistically independent
 /// generators; the mapping is stable across platforms and releases.
 pub fn derive_seed(master: u64, stream: u64) -> u64 {
-    let mut z = master
-        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ 0xD1B5_4A32_D192_ED03; // offset so (0, 0) is not a fixed point
+    let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03; // offset so (0, 0) is not a fixed point
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -50,7 +48,10 @@ mod tests {
     fn derive_seed_spreads_streams() {
         let mut seen = std::collections::HashSet::new();
         for stream in 0..10_000u64 {
-            assert!(seen.insert(derive_seed(42, stream)), "collision at {stream}");
+            assert!(
+                seen.insert(derive_seed(42, stream)),
+                "collision at {stream}"
+            );
         }
     }
 

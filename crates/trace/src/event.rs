@@ -1,0 +1,307 @@
+//! The event vocabulary and the record wrapper sinks receive.
+
+use crate::{NodeId, SimTime};
+use bytes::Bytes;
+use std::fmt::Write as _;
+
+/// One thing that happened at a node, at either the radio/simulator
+/// layer or the protocol layer.
+///
+/// Payload-carrying variants hold the frame as [`Bytes`], which is
+/// reference-counted: capturing a transmission costs one refcount bump,
+/// not a copy. Attack tooling leans on this to harvest ciphertext
+/// exactly as it crossed the air.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    // ---- simulator layer ----
+    /// The node broadcast a frame to every in-range neighbor.
+    TxBroadcast {
+        /// The frame as transmitted.
+        payload: Bytes,
+        /// How many neighbors the radio reached.
+        neighbors: u32,
+    },
+    /// The node sent a frame to one in-range destination.
+    TxUnicast {
+        /// Destination node.
+        to: NodeId,
+        /// The frame as transmitted.
+        payload: Bytes,
+    },
+    /// A frame arrived at the node and was handed to the application.
+    Rx {
+        /// Transmitting node.
+        from: NodeId,
+        /// The frame as received.
+        payload: Bytes,
+    },
+    /// A frame addressed to this node was lost in the radio channel.
+    RadioDrop {
+        /// Transmitting node.
+        from: NodeId,
+        /// Length of the lost frame in bytes.
+        bytes: u32,
+    },
+    /// Two frames overlapped at the receiver and both were lost.
+    ///
+    /// The current unit-disk radio has no collision model, so the
+    /// simulator never emits this today; the variant fixes the JSON
+    /// vocabulary so richer radio models slot in without a format
+    /// change.
+    Collision {
+        /// Transmitting node of the frame that was clobbered.
+        from: NodeId,
+    },
+    /// A frame was injected into the channel by the test/attack harness
+    /// rather than transmitted by a node's radio.
+    Injected {
+        /// The injected frame.
+        payload: Bytes,
+        /// How many nodes heard it.
+        neighbors: u32,
+    },
+    /// The node armed a timer.
+    TimerSet {
+        /// Protocol-defined timer key (`wsn_sim::node::TimerKey`).
+        key: u64,
+        /// Virtual time the timer will fire.
+        fire_at: SimTime,
+    },
+    /// A previously armed timer fired.
+    TimerFired {
+        /// Protocol-defined timer key.
+        key: u64,
+    },
+    /// The node disarmed a timer before it fired.
+    TimerCanceled {
+        /// Protocol-defined timer key.
+        key: u64,
+    },
+
+    // ---- protocol layer ----
+    /// The node's election timer won and it announced itself with a
+    /// HELLO broadcast.
+    HelloSent,
+    /// The node became a cluster head (its own cluster id is its node
+    /// id).
+    BecameHead,
+    /// The node accepted a HELLO and joined a cluster.
+    ClusterJoined {
+        /// The winning head.
+        head: NodeId,
+    },
+    /// The node broadcast a LINK advert carrying its cluster key sealed
+    /// under the master key.
+    LinkAdvertSent,
+    /// The node stored a neighboring cluster's key from a LINK advert.
+    LinkStored {
+        /// Cluster the stored key belongs to.
+        cid: NodeId,
+    },
+    /// The node erased its copy of the master key `Km` (end of the
+    /// paper's vulnerability window).
+    KmErased,
+    /// The node advanced a cluster key to a new epoch.
+    KeyRefreshed {
+        /// The refreshed cluster.
+        cid: NodeId,
+        /// The epoch now in effect.
+        epoch: u32,
+    },
+    /// The node processed a revocation and dropped the named cluster's
+    /// key material.
+    ClusterRevoked {
+        /// The revoked cluster.
+        cid: NodeId,
+    },
+    /// A late-joining node finished the §IV-E join handshake.
+    JoinCompleted {
+        /// The cluster it joined.
+        cid: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lowercase name of the variant, used as the JSON `kind`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::TxBroadcast { .. } => "tx_broadcast",
+            TraceEvent::TxUnicast { .. } => "tx_unicast",
+            TraceEvent::Rx { .. } => "rx",
+            TraceEvent::RadioDrop { .. } => "radio_drop",
+            TraceEvent::Collision { .. } => "collision",
+            TraceEvent::Injected { .. } => "injected",
+            TraceEvent::TimerSet { .. } => "timer_set",
+            TraceEvent::TimerFired { .. } => "timer_fired",
+            TraceEvent::TimerCanceled { .. } => "timer_canceled",
+            TraceEvent::HelloSent => "hello_sent",
+            TraceEvent::BecameHead => "became_head",
+            TraceEvent::ClusterJoined { .. } => "cluster_joined",
+            TraceEvent::LinkAdvertSent => "link_advert_sent",
+            TraceEvent::LinkStored { .. } => "link_stored",
+            TraceEvent::KmErased => "km_erased",
+            TraceEvent::KeyRefreshed { .. } => "key_refreshed",
+            TraceEvent::ClusterRevoked { .. } => "cluster_revoked",
+            TraceEvent::JoinCompleted { .. } => "join_completed",
+        }
+    }
+
+    /// The transmitted/received frame, if this event carries one.
+    pub fn payload(&self) -> Option<&Bytes> {
+        match self {
+            TraceEvent::TxBroadcast { payload, .. }
+            | TraceEvent::TxUnicast { payload, .. }
+            | TraceEvent::Rx { payload, .. }
+            | TraceEvent::Injected { payload, .. } => Some(payload),
+            _ => None,
+        }
+    }
+}
+
+/// A [`TraceEvent`] stamped with where and when it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Global sequence number within one simulation, starting at 0.
+    /// Total order: ties in `at` are broken by `seq`.
+    pub seq: u64,
+    /// Virtual time of the event in microseconds.
+    pub at: SimTime,
+    /// The node the event happened at.
+    pub node: NodeId,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Renders the record as one JSON object (no trailing newline).
+    ///
+    /// Hand-rolled: every field is a number, a fixed keyword, or a hex
+    /// string, so no escaping is ever needed.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        write!(
+            s,
+            "{{\"seq\":{},\"at\":{},\"node\":{},\"kind\":\"{}\"",
+            self.seq,
+            self.at,
+            self.node,
+            self.event.kind()
+        )
+        .expect("writing to String cannot fail");
+        match &self.event {
+            TraceEvent::TxBroadcast { payload, neighbors }
+            | TraceEvent::Injected { payload, neighbors } => {
+                let _ = write!(
+                    s,
+                    ",\"neighbors\":{neighbors},\"bytes\":{},\"payload\":\"{}\"",
+                    payload.len(),
+                    hex(payload)
+                );
+            }
+            TraceEvent::TxUnicast { to, payload } => {
+                let _ = write!(
+                    s,
+                    ",\"to\":{to},\"bytes\":{},\"payload\":\"{}\"",
+                    payload.len(),
+                    hex(payload)
+                );
+            }
+            TraceEvent::Rx { from, payload } => {
+                let _ = write!(
+                    s,
+                    ",\"from\":{from},\"bytes\":{},\"payload\":\"{}\"",
+                    payload.len(),
+                    hex(payload)
+                );
+            }
+            TraceEvent::RadioDrop { from, bytes } => {
+                let _ = write!(s, ",\"from\":{from},\"bytes\":{bytes}");
+            }
+            TraceEvent::Collision { from } => {
+                let _ = write!(s, ",\"from\":{from}");
+            }
+            TraceEvent::TimerSet { key, fire_at } => {
+                let _ = write!(s, ",\"key\":{key},\"fire_at\":{fire_at}");
+            }
+            TraceEvent::TimerFired { key } | TraceEvent::TimerCanceled { key } => {
+                let _ = write!(s, ",\"key\":{key}");
+            }
+            TraceEvent::ClusterJoined { head } => {
+                let _ = write!(s, ",\"head\":{head}");
+            }
+            TraceEvent::LinkStored { cid }
+            | TraceEvent::ClusterRevoked { cid }
+            | TraceEvent::JoinCompleted { cid } => {
+                let _ = write!(s, ",\"cid\":{cid}");
+            }
+            TraceEvent::KeyRefreshed { cid, epoch } => {
+                let _ = write!(s, ",\"cid\":{cid},\"epoch\":{epoch}");
+            }
+            TraceEvent::HelloSent
+            | TraceEvent::BecameHead
+            | TraceEvent::LinkAdvertSent
+            | TraceEvent::KmErased => {}
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn hex(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let rec = TraceRecord {
+            seq: 3,
+            at: 1500,
+            node: 7,
+            event: TraceEvent::TxBroadcast {
+                payload: Bytes::from_static(&[0x01, 0xAB]),
+                neighbors: 4,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"seq\":3,\"at\":1500,\"node\":7,\"kind\":\"tx_broadcast\",\
+             \"neighbors\":4,\"bytes\":2,\"payload\":\"01ab\"}"
+        );
+    }
+
+    #[test]
+    fn fieldless_events_close_cleanly() {
+        let rec = TraceRecord {
+            seq: 0,
+            at: 0,
+            node: 1,
+            event: TraceEvent::KmErased,
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"km_erased\"}"
+        );
+    }
+
+    #[test]
+    fn payload_accessor() {
+        let p = Bytes::from_static(b"x");
+        assert_eq!(
+            TraceEvent::Rx {
+                from: 0,
+                payload: p.clone()
+            }
+            .payload(),
+            Some(&p)
+        );
+        assert_eq!(TraceEvent::BecameHead.payload(), None);
+    }
+}

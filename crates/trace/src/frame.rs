@@ -1,0 +1,97 @@
+//! Frame-kind classification from the leading wire byte.
+//!
+//! `wsn-trace` sits below `wsn-core` in the dependency graph, so it
+//! cannot call the real codec; instead it mirrors the protocol's
+//! type-byte constants. A test inside `wsn-core::msg` asserts the two
+//! stay in lockstep.
+
+/// Protocol phase a transmitted frame belongs to, judged by its first
+/// byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FrameKind {
+    /// Cluster-head announcement (`T_HELLO`).
+    Hello,
+    /// Inter-cluster key advert (`T_LINK`).
+    LinkAdvert,
+    /// Hop-by-hop wrapped data (`T_WRAPPED`).
+    Wrapped,
+    /// One-shot revocation (`T_REVOKE`).
+    Revoke,
+    /// Two-phase revocation announce (`T_REVOKE_ANNOUNCE`).
+    RevokeAnnounce,
+    /// Two-phase revocation reveal (`T_REVOKE_REVEAL`).
+    RevokeReveal,
+    /// Late-join request (`T_JOIN_REQ`).
+    JoinRequest,
+    /// Late-join response (`T_JOIN_RESP`).
+    JoinResponse,
+    /// Empty frame or a type byte the protocol does not define.
+    Unknown,
+}
+
+impl FrameKind {
+    /// All kinds a well-formed frame can classify to, in wire-byte
+    /// order. Excludes [`FrameKind::Unknown`].
+    pub const KNOWN: [FrameKind; 8] = [
+        FrameKind::Hello,
+        FrameKind::LinkAdvert,
+        FrameKind::Wrapped,
+        FrameKind::Revoke,
+        FrameKind::JoinRequest,
+        FrameKind::JoinResponse,
+        FrameKind::RevokeAnnounce,
+        FrameKind::RevokeReveal,
+    ];
+
+    /// Classifies a frame by its leading byte.
+    pub fn classify(frame: &[u8]) -> FrameKind {
+        match frame.first() {
+            Some(0x01) => FrameKind::Hello,
+            Some(0x02) => FrameKind::LinkAdvert,
+            Some(0x03) => FrameKind::Wrapped,
+            Some(0x04) => FrameKind::Revoke,
+            Some(0x05) => FrameKind::JoinRequest,
+            Some(0x06) => FrameKind::JoinResponse,
+            Some(0x07) => FrameKind::RevokeAnnounce,
+            Some(0x08) => FrameKind::RevokeReveal,
+            _ => FrameKind::Unknown,
+        }
+    }
+
+    /// Stable lowercase label, used in timeline tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FrameKind::Hello => "hello",
+            FrameKind::LinkAdvert => "link_advert",
+            FrameKind::Wrapped => "wrapped",
+            FrameKind::Revoke => "revoke",
+            FrameKind::RevokeAnnounce => "revoke_announce",
+            FrameKind::RevokeReveal => "revoke_reveal",
+            FrameKind::JoinRequest => "join_request",
+            FrameKind::JoinResponse => "join_response",
+            FrameKind::Unknown => "unknown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FrameKind;
+
+    #[test]
+    fn classification_by_first_byte() {
+        assert_eq!(FrameKind::classify(&[0x01, 0xFF]), FrameKind::Hello);
+        assert_eq!(FrameKind::classify(&[0x03]), FrameKind::Wrapped);
+        assert_eq!(FrameKind::classify(&[0x08]), FrameKind::RevokeReveal);
+        assert_eq!(FrameKind::classify(&[]), FrameKind::Unknown);
+        assert_eq!(FrameKind::classify(&[0x99]), FrameKind::Unknown);
+    }
+
+    #[test]
+    fn known_kinds_have_distinct_labels() {
+        let mut labels: Vec<_> = FrameKind::KNOWN.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), FrameKind::KNOWN.len());
+    }
+}

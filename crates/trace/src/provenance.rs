@@ -1,0 +1,149 @@
+//! Run-provenance manifests: which run produced which output.
+//!
+//! Every figure/table the bench harness emits gets a sidecar JSON
+//! manifest stating the exact seed, trial count, configuration, crate
+//! version, and a digest of the emitted bytes — enough to reproduce or
+//! disown any result file in `target/figures/`.
+
+use std::fmt::Write as _;
+
+/// FNV-1a 64-bit digest, the workspace's standard cheap content hash.
+pub fn fnv1a_64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Provenance for one emitted artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// Name of the artifact this manifest describes (e.g. the figure
+    /// table name).
+    pub artifact: String,
+    /// Version of the producing crate (`CARGO_PKG_VERSION`).
+    pub version: String,
+    /// Master seed every trial seed derives from.
+    pub master_seed: u64,
+    /// Number of trials aggregated into the artifact.
+    pub trials: u32,
+    /// Free-form configuration key/value pairs (n, density, …).
+    pub config: Vec<(String, String)>,
+    /// FNV-1a digest of the artifact's bytes, hex-encoded in JSON.
+    pub content_digest: u64,
+}
+
+impl RunManifest {
+    /// Starts a manifest for `artifact` produced by `version`.
+    pub fn new(artifact: impl Into<String>, version: impl Into<String>) -> Self {
+        RunManifest {
+            artifact: artifact.into(),
+            version: version.into(),
+            master_seed: 0,
+            trials: 0,
+            config: Vec::new(),
+            content_digest: 0,
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, master_seed: u64) -> Self {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Sets the trial count.
+    pub fn trials(mut self, trials: u32) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Appends one configuration pair.
+    pub fn config(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.config.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Digests the artifact's bytes into the manifest.
+    pub fn digest_of(mut self, artifact_bytes: &[u8]) -> Self {
+        self.content_digest = fnv1a_64(artifact_bytes);
+        self
+    }
+
+    /// Renders the manifest as one pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"artifact\": \"{}\",", escape(&self.artifact));
+        let _ = writeln!(s, "  \"version\": \"{}\",", escape(&self.version));
+        let _ = writeln!(s, "  \"master_seed\": {},", self.master_seed);
+        let _ = writeln!(s, "  \"trials\": {},", self.trials);
+        s.push_str("  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\": \"{}\"", escape(k), escape(v));
+        }
+        s.push_str("},\n");
+        let _ = writeln!(s, "  \"content_digest\": \"{:016x}\"", self.content_digest);
+        s.push('}');
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_F739_67E8);
+    }
+
+    #[test]
+    fn manifest_json_roundtrip_fields() {
+        let m = RunManifest::new("fig1-cluster-sizes", "0.1.0")
+            .seed(2005)
+            .trials(10)
+            .config("n", 2500)
+            .config("density", 10.0)
+            .digest_of(b"x,y\n1,2\n");
+        let json = m.to_json();
+        assert!(json.contains("\"artifact\": \"fig1-cluster-sizes\""));
+        assert!(json.contains("\"master_seed\": 2005"));
+        assert!(json.contains("\"trials\": 10"));
+        assert!(json.contains("\"n\": \"2500\""));
+        assert!(json.contains(&format!("{:016x}", fnv1a_64(b"x,y\n1,2\n"))));
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

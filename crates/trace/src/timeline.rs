@@ -1,0 +1,262 @@
+//! Post-hoc protocol timeline reconstruction from a trace.
+//!
+//! Feed the chronological record stream of one simulation run into
+//! [`Timeline::reconstruct`] and get back the story of the run: who
+//! elected themselves and when, who joined whom, how many frames of
+//! each protocol kind crossed the air, per-node radio activity, and a
+//! time-to-convergence histogram suitable for figure plotting.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::frame::FrameKind;
+use crate::{NodeId, SimTime};
+use std::collections::BTreeMap;
+use wsn_metrics::histogram::Histogram;
+
+/// Convergence-histogram bucket width: 100 virtual milliseconds.
+pub const CONVERGENCE_BUCKET_US: u64 = 100_000;
+
+/// Per-node radio activity totals, reconstructed purely from trace
+/// records. Matches the simulator's own `Counters` when the trace is
+/// complete.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeActivity {
+    /// Broadcast transmissions performed.
+    pub tx_broadcast: u64,
+    /// Unicast transmissions performed.
+    pub tx_unicast: u64,
+    /// Frames delivered to the application.
+    pub rx: u64,
+    /// Frames lost in the channel on the way to this node.
+    pub dropped: u64,
+}
+
+impl NodeActivity {
+    /// Total transmissions of either flavor.
+    pub fn tx_total(&self) -> u64 {
+        self.tx_broadcast + self.tx_unicast
+    }
+}
+
+/// The reconstructed story of one traced run.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    /// `(when, node)` for every self-election, in emission order.
+    pub election_order: Vec<(SimTime, NodeId)>,
+    /// Final cluster membership: node → head it settled on. Heads map
+    /// to themselves.
+    pub membership: BTreeMap<NodeId, NodeId>,
+    /// When each node converged (became a head or joined a cluster,
+    /// whichever happened last for that node).
+    pub converged_at: BTreeMap<NodeId, SimTime>,
+    /// Transmitted frames per protocol kind (broadcasts and unicasts).
+    pub frames_by_kind: BTreeMap<FrameKind, u64>,
+    /// Radio activity per node.
+    pub activity: BTreeMap<NodeId, NodeActivity>,
+    /// Number of `LinkStored` events (inter-cluster keys learned).
+    pub links_stored: u64,
+    /// Number of `KmErased` events.
+    pub km_erasures: u64,
+    /// Virtual time of the last record in the trace.
+    pub end_time: SimTime,
+}
+
+impl Timeline {
+    /// Rebuilds the timeline from records of one run.
+    ///
+    /// Records may arrive in any order; they are sorted by sequence
+    /// number first, so both `MemorySink::chronological()` output and
+    /// raw per-node buffers work.
+    pub fn reconstruct(records: &[TraceRecord]) -> Timeline {
+        let mut ordered: Vec<&TraceRecord> = records.iter().collect();
+        ordered.sort_by_key(|r| r.seq);
+
+        let mut tl = Timeline::default();
+        for rec in ordered {
+            tl.end_time = tl.end_time.max(rec.at);
+            match &rec.event {
+                TraceEvent::BecameHead => {
+                    tl.election_order.push((rec.at, rec.node));
+                    tl.membership.insert(rec.node, rec.node);
+                    tl.converged_at.insert(rec.node, rec.at);
+                }
+                TraceEvent::ClusterJoined { head } => {
+                    tl.membership.insert(rec.node, *head);
+                    tl.converged_at.insert(rec.node, rec.at);
+                }
+                TraceEvent::JoinCompleted { cid } => {
+                    tl.membership.insert(rec.node, *cid);
+                    tl.converged_at.insert(rec.node, rec.at);
+                }
+                TraceEvent::TxBroadcast { payload, .. } => {
+                    *tl.frames_by_kind
+                        .entry(FrameKind::classify(payload))
+                        .or_insert(0) += 1;
+                    tl.activity.entry(rec.node).or_default().tx_broadcast += 1;
+                }
+                TraceEvent::TxUnicast { payload, .. } => {
+                    *tl.frames_by_kind
+                        .entry(FrameKind::classify(payload))
+                        .or_insert(0) += 1;
+                    tl.activity.entry(rec.node).or_default().tx_unicast += 1;
+                }
+                TraceEvent::Rx { .. } => {
+                    tl.activity.entry(rec.node).or_default().rx += 1;
+                }
+                TraceEvent::RadioDrop { .. } | TraceEvent::Collision { .. } => {
+                    tl.activity.entry(rec.node).or_default().dropped += 1;
+                }
+                TraceEvent::LinkStored { .. } => tl.links_stored += 1,
+                TraceEvent::KmErased => tl.km_erasures += 1,
+                _ => {}
+            }
+        }
+        tl
+    }
+
+    /// Number of distinct cluster heads observed.
+    pub fn n_heads(&self) -> usize {
+        self.election_order
+            .iter()
+            .map(|&(_, n)| n)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    }
+
+    /// Transmitted frames of one protocol kind.
+    pub fn frames(&self, kind: FrameKind) -> u64 {
+        self.frames_by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Latest convergence instant across all nodes (None if nothing
+    /// converged).
+    pub fn time_to_convergence(&self) -> Option<SimTime> {
+        self.converged_at.values().copied().max()
+    }
+
+    /// Histogram of per-node convergence times, bucketed in units of
+    /// [`CONVERGENCE_BUCKET_US`] (100 ms of virtual time per bucket).
+    pub fn convergence_histogram(&self) -> Histogram {
+        Histogram::from_iter(
+            self.converged_at
+                .values()
+                .map(|&t| (t / CONVERGENCE_BUCKET_US) as usize),
+        )
+    }
+
+    /// Cluster sizes (head → member count, heads count themselves).
+    pub fn cluster_sizes(&self) -> BTreeMap<NodeId, usize> {
+        let mut sizes: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for &head in self.membership.values() {
+            *sizes.entry(head).or_insert(0) += 1;
+        }
+        sizes
+    }
+
+    /// Renders a compact human-readable summary, used by examples and
+    /// the README walkthrough.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "timeline: {} node(s) converged, {} head(s), end at {} µs",
+            self.membership.len(),
+            self.n_heads(),
+            self.end_time
+        );
+        if let Some(t) = self.time_to_convergence() {
+            let _ = writeln!(s, "  time-to-convergence: {} µs", t);
+        }
+        let _ = writeln!(s, "  links stored: {}", self.links_stored);
+        let _ = writeln!(s, "  Km erasures: {}", self.km_erasures);
+        for (kind, count) in &self.frames_by_kind {
+            let _ = writeln!(s, "  frames[{}]: {}", kind.label(), count);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn rec(seq: u64, at: SimTime, node: NodeId, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            seq,
+            at,
+            node,
+            event,
+        }
+    }
+
+    #[test]
+    fn reconstructs_election_and_membership() {
+        let records = vec![
+            rec(0, 100, 1, TraceEvent::BecameHead),
+            rec(
+                1,
+                100,
+                1,
+                TraceEvent::TxBroadcast {
+                    payload: Bytes::from_static(&[0x01, 0x00]),
+                    neighbors: 2,
+                },
+            ),
+            rec(
+                2,
+                150,
+                2,
+                TraceEvent::Rx {
+                    from: 1,
+                    payload: Bytes::from_static(&[0x01, 0x00]),
+                },
+            ),
+            rec(3, 150, 2, TraceEvent::ClusterJoined { head: 1 }),
+            rec(4, 400, 3, TraceEvent::BecameHead),
+        ];
+        let tl = Timeline::reconstruct(&records);
+        assert_eq!(tl.election_order, vec![(100, 1), (400, 3)]);
+        assert_eq!(tl.n_heads(), 2);
+        assert_eq!(tl.membership.get(&2), Some(&1));
+        assert_eq!(tl.frames(FrameKind::Hello), 1);
+        assert_eq!(tl.cluster_sizes().get(&1), Some(&2));
+        assert_eq!(tl.time_to_convergence(), Some(400));
+        assert_eq!(tl.end_time, 400);
+        let act = tl.activity.get(&1).unwrap();
+        assert_eq!(act.tx_broadcast, 1);
+        assert_eq!(tl.activity.get(&2).unwrap().rx, 1);
+    }
+
+    #[test]
+    fn order_insensitive_input() {
+        let a = rec(0, 10, 5, TraceEvent::BecameHead);
+        let b = rec(1, 20, 5, TraceEvent::ClusterJoined { head: 9 });
+        let forward = Timeline::reconstruct(&[a.clone(), b.clone()]);
+        let backward = Timeline::reconstruct(&[b, a]);
+        // Later event wins membership either way, because records are
+        // re-sorted by seq.
+        assert_eq!(forward.membership.get(&5), Some(&9));
+        assert_eq!(backward.membership.get(&5), Some(&9));
+    }
+
+    #[test]
+    fn convergence_histogram_buckets_100ms() {
+        let records = vec![
+            rec(0, 50_000, 1, TraceEvent::BecameHead),
+            rec(1, 150_000, 2, TraceEvent::ClusterJoined { head: 1 }),
+            rec(2, 950_000, 3, TraceEvent::ClusterJoined { head: 1 }),
+        ];
+        let h = Timeline::reconstruct(&records).convergence_histogram();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(9), 1);
+    }
+
+    #[test]
+    fn summary_mentions_heads() {
+        let tl = Timeline::reconstruct(&[rec(0, 1, 1, TraceEvent::BecameHead)]);
+        assert!(tl.summary().contains("1 head(s)"));
+    }
+}

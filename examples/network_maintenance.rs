@@ -63,13 +63,10 @@ fn main() {
     // Beacons refresh the gradient over the changed topology; a newcomer
     // reports home.
     outcome.handle.establish_gradient();
-    if let Some(&newbie) = new_ids
-        .iter()
-        .find(|&&id| {
-            outcome.handle.sensor(id).role() == Role::Member
-                && outcome.handle.sensor(id).hops_to_bs() != u32::MAX
-        })
-    {
+    if let Some(&newbie) = new_ids.iter().find(|&&id| {
+        outcome.handle.sensor(id).role() == Role::Member
+            && outcome.handle.sensor(id).hops_to_bs() != u32::MAX
+    }) {
         outcome
             .handle
             .send_reading(newbie, b"newcomer checking in".to_vec(), true);
@@ -87,8 +84,10 @@ fn main() {
         .handle
         .sensor_ids()
         .into_iter()
-        .filter(|&id| outcome.handle.sensor(id).role() == Role::Member
-            || outcome.handle.sensor(id).role() == Role::Head)
+        .filter(|&id| {
+            outcome.handle.sensor(id).role() == Role::Member
+                || outcome.handle.sensor(id).role() == Role::Head
+        })
         .map(|id| outcome.handle.sensor(id).epoch())
         .collect();
     println!("\nepochs present in the network: {epochs:?}");

@@ -62,9 +62,11 @@ fn main() {
     // cluster's key iff it has a radio neighbor in that cluster.
     for id in handle.sensor_ids() {
         for cid in handle.sensor(id).neighbor_cids() {
-            let witness = topo.neighbors(id).iter().any(|&nbr| {
-                nbr != 0 && handle.sensor(nbr).cid() == Some(cid)
-            }) || (cid == 0 && topo.neighbors(id).contains(&0));
+            let witness = topo
+                .neighbors(id)
+                .iter()
+                .any(|&nbr| nbr != 0 && handle.sensor(nbr).cid() == Some(cid))
+                || (cid == 0 && topo.neighbors(id).contains(&0));
             assert!(witness, "node {id}: S contains {cid} without a witness");
         }
     }

@@ -1,12 +1,12 @@
 //! The scheme-comparison table, asserted: the qualitative orderings the
 //! paper's Sections II–III claim must hold on a concrete topology.
 
+use wsn_baselines::evaluate;
 use wsn_baselines::global_key::GlobalKey;
 use wsn_baselines::leap::Leap;
 use wsn_baselines::ours::OursAdapter;
 use wsn_baselines::pairwise::FullPairwise;
 use wsn_baselines::random_predist::EgScheme;
-use wsn_baselines::evaluate;
 use wsn_core::prelude::*;
 
 struct Bench {
@@ -63,7 +63,10 @@ fn broadcast_cost_ordering() {
     let leap = evaluate(&Leap, topo, 0);
     let eg_row = evaluate(&eg, topo, 0);
     let pw = evaluate(&FullPairwise, topo, 0);
-    assert_eq!(ours.mean_broadcast_tx, 1.0, "one transmission per broadcast");
+    assert_eq!(
+        ours.mean_broadcast_tx, 1.0,
+        "one transmission per broadcast"
+    );
     assert_eq!(leap.mean_broadcast_tx, 1.0);
     assert!(
         eg_row.mean_broadcast_tx > 1.5,

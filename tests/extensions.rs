@@ -125,7 +125,9 @@ fn autonomous_refresh_rolls_the_whole_network_in_lockstep() {
     // And the network still works at epoch 3.
     o.handle.establish_gradient();
     let src = o.handle.sensor_ids()[11];
-    let n = o.handle.send_reading(src, b"epoch-3 traffic".to_vec(), true);
+    let n = o
+        .handle
+        .send_reading(src, b"epoch-3 traffic".to_vec(), true);
     assert_eq!(n, 1);
 }
 

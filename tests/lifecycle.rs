@@ -64,8 +64,7 @@ fn key_set_s_matches_neighboring_clusters() {
     for id in handle.sensor_ids() {
         let node = handle.sensor(id);
         let own = node.cid().unwrap();
-        let in_s: std::collections::HashSet<u32> =
-            node.neighbor_cids().into_iter().collect();
+        let in_s: std::collections::HashSet<u32> = node.neighbor_cids().into_iter().collect();
         // Completeness: every neighboring sensor's cluster is either our
         // own or in S (no radio loss in this test).
         for &nbr in topo.neighbors(id) {
@@ -85,8 +84,7 @@ fn key_set_s_matches_neighboring_clusters() {
         // cluster) — or is the base station's singleton cluster.
         for cid in &in_s {
             let has_witness = topo.neighbors(id).iter().any(|&nbr| {
-                (nbr == 0 && *cid == 0)
-                    || (nbr != 0 && handle.sensor(nbr).cid() == Some(*cid))
+                (nbr == 0 && *cid == 0) || (nbr != 0 && handle.sensor(nbr).cid() == Some(*cid))
             });
             assert!(
                 has_witness,
@@ -146,7 +144,9 @@ fn sealed_reading_reaches_base_station_intact() {
         .unwrap();
     assert!(dist[far as usize] >= 2, "want a multi-hop scenario");
 
-    let n = outcome.handle.send_reading(far, b"temp=21.5C".to_vec(), true);
+    let n = outcome
+        .handle
+        .send_reading(far, b"temp=21.5C".to_vec(), true);
     assert_eq!(n, 1, "BS should have exactly one reading");
     let reading = &outcome.handle.bs().received[0];
     assert_eq!(reading.src, far);

@@ -1,0 +1,332 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the API subset this workspace uses: the [`RngCore`] /
+//! [`SeedableRng`] / [`Rng`] traits and [`rngs::StdRng`]. The generator
+//! is xoshiro256++ seeded through SplitMix64 — fast, high-quality, and
+//! fully deterministic for a given seed, which is all the simulator
+//! requires. Streams differ from upstream `rand`'s ChaCha12-based
+//! `StdRng`; seed-sensitive tests are tuned against this generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// exactly like upstream `rand` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 (upstream's seed-expansion function).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Marker for types samplable uniformly from raw bits — backs
+/// [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → [0, 1), matching upstream Standard.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// A range samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Uniform value in `[0, span)` by rejection sampling (no modulo bias).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = (u64::MAX / span) * span;
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+/// High-level convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value of a primitive type ([0, 1) for floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform value in `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        f64::sample(self) < p
+    }
+
+    /// Fills `dest` with uniform bytes (alias for
+    /// [`RngCore::fill_bytes`] kept for API parity).
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the same stream as upstream `rand`'s ChaCha12 `StdRng`; the
+    /// workspace only relies on determinism for a given seed, not on a
+    /// particular stream.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step (Blackman & Vigna).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // An all-zero state would be a fixed point; nudge it.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+        for _ in 0..1_000 {
+            let v = rng.gen_range(5u64..6);
+            assert_eq!(v, 5);
+        }
+        for _ in 0..1_000 {
+            let v = rng.gen_range(1u32..=3);
+            assert!((1..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+}
