@@ -1,0 +1,124 @@
+//! Adversary × fault-plan composition: attacks timed against faults.
+//!
+//! §VI analyzes each attack against a *healthy* network. The sharper
+//! question is whether the mitigations still hold when the attack lands
+//! at the network's weakest moment — e.g. a HELLO flood fired the
+//! instant a partition heals, while clusters on both sides of the cut
+//! are reconciling state. This module stages a refresh-phase HELLO
+//! flood inside a running [`FaultPlan`], letting the chaos engine own
+//! the clock so frames, faults and protocol traffic interleave at their
+//! scheduled virtual times.
+
+use crate::hello_flood::{HelloFloodReport, ATTACKER_ID};
+use wsn_chaos::{run_plan, ChaosReport, FaultPlan};
+use wsn_core::forward::wrap;
+use wsn_core::msg::Inner;
+use wsn_core::setup::NetworkHandle;
+use wsn_crypto::Key128;
+use wsn_sim::event::SimTime;
+
+/// Stages `frames` forged `RefreshHello`s under the victim's captured
+/// cluster key, first frame landing `flood_at` µs from now, **without**
+/// running the simulation; then runs `plan` for `horizon` µs so the
+/// flood detonates mid-faults. Returns the flood outcome (nodes outside
+/// the captured cluster that adopted the attacker's key) and what the
+/// fault engine applied.
+///
+/// Timing the flood at a partition's heal offset is the intended use:
+/// the attacker exploits the reconciliation window, and containment
+/// must hold anyway.
+pub fn flood_under_faults(
+    handle: &mut NetworkHandle,
+    victim: u32,
+    frames: usize,
+    flood_at: SimTime,
+    plan: &FaultPlan,
+    horizon: SimTime,
+) -> (HelloFloodReport, ChaosReport) {
+    let attacker_key = Key128::from_bytes([0xAD; 16]);
+    let captured = handle.sensor(victim).extract_keys().cluster;
+    let mut injected = 0;
+    if let Some((cid, kc)) = captured {
+        let epoch = handle.sensor(victim).epoch() + 1;
+        let now = handle.sim().now();
+        for k in 0..frames {
+            // Stamped at its own delivery time so freshness checks pass:
+            // the forgery is cryptographically flawless, only its cluster
+            // scope betrays it.
+            let msg = wrap(
+                &kc,
+                cid,
+                ATTACKER_ID,
+                0xB000_0000 + k as u64,
+                now + flood_at,
+                1,
+                &Inner::RefreshHello {
+                    epoch,
+                    new_kc: attacker_key,
+                },
+            );
+            handle.sim_mut().inject_broadcast_at(
+                victim,
+                ATTACKER_ID,
+                flood_at + k as u64,
+                msg.encode(),
+            );
+            injected += 1;
+        }
+    }
+    let chaos = run_plan(handle, plan, horizon);
+    let suborned = match captured {
+        None => 0,
+        Some((cid, _)) => handle
+            .sensor_ids()
+            .into_iter()
+            .filter(|&id| {
+                let s = handle.sensor(id);
+                s.cid() != Some(cid)
+                    && s.extract_keys()
+                        .cluster
+                        .is_some_and(|(_, k)| k == attacker_key)
+            })
+            .count(),
+    };
+    (
+        HelloFloodReport {
+            injected,
+            suborned,
+            auth_drops: 0,
+        },
+        chaos,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_core::config::{ProtocolConfig, RefreshMode};
+    use wsn_core::setup::{run_setup, SetupParams};
+
+    #[test]
+    fn heal_timed_flood_stays_contained() {
+        let outcome = run_setup(&SetupParams {
+            n: 300,
+            density: 12.0,
+            seed: 11,
+            cfg: ProtocolConfig::default().with_refresh_mode(RefreshMode::Recluster),
+        });
+        let mut handle = outcome.handle;
+        let victim = handle.sensor_ids()[40];
+        // Cut the field in half, heal at 600 ms, and fire the flood at
+        // the heal instant — the reconciliation window.
+        let plan = FaultPlan::new(11)
+            .partition_at(50_000, 0.5)
+            .heal_at(600_000);
+        let (flood, chaos) = flood_under_faults(&mut handle, victim, 40, 600_000, &plan, 1_500_000);
+        assert_eq!(chaos.partitions, 1);
+        assert_eq!(chaos.heals, 1);
+        assert_eq!(flood.injected, 40);
+        assert_eq!(
+            flood.suborned, 0,
+            "constrained refresh must contain the flood even at heal time"
+        );
+    }
+}

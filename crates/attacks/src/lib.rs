@@ -23,11 +23,15 @@
 //!   confidential without the source's `Ki`.
 //! * [`sybil`] — forged identities: without a registered `Ki` the base
 //!   station refuses the Sybil's readings.
+//! * [`chaos_flood`] — attacks composed with `wsn-chaos` fault plans:
+//!   the HELLO flood fired at a partition's heal instant, when the
+//!   network is at its most confused, must stay contained anyway.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod capture;
+pub mod chaos_flood;
 pub mod eavesdrop;
 pub mod hello_flood;
 pub mod replay;

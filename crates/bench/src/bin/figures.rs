@@ -18,6 +18,7 @@ use wsn_bench::figures::{
     default_trials, fig1_cluster_size_distribution, fig1_table, fig6_keys_per_node,
     fig7_cluster_size, fig8_head_fraction, fig9_setup_messages, scale_invariance, series_table,
 };
+use wsn_bench::resilience::{resilience_rows, resilience_table};
 use wsn_bench::security::{cost_table, hello_flood_table, resilience_sweep, ResilienceParams};
 use wsn_bench::MASTER_SEED;
 use wsn_metrics::{Series, Table};
@@ -170,7 +171,23 @@ fn run_energy() {
     );
 }
 
-const KNOWN: [&str; 10] = [
+fn run_resilience(trials: usize) {
+    println!("# Resilience under faults — delivery and re-key convergence vs fault intensity ({trials} trials)\n");
+    let rows = resilience_rows(trials);
+    emit_table("resilience", &resilience_table(&rows), trials);
+    if let Some(worst) = rows.last() {
+        println!(
+            "at intensity {} ({:.0} faults/trial): delivery {:.1}%, current keys ours {:.1}% vs global-key {:.1}%\n",
+            worst.intensity,
+            worst.faults_per_trial,
+            worst.delivery_ratio * 100.0,
+            worst.ours_current * 100.0,
+            worst.global_key_current * 100.0,
+        );
+    }
+}
+
+const KNOWN: [&str; 11] = [
     "all",
     "fig1",
     "fig6",
@@ -181,6 +198,7 @@ const KNOWN: [&str; 10] = [
     "security",
     "ablations",
     "energy",
+    "resilience",
 ];
 
 fn main() {
@@ -250,6 +268,9 @@ fn main() {
     }
     if want("energy") {
         run_energy();
+    }
+    if want("resilience") {
+        run_resilience(trials.min(5));
     }
     println!("done.");
 }

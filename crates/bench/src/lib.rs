@@ -16,6 +16,7 @@
 pub mod ablations;
 pub mod energy;
 pub mod figures;
+pub mod resilience;
 pub mod security;
 
 /// The density sweep used throughout the paper's Section V

@@ -1,0 +1,249 @@
+//! The interpreter: applies a [`FaultPlan`] to a live network.
+//!
+//! [`run_plan`] alternates `run_until` windows with fault applications,
+//! so protocol traffic and faults interleave on the virtual clock
+//! exactly as scheduled. All fault times are *offsets from the moment
+//! the engine starts*, which is usually right after key setup.
+//!
+//! Battery budgets are checked on a fixed virtual-time grid (the plan's
+//! poll interval), never on wall-clock or event-count heuristics, so a
+//! depletion death lands at the same virtual instant on every replay.
+
+use crate::gilbert::GilbertElliott;
+use crate::plan::{FaultPlan, FaultSpec};
+use std::collections::{HashMap, HashSet};
+use wsn_core::setup::NetworkHandle;
+use wsn_sim::event::SimTime;
+use wsn_sim::node::NodeId;
+use wsn_trace::{FaultKind, TraceEvent};
+
+/// What the engine actually did over its window.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// Scheduled crashes applied (state-retained + wiped).
+    pub crashes: u32,
+    /// Reboots applied.
+    pub reboots: u32,
+    /// Battery-depletion deaths.
+    pub battery_deaths: u32,
+    /// Channel swaps to burst loss.
+    pub bursts: u32,
+    /// Partitions imposed.
+    pub partitions: u32,
+    /// Partitions healed.
+    pub heals: u32,
+    /// Nodes whose clocks were perturbed.
+    pub drifted_nodes: u32,
+    /// Scheduled key-refresh epochs performed (not faults).
+    pub refreshes: u32,
+    /// Nodes still powered off when the window closed.
+    pub down_at_end: Vec<NodeId>,
+}
+
+impl ChaosReport {
+    /// Total faults applied, for quick intensity summaries.
+    pub fn total_faults(&self) -> u32 {
+        self.crashes
+            + self.reboots
+            + self.battery_deaths
+            + self.bursts
+            + self.partitions
+            + self.heals
+            + u32::from(self.drifted_nodes > 0)
+    }
+}
+
+/// Runs `handle`'s network for `horizon` µs of virtual time, applying
+/// `plan`'s faults at their scheduled offsets. Returns what was applied.
+///
+/// With an empty plan this is exactly `sim.run_until(now + horizon)` —
+/// no extra RNG draws, no trace events, no behavioral difference from
+/// an un-instrumented run.
+pub fn run_plan(handle: &mut NetworkHandle, plan: &FaultPlan, horizon: SimTime) -> ChaosReport {
+    let t0 = handle.sim_mut().now();
+    let end = t0 + horizon;
+    let mut report = ChaosReport::default();
+
+    if plan.is_empty() {
+        handle.sim_mut().run_until(end);
+        return report;
+    }
+
+    let faults = plan.faults();
+    let mut next_fault = 0usize;
+    // How each down node crashed, so its reboot knows whether to wipe.
+    let mut wipe_kind: HashMap<NodeId, bool> = HashMap::new();
+    // Battery-dead nodes stay dead: a scheduled reboot cannot revive them.
+    let mut battery_dead: HashSet<NodeId> = HashSet::new();
+    let poll = plan.battery_poll_us();
+    let mut next_poll = if plan.batteries().is_empty() {
+        None
+    } else {
+        Some(t0 + poll)
+    };
+
+    loop {
+        let fault_t = faults.get(next_fault).map(|f| t0 + f.at);
+        let step_t = match (fault_t, next_poll) {
+            (Some(f), Some(p)) => f.min(p),
+            (Some(f), None) => f,
+            (None, Some(p)) => p,
+            (None, None) => break,
+        };
+        if step_t > end {
+            break;
+        }
+        handle.sim_mut().run_until(step_t);
+        if next_poll == Some(step_t) {
+            check_batteries(handle, plan, &mut battery_dead, &mut report);
+            next_poll = Some(step_t + poll);
+        }
+        while faults.get(next_fault).is_some_and(|f| t0 + f.at == step_t) {
+            apply(
+                handle,
+                plan,
+                &faults[next_fault].spec,
+                &mut wipe_kind,
+                &battery_dead,
+                &mut report,
+            );
+            next_fault += 1;
+        }
+    }
+
+    handle.sim_mut().run_until(end);
+    if !plan.batteries().is_empty() {
+        check_batteries(handle, plan, &mut battery_dead, &mut report);
+    }
+    report.down_at_end = (0..handle.sim().topology().n() as NodeId)
+        .filter(|&id| !handle.node_is_up(id))
+        .collect();
+    report
+}
+
+fn check_batteries(
+    handle: &mut NetworkHandle,
+    plan: &FaultPlan,
+    battery_dead: &mut HashSet<NodeId>,
+    report: &mut ChaosReport,
+) {
+    for b in plan.batteries() {
+        if battery_dead.contains(&b.node) || !handle.node_is_up(b.node) {
+            continue;
+        }
+        let spent = handle.sim().counters().energy[b.node as usize].total_uj();
+        if spent >= b.budget_uj {
+            handle.sim_mut().trace_record(
+                b.node,
+                TraceEvent::FaultInjected {
+                    fault: FaultKind::BatteryDeath,
+                },
+            );
+            handle.crash_node(b.node);
+            battery_dead.insert(b.node);
+            report.battery_deaths += 1;
+        }
+    }
+}
+
+fn apply(
+    handle: &mut NetworkHandle,
+    plan: &FaultPlan,
+    spec: &FaultSpec,
+    wipe_kind: &mut HashMap<NodeId, bool>,
+    battery_dead: &HashSet<NodeId>,
+    report: &mut ChaosReport,
+) {
+    match *spec {
+        FaultSpec::Crash { node, wipe } => {
+            if !handle.node_is_up(node) {
+                return; // already down (e.g. battery died first)
+            }
+            handle.sim_mut().trace_record(
+                node,
+                TraceEvent::FaultInjected {
+                    fault: FaultKind::Crash,
+                },
+            );
+            handle.crash_node(node);
+            wipe_kind.insert(node, wipe);
+            report.crashes += 1;
+        }
+        FaultSpec::Reboot { node } => {
+            if handle.node_is_up(node) || battery_dead.contains(&node) {
+                return; // nothing to revive, or battery is flat
+            }
+            handle.sim_mut().trace_record(
+                node,
+                TraceEvent::FaultInjected {
+                    fault: FaultKind::Reboot,
+                },
+            );
+            if wipe_kind.remove(&node).unwrap_or(false) {
+                handle.reboot_node_wiped(node);
+            } else {
+                handle.reboot_node(node);
+            }
+            report.reboots += 1;
+        }
+        FaultSpec::BurstLoss(params) => {
+            handle.sim_mut().trace_record(
+                0,
+                TraceEvent::FaultInjected {
+                    fault: FaultKind::BurstLoss,
+                },
+            );
+            handle
+                .sim_mut()
+                .set_link_process(GilbertElliott::new(params, plan.gilbert_seed()));
+            report.bursts += 1;
+        }
+        FaultSpec::Partition { frac } => {
+            let topo = handle.sim().topology();
+            let cut_x = frac * topo.config().side;
+            let sides: Vec<u8> = (0..topo.n() as NodeId)
+                .map(|i| u8::from(topo.position(i).x >= cut_x))
+                .collect();
+            handle.sim_mut().trace_record(
+                0,
+                TraceEvent::FaultInjected {
+                    fault: FaultKind::Partition,
+                },
+            );
+            handle.sim_mut().set_partition(sides);
+            report.partitions += 1;
+        }
+        FaultSpec::Heal => {
+            handle.sim_mut().trace_record(
+                0,
+                TraceEvent::FaultInjected {
+                    fault: FaultKind::Heal,
+                },
+            );
+            handle.sim_mut().clear_partition();
+            report.heals += 1;
+        }
+        FaultSpec::ClockDrift { spread } => {
+            handle.sim_mut().trace_record(
+                0,
+                TraceEvent::FaultInjected {
+                    fault: FaultKind::ClockDrift,
+                },
+            );
+            let mut rng = plan.drift_rng();
+            let n = handle.sim().topology().n() as NodeId;
+            // Sensors only: the base station is mains-powered with a
+            // disciplined clock in this model.
+            for id in 1..n {
+                use rand::Rng;
+                let factor = 1.0 + rng.gen_range(-spread..spread);
+                handle.sim_mut().set_clock_drift(id, factor);
+            }
+            report.drifted_nodes += n.saturating_sub(1);
+        }
+        FaultSpec::KeyRefresh => {
+            handle.refresh();
+            report.refreshes += 1;
+        }
+    }
+}

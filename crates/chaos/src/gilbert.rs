@@ -1,0 +1,270 @@
+//! Gilbert–Elliott correlated burst loss.
+//!
+//! The classic two-state Markov channel: each link is either in a *good*
+//! or a *bad* state with its own frame-loss rate, and flips between them
+//! with fixed per-delivery transition probabilities. Losses therefore
+//! arrive in bursts — the failure mode that actually kills re-keying
+//! rounds in deployed networks, and one an i.i.d. loss knob cannot
+//! express. With `h_good == h_bad` the state is irrelevant and the
+//! channel degenerates to exactly the i.i.d. model.
+//!
+//! Determinism: every link keeps a private RNG seeded from the process
+//! seed and the link's endpoints, so the drop sequence on a link is a
+//! pure function of (seed, deliveries on that link). The simulator's
+//! main RNG is never touched — swapping this process in perturbs no
+//! protocol timer draws.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use wsn_sim::event::SimTime;
+use wsn_sim::link::LinkProcess;
+use wsn_sim::node::NodeId;
+use wsn_sim::rng::derive_seed;
+
+/// Parameters of the two-state Gilbert–Elliott channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeParams {
+    /// Per-delivery probability of flipping good → bad.
+    pub p_good_to_bad: f64,
+    /// Per-delivery probability of flipping bad → good.
+    pub p_bad_to_good: f64,
+    /// Frame-loss rate while in the good state.
+    pub h_good: f64,
+    /// Frame-loss rate while in the bad state.
+    pub h_bad: f64,
+}
+
+impl GeParams {
+    /// Validated constructor; every probability must lie in `[0, 1]`
+    /// and the chain must be able to leave the bad state.
+    pub fn new(p_good_to_bad: f64, p_bad_to_good: f64, h_good: f64, h_bad: f64) -> Self {
+        for (name, v) in [
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("h_good", h_good),
+            ("h_bad", h_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} out of [0,1]: {v}");
+        }
+        assert!(
+            p_good_to_bad == 0.0 || p_bad_to_good > 0.0,
+            "a reachable bad state must be escapable"
+        );
+        GeParams {
+            p_good_to_bad,
+            p_bad_to_good,
+            h_good,
+            h_bad,
+        }
+    }
+
+    /// A burst profile that keeps the same stationary loss as an i.i.d.
+    /// channel of rate `loss` but concentrates it: good state is clean,
+    /// bad state drops everything, and the chain spends `loss` of its
+    /// time bad with mean burst length `burst_len` deliveries.
+    pub fn bursty(loss: f64, burst_len: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
+        assert!(burst_len >= 1.0, "mean burst length below one delivery");
+        let p_bad_to_good = 1.0 / burst_len;
+        // Stationary π_bad = p_gb / (p_gb + p_bg) = loss.
+        let p_good_to_bad = loss * p_bad_to_good / (1.0 - loss);
+        GeParams::new(p_good_to_bad.min(1.0), p_bad_to_good, 0.0, 1.0)
+    }
+
+    /// Stationary probability of the bad state,
+    /// `p_gb / (p_gb + p_bg)` (0 if the bad state is unreachable).
+    pub fn stationary_bad(&self) -> f64 {
+        let denom = self.p_good_to_bad + self.p_bad_to_good;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.p_good_to_bad / denom
+        }
+    }
+
+    /// Analytic long-run frame-loss rate:
+    /// `π_good · h_good + π_bad · h_bad`.
+    pub fn stationary_loss(&self) -> f64 {
+        let pb = self.stationary_bad();
+        (1.0 - pb) * self.h_good + pb * self.h_bad
+    }
+}
+
+struct LinkState {
+    rng: StdRng,
+    bad: bool,
+}
+
+/// A [`LinkProcess`] running an independent Gilbert–Elliott chain per
+/// directed link, lazily created on first delivery.
+pub struct GilbertElliott {
+    params: GeParams,
+    seed: u64,
+    states: HashMap<(NodeId, NodeId), LinkState>,
+}
+
+impl GilbertElliott {
+    /// A channel with `params` whose per-link streams derive from `seed`.
+    pub fn new(params: GeParams, seed: u64) -> Self {
+        GilbertElliott {
+            params,
+            seed,
+            states: HashMap::new(),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &GeParams {
+        &self.params
+    }
+}
+
+impl LinkProcess for GilbertElliott {
+    fn should_drop(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        _bytes: usize,
+        _now: SimTime,
+        _rng: &mut StdRng,
+    ) -> bool {
+        let params = self.params;
+        let state = self.states.entry((from, to)).or_insert_with(|| {
+            let stream = ((from as u64) << 32) | to as u64;
+            let mut rng = StdRng::seed_from_u64(derive_seed(self.seed, stream));
+            // Start each link in its stationary distribution so the
+            // observed loss rate has no warm-up transient.
+            let bad = rng.gen::<f64>() < params.stationary_bad();
+            LinkState { rng, bad }
+        });
+        let h = if state.bad {
+            params.h_bad
+        } else {
+            params.h_good
+        };
+        let drop = h > 0.0 && state.rng.gen::<f64>() < h;
+        let flip = if state.bad {
+            params.p_bad_to_good
+        } else {
+            params.p_good_to_bad
+        };
+        if flip > 0.0 && state.rng.gen::<f64>() < flip {
+            state.bad = !state.bad;
+        }
+        drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    fn observed_loss(params: GeParams, deliveries: u64) -> f64 {
+        let mut ge = GilbertElliott::new(params, 0xC0FFEE);
+        let mut sim_rng = StdRng::seed_from_u64(5);
+        let dropped = (0..deliveries)
+            .filter(|&i| ge.should_drop(3, 4, 40, i, &mut sim_rng))
+            .count();
+        dropped as f64 / deliveries as f64
+    }
+
+    #[test]
+    fn leaves_simulator_rng_untouched() {
+        let mut ge = GilbertElliott::new(GeParams::bursty(0.3, 8.0), 1);
+        let mut sim_rng = StdRng::seed_from_u64(9);
+        let mut witness = StdRng::seed_from_u64(9);
+        for i in 0..1000 {
+            let _ = ge.should_drop(0, 1, 32, i, &mut sim_rng);
+        }
+        assert_eq!(sim_rng.next_u64(), witness.next_u64());
+    }
+
+    #[test]
+    fn bursty_profile_hits_requested_stationary_loss() {
+        let p = GeParams::bursty(0.25, 10.0);
+        assert!((p.stationary_loss() - 0.25).abs() < 1e-12);
+        assert!((p.stationary_bad() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_rate_matches_analytic() {
+        let p = GeParams::new(0.05, 0.25, 0.02, 0.7);
+        let rate = observed_loss(p, 200_000);
+        assert!(
+            (rate - p.stationary_loss()).abs() < 0.01,
+            "observed {rate}, analytic {}",
+            p.stationary_loss()
+        );
+    }
+
+    #[test]
+    fn losses_are_actually_bursty() {
+        // Compare run-length of consecutive drops against an i.i.d.
+        // channel of the same stationary rate: bursts must be longer.
+        let mean_run = |drops: &[bool]| {
+            let (mut runs, mut total, mut cur) = (0u64, 0u64, 0u64);
+            for &d in drops {
+                if d {
+                    cur += 1;
+                } else if cur > 0 {
+                    runs += 1;
+                    total += cur;
+                    cur = 0;
+                }
+            }
+            if cur > 0 {
+                runs += 1;
+                total += cur;
+            }
+            total as f64 / runs.max(1) as f64
+        };
+        let n = 100_000u64;
+        let mut sim_rng = StdRng::seed_from_u64(2);
+        let mut ge = GilbertElliott::new(GeParams::bursty(0.2, 12.0), 7);
+        let ge_drops: Vec<bool> = (0..n)
+            .map(|i| ge.should_drop(0, 1, 32, i, &mut sim_rng))
+            .collect();
+        let mut iid = wsn_sim::link::IidLoss::new(0.2);
+        let iid_drops: Vec<bool> = (0..n)
+            .map(|i| iid.should_drop(0, 1, 32, i, &mut sim_rng))
+            .collect();
+        assert!(
+            mean_run(&ge_drops) > 2.0 * mean_run(&iid_drops),
+            "GE mean run {} vs iid {}",
+            mean_run(&ge_drops),
+            mean_run(&iid_drops)
+        );
+    }
+
+    #[test]
+    fn per_link_streams_are_independent_of_interleaving() {
+        // Drops on link (1,2) must not depend on traffic on other links.
+        let p = GeParams::bursty(0.3, 5.0);
+        let mut sim_rng = StdRng::seed_from_u64(0);
+        let solo: Vec<bool> = {
+            let mut ge = GilbertElliott::new(p, 99);
+            (0..500)
+                .map(|i| ge.should_drop(1, 2, 16, i, &mut sim_rng))
+                .collect()
+        };
+        let interleaved: Vec<bool> = {
+            let mut ge = GilbertElliott::new(p, 99);
+            let mut out = Vec::new();
+            for i in 0..500 {
+                let _ = ge.should_drop(7, 8, 16, i, &mut sim_rng);
+                out.push(ge.should_drop(1, 2, 16, i, &mut sim_rng));
+                let _ = ge.should_drop(2, 1, 16, i, &mut sim_rng);
+            }
+            out
+        };
+        assert_eq!(solo, interleaved);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inescapable_bad_state_rejected() {
+        let _ = GeParams::new(0.5, 0.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! # wsn-chaos
+//!
+//! A deterministic fault-plan engine for the WSN stack. The paper argues
+//! its protocol "is resilient to node failures and captures" and that
+//! refresh/eviction/addition keep the network serviceable as it ages —
+//! claims the seed experiments only exercised on healthy networks. This
+//! crate supplies the missing adversity: a [`FaultPlan`] schedules
+//! time-anchored faults into a running simulation, and
+//! [`engine::run_plan`] interleaves them with protocol traffic on the
+//! virtual clock.
+//!
+//! Fault vocabulary:
+//!
+//! * **Node churn** — crash (state-retained or state-wiped), reboot, and
+//!   battery-depletion death driven by the simulator's energy meters.
+//!   A state-wiped reboot re-enters the network through the paper's
+//!   §IV-E node-addition path, so churn exercises exactly the join
+//!   machinery the paper claims handles it.
+//! * **Burst loss** — a per-link Gilbert–Elliott two-state channel
+//!   ([`GilbertElliott`]), generalizing the i.i.d. `RadioConfig::loss`
+//!   knob; losses arrive in bursts, the way interference actually does.
+//! * **Partition / heal** — a geometric cut across the deployment that
+//!   silences every link crossing it until healed.
+//! * **Clock drift** — per-node timer-rate perturbation, stressing the
+//!   randomized election and refresh schedules.
+//!
+//! Determinism is the design constraint everything here bends around:
+//! each fault family draws from its own RNG stream derived from the
+//! plan's master seed, never from the simulator's RNG, so adding a fault
+//! plan perturbs no protocol randomness and a fixed master seed replays
+//! byte-identical traces on any worker-thread count. An empty plan is
+//! free: the engine degenerates to a plain `run_until`.
+//!
+//! ```
+//! use wsn_chaos::{run_plan, FaultPlan, GeParams};
+//! use wsn_core::config::ProtocolConfig;
+//! use wsn_core::setup::{run_setup, SetupParams};
+//!
+//! let mut out = run_setup(&SetupParams {
+//!     n: 150,
+//!     density: 12.0,
+//!     seed: 7,
+//!     cfg: ProtocolConfig::default(),
+//! });
+//! let plan = FaultPlan::new(7)
+//!     .crash_at(200_000, 5)          // brown-out, RAM retained
+//!     .reboot_at(900_000, 5)
+//!     .burst_loss_at(0, GeParams::bursty(0.1, 8.0))
+//!     .partition_at(300_000, 0.5)    // cut the field in half...
+//!     .heal_at(700_000);             // ...then let it heal
+//! let report = run_plan(&mut out.handle, &plan, 1_500_000);
+//! assert_eq!(report.crashes, 1);
+//! assert_eq!(report.reboots, 1);
+//! assert!(report.down_at_end.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod gilbert;
+pub mod plan;
+
+pub use engine::{run_plan, ChaosReport};
+pub use gilbert::{GeParams, GilbertElliott};
+pub use plan::{BatteryBudget, Fault, FaultPlan, FaultSpec};

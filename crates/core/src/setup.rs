@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use wsn_crypto::drbg::HmacDrbg;
 use wsn_crypto::Key128;
+use wsn_sim::event::SimTime;
 use wsn_sim::geom::Point;
 use wsn_sim::net::{Counters, Simulator};
 use wsn_sim::radio::RadioConfig;
@@ -215,12 +216,28 @@ impl NetworkHandle {
         self.bs().received.len()
     }
 
+    /// Queues a reading at `src` to be transmitted `delay` µs from now
+    /// *without* running the simulation — for experiments that interleave
+    /// traffic with faults and let an outer driver (the chaos engine) own
+    /// the clock. If `src` is powered off when the timer would fire, the
+    /// reading is lost, as it would be in the field.
+    pub fn queue_reading_at(&mut self, src: u32, data: Vec<u8>, sealed: bool, delay: SimTime) {
+        self.sensor_mut(src)
+            .queue_reading(PendingReading { data, sealed });
+        self.sim.schedule_timer(src, TIMER_SEND, delay);
+    }
+
     /// Performs one key-refresh epoch according to the configured
-    /// [`RefreshMode`].
+    /// [`RefreshMode`]. Powered-off nodes are skipped — a crashed node
+    /// misses the epoch and wakes up with stale keys, which is exactly
+    /// the hazard the reboot paths must survive.
     pub fn refresh(&mut self) {
         match self.cfg.refresh_mode {
             RefreshMode::Hash => {
                 for id in 0..self.sim.topology().n() as u32 {
+                    if !self.sim.node_is_up(id) {
+                        continue;
+                    }
                     let rolled = match self.sim.app_mut(id) {
                         ProtocolApp::Sensor(n) => {
                             n.apply_hash_refresh();
@@ -244,9 +261,10 @@ impl NetworkHandle {
                     .sensor_ids()
                     .into_iter()
                     .filter(|&id| {
-                        self.sim.apps()[id as usize]
-                            .as_sensor()
-                            .is_some_and(|n| n.role() == crate::node::Role::Head)
+                        self.sim.node_is_up(id)
+                            && self.sim.apps()[id as usize]
+                                .as_sensor()
+                                .is_some_and(|n| n.role() == crate::node::Role::Head)
                     })
                     .collect();
                 let now = self.sim.now();
@@ -372,5 +390,55 @@ impl NetworkHandle {
     /// Total frames transmitted since the simulation began.
     pub fn total_tx(&self) -> u64 {
         self.sim.counters().total_tx_msgs()
+    }
+
+    // ---- node lifecycle under faults ---------------------------------
+    //
+    // Churn primitives for fault engines (wsn-chaos) and resilience
+    // experiments. Note: [`Self::add_nodes`] rebuilds the simulator and —
+    // like the radio config it already resets — clears simulator-level
+    // fault state (down flags, drift, partition, link process).
+
+    /// Powers node `id` off mid-run: its timers are lost and it neither
+    /// hears nor sends anything until rebooted. App state stays in place
+    /// so a later [`Self::reboot_node`] models a state-retaining brown-out.
+    pub fn crash_node(&mut self, id: u32) {
+        self.sim.set_node_down(id);
+    }
+
+    /// Whether node `id` is currently powered on.
+    pub fn node_is_up(&self, id: u32) -> bool {
+        self.sim.node_is_up(id)
+    }
+
+    /// Powers a crashed node back on with its protocol state retained
+    /// (RAM survived the brown-out). Its `on_start` hook runs again 1 µs
+    /// later — for a clustered node that just re-arms the auto-refresh
+    /// timer; key material is still valid only if no refresh or eviction
+    /// epoch passed while it was dark.
+    pub fn reboot_node(&mut self, id: u32) {
+        self.sim.set_node_up(id);
+        self.sim.schedule_start(id, 1);
+    }
+
+    /// Powers a crashed node back on with its state wiped (cold boot from
+    /// empty flash). The node is re-provisioned exactly like a factory-new
+    /// unit and re-enters the network through the paper's §IV-E node
+    /// addition path: it broadcasts a `JoinRequest`, derives the current
+    /// cluster key at the *current* epoch from a neighbor's response, and
+    /// erases its `KMC`. The caller runs the simulation afterwards to let
+    /// the join complete.
+    pub fn reboot_node_wiped(&mut self, id: u32) {
+        assert!(id != 0, "the base station does not cold-boot in this model");
+        let m = self.provisioner.provision_new_node(id);
+        let ki = self.provisioner.node_key(id);
+        let kc = self.provisioner.cluster_key_of(id);
+        self.sim.replace_app(
+            id,
+            ProtocolApp::Sensor(ProtocolNode::new_joiner(self.cfg.clone(), m)),
+        );
+        self.bs_mut().register_node(id, ki, kc);
+        self.sim.set_node_up(id);
+        self.sim.schedule_start(id, 1);
     }
 }

@@ -51,6 +51,7 @@
 pub mod energy;
 pub mod event;
 pub mod geom;
+pub mod link;
 pub mod net;
 pub mod node;
 pub mod parallel;
@@ -61,6 +62,7 @@ pub mod topology;
 /// One-stop import for simulator users.
 pub mod prelude {
     pub use crate::event::SimTime;
+    pub use crate::link::{IidLoss, LinkProcess};
     pub use crate::net::{Counters, Simulator};
     pub use crate::node::{App, Ctx, NodeId, TimerKey};
     pub use crate::radio::RadioConfig;

@@ -3,12 +3,13 @@
 
 use crate::energy::EnergyMeter;
 use crate::event::{EventKind, EventQueue, SimTime};
+use crate::link::{IidLoss, LinkProcess};
 use crate::node::{Action, App, Ctx, NodeId, TimerKey};
 use crate::radio::RadioConfig;
 use crate::topology::Topology;
 use bytes::Bytes;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::collections::HashMap;
 use wsn_trace::{TraceEvent, TraceRecord, TraceSink};
 
@@ -76,6 +77,20 @@ pub struct Simulator<A: App> {
     sink: Option<Box<dyn TraceSink>>,
     /// Global sequence number for the next trace record.
     trace_seq: u64,
+    /// The channel loss model. Defaults to [`IidLoss`] over
+    /// `RadioConfig::loss`; fault engines swap in richer processes.
+    link: Box<dyn LinkProcess>,
+    /// Per-node power state. A down node's radio and CPU are dark: no
+    /// deliveries, no timer fires, no start hook.
+    down: Vec<bool>,
+    /// Fast emptiness check for the hot path: number of down nodes.
+    n_down: usize,
+    /// Per-node clock-rate multipliers (`None` ⇒ all clocks nominal).
+    /// Applied to timer delays at arming time.
+    drift: Option<Vec<f64>>,
+    /// Partition in force: per-node side labels. Frames whose endpoints
+    /// carry different labels are cut. `None` ⇒ no partition.
+    partition: Option<Vec<u8>>,
 }
 
 impl<A: App> Simulator<A> {
@@ -107,6 +122,7 @@ impl<A: App> Simulator<A> {
         mut make_app: impl FnMut(NodeId) -> A,
     ) -> Self {
         let n = topo.n();
+        let link = Box::new(IidLoss { loss: radio.loss });
         let apps: Vec<A> = (0..n as NodeId).map(&mut make_app).collect();
         let mut queue = EventQueue::new();
         for id in 0..n as NodeId {
@@ -126,6 +142,11 @@ impl<A: App> Simulator<A> {
             events_processed: 0,
             sink: None,
             trace_seq: 0,
+            link,
+            down: vec![false; n],
+            n_down: 0,
+            drift: None,
+            partition: None,
         }
     }
 
@@ -260,7 +281,7 @@ impl<A: App> Simulator<A> {
         self.timer_gen += 1;
         let gen = self.timer_gen;
         self.timers.insert((node, key), gen);
-        let fire_at = self.now + delay;
+        let fire_at = self.now + self.drifted(node, delay);
         self.trace_with(node, || TraceEvent::TimerSet { key, fire_at });
         self.queue
             .schedule(fire_at, EventKind::Timer { node, key, gen });
@@ -294,9 +315,15 @@ impl<A: App> Simulator<A> {
         self.events_processed += 1;
         match ev.kind {
             EventKind::Start(id) => {
+                if self.is_down(id) {
+                    return true;
+                }
                 self.dispatch(id, |app, ctx| app.on_start(ctx));
             }
             EventKind::Timer { node, key, gen } => {
+                if self.is_down(node) {
+                    return true;
+                }
                 if self.timers.get(&(node, key)) == Some(&gen) {
                     self.timers.remove(&(node, key));
                     self.trace_with(node, || TraceEvent::TimerFired { key });
@@ -304,8 +331,23 @@ impl<A: App> Simulator<A> {
                 }
             }
             EventKind::Deliver { from, to, payload } => {
-                // Per-receiver loss.
-                if self.radio.loss > 0.0 && self.rng.gen::<f64>() < self.radio.loss {
+                // A powered-off receiver hears nothing — not even a drop.
+                if self.is_down(to) {
+                    return true;
+                }
+                // Frames crossing a partition cut never arrive.
+                if self.partition_cuts(from, to) {
+                    self.trace_with(to, || TraceEvent::RadioDrop {
+                        from,
+                        bytes: payload.len() as u32,
+                    });
+                    return true;
+                }
+                // Per-receiver channel loss, decided by the link process.
+                if self
+                    .link
+                    .should_drop(from, to, payload.len(), self.now, &mut self.rng)
+                {
                     self.trace_with(to, || TraceEvent::RadioDrop {
                         from,
                         bytes: payload.len() as u32,
@@ -394,7 +436,7 @@ impl<A: App> Simulator<A> {
                 self.timer_gen += 1;
                 let gen = self.timer_gen;
                 self.timers.insert((id, key), gen);
-                let fire_at = self.now + delay;
+                let fire_at = self.now + self.drifted(id, delay);
                 self.trace_with(id, || TraceEvent::TimerSet { key, fire_at });
                 self.queue
                     .schedule(fire_at, EventKind::Timer { node: id, key, gen });
@@ -404,6 +446,145 @@ impl<A: App> Simulator<A> {
                     self.trace_with(id, || TraceEvent::TimerCanceled { key });
                 }
             }
+        }
+    }
+
+    // ---- fault-injection surface -------------------------------------
+    //
+    // Everything below exists for fault engines (wsn-chaos). With none of
+    // it used — no down nodes, no drift, no partition, default link — the
+    // hot path pays one `n_down == 0` compare and one `Option` branch
+    // each, and the link process reproduces the historical i.i.d. draw
+    // discipline exactly, so untouched runs stay byte-identical.
+
+    /// Replaces the channel loss model. The default reproduces
+    /// `RadioConfig::loss` exactly; see [`crate::link`].
+    pub fn set_link_process(&mut self, link: impl LinkProcess + 'static) {
+        self.link = Box::new(link);
+    }
+
+    /// Whether `id` is currently powered on. Ids outside the topology
+    /// (synthetic adversary senders) count as up.
+    pub fn node_is_up(&self, id: NodeId) -> bool {
+        !self.is_down(id)
+    }
+
+    #[inline]
+    fn is_down(&self, id: NodeId) -> bool {
+        self.n_down != 0 && self.down.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// Powers node `id` off: pending and future deliveries, timers and
+    /// start hooks are silently discarded, and its armed timers are
+    /// forgotten (a crashed node loses its timer wheel). App state is
+    /// left in place — wiping or retaining it is the caller's decision.
+    /// Idempotent. Emits a `NodeDown` trace event on the transition.
+    pub fn set_node_down(&mut self, id: NodeId) {
+        let idx = id as usize;
+        if idx >= self.down.len() || self.down[idx] {
+            return;
+        }
+        self.down[idx] = true;
+        self.n_down += 1;
+        self.timers.retain(|&(node, _), _| node != id);
+        self.trace_with(id, || TraceEvent::NodeDown);
+    }
+
+    /// Powers node `id` back on. The app's hooks run again only once new
+    /// events reach it — pair with [`Self::schedule_start`] (and
+    /// [`Self::replace_app`] for a state-wiped reboot) to re-enter the
+    /// network. Idempotent. Emits a `NodeUp` trace event on transition.
+    pub fn set_node_up(&mut self, id: NodeId) {
+        let idx = id as usize;
+        if idx >= self.down.len() || !self.down[idx] {
+            return;
+        }
+        self.down[idx] = false;
+        self.n_down -= 1;
+        self.trace_with(id, || TraceEvent::NodeUp);
+    }
+
+    /// Swaps in a fresh app for `id`, returning the old one. Used for
+    /// state-wiped reboots: the replacement starts from its constructor
+    /// state, as real firmware does after a power cycle.
+    pub fn replace_app(&mut self, id: NodeId, app: A) -> A {
+        std::mem::replace(&mut self.apps[id as usize], app)
+    }
+
+    /// Queues a fresh `Start` event for `id`, `delay` µs from now, so a
+    /// rebooted node's `on_start` hook runs again.
+    pub fn schedule_start(&mut self, id: NodeId, delay: SimTime) {
+        self.queue.schedule(self.now + delay, EventKind::Start(id));
+    }
+
+    /// Sets node `id`'s clock-rate multiplier: every timer delay it arms
+    /// from now on is scaled by `factor` (1.0 = nominal, 1.05 = a clock
+    /// running 5% slow so timers fire late). Models oscillator drift; the
+    /// paper's election timers are the sensitive consumers.
+    pub fn set_clock_drift(&mut self, id: NodeId, factor: f64) {
+        assert!(factor > 0.0, "drift factor must be positive");
+        let n = self.topo.n();
+        let drift = self.drift.get_or_insert_with(|| vec![1.0; n]);
+        if let Some(slot) = drift.get_mut(id as usize) {
+            *slot = factor;
+        }
+    }
+
+    #[inline]
+    fn drifted(&self, node: NodeId, delay: SimTime) -> SimTime {
+        match &self.drift {
+            None => delay,
+            Some(d) => {
+                let f = d.get(node as usize).copied().unwrap_or(1.0);
+                // Exact-1.0 fast path keeps undrifted nodes free of
+                // float round-off entirely.
+                if f == 1.0 {
+                    delay
+                } else {
+                    (delay as f64 * f).round() as SimTime
+                }
+            }
+        }
+    }
+
+    /// Imposes a partition: `sides[i]` labels node `i`'s side, and frames
+    /// whose endpoints carry different labels are cut. Senders without a
+    /// label (synthetic adversary ids) are unaffected. Returns the number
+    /// of topology links cut and emits a `PartitionStart` trace event.
+    /// Replaces any partition already in force.
+    pub fn set_partition(&mut self, sides: Vec<u8>) -> u32 {
+        let mut links_cut = 0u32;
+        for a in 0..self.topo.n() as NodeId {
+            for &b in self.topo.neighbors(a) {
+                if a < b {
+                    if let (Some(x), Some(y)) = (sides.get(a as usize), sides.get(b as usize)) {
+                        if x != y {
+                            links_cut += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.partition = Some(sides);
+        self.trace_with(0, || TraceEvent::PartitionStart { links_cut });
+        links_cut
+    }
+
+    /// Heals the partition, if one is in force. Emits `PartitionHeal`.
+    pub fn clear_partition(&mut self) {
+        if self.partition.take().is_some() {
+            self.trace_with(0, || TraceEvent::PartitionHeal);
+        }
+    }
+
+    #[inline]
+    fn partition_cuts(&self, from: NodeId, to: NodeId) -> bool {
+        match &self.partition {
+            None => false,
+            Some(sides) => match (sides.get(from as usize), sides.get(to as usize)) {
+                (Some(a), Some(b)) => a != b,
+                _ => false,
+            },
         }
     }
 

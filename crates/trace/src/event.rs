@@ -119,6 +119,68 @@ pub enum TraceEvent {
         /// The cluster it joined.
         cid: NodeId,
     },
+
+    // ---- fault layer (wsn-chaos) ----
+    /// A scheduled fault was applied by the fault-plan engine. The
+    /// record's `node` is the primary subject (or the base station for
+    /// network-wide faults such as partitions and link-model swaps).
+    FaultInjected {
+        /// Which family of fault fired.
+        fault: FaultKind,
+    },
+    /// The node's radio and CPU went dark (crash, battery depletion).
+    /// Pending timers are discarded; in-flight frames addressed to it
+    /// are lost silently.
+    NodeDown,
+    /// The node came back up (reboot). Whether state survived is a
+    /// protocol-level question; the simulator only flips the radio on.
+    NodeUp,
+    /// A partition came into force: links crossing the cut stop
+    /// delivering.
+    PartitionStart {
+        /// Topology links severed by the cut.
+        links_cut: u32,
+    },
+    /// The partition healed; all surviving links deliver again.
+    PartitionHeal,
+}
+
+/// The fault vocabulary recorded by [`TraceEvent::FaultInjected`].
+///
+/// Deliberately a closed, trace-level enum (not the fault-plan type
+/// itself) so the JSON vocabulary stays stable while `wsn-chaos` grows
+/// richer plan builders on top of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Node crash (state retained unless the protocol layer wipes it).
+    Crash,
+    /// Node reboot.
+    Reboot,
+    /// Battery-depletion death (energy budget exhausted).
+    BatteryDeath,
+    /// Link model swapped to a correlated burst-loss process.
+    BurstLoss,
+    /// Region partition started.
+    Partition,
+    /// Partition healed.
+    Heal,
+    /// Per-node clock drift applied to timer scheduling.
+    ClockDrift,
+}
+
+impl FaultKind {
+    /// Stable lowercase name, used as the JSON `fault` value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Reboot => "reboot",
+            FaultKind::BatteryDeath => "battery_death",
+            FaultKind::BurstLoss => "burst_loss",
+            FaultKind::Partition => "partition",
+            FaultKind::Heal => "heal",
+            FaultKind::ClockDrift => "clock_drift",
+        }
+    }
 }
 
 impl TraceEvent {
@@ -143,6 +205,11 @@ impl TraceEvent {
             TraceEvent::KeyRefreshed { .. } => "key_refreshed",
             TraceEvent::ClusterRevoked { .. } => "cluster_revoked",
             TraceEvent::JoinCompleted { .. } => "join_completed",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::NodeDown => "node_down",
+            TraceEvent::NodeUp => "node_up",
+            TraceEvent::PartitionStart { .. } => "partition_start",
+            TraceEvent::PartitionHeal => "partition_heal",
         }
     }
 
@@ -237,10 +304,19 @@ impl TraceRecord {
             TraceEvent::KeyRefreshed { cid, epoch } => {
                 let _ = write!(s, ",\"cid\":{cid},\"epoch\":{epoch}");
             }
+            TraceEvent::FaultInjected { fault } => {
+                let _ = write!(s, ",\"fault\":\"{}\"", fault.label());
+            }
+            TraceEvent::PartitionStart { links_cut } => {
+                let _ = write!(s, ",\"links_cut\":{links_cut}");
+            }
             TraceEvent::HelloSent
             | TraceEvent::BecameHead
             | TraceEvent::LinkAdvertSent
-            | TraceEvent::KmErased => {}
+            | TraceEvent::KmErased
+            | TraceEvent::NodeDown
+            | TraceEvent::NodeUp
+            | TraceEvent::PartitionHeal => {}
         }
         s.push('}');
         s
@@ -289,6 +365,39 @@ mod tests {
             rec.to_json(),
             "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"km_erased\"}"
         );
+    }
+
+    #[test]
+    fn fault_events_render_their_vocabulary() {
+        let rec = TraceRecord {
+            seq: 9,
+            at: 77,
+            node: 3,
+            event: TraceEvent::FaultInjected {
+                fault: FaultKind::BatteryDeath,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"seq\":9,\"at\":77,\"node\":3,\"kind\":\"fault_injected\",\"fault\":\"battery_death\"}"
+        );
+        let rec = TraceRecord {
+            seq: 10,
+            at: 78,
+            node: 0,
+            event: TraceEvent::PartitionStart { links_cut: 42 },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"seq\":10,\"at\":78,\"node\":0,\"kind\":\"partition_start\",\"links_cut\":42}"
+        );
+        for (ev, kind) in [
+            (TraceEvent::NodeDown, "node_down"),
+            (TraceEvent::NodeUp, "node_up"),
+            (TraceEvent::PartitionHeal, "partition_heal"),
+        ] {
+            assert_eq!(ev.kind(), kind);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! each protocol kind crossed the air, per-node radio activity, and a
 //! time-to-convergence histogram suitable for figure plotting.
 
-use crate::event::{TraceEvent, TraceRecord};
+use crate::event::{FaultKind, TraceEvent, TraceRecord};
 use crate::frame::FrameKind;
 use crate::{NodeId, SimTime};
 use std::collections::BTreeMap;
@@ -56,6 +56,18 @@ pub struct Timeline {
     pub links_stored: u64,
     /// Number of `KmErased` events.
     pub km_erasures: u64,
+    /// `(when, subject node, fault)` for every fault the chaos engine
+    /// applied, in emission order.
+    pub fault_log: Vec<(SimTime, NodeId, FaultKind)>,
+    /// Accumulated per-node downtime in virtual µs, from paired
+    /// `NodeDown`/`NodeUp` events. A node still down at the end of the
+    /// trace is charged up to `end_time`.
+    pub downtime: BTreeMap<NodeId, u64>,
+    /// Partition intervals as `(start, heal)`; a partition still in
+    /// force at the end of the trace reports `heal == end_time`.
+    pub partition_spans: Vec<(SimTime, SimTime)>,
+    /// Nodes currently down when the trace ended.
+    pub down_at_end: std::collections::BTreeSet<NodeId>,
     /// Virtual time of the last record in the trace.
     pub end_time: SimTime,
 }
@@ -71,6 +83,8 @@ impl Timeline {
         ordered.sort_by_key(|r| r.seq);
 
         let mut tl = Timeline::default();
+        let mut down_since: BTreeMap<NodeId, SimTime> = BTreeMap::new();
+        let mut partition_open: Option<SimTime> = None;
         for rec in ordered {
             tl.end_time = tl.end_time.max(rec.at);
             match &rec.event {
@@ -107,8 +121,35 @@ impl Timeline {
                 }
                 TraceEvent::LinkStored { .. } => tl.links_stored += 1,
                 TraceEvent::KmErased => tl.km_erasures += 1,
+                TraceEvent::FaultInjected { fault } => {
+                    tl.fault_log.push((rec.at, rec.node, *fault));
+                }
+                TraceEvent::NodeDown => {
+                    down_since.entry(rec.node).or_insert(rec.at);
+                }
+                TraceEvent::NodeUp => {
+                    if let Some(since) = down_since.remove(&rec.node) {
+                        *tl.downtime.entry(rec.node).or_insert(0) += rec.at.saturating_sub(since);
+                    }
+                }
+                TraceEvent::PartitionStart { .. } => {
+                    partition_open.get_or_insert(rec.at);
+                }
+                TraceEvent::PartitionHeal => {
+                    if let Some(start) = partition_open.take() {
+                        tl.partition_spans.push((start, rec.at));
+                    }
+                }
                 _ => {}
             }
+        }
+        // Charge still-open outages and partitions up to the trace end.
+        for (node, since) in down_since {
+            *tl.downtime.entry(node).or_insert(0) += tl.end_time.saturating_sub(since);
+            tl.down_at_end.insert(node);
+        }
+        if let Some(start) = partition_open {
+            tl.partition_spans.push((start, tl.end_time));
         }
         tl
     }
@@ -169,6 +210,15 @@ impl Timeline {
         }
         let _ = writeln!(s, "  links stored: {}", self.links_stored);
         let _ = writeln!(s, "  Km erasures: {}", self.km_erasures);
+        if !self.fault_log.is_empty() {
+            let _ = writeln!(
+                s,
+                "  faults: {} injected, {} partition window(s), {} node(s) down at end",
+                self.fault_log.len(),
+                self.partition_spans.len(),
+                self.down_at_end.len()
+            );
+        }
         for (kind, count) in &self.frames_by_kind {
             let _ = writeln!(s, "  frames[{}]: {}", kind.label(), count);
         }
@@ -252,6 +302,35 @@ mod tests {
         assert_eq!(h.count(0), 1);
         assert_eq!(h.count(1), 1);
         assert_eq!(h.count(9), 1);
+    }
+
+    #[test]
+    fn fault_bookkeeping_tracks_downtime_and_partitions() {
+        let records = vec![
+            rec(
+                0,
+                100,
+                4,
+                TraceEvent::FaultInjected {
+                    fault: FaultKind::Crash,
+                },
+            ),
+            rec(1, 100, 4, TraceEvent::NodeDown),
+            rec(2, 200, 0, TraceEvent::PartitionStart { links_cut: 3 }),
+            rec(3, 500, 0, TraceEvent::PartitionHeal),
+            rec(4, 600, 4, TraceEvent::NodeUp),
+            rec(5, 700, 9, TraceEvent::NodeDown),
+            rec(6, 1000, 1, TraceEvent::BecameHead),
+        ];
+        let tl = Timeline::reconstruct(&records);
+        assert_eq!(tl.fault_log, vec![(100, 4, FaultKind::Crash)]);
+        assert_eq!(tl.downtime.get(&4), Some(&500));
+        // Node 9 never came back: charged to end_time and flagged.
+        assert_eq!(tl.downtime.get(&9), Some(&300));
+        assert!(tl.down_at_end.contains(&9));
+        assert!(!tl.down_at_end.contains(&4));
+        assert_eq!(tl.partition_spans, vec![(200, 500)]);
+        assert!(tl.summary().contains("faults: 1 injected"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Long-lived network maintenance: periodic key refresh (both modes) and
-//! refreshing the *population* by adding new nodes as old ones die — the
-//! paper's §IV-C and §IV-E machinery working together.
+//! Long-lived network maintenance: periodic key refresh (both modes),
+//! refreshing the *population* by adding new nodes as old ones die, and
+//! the crash → reboot → rejoin cycle — the paper's §IV-C and §IV-E
+//! machinery working together.
 //!
 //! ```text
 //! cargo run -p wsn-core --release --example network_maintenance
@@ -77,6 +78,31 @@ fn main() {
             String::from_utf8_lossy(&r.data)
         );
         assert_eq!(r.src, newbie);
+    }
+
+    // A node crashes losing its flash, misses an epoch, and reboots: the
+    // wiped reboot re-enters through the same §IV-E join path as a new
+    // deployment and derives *current*-epoch keys from KMC.
+    let casualty = outcome
+        .handle
+        .sensor_ids()
+        .into_iter()
+        .find(|&id| outcome.handle.sensor(id).role() == Role::Member)
+        .expect("a member exists");
+    println!("\nnode {casualty} crashes (flash wiped)...");
+    outcome.handle.crash_node(casualty);
+    outcome.handle.refresh(); // epoch 4 rolls while it is dark
+    outcome.handle.reboot_node_wiped(casualty);
+    let deadline = outcome.handle.sim().now() + 3_000_000;
+    outcome.handle.sim_mut().run_until(deadline);
+    let back = outcome.handle.sensor(casualty);
+    println!(
+        "node {casualty} rebooted: role {:?}, epoch {} (network is at 4)",
+        back.role(),
+        back.epoch()
+    );
+    if back.role() == Role::Member {
+        assert_eq!(back.epoch(), 4, "rejoiner must sync to the current epoch");
     }
 
     // Verify epoch coherence across the whole (old + new) population.

@@ -1,9 +1,13 @@
 //! Eviction of compromised nodes (§IV-D), key refresh (§IV-C), and
-//! addition of new nodes (§IV-E), exercised end-to-end.
+//! addition of new nodes (§IV-E), exercised end-to-end — including the
+//! crash/reboot lifecycle, where a state-wiped reboot re-enters through
+//! the same §IV-E join path as a factory-fresh node.
 
 use wsn_core::config::RefreshMode;
 use wsn_core::node::Role;
 use wsn_core::prelude::*;
+use wsn_core::setup::run_setup_with_attack;
+use wsn_sim::radio::RadioConfig;
 
 fn setup(seed: u64) -> SetupOutcome {
     run_setup(&SetupParams {
@@ -236,4 +240,154 @@ fn join_works_after_hash_refresh_epochs() {
     let derived = node.extract_keys().cluster.unwrap().1;
     let real = o.handle.sensor(cid).extract_keys().cluster.unwrap().1;
     assert_eq!(derived, real);
+}
+
+#[test]
+fn wiped_reboot_rejoins_at_current_epoch() {
+    // A node crashes with its flash wiped, the network rolls keys twice
+    // while it is dark, and the reboot re-enters via §IV-E: it must come
+    // back a member at the *current* epoch with the current cluster key,
+    // and with its KMC erased again.
+    let mut o = setup(20);
+    o.handle.establish_gradient();
+    o.handle.refresh();
+
+    let victim = o
+        .handle
+        .sensor_ids()
+        .into_iter()
+        .find(|&id| o.handle.sensor(id).role() == Role::Member)
+        .expect("a member exists");
+    o.handle.crash_node(victim);
+    assert!(!o.handle.node_is_up(victim));
+
+    // Two epochs roll while the victim is dark. crash_node keeps it out
+    // of the refresh walk, so its old state never advances.
+    o.handle.refresh();
+    o.handle.refresh();
+
+    o.handle.reboot_node_wiped(victim);
+    let deadline = o.handle.sim().now() + 3_000_000;
+    o.handle.sim_mut().run_until(deadline);
+
+    assert!(o.handle.node_is_up(victim));
+    let node = o.handle.sensor(victim);
+    if node.role() == Role::Member {
+        assert_eq!(node.epoch(), 3, "rejoiner must sync to the network epoch");
+        assert!(node.extract_keys().kmc.is_none(), "KMC must be erased");
+        let cid = node.cid().unwrap();
+        let derived = node.extract_keys().cluster.unwrap().1;
+        let real = o.handle.sensor(cid).extract_keys().cluster.unwrap().1;
+        assert_eq!(derived, real, "rejoiner's derived key diverges");
+    } else {
+        // Placement can strand a joiner with no responsive neighbors;
+        // what is never acceptable is a half-initialized member.
+        assert_eq!(node.role(), Role::Joining, "no in-between states");
+    }
+}
+
+#[test]
+fn retained_reboot_misses_epochs_and_goes_stale() {
+    // The contrast case: a state-retained reboot keeps its pre-crash
+    // keys, so epochs rolled while it was dark leave it stale — exactly
+    // the churn hazard the resilience figure measures.
+    let mut o = setup(21);
+    o.handle.establish_gradient();
+    let victim = o
+        .handle
+        .sensor_ids()
+        .into_iter()
+        .find(|&id| o.handle.sensor(id).role() == Role::Member)
+        .expect("a member exists");
+    o.handle.crash_node(victim);
+    o.handle.refresh();
+    o.handle.refresh();
+    o.handle.reboot_node(victim);
+    let deadline = o.handle.sim().now() + 1_000_000;
+    o.handle.sim_mut().run_until(deadline);
+
+    assert!(o.handle.node_is_up(victim));
+    assert_eq!(
+        o.handle.sensor(victim).epoch(),
+        0,
+        "retained state must still be at the pre-crash epoch"
+    );
+    // Its sealed readings are now undecryptable at the current epoch.
+    let before = o.handle.bs().received.len();
+    o.handle.send_reading(victim, b"stale".to_vec(), true);
+    assert_eq!(
+        o.handle.bs().received.len(),
+        before,
+        "a stale-keyed reading must be refused"
+    );
+}
+
+#[test]
+fn crash_mid_join_never_panics_and_rejoin_recovers() {
+    // Crash a rejoining node *inside* its join window (the 1 s gap
+    // between JoinRequest and TIMER_JOIN), then reboot it again. Nothing
+    // may panic, and the second attempt must complete cleanly.
+    let mut o = setup(22);
+    o.handle.establish_gradient();
+    let victim = o
+        .handle
+        .sensor_ids()
+        .into_iter()
+        .find(|&id| o.handle.sensor(id).role() == Role::Member)
+        .expect("a member exists");
+    o.handle.crash_node(victim);
+    o.handle.reboot_node_wiped(victim);
+    // Run 200 ms into the 1 s join window, then yank power again.
+    let mid = o.handle.sim().now() + 200_000;
+    o.handle.sim_mut().run_until(mid);
+    o.handle.crash_node(victim);
+    let drained = o.handle.sim().now() + 2_000_000;
+    o.handle.sim_mut().run_until(drained);
+
+    o.handle.reboot_node_wiped(victim);
+    let done = o.handle.sim().now() + 3_000_000;
+    o.handle.sim_mut().run_until(done);
+    let node = o.handle.sensor(victim);
+    assert!(
+        node.role() == Role::Member || node.role() == Role::Joining,
+        "second join attempt left role {:?}",
+        node.role()
+    );
+    if node.role() == Role::Member {
+        assert!(node.extract_keys().kmc.is_none());
+    }
+}
+
+#[test]
+fn nodes_dark_through_setup_do_not_break_formation() {
+    // Nodes powered off for the *entire* setup phase simply don't take
+    // part: the survivors still form clusters and the run never panics.
+    let params = SetupParams {
+        n: 300,
+        density: 14.0,
+        seed: 23,
+        cfg: ProtocolConfig::default(),
+    };
+    let o = run_setup_with_attack(&params, RadioConfig::default(), |sim| {
+        for id in [40, 41, 42] {
+            sim.set_node_down(id);
+        }
+    });
+    for id in [40u32, 41, 42] {
+        assert_eq!(
+            o.handle.sensor(id).role(),
+            Role::Undecided,
+            "a dark node must not have participated"
+        );
+    }
+    let clustered = o
+        .handle
+        .sensor_ids()
+        .into_iter()
+        .filter(|&id| o.handle.sensor(id).cid().is_some())
+        .count();
+    assert!(
+        clustered > 250,
+        "setup must succeed around dark nodes, got {clustered} clustered"
+    );
 }
