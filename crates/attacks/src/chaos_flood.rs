@@ -10,7 +10,8 @@
 //! scheduled virtual times.
 
 use crate::hello_flood::{HelloFloodReport, ATTACKER_ID};
-use wsn_chaos::{run_plan, ChaosReport, FaultPlan};
+use wsn_chaos::FaultPlan;
+use wsn_core::chaos::{run_plan, ChaosReport};
 use wsn_core::forward::wrap;
 use wsn_core::msg::Inner;
 use wsn_core::setup::NetworkHandle;

@@ -162,15 +162,14 @@ mod tests {
         // The eavesdropper's tape is the trace itself: run a traced
         // network, pull every Wrapped frame off the air, and try to read
         // each one.
-        let mut o = run_setup_traced(
-            &SetupParams {
-                n: 150,
-                density: 10.0,
-                seed: 11,
-                cfg: ProtocolConfig::default(),
-            },
-            wsn_trace::MemorySink::new(),
-        );
+        let mut o = Scenario::new(SetupParams {
+            n: 150,
+            density: 10.0,
+            seed: 11,
+            cfg: ProtocolConfig::default(),
+        })
+        .trace(wsn_trace::MemorySink::new())
+        .run();
         o.handle.establish_gradient();
         let src = o.handle.sensor_ids()[9];
         o.handle

@@ -18,9 +18,8 @@
 
 use wsn_core::forward::{seal_setup, wrap};
 use wsn_core::msg::{Inner, Message};
-use wsn_core::setup::{run_setup_with_attack, NetworkHandle, SetupParams};
+use wsn_core::setup::{NetworkHandle, Scenario, SetupParams};
 use wsn_crypto::Key128;
-use wsn_sim::radio::RadioConfig;
 
 /// Result of a HELLO-flood attempt.
 #[derive(Clone, Debug)]
@@ -47,7 +46,7 @@ pub fn flood_setup_phase(
 ) -> (HelloFloodReport, NetworkHandle) {
     let attacker_key = Key128::from_bytes([0xAD; 16]);
     let mut injected = 0;
-    let outcome = run_setup_with_attack(params, RadioConfig::default(), |sim| {
+    let scenario = Scenario::new(params.clone()).attack(|sim| {
         for &site in sites {
             for k in 0..per_site {
                 let (nonce, sealed) = seal_setup(
@@ -64,6 +63,7 @@ pub fn flood_setup_phase(
             }
         }
     });
+    let outcome = scenario.run();
     let handle = outcome.handle;
     let suborned = handle
         .sensor_ids()

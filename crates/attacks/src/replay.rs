@@ -82,15 +82,14 @@ mod tests {
     fn frames_taped_off_the_trace_replay_harmlessly() {
         // The adversary does not reconstruct frames here: it replays the
         // genuine bytes harvested from a recorded trace of the network.
-        let mut o = run_setup_traced(
-            &SetupParams {
-                n: 150,
-                density: 12.0,
-                seed: 5,
-                cfg: ProtocolConfig::default(),
-            },
-            wsn_trace::MemorySink::new(),
-        );
+        let mut o = Scenario::new(SetupParams {
+            n: 150,
+            density: 12.0,
+            seed: 5,
+            cfg: ProtocolConfig::default(),
+        })
+        .trace(wsn_trace::MemorySink::new())
+        .run();
         o.handle.establish_gradient();
         let src = o.handle.sensor_ids()[20];
         o.handle.send_reading(src, b"reading-Y".to_vec(), false);

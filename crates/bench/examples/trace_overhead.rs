@@ -31,7 +31,7 @@ fn main() {
         plain.push(t.elapsed().as_secs_f64());
 
         let t = Instant::now();
-        let o = run_setup_traced(&params(rep), NullSink);
+        let o = Scenario::new(params(rep)).trace(NullSink).run();
         std::hint::black_box(o.report.n_heads);
         nulled.push(t.elapsed().as_secs_f64());
     }

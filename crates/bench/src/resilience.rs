@@ -31,11 +31,12 @@
 //! count — the emitted CSV is byte-identical for any value of it.
 
 use crate::MASTER_SEED;
-use wsn_chaos::{run_plan, FaultPlan, FaultSpec, GeParams};
+use wsn_chaos::{FaultPlan, FaultSpec, GeParams};
+use wsn_core::chaos::run_plan;
 use wsn_core::config::ProtocolConfig;
 use wsn_core::setup::{run_setup, NetworkHandle, SetupParams};
 use wsn_metrics::Table;
-use wsn_sim::parallel::{run_trials, run_trials_on};
+use wsn_sim::parallel::run_trials;
 use wsn_sim::rng::derive_seed;
 
 /// Virtual duration of the fault window, µs.
@@ -63,13 +64,6 @@ pub struct ResilienceRow {
     pub global_key_current: f64,
     /// Sensors at the latest epoch — random predistribution, modeled.
     pub predist_current: f64,
-}
-
-/// Worker threads for the trial fan-out: `WSN_JOBS` if set, otherwise
-/// whatever [`run_trials`] picks. Results are identical either way; the
-/// variable exists so CI can prove that by diffing two pinned runs.
-pub fn jobs() -> Option<usize> {
-    std::env::var("WSN_JOBS").ok().and_then(|s| s.parse().ok())
 }
 
 /// The fault plan for one (trial, intensity) cell.
@@ -205,10 +199,8 @@ pub fn resilience_rows(trials: usize) -> Vec<ResilienceRow> {
                 let _ = i;
                 trial(seed, intensity)
             };
-            let outs = match jobs() {
-                Some(j) => run_trials_on(master, trials, j.max(1), run),
-                None => run_trials(master, trials, run),
-            };
+            // `WSN_JOBS` pins the worker-thread count inside run_trials.
+            let outs = run_trials(master, trials, run);
             let n = outs.len() as f64;
             ResilienceRow {
                 intensity,

@@ -5,9 +5,15 @@
 //! refresh/eviction/addition keep the network serviceable as it ages —
 //! claims the seed experiments only exercised on healthy networks. This
 //! crate supplies the missing adversity: a [`FaultPlan`] schedules
-//! time-anchored faults into a running simulation, and
-//! [`engine::run_plan`] interleaves them with protocol traffic on the
-//! virtual clock.
+//! time-anchored faults into a running simulation, and the engine in
+//! `wsn_core::chaos::run_plan` interleaves them with protocol traffic
+//! on the virtual clock.
+//!
+//! This crate owns the *plan vocabulary* only — [`FaultPlan`],
+//! [`FaultSpec`], [`GilbertElliott`], [`BatteryBudget`] — and depends
+//! just on `wsn-sim`. The interpreter lives in `wsn-core` (it drives a
+//! `NetworkHandle`), and `wsn_core::prelude` re-exports everything, so
+//! experiments need a single import.
 //!
 //! Fault vocabulary:
 //!
@@ -32,7 +38,8 @@
 //! free: the engine degenerates to a plain `run_until`.
 //!
 //! ```
-//! use wsn_chaos::{run_plan, FaultPlan, GeParams};
+//! use wsn_chaos::{FaultPlan, GeParams};
+//! use wsn_core::chaos::run_plan;
 //! use wsn_core::config::ProtocolConfig;
 //! use wsn_core::setup::{run_setup, SetupParams};
 //!
@@ -57,10 +64,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod engine;
 pub mod gilbert;
 pub mod plan;
 
-pub use engine::{run_plan, ChaosReport};
 pub use gilbert::{GeParams, GilbertElliott};
 pub use plan::{BatteryBudget, Fault, FaultPlan, FaultSpec};

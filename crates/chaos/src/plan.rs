@@ -87,7 +87,8 @@ pub struct BatteryBudget {
 }
 
 /// A deterministic fault schedule. Build with the fluent methods, then
-/// hand to [`crate::engine::run_plan`].
+/// hand to `wsn_core::chaos::run_plan` (directly, or attached to a
+/// scenario via `Scenario::chaos`).
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
     seed: u64,
@@ -271,13 +272,15 @@ impl FaultPlan {
         out
     }
 
-    /// Seed for the Gilbert–Elliott per-link streams.
-    pub(crate) fn gilbert_seed(&self) -> u64 {
+    /// Seed for the Gilbert–Elliott per-link streams. Engine-facing
+    /// (the interpreter lives in `wsn_core::chaos`).
+    pub fn gilbert_seed(&self) -> u64 {
         derive_seed(self.seed, stream::GILBERT)
     }
 
-    /// Fresh RNG for sampling drift factors.
-    pub(crate) fn drift_rng(&self) -> StdRng {
+    /// Fresh RNG for sampling drift factors. Engine-facing (the
+    /// interpreter lives in `wsn_core::chaos`).
+    pub fn drift_rng(&self) -> StdRng {
         StdRng::seed_from_u64(derive_seed(self.seed, stream::DRIFT))
     }
 }

@@ -11,7 +11,9 @@
 use crate::config::{CounterMode, ProtocolConfig};
 use crate::error::ProtocolError;
 use crate::evict::build_revoke;
-use crate::forward::{self, e2e_open, seal_setup, wrap, CounterWindow};
+use crate::forward::{
+    e2e_open_with, seal_setup_with, unwrap_in, wrap_frame, CounterWindow, SealerCache,
+};
 use crate::fusion::DedupCache;
 use crate::msg::{ClusterId, DataUnit, Inner, Message};
 use crate::node::DropCounts;
@@ -86,6 +88,11 @@ pub struct BaseStation {
     /// Duplicate suppression: the same unit arriving over several forwarding
     /// paths is processed once.
     dedup: DedupCache,
+    /// Cached cipher schedules — the BS opens traffic under every cluster
+    /// key and every `Ki`, so this cache is the hottest in the network.
+    sealers: SealerCache,
+    /// Reusable decrypt buffer for the receive path.
+    rx_scratch: Vec<u8>,
     /// Copies suppressed as multi-path duplicates.
     pub duplicates: u64,
     /// Accepted readings, in arrival order.
@@ -130,6 +137,8 @@ impl BaseStation {
             epoch: 0,
             link_advertised: false,
             dedup,
+            sealers: SealerCache::new(),
+            rx_scratch: Vec::new(),
             duplicates: 0,
             received: Vec::new(),
             drops: DropCounts::default(),
@@ -228,10 +237,13 @@ impl BaseStation {
             self.drops.unknown_cluster += 1;
             return;
         };
+        // One cached sealer serves every candidate counter below — the
+        // implicit-mode window loop used to rebuild it per attempt.
+        let ae = self.sealers.get(&ki);
         let window = self.windows.entry(unit.src).or_default();
         let accepted = match (self.cfg.counter_mode, unit.ctr) {
             (CounterMode::Explicit, Some(ctr)) => {
-                match e2e_open(&ki, unit.src, ctr, &unit.body) {
+                match e2e_open_with(ae, unit.src, ctr, &unit.body) {
                     Ok(data) => {
                         if window.accept(ctr).is_err() {
                             None // replay
@@ -247,7 +259,7 @@ impl BaseStation {
                 // recover the message."
                 let mut hit = None;
                 for ctr in window.candidates(self.cfg.counter_window) {
-                    if let Ok(data) = e2e_open(&ki, unit.src, ctr, &unit.body) {
+                    if let Ok(data) = e2e_open_with(ae, unit.src, ctr, &unit.body) {
                         hit = Some((data, ctr));
                         break;
                     }
@@ -274,7 +286,16 @@ impl BaseStation {
             self.drops.unknown_cluster += 1;
             return;
         };
-        match forward::unwrap(&key, cid, nonce, sealed, ctx.now(), &self.cfg) {
+        let result = unwrap_in(
+            self.sealers.get(&key),
+            cid,
+            nonce,
+            sealed,
+            ctx.now(),
+            &self.cfg,
+            &mut self.rx_scratch,
+        );
+        match result {
             Ok(u) => match u.inner {
                 Inner::Data(unit) => self.accept_data(unit),
                 // The BS is the gradient root; beacons and refresh HELLOs
@@ -304,13 +325,19 @@ impl App for BaseStation {
             TIMER_BS_LINK => {
                 self.link_advertised = true;
                 let seq = self.next_seq();
-                let (nonce, sealed) = seal_setup(&self.km, self.id, seq, self.id, &self.own_kc);
+                let (nonce, sealed) = seal_setup_with(
+                    self.sealers.get(&self.km),
+                    self.id,
+                    seq,
+                    self.id,
+                    &self.own_kc,
+                );
                 ctx.broadcast(Message::LinkAdvert { nonce, sealed }.encode());
             }
             TIMER_BEACON => {
                 let seq = self.next_seq();
-                let msg = wrap(
-                    &self.own_kc,
+                let frame = wrap_frame(
+                    self.sealers.get(&self.own_kc),
                     self.id,
                     self.id,
                     seq,
@@ -318,7 +345,7 @@ impl App for BaseStation {
                     Gradient::at(0).hops(),
                     &Inner::Beacon,
                 );
-                ctx.broadcast(msg.encode());
+                ctx.broadcast(frame);
             }
             TIMER_BS_AUTO_REFRESH => {
                 self.apply_hash_refresh();
@@ -360,6 +387,13 @@ impl App for BaseStation {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, payload: &[u8]) {
+        // Same zero-copy fast path as the sensors: wrapped frames dominate
+        // steady-state traffic and `peek_wrapped` agrees exactly with
+        // `decode`.
+        if let Some((cid, nonce, sealed)) = Message::peek_wrapped(payload) {
+            self.handle_wrapped(ctx, cid, nonce, sealed);
+            return;
+        }
         match Message::decode(payload) {
             Ok(Message::Wrapped { cid, nonce, sealed }) => {
                 self.handle_wrapped(ctx, cid, nonce, &sealed)

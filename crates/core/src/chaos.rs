@@ -1,4 +1,4 @@
-//! The interpreter: applies a [`FaultPlan`] to a live network.
+//! The fault-plan interpreter: applies a [`FaultPlan`] to a live network.
 //!
 //! [`run_plan`] alternates `run_until` windows with fault applications,
 //! so protocol traffic and faults interleave on the virtual clock
@@ -8,11 +8,17 @@
 //! Battery budgets are checked on a fixed virtual-time grid (the plan's
 //! poll interval), never on wall-clock or event-count heuristics, so a
 //! depletion death lands at the same virtual instant on every replay.
+//!
+//! The engine lives in `wsn-core` (it drives a [`NetworkHandle`]); the
+//! *plan vocabulary* — [`FaultPlan`], [`FaultSpec`], the Gilbert–Elliott
+//! channel — lives in `wsn-chaos` and is re-exported here. Plans built
+//! with `wsn_chaos::FaultPlan` run either through this function directly
+//! or through [`Scenario::chaos`](crate::setup::Scenario::chaos) +
+//! [`NetworkHandle::run_chaos`](crate::setup::NetworkHandle::run_chaos).
 
-use crate::gilbert::GilbertElliott;
-use crate::plan::{FaultPlan, FaultSpec};
+use crate::setup::NetworkHandle;
 use std::collections::{HashMap, HashSet};
-use wsn_core::setup::NetworkHandle;
+use wsn_chaos::{FaultPlan, FaultSpec, GilbertElliott};
 use wsn_sim::event::SimTime;
 use wsn_sim::node::NodeId;
 use wsn_trace::{FaultKind, TraceEvent};

@@ -14,24 +14,73 @@
 
 use crate::config::ProtocolConfig;
 use crate::error::ProtocolError;
-use crate::msg::{ClusterId, Inner, Message};
+use crate::msg::{ClusterId, Inner, Message, WRAPPED_HEADER_BYTES};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
 use wsn_crypto::authenc::AuthEnc;
 use wsn_crypto::ctr::message_nonce;
-use wsn_crypto::prf::Prf;
+use wsn_crypto::prf::PrfKey;
 use wsn_crypto::{Key128, KEY_BYTES};
 use wsn_sim::event::SimTime;
 
 /// Derives the encrypt/MAC key pair from a base key, per the paper's
 /// `Kencr = F(K, 0)`, `Kmac = F(K, 1)`.
 pub fn derive_pair(base: &Key128) -> (Key128, Key128) {
-    (Prf::derive(base, &[0]), Prf::derive(base, &[1]))
+    let prf = PrfKey::new(base);
+    (prf.derive(&[0]), prf.derive(&[1]))
 }
 
 /// Builds the authenticated-encryption context for a base key.
+///
+/// Expensive: two PRF evaluations plus two RC5 key expansions. Steady-state
+/// paths go through a [`SealerCache`] so each base key pays this once.
 pub fn sealer(base: &Key128) -> AuthEnc {
     let (ke, km) = derive_pair(base);
     AuthEnc::new(ke, km)
+}
+
+/// Upper bound on cached sealers; reached only under key churn far beyond
+/// any simulated deployment (a node holds its own keys plus set `S`).
+const SEALER_CACHE_MAX: usize = 4096;
+
+/// Per-node cache of [`sealer`] results, keyed by base key.
+///
+/// Every seal/open rebuilds `AuthEnc` from the base key — two HMAC-SHA256
+/// evaluations and two RC5 key expansions — yet a node only ever uses a
+/// handful of long-lived keys (`Ki`, its cluster keys, `Km` during setup).
+/// Holding the built sealers here makes steady-state traffic re-expansion
+/// free; refreshed keys simply miss and insert (stale entries are evicted
+/// wholesale if the map ever grows past a bound no real run approaches).
+#[derive(Clone, Default)]
+pub struct SealerCache {
+    map: HashMap<Key128, AuthEnc>,
+}
+
+impl SealerCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SealerCache::default()
+    }
+
+    /// The sealer for `base`, building and caching it on first use.
+    pub fn get(&mut self, base: &Key128) -> &AuthEnc {
+        if self.map.len() >= SEALER_CACHE_MAX && !self.map.contains_key(base) {
+            self.map.clear();
+        }
+        self.map.entry(*base).or_insert_with(|| sealer(base))
+    }
+
+    /// Number of cached sealers.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+impl std::fmt::Debug for SealerCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SealerCache({} entries)", self.map.len())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -41,17 +90,32 @@ pub fn sealer(base: &Key128) -> AuthEnc {
 /// Seals a setup payload `(id, key)` under `Km`-derived keys.
 /// Used for both HELLO (`id` = head's node ID) and LINK (`id` = CID).
 pub fn seal_setup(km: &Key128, sender: u32, seq: u64, id: u32, key: &Key128) -> (u64, Bytes) {
-    let mut pt = BytesMut::with_capacity(4 + KEY_BYTES);
+    seal_setup_with(&sealer(km), sender, seq, id, key)
+}
+
+/// [`seal_setup`] with a prebuilt (typically cached) `Km` sealer.
+pub fn seal_setup_with(ae: &AuthEnc, sender: u32, seq: u64, id: u32, key: &Key128) -> (u64, Bytes) {
+    let mut pt = BytesMut::with_capacity(4 + KEY_BYTES + ae.overhead());
     pt.put_u32(id);
     pt.put_slice(key.as_bytes());
     let nonce = message_nonce(sender, seq);
-    let sealed = sealer(km).seal(nonce, &pt);
-    (nonce, Bytes::from(sealed))
+    let tag = ae.seal_in_place_detached(nonce, &mut pt);
+    pt.put_slice(tag.as_bytes());
+    (nonce, pt.freeze())
 }
 
 /// Opens a setup payload. Returns `(id, key)`.
 pub fn open_setup(km: &Key128, nonce: u64, sealed: &[u8]) -> Result<(u32, Key128), ProtocolError> {
-    let pt = sealer(km).open(nonce, sealed)?;
+    open_setup_with(&sealer(km), nonce, sealed)
+}
+
+/// [`open_setup`] with a prebuilt (typically cached) `Km` sealer.
+pub fn open_setup_with(
+    ae: &AuthEnc,
+    nonce: u64,
+    sealed: &[u8],
+) -> Result<(u32, Key128), ProtocolError> {
+    let pt = ae.open(nonce, sealed)?;
     if pt.len() != 4 + KEY_BYTES {
         return Err(ProtocolError::Malformed);
     }
@@ -67,12 +131,29 @@ pub fn open_setup(km: &Key128, nonce: u64, sealed: &[u8]) -> Result<(u32, Key128
 /// Applies Step 1 at the source: seals `data` under `Ki`-derived keys with
 /// the shared counter `ctr`. Returns `c1 = y1 | t1`.
 pub fn e2e_seal(ki: &Key128, src: u32, ctr: u64, data: &[u8]) -> Bytes {
-    Bytes::from(sealer(ki).seal(message_nonce(src, ctr), data))
+    e2e_seal_with(&sealer(ki), src, ctr, data)
+}
+
+/// [`e2e_seal`] with a prebuilt (typically cached) `Ki` sealer.
+pub fn e2e_seal_with(ae: &AuthEnc, src: u32, ctr: u64, data: &[u8]) -> Bytes {
+    Bytes::from(ae.seal(message_nonce(src, ctr), data))
 }
 
 /// Reverses Step 1 at the base station.
 pub fn e2e_open(ki: &Key128, src: u32, ctr: u64, c1: &[u8]) -> Result<Vec<u8>, ProtocolError> {
-    Ok(sealer(ki).open(message_nonce(src, ctr), c1)?)
+    e2e_open_with(&sealer(ki), src, ctr, c1)
+}
+
+/// [`e2e_open`] with a prebuilt (typically cached) `Ki` sealer. The base
+/// station's implicit-counter mode calls this once per candidate counter,
+/// so hoisting the sealer build out of that loop matters most here.
+pub fn e2e_open_with(
+    ae: &AuthEnc,
+    src: u32,
+    ctr: u64,
+    c1: &[u8],
+) -> Result<Vec<u8>, ProtocolError> {
+    Ok(ae.open(message_nonce(src, ctr), c1)?)
 }
 
 // ---------------------------------------------------------------------
@@ -111,15 +192,66 @@ pub fn wrap(
     sender_hops: u32,
     inner: &Inner,
 ) -> Message {
-    let inner_bytes = inner.encode();
-    let mut pt = BytesMut::with_capacity(16 + inner_bytes.len());
+    wrap_with(
+        &sealer(cluster_key),
+        cid,
+        sender,
+        seq,
+        now,
+        sender_hops,
+        inner,
+    )
+}
+
+/// [`wrap`] with a prebuilt (typically cached) cluster-key sealer.
+pub fn wrap_with(
+    ae: &AuthEnc,
+    cid: ClusterId,
+    sender: u32,
+    seq: u64,
+    now: SimTime,
+    sender_hops: u32,
+    inner: &Inner,
+) -> Message {
+    let nonce = message_nonce(sender, seq);
+    let mut pt = BytesMut::with_capacity(16 + 32 + ae.overhead());
     pt.put_u64(now);
     pt.put_u32(cid);
     pt.put_u32(sender_hops);
-    pt.put_slice(&inner_bytes);
+    inner.encode_into(&mut pt);
+    let tag = ae.seal_in_place_detached(nonce, &mut pt);
+    pt.put_slice(tag.as_bytes());
+    Message::Wrapped {
+        cid,
+        nonce,
+        sealed: pt.freeze(),
+    }
+}
+
+/// Builds the complete Step-2 radio frame — `type | cid | nonce | y2 | t2`
+/// — in a single allocation: the header and plaintext are written into one
+/// buffer, the payload region is encrypted in place, and the tag appended.
+/// Byte-identical to `wrap(..).encode()`, which allocates five times along
+/// the way; the steady-state send path uses this.
+pub fn wrap_frame(
+    ae: &AuthEnc,
+    cid: ClusterId,
+    sender: u32,
+    seq: u64,
+    now: SimTime,
+    sender_hops: u32,
+    inner: &Inner,
+) -> Bytes {
     let nonce = message_nonce(sender, seq);
-    let sealed = Bytes::from(sealer(cluster_key).seal(nonce, &pt));
-    Message::Wrapped { cid, nonce, sealed }
+    let mut buf = BytesMut::with_capacity(WRAPPED_HEADER_BYTES + 16 + 32 + ae.overhead());
+    Message::put_wrapped_header(&mut buf, cid, nonce);
+    buf.put_u64(now);
+    buf.put_u32(cid);
+    buf.put_u32(sender_hops);
+    inner.encode_into(&mut buf);
+    let tag = ae.seal_in_place_detached(nonce, &mut buf[WRAPPED_HEADER_BYTES..]);
+    buf.put_slice(tag.as_bytes());
+    buf.freeze()
 }
 
 /// Reverses Step 2 at a receiver that knows the sender's cluster key.
@@ -134,11 +266,54 @@ pub fn unwrap(
     now: SimTime,
     cfg: &ProtocolConfig,
 ) -> Result<Unwrapped, ProtocolError> {
-    let pt = sealer(cluster_key).open(nonce, sealed)?;
+    unwrap_with(&sealer(cluster_key), cid, nonce, sealed, now, cfg)
+}
+
+/// [`unwrap`] with a prebuilt (typically cached) cluster-key sealer.
+pub fn unwrap_with(
+    ae: &AuthEnc,
+    cid: ClusterId,
+    nonce: u64,
+    sealed: &[u8],
+    now: SimTime,
+    cfg: &ProtocolConfig,
+) -> Result<Unwrapped, ProtocolError> {
+    let pt = ae.open(nonce, sealed)?;
+    parse_unwrapped(&pt, cid, now, cfg)
+}
+
+/// [`unwrap_with`] decrypting into a caller-owned scratch buffer instead
+/// of a fresh allocation. Every receiver in range runs this per overheard
+/// frame, so the steady-state receive path reuses one buffer per node.
+pub fn unwrap_in(
+    ae: &AuthEnc,
+    cid: ClusterId,
+    nonce: u64,
+    sealed: &[u8],
+    now: SimTime,
+    cfg: &ProtocolConfig,
+    scratch: &mut Vec<u8>,
+) -> Result<Unwrapped, ProtocolError> {
+    let split = sealed
+        .len()
+        .checked_sub(ae.overhead())
+        .ok_or(ProtocolError::Crypto(wsn_crypto::CryptoError::Truncated))?;
+    scratch.clear();
+    scratch.extend_from_slice(&sealed[..split]);
+    ae.open_in_place_detached(nonce, scratch, &sealed[split..])?;
+    parse_unwrapped(scratch, cid, now, cfg)
+}
+
+fn parse_unwrapped(
+    pt: &[u8],
+    cid: ClusterId,
+    now: SimTime,
+    cfg: &ProtocolConfig,
+) -> Result<Unwrapped, ProtocolError> {
     if pt.len() < 16 {
         return Err(ProtocolError::Malformed);
     }
-    let mut buf = &pt[..];
+    let mut buf = pt;
     let tau = buf.get_u64();
     let echoed_cid = buf.get_u32();
     if echoed_cid != cid {
@@ -337,6 +512,110 @@ mod tests {
         assert_eq!(w.accept(2), Err(ProtocolError::Replay));
         assert_eq!(w.accept(1), Err(ProtocolError::Replay));
         w.accept(3).unwrap();
+    }
+
+    #[test]
+    fn cached_sealer_paths_byte_identical() {
+        // Every `_with` variant fed from a SealerCache must reproduce the
+        // fresh-expansion output exactly.
+        let km = Key128::from_bytes([21; 16]);
+        let ki = Key128::from_bytes([22; 16]);
+        let kc = Key128::from_bytes([23; 16]);
+        let mut cache = SealerCache::new();
+
+        let fresh = seal_setup(&km, 5, 2, 9, &kc);
+        let cached = seal_setup_with(cache.get(&km), 5, 2, 9, &kc);
+        assert_eq!(fresh, cached);
+        assert_eq!(
+            open_setup(&km, fresh.0, &fresh.1).unwrap(),
+            open_setup_with(cache.get(&km), cached.0, &cached.1).unwrap()
+        );
+
+        let c1 = e2e_seal(&ki, 14, 3, b"21.5C");
+        assert_eq!(c1, e2e_seal_with(cache.get(&ki), 14, 3, b"21.5C"));
+        assert_eq!(
+            e2e_open(&ki, 14, 3, &c1).unwrap(),
+            e2e_open_with(cache.get(&ki), 14, 3, &c1).unwrap()
+        );
+
+        let inner = Inner::Beacon;
+        let m1 = wrap(&kc, 13, 17, 0, 1_000, 2, &inner);
+        let m2 = wrap_with(cache.get(&kc), 13, 17, 0, 1_000, 2, &inner);
+        assert_eq!(m1, m2);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn wrap_frame_matches_wrap_then_encode() {
+        let kc = Key128::from_bytes([31; 16]);
+        let mut cache = SealerCache::new();
+        for inner in [
+            Inner::Beacon,
+            Inner::RefreshHello {
+                epoch: 3,
+                new_kc: Key128::from_bytes([7; 16]),
+            },
+            Inner::Data(crate::msg::DataUnit {
+                src: 14,
+                ctr: Some(6),
+                sealed: true,
+                body: Bytes::from_static(b"c1 bytes"),
+            }),
+        ] {
+            let legacy = wrap(&kc, 9, 14, 5, 777, 3, &inner).encode();
+            let fast = wrap_frame(cache.get(&kc), 9, 14, 5, 777, 3, &inner);
+            assert_eq!(legacy, fast, "inner {inner:?}");
+        }
+    }
+
+    #[test]
+    fn unwrap_in_matches_unwrap() {
+        let kc = Key128::from_bytes([33; 16]);
+        let mut cache = SealerCache::new();
+        let mut scratch = Vec::new();
+        let Message::Wrapped { cid, nonce, sealed } =
+            wrap(&kc, 13, 17, 0, 1_000, 2, &Inner::Beacon)
+        else {
+            unreachable!()
+        };
+        let a = unwrap(&kc, cid, nonce, &sealed, 2_000, &cfg()).unwrap();
+        let b = unwrap_in(
+            cache.get(&kc),
+            cid,
+            nonce,
+            &sealed,
+            2_000,
+            &cfg(),
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+
+        // Error paths agree too (truncated input, wrong cid).
+        assert!(unwrap_in(cache.get(&kc), cid, nonce, &[], 0, &cfg(), &mut scratch).is_err());
+        assert_eq!(
+            unwrap_in(
+                cache.get(&kc),
+                cid + 1,
+                nonce,
+                &sealed,
+                2_000,
+                &cfg(),
+                &mut scratch
+            ),
+            unwrap(&kc, cid + 1, nonce, &sealed, 2_000, &cfg())
+        );
+    }
+
+    #[test]
+    fn sealer_cache_reuses_entries() {
+        let mut cache = SealerCache::new();
+        let k = Key128::from_bytes([40; 16]);
+        cache.get(&k);
+        cache.get(&k);
+        assert_eq!(cache.len(), 1);
+        cache.get(&Key128::from_bytes([41; 16]));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

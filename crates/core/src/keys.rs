@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use wsn_crypto::drbg::HmacDrbg;
 use wsn_crypto::keychain::{ChainVerifier, KeyChain};
-use wsn_crypto::prf::Prf;
+use wsn_crypto::prf::PrfKey;
 use wsn_crypto::Key128;
 
 /// The key material loaded into one sensor node before deployment.
@@ -58,10 +58,15 @@ impl NodeKeyMaterial {
 pub struct Provisioner {
     km: Key128,
     kmc: Key128,
-    node_key_root: Key128,
     chain_seed: Key128,
     chain_commitment: Key128,
     registry: HashMap<u32, Key128>,
+    // Cached PRF schedules for the two keys every provisioning call
+    // evaluates (`Ki = F(root, id)`, `Kci = F(KMC, id)`): provisioning n
+    // nodes costs n PRF evaluations per root instead of n schedule
+    // expansions on top.
+    node_key_prf: PrfKey,
+    kmc_prf: PrfKey,
 }
 
 /// Length of the revocation key chain generated at network setup.
@@ -78,11 +83,12 @@ impl Provisioner {
         let chain_commitment = KeyChain::generate(&chain_seed, CHAIN_LEN).commitment();
         Provisioner {
             km,
-            kmc,
-            node_key_root,
             chain_seed,
             chain_commitment,
             registry: HashMap::new(),
+            node_key_prf: PrfKey::new(&node_key_root),
+            kmc_prf: PrfKey::new(&kmc),
+            kmc,
         }
     }
 
@@ -95,7 +101,7 @@ impl Provisioner {
         NodeKeyMaterial {
             id,
             ki,
-            kci: Prf::cluster_key(&self.kmc, id),
+            kci: self.kmc_prf.cluster_key(id),
             km: Some(self.km),
             kmc: None,
             chain: ChainVerifier::new(self.chain_commitment),
@@ -113,13 +119,13 @@ impl Provisioner {
 
     /// The node key of `id` (base-station side; does not register).
     pub fn node_key(&self, id: u32) -> Key128 {
-        Prf::derive(&self.node_key_root, &id.to_be_bytes())
+        self.node_key_prf.derive(&id.to_be_bytes())
     }
 
     /// The cluster key any node `id` *would* use as head: `F(KMC, id)`.
     /// The base station can reconstruct every cluster key from this.
     pub fn cluster_key_of(&self, id: u32) -> Key128 {
-        Prf::cluster_key(&self.kmc, id)
+        self.kmc_prf.cluster_key(id)
     }
 
     /// The master key `Km` (setup phase only).

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod base_station;
+pub mod chaos;
 pub mod config;
 pub mod error;
 pub mod evict;
@@ -63,15 +64,21 @@ pub mod routing;
 pub mod setup;
 pub mod stats;
 
-/// Common imports for protocol users.
+/// Common imports for protocol users: everything an experiment needs —
+/// the [`setup::Scenario`] builder, the chaos plan vocabulary, and the
+/// trace sinks — behind a single `use wsn_core::prelude::*;`.
 pub mod prelude {
     pub use crate::base_station::BaseStation;
-    pub use crate::config::ProtocolConfig;
+    pub use crate::chaos::{run_plan, ChaosReport};
+    pub use crate::config::{ProtocolConfig, RefreshMode};
     pub use crate::error::ProtocolError;
     pub use crate::keys::{NodeKeyMaterial, Provisioner};
     pub use crate::node::{ProtocolApp, ProtocolNode, Role};
-    pub use crate::setup::{run_setup, run_setup_traced, NetworkHandle, SetupOutcome, SetupParams};
+    pub use crate::setup::{run_setup, NetworkHandle, Scenario, SetupOutcome, SetupParams};
     pub use crate::stats::SetupReport;
+    pub use wsn_chaos::{BatteryBudget, FaultPlan, FaultSpec, GeParams, GilbertElliott};
+    pub use wsn_sim::radio::RadioConfig;
+    pub use wsn_trace::{JsonlSink, MemorySink, NullSink, Timeline, TraceEvent, TraceSink};
 }
 
 pub use config::ProtocolConfig;

@@ -123,10 +123,22 @@ pub enum Message {
     },
 }
 
+/// Byte length of the `Wrapped` frame header written by
+/// [`Message::put_wrapped_header`]: type (1) + cid (4) + nonce (8).
+pub const WRAPPED_HEADER_BYTES: usize = 13;
+
 impl Message {
     /// Serializes to a radio frame.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(64);
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    /// Serializes into a caller-provided buffer (appends; does not clear).
+    /// Lets hot paths reuse one scratch buffer across frames instead of
+    /// allocating per [`Message::encode`] call.
+    pub fn encode_into(&self, b: &mut BytesMut) {
         match self {
             Message::Hello { nonce, sealed } => {
                 b.put_u8(T_HELLO);
@@ -184,7 +196,32 @@ impl Message {
                 b.put_slice(tag);
             }
         }
-        b.freeze()
+    }
+
+    /// Writes the `Wrapped` frame header (`type | cid | nonce`) so a caller
+    /// can assemble the full frame — header, plaintext encrypted in place,
+    /// tag — in one buffer without intermediate allocations. The bytes are
+    /// exactly what [`Message::encode`] writes before `sealed`.
+    pub(crate) fn put_wrapped_header(b: &mut BytesMut, cid: ClusterId, nonce: u64) {
+        b.put_u8(T_WRAPPED);
+        b.put_u32(cid);
+        b.put_u64(nonce);
+    }
+
+    /// Zero-copy view of a `Wrapped` frame: `(cid, nonce, sealed)` borrowed
+    /// from `frame`, or `None` when the frame is not a well-formed
+    /// `Wrapped`. Agrees exactly with [`Message::decode`] on every input:
+    /// `Some` here iff decode yields `Message::Wrapped` with these fields.
+    /// The steady-state receive path uses this to skip decode's copy of the
+    /// sealed payload.
+    pub fn peek_wrapped(frame: &[u8]) -> Option<(ClusterId, u64, &[u8])> {
+        if frame.len() < WRAPPED_HEADER_BYTES || frame[0] != T_WRAPPED {
+            return None;
+        }
+        let mut buf = &frame[1..];
+        let cid = buf.get_u32();
+        let nonce = buf.get_u64();
+        Some((cid, nonce, buf))
     }
 
     /// Parses a radio frame. Never panics on malformed input.
@@ -325,10 +362,18 @@ impl Inner {
     /// Serializes the inner payload.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(32);
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    /// Serializes into a caller-provided buffer (appends; does not clear).
+    /// The single-allocation Step-2 path writes the inner payload directly
+    /// into the frame being assembled.
+    pub fn encode_into(&self, b: &mut BytesMut) {
         match self {
             Inner::Data(d) => {
                 b.put_u8(I_DATA);
-                d.encode_into(&mut b);
+                d.encode_into(b);
             }
             Inner::Beacon => {
                 b.put_u8(I_BEACON);
@@ -339,7 +384,6 @@ impl Inner {
                 b.put_slice(new_kc.as_bytes());
             }
         }
-        b.freeze()
     }
 
     /// Parses an inner payload. Never panics.
@@ -621,6 +665,52 @@ mod tests {
         let mut d = a.clone();
         d.src = 4;
         assert_ne!(a.dedup_key(), d.dedup_key());
+    }
+
+    #[test]
+    fn peek_wrapped_agrees_with_decode() {
+        let m = Message::Wrapped {
+            cid: 13,
+            nonce: 0xDEAD_BEEF,
+            sealed: Bytes::from_static(b"sealed payload"),
+        };
+        let enc = m.encode();
+        let (cid, nonce, sealed) = Message::peek_wrapped(&enc).expect("wrapped");
+        assert_eq!(
+            (cid, nonce, sealed),
+            (13, 0xDEAD_BEEF, &b"sealed payload"[..])
+        );
+
+        // Empty sealed region is still well-formed, matching decode.
+        let empty = Message::Wrapped {
+            cid: 1,
+            nonce: 2,
+            sealed: Bytes::new(),
+        }
+        .encode();
+        assert_eq!(Message::peek_wrapped(&empty), Some((1, 2, &[][..])));
+        assert!(Message::decode(&empty).is_ok());
+
+        // Non-wrapped and truncated frames: None, and decode agrees.
+        let hello = Message::Hello {
+            nonce: 1,
+            sealed: Bytes::from_static(b"xxxxxxxx"),
+        }
+        .encode();
+        assert_eq!(Message::peek_wrapped(&hello), None);
+        assert_eq!(Message::peek_wrapped(&enc[..12]), None);
+        assert!(Message::decode(&enc[..12]).is_err());
+        assert_eq!(Message::peek_wrapped(&[]), None);
+    }
+
+    #[test]
+    fn encode_into_appends_to_scratch() {
+        let m = Message::JoinRequest { new_id: 7 };
+        let mut scratch = BytesMut::with_capacity(64);
+        scratch.put_u8(0xEE); // pre-existing content must survive
+        m.encode_into(&mut scratch);
+        assert_eq!(scratch[0], 0xEE);
+        assert_eq!(&scratch[1..], &m.encode()[..]);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 use crate::config::{CounterMode, ProtocolConfig, RefreshMode};
 use crate::error::ProtocolError;
 use crate::evict;
-use crate::forward::{self, e2e_seal, open_setup, seal_setup, wrap};
+use crate::forward::{
+    e2e_seal_with, open_setup_with, seal_setup_with, unwrap_in, wrap_frame, SealerCache,
+};
 use crate::fusion::{DedupCache, PeekAggregator};
 use crate::join::{join_tag, verify_join_tag};
 use crate::keys::NodeKeyMaterial;
@@ -167,6 +169,12 @@ pub struct ProtocolNode {
     muted: bool,
     /// Join-responses collected while `role == Joining`, in arrival order.
     join_responses: Vec<(ClusterId, Key128)>,
+    /// Cached cipher schedules, one per base key this node seals/opens
+    /// under — steady-state traffic never re-expands a key schedule.
+    sealers: SealerCache,
+    /// Reusable decrypt buffer for the receive path (one per node, not one
+    /// allocation per overheard frame).
+    rx_scratch: Vec<u8>,
     /// Protocol statistics.
     pub stats: NodeStats,
 }
@@ -195,6 +203,8 @@ impl ProtocolNode {
             muted: false,
             pending: VecDeque::new(),
             join_responses: Vec::new(),
+            sealers: SealerCache::new(),
+            rx_scratch: Vec::new(),
             stats: NodeStats::default(),
         }
     }
@@ -325,19 +335,21 @@ impl ProtocolNode {
             epoch: self.epoch + 1,
             new_kc,
         };
-        let msg = wrap(
-            &old_kc,
+        let seq = self.next_seq();
+        let hops = self.gradient.hops();
+        let frame = wrap_frame(
+            self.sealers.get(&old_kc),
             cid,
             self.keys.id,
-            self.next_seq(),
+            seq,
             now,
-            self.gradient.hops(),
+            hops,
             &inner,
         );
         // Adopt the new key immediately.
         self.cluster_key = Some(new_kc);
         self.epoch += 1;
-        Some(msg.encode())
+        Some(frame)
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -369,10 +381,11 @@ impl ProtocolNode {
         ctx.trace(TraceEvent::BecameHead);
         if announce {
             if let Some(km) = self.keys.km {
-                let (nonce, sealed) = seal_setup(
-                    &km,
+                let seq = self.next_seq();
+                let (nonce, sealed) = seal_setup_with(
+                    self.sealers.get(&km),
                     self.keys.id,
-                    self.next_seq(),
+                    seq,
                     self.keys.id,
                     &self.keys.kci,
                 );
@@ -389,7 +402,8 @@ impl ProtocolNode {
         let Some(km) = self.keys.km else {
             return;
         };
-        let (nonce, sealed) = seal_setup(&km, self.keys.id, self.next_seq(), cid, &kc);
+        let seq = self.next_seq();
+        let (nonce, sealed) = seal_setup_with(self.sealers.get(&km), self.keys.id, seq, cid, &kc);
         ctx.broadcast(Message::LinkAdvert { nonce, sealed }.encode());
         ctx.trace(TraceEvent::LinkAdvertSent);
     }
@@ -416,7 +430,12 @@ impl ProtocolNode {
         let ctr = self.e2e_ctr;
         self.e2e_ctr += 1;
         let body = if reading.sealed {
-            e2e_seal(&self.keys.ki, self.keys.id, ctr, &reading.data)
+            e2e_seal_with(
+                self.sealers.get(&self.keys.ki),
+                self.keys.id,
+                ctr,
+                &reading.data,
+            )
         } else {
             Bytes::from(reading.data)
         };
@@ -440,16 +459,18 @@ impl ProtocolNode {
         let (Some(cid), Some(kc)) = (self.cid, self.cluster_key) else {
             return;
         };
-        let msg = wrap(
-            &kc,
+        let seq = self.next_seq();
+        let hops = self.gradient.hops();
+        let frame = wrap_frame(
+            self.sealers.get(&kc),
             cid,
             self.keys.id,
-            self.next_seq(),
+            seq,
             ctx.now(),
-            self.gradient.hops(),
+            hops,
             inner,
         );
-        ctx.broadcast(msg.encode());
+        ctx.broadcast(frame);
     }
 
     // --- message handling ----------------------------------------------
@@ -459,7 +480,7 @@ impl ProtocolNode {
             self.stats.drops.wrong_phase += 1;
             return;
         };
-        match open_setup(&km, nonce, sealed) {
+        match open_setup_with(self.sealers.get(&km), nonce, sealed) {
             Ok((head_id, kc)) => {
                 if self.role == Role::Undecided {
                     // Join the first head heard; no transmission at all.
@@ -480,7 +501,7 @@ impl ProtocolNode {
             self.stats.drops.wrong_phase += 1;
             return;
         };
-        match open_setup(&km, nonce, sealed) {
+        match open_setup_with(self.sealers.get(&km), nonce, sealed) {
             Ok((cid, kc)) => {
                 // "Nodes of the same cluster simply ignore the message."
                 if self.cid != Some(cid) {
@@ -505,7 +526,18 @@ impl ProtocolNode {
             self.stats.drops.unknown_cluster += 1;
             return;
         };
-        let unwrapped = match forward::unwrap(&key, cid, nonce, sealed, ctx.now(), &self.cfg) {
+        let mut scratch = std::mem::take(&mut self.rx_scratch);
+        let result = unwrap_in(
+            self.sealers.get(&key),
+            cid,
+            nonce,
+            sealed,
+            ctx.now(),
+            &self.cfg,
+            &mut scratch,
+        );
+        self.rx_scratch = scratch;
+        let unwrapped = match result {
             Ok(u) => u,
             Err(ProtocolError::Stale) => {
                 self.stats.drops.stale += 1;
@@ -578,16 +610,18 @@ impl ProtocolNode {
                 // establishment. Epoch gating makes this flood terminate:
                 // once updated, duplicates carry epoch == self.epoch.
                 if let (Some(cid), Some(old_kc)) = (self.cid, self.cluster_key) {
-                    let msg = wrap(
-                        &old_kc,
+                    let seq = self.next_seq();
+                    let hops = self.gradient.hops();
+                    let frame = wrap_frame(
+                        self.sealers.get(&old_kc),
                         cid,
                         self.keys.id,
-                        self.next_seq(),
+                        seq,
                         ctx.now(),
-                        self.gradient.hops(),
+                        hops,
                         &Inner::RefreshHello { epoch, new_kc },
                     );
-                    ctx.broadcast(msg.encode());
+                    ctx.broadcast(frame);
                 }
                 self.cluster_key = Some(new_kc);
                 self.epoch = epoch;
@@ -862,6 +896,14 @@ impl App for ProtocolNode {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, payload: &[u8]) {
+        // Fast path for the dominant steady-state frame type: borrow the
+        // sealed region straight out of the radio payload instead of
+        // copying it into an owned `Message`. `peek_wrapped` agrees
+        // exactly with `decode`, so behaviour is unchanged.
+        if let Some((cid, nonce, sealed)) = Message::peek_wrapped(payload) {
+            self.handle_wrapped(ctx, cid, nonce, sealed);
+            return;
+        }
         let msg = match Message::decode(payload) {
             Ok(m) => m,
             Err(_) => {

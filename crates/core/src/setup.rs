@@ -1,6 +1,53 @@
 //! Experiment orchestration: deploy, run the key-setup phase, then drive
 //! the steady-state network (beacons, readings, refresh, eviction, node
 //! addition) through a [`NetworkHandle`].
+//!
+//! # Entry point: the [`Scenario`] builder
+//!
+//! One builder composes every cross-cutting concern an experiment needs:
+//!
+//! ```
+//! use wsn_core::prelude::*;
+//!
+//! let outcome = Scenario::new(SetupParams {
+//!     n: 60,
+//!     density: 10.0,
+//!     seed: 7,
+//!     cfg: ProtocolConfig::default(),
+//! })
+//! .run();
+//! assert!(outcome.report.n_heads > 0);
+//! ```
+//!
+//! Optional pieces chain before [`Scenario::run`]:
+//!
+//! * [`Scenario::radio`] — an explicit radio model (e.g. lossy links).
+//! * [`Scenario::trace`] — a trace sink installed before the first
+//!   event, so the trace covers election/link/erase in full.
+//! * [`Scenario::attack`] — an adversary hook that runs after node
+//!   construction but before the first event (frame injections that
+//!   interleave with the election).
+//! * [`Scenario::chaos`] — a `wsn_chaos::FaultPlan` carried on the
+//!   returned handle; drive it with [`NetworkHandle::run_chaos`] once
+//!   the steady-state workload is queued.
+//!
+//! # Migrating from the `run_setup_*` ladder
+//!
+//! Earlier revisions grew one entry point per concern; each is now a
+//! thin deprecated wrapper over the builder ([`run_setup`] itself stays,
+//! as the no-options common case):
+//!
+//! | old                                    | new                                              |
+//! |----------------------------------------|--------------------------------------------------|
+//! | `run_setup(&p)`                        | unchanged (or `Scenario::new(p).run()`)          |
+//! | `run_setup_with_radio(&p, radio)`      | `Scenario::new(p).radio(radio).run()`            |
+//! | `run_setup_traced(&p, sink)`           | `Scenario::new(p).trace(sink).run()`             |
+//! | `run_setup_with_attack(&p, radio, f)`  | `Scenario::new(p).radio(radio).attack(f).run()`  |
+//! | `wsn_chaos::run_plan(&mut h, &plan, t)`| `crate::chaos::run_plan` (or `.chaos(plan)` + `h.run_chaos(t)`) |
+//!
+//! The builder is behavior-preserving: for any fixed `SetupParams` it
+//! replays the exact event stream of the old entry points, byte-identical
+//! under tracing (`tests/scenario_equivalence.rs` is the referee).
 
 use crate::base_station::{BaseStation, TIMER_BEACON, TIMER_REVOKE};
 use crate::config::{ProtocolConfig, RefreshMode};
@@ -41,92 +88,175 @@ pub struct SetupOutcome {
     pub report: SetupReport,
 }
 
+/// A boxed adversary hook, run against the simulator after node
+/// construction but before the event loop starts.
+type AttackHook<'a> = Box<dyn FnOnce(&mut Simulator<ProtocolApp>) + 'a>;
+
+/// The unified experiment entry point: composes radio model, tracing,
+/// an attack hook, and a fault plan, then runs the key-setup phase.
+///
+/// See the [module docs](self) for the migration table from the old
+/// `run_setup_*` ladder.
+pub struct Scenario<'a> {
+    params: SetupParams,
+    radio: RadioConfig,
+    sink: Option<Box<dyn wsn_trace::TraceSink>>,
+    attack: Option<AttackHook<'a>>,
+    chaos: Option<wsn_chaos::FaultPlan>,
+}
+
+impl<'a> Scenario<'a> {
+    /// Starts a scenario from deployment parameters, with the default
+    /// radio, no tracing, no adversary, and no fault plan.
+    pub fn new(params: SetupParams) -> Self {
+        Scenario {
+            params,
+            radio: RadioConfig::default(),
+            sink: None,
+            attack: None,
+            chaos: None,
+        }
+    }
+
+    /// Uses an explicit radio model (e.g. lossy links).
+    pub fn radio(mut self, radio: RadioConfig) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Installs a trace sink before the first event, so the trace covers
+    /// the election, link, and erase phases in full. The sink stays
+    /// installed on the returned handle; retrieve it with
+    /// `handle.sim_mut().take_trace()`.
+    pub fn trace(mut self, sink: impl wsn_trace::TraceSink + 'static) -> Self {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Registers an adversary: `attack` runs after node construction but
+    /// before the simulation starts, so it can schedule frame injections
+    /// that interleave with the election and link phases (HELLO floods,
+    /// setup-time replays).
+    pub fn attack(mut self, attack: impl FnOnce(&mut Simulator<ProtocolApp>) + 'a) -> Self {
+        self.attack = Some(Box::new(attack));
+        self
+    }
+
+    /// Attaches a fault plan to the scenario. The plan does not run
+    /// during setup — faults are offsets from steady state — it is
+    /// carried on the returned [`NetworkHandle`] for
+    /// [`NetworkHandle::run_chaos`] to interpret once the workload is
+    /// queued.
+    pub fn chaos(mut self, plan: wsn_chaos::FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Runs initialization + cluster key setup + link establishment +
+    /// `Km` erasure on a fresh random deployment.
+    pub fn run(self) -> SetupOutcome {
+        let params = &self.params;
+        assert!(params.n >= 2, "need a base station and at least one sensor");
+        let topo = Topology::random(
+            &TopologyConfig::with_density(params.n, params.density),
+            derive_seed(params.seed, 0),
+        );
+        let mut provisioner = Provisioner::new(derive_seed(params.seed, 1));
+        // Provision everyone up front so the BS registry is complete.
+        let mut materials: Vec<_> = (0..params.n as u32)
+            .map(|id| provisioner.provision(id))
+            .collect();
+
+        let registry = provisioner.registry().clone();
+        let cluster_keys: HashMap<ClusterId, Key128> = (0..params.n as u32)
+            .map(|id| (id, provisioner.cluster_key_of(id)))
+            .collect();
+        let cfg = params.cfg.clone();
+
+        let mut pool: Vec<Option<ProtocolApp>> = materials
+            .drain(..)
+            .map(|m| {
+                Some(if m.id == 0 {
+                    ProtocolApp::Base(BaseStation::new(
+                        cfg.clone(),
+                        0,
+                        provisioner.km(),
+                        registry.clone(),
+                        cluster_keys.clone(),
+                        provisioner.revocation_chain(),
+                    ))
+                } else {
+                    ProtocolApp::Sensor(ProtocolNode::new(cfg.clone(), m))
+                })
+            })
+            .collect();
+
+        let mut sim = Simulator::with_config(topo, self.radio, derive_seed(params.seed, 2), |id| {
+            pool[id as usize].take().expect("app built once")
+        });
+        if let Some(sink) = self.sink {
+            sim.install_trace_boxed(sink);
+        }
+        if let Some(attack) = self.attack {
+            attack(&mut sim);
+        }
+        sim.run();
+
+        let setup_counters = sim.counters().clone();
+        let report = SetupReport::from_simulation(&sim, &setup_counters);
+        let handle = NetworkHandle {
+            sim,
+            cfg,
+            provisioner,
+            setup_counters,
+            key_rng: HmacDrbg::from_u64(derive_seed(params.seed, 3)),
+            aux_rng: StdRng::seed_from_u64(derive_seed(params.seed, 4)),
+            next_id: params.n as u32,
+            chaos_plan: self.chaos,
+        };
+        SetupOutcome { handle, report }
+    }
+}
+
 /// Runs initialization + cluster key setup + link establishment + `Km`
 /// erasure on a fresh random deployment, with default radio parameters.
+/// Shorthand for `Scenario::new(params.clone()).run()`.
 pub fn run_setup(params: &SetupParams) -> SetupOutcome {
-    run_setup_with_radio(params, RadioConfig::default())
+    Scenario::new(params.clone()).run()
 }
 
 /// [`run_setup`] with an explicit radio model (e.g. lossy links).
+#[deprecated(note = "use Scenario::new(params).radio(radio).run()")]
 pub fn run_setup_with_radio(params: &SetupParams, radio: RadioConfig) -> SetupOutcome {
-    run_setup_with_attack(params, radio, |_| {})
+    Scenario::new(params.clone()).radio(radio).run()
 }
 
 /// [`run_setup`] with a trace sink installed before the first event, so
 /// the trace covers the election, link, and erase phases in full. The
 /// sink stays installed on the returned handle; retrieve it with
 /// `handle.sim_mut().take_trace()`.
+#[deprecated(note = "use Scenario::new(params).trace(sink).run()")]
 pub fn run_setup_traced(
     params: &SetupParams,
     sink: impl wsn_trace::TraceSink + 'static,
 ) -> SetupOutcome {
-    run_setup_with_attack(params, RadioConfig::default(), |sim| {
-        sim.install_trace(sink)
-    })
+    Scenario::new(params.clone()).trace(sink).run()
 }
 
 /// [`run_setup`] with an adversary: `attack` runs after node construction
 /// but before the simulation starts, so it can schedule frame injections
 /// that interleave with the election and link phases (HELLO floods,
 /// setup-time replays).
+#[deprecated(note = "use Scenario::new(params).radio(radio).attack(f).run()")]
 pub fn run_setup_with_attack(
     params: &SetupParams,
     radio: RadioConfig,
     attack: impl FnOnce(&mut Simulator<ProtocolApp>),
 ) -> SetupOutcome {
-    assert!(params.n >= 2, "need a base station and at least one sensor");
-    let topo = Topology::random(
-        &TopologyConfig::with_density(params.n, params.density),
-        derive_seed(params.seed, 0),
-    );
-    let mut provisioner = Provisioner::new(derive_seed(params.seed, 1));
-    // Provision everyone up front so the BS registry is complete.
-    let mut materials: Vec<_> = (0..params.n as u32)
-        .map(|id| provisioner.provision(id))
-        .collect();
-
-    let registry = provisioner.registry().clone();
-    let cluster_keys: HashMap<ClusterId, Key128> = (0..params.n as u32)
-        .map(|id| (id, provisioner.cluster_key_of(id)))
-        .collect();
-    let cfg = params.cfg.clone();
-
-    let mut pool: Vec<Option<ProtocolApp>> = materials
-        .drain(..)
-        .map(|m| {
-            Some(if m.id == 0 {
-                ProtocolApp::Base(BaseStation::new(
-                    cfg.clone(),
-                    0,
-                    provisioner.km(),
-                    registry.clone(),
-                    cluster_keys.clone(),
-                    provisioner.revocation_chain(),
-                ))
-            } else {
-                ProtocolApp::Sensor(ProtocolNode::new(cfg.clone(), m))
-            })
-        })
-        .collect();
-
-    let mut sim = Simulator::with_config(topo, radio, derive_seed(params.seed, 2), |id| {
-        pool[id as usize].take().expect("app built once")
-    });
-    attack(&mut sim);
-    sim.run();
-
-    let setup_counters = sim.counters().clone();
-    let report = SetupReport::from_simulation(&sim, &setup_counters);
-    let handle = NetworkHandle {
-        sim,
-        cfg,
-        provisioner,
-        setup_counters,
-        key_rng: HmacDrbg::from_u64(derive_seed(params.seed, 3)),
-        aux_rng: StdRng::seed_from_u64(derive_seed(params.seed, 4)),
-        next_id: params.n as u32,
-    };
-    SetupOutcome { handle, report }
+    Scenario::new(params.clone())
+        .radio(radio)
+        .attack(attack)
+        .run()
 }
 
 /// A live, set-up network: the driver for everything after the key-setup
@@ -140,6 +270,7 @@ pub struct NetworkHandle {
     key_rng: HmacDrbg,
     aux_rng: StdRng,
     next_id: u32,
+    chaos_plan: Option<wsn_chaos::FaultPlan>,
 }
 
 impl NetworkHandle {
@@ -390,6 +521,31 @@ impl NetworkHandle {
     /// Total frames transmitted since the simulation began.
     pub fn total_tx(&self) -> u64 {
         self.sim.counters().total_tx_msgs()
+    }
+
+    /// The fault plan attached via [`Scenario::chaos`], if any.
+    pub fn chaos_plan(&self) -> Option<&wsn_chaos::FaultPlan> {
+        self.chaos_plan.as_ref()
+    }
+
+    /// Runs the network for `horizon` µs of virtual time under the fault
+    /// plan attached via [`Scenario::chaos`]. Without a plan this is a
+    /// plain `run_until` — identical event stream, empty report. The
+    /// plan stays attached, so successive windows continue it from the
+    /// current virtual time (fault offsets are relative to each call).
+    pub fn run_chaos(&mut self, horizon: SimTime) -> crate::chaos::ChaosReport {
+        match self.chaos_plan.take() {
+            Some(plan) => {
+                let report = crate::chaos::run_plan(self, &plan, horizon);
+                self.chaos_plan = Some(plan);
+                report
+            }
+            None => {
+                let end = self.sim.now() + horizon;
+                self.sim.run_until(end);
+                crate::chaos::ChaosReport::default()
+            }
+        }
     }
 
     // ---- node lifecycle under faults ---------------------------------

@@ -9,7 +9,11 @@ use wsn_sim::net::{Counters, Simulator};
 /// Everything the paper's evaluation section measures about one completed
 /// key-setup phase. The base station is excluded from all statistics (it is
 /// infrastructure, not a sensor).
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field (including exact float equality) —
+/// meant for equivalence tests between entry points on the *same* seed,
+/// where any drift is a determinism bug, not rounding.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SetupReport {
     /// Number of sensor nodes (network size minus the base station).
     pub n_sensors: usize,
@@ -18,7 +22,7 @@ pub struct SetupReport {
     pub measured_density: f64,
     /// Cluster membership per sensor (by node ID, BS at index 0 is `None`).
     pub cluster_of: Vec<Option<ClusterId>>,
-    /// Size of each cluster (sensors only), unordered.
+    /// Size of each cluster (sensors only), sorted ascending.
     pub cluster_sizes: Vec<usize>,
     /// Number of cluster heads elected — Figure 8's numerator.
     pub n_heads: usize,
@@ -63,7 +67,11 @@ impl SetupReport {
             }
         }
 
-        let cluster_sizes: Vec<usize> = sizes.values().copied().collect();
+        // Sorted: the sizes come out of a HashMap, whose iteration order is
+        // randomized per process — unsorted, two identical runs would produce
+        // reports that fail strict `PartialEq`.
+        let mut cluster_sizes: Vec<usize> = sizes.values().copied().collect();
+        cluster_sizes.sort_unstable();
         let mean_cluster_size = if cluster_sizes.is_empty() {
             0.0
         } else {

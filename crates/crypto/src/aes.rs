@@ -72,6 +72,11 @@ fn tables() -> &'static ([u8; 256], [u8; 256]) {
 }
 
 /// An AES-128 instance holding the expanded key schedule.
+///
+/// Expansion happens once in [`Aes128::new`]; encrypt/decrypt reuse the
+/// round keys, and `Clone` copies them without re-expanding — so cached
+/// cipher instances (see `wsn-core`'s sealer cache) amortize the schedule
+/// across every block they ever process.
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; ROUNDS + 1],

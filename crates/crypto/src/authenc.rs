@@ -9,12 +9,13 @@
 //! The default cipher/MAC pairing is RC5-CTR + CBC-MAC(RC5) with an 8-byte
 //! tag; see [`AuthEncAead`] for the generic version.
 
-use crate::cbcmac::CbcMac;
+use crate::cbcmac::{CbcMac, Tag};
 use crate::ctr::Ctr;
 use crate::rc5::Rc5;
 use crate::{BlockCipher, CryptoError, Key128};
 
 /// Authenticated encryption generic over the block cipher.
+#[derive(Clone)]
 pub struct AuthEncAead<C: BlockCipher> {
     enc: Ctr<C>,
     mac: CbcMac<C>,
@@ -46,9 +47,10 @@ impl<C: BlockCipher> AuthEncAead<C> {
     /// reconstructs the nonce from its counter detects desynchronization as
     /// a tag failure rather than as garbled plaintext.
     pub fn seal(&self, nonce: u64, plaintext: &[u8]) -> Vec<u8> {
-        let mut out = self.enc.encrypt(nonce, plaintext);
-        let tag = self.mac_input_tag(nonce, &out);
-        out.extend_from_slice(&tag);
+        let mut out = Vec::with_capacity(plaintext.len() + self.tag_bytes);
+        out.extend_from_slice(plaintext);
+        let tag = self.seal_in_place_detached(nonce, &mut out);
+        out.extend_from_slice(tag.as_bytes());
         out
     }
 
@@ -59,23 +61,54 @@ impl<C: BlockCipher> AuthEncAead<C> {
         }
         let split = sealed.len() - self.tag_bytes;
         let (ct, tag) = sealed.split_at(split);
-        let expected = self.mac_input_tag(nonce, ct);
-        if !crate::ct::eq(&expected, tag) {
-            return Err(CryptoError::BadTag);
-        }
-        Ok(self.enc.decrypt(nonce, ct))
+        let mut out = ct.to_vec();
+        self.open_in_place_detached(nonce, &mut out, tag)?;
+        Ok(out)
     }
 
-    fn mac_input_tag(&self, nonce: u64, ct: &[u8]) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(8 + ct.len());
-        buf.extend_from_slice(&nonce.to_be_bytes());
-        buf.extend_from_slice(ct);
-        self.mac.tag_truncated(&buf, self.tag_bytes)
+    /// Encrypts `data` in place and returns the detached tag (over
+    /// `nonce ‖ ciphertext`, truncated to the configured length). The
+    /// allocation-free core of [`AuthEncAead::seal`]: callers assembling a
+    /// frame encrypt the payload region directly and append the tag.
+    pub fn seal_in_place_detached(&self, nonce: u64, data: &mut [u8]) -> Tag {
+        self.enc.apply(nonce, data);
+        self.ct_tag(nonce, data)
+    }
+
+    /// Verifies `tag` over `nonce ‖ ct`, then decrypts `ct` in place. On
+    /// error the ciphertext is left untouched. The allocation-free core of
+    /// [`AuthEncAead::open`].
+    pub fn open_in_place_detached(
+        &self,
+        nonce: u64,
+        ct: &mut [u8],
+        tag: &[u8],
+    ) -> Result<(), CryptoError> {
+        if tag.len() != self.tag_bytes {
+            return Err(CryptoError::Truncated);
+        }
+        let expected = self.ct_tag(nonce, ct);
+        if !crate::ct::eq(expected.as_bytes(), tag) {
+            return Err(CryptoError::BadTag);
+        }
+        self.enc.apply(nonce, ct);
+        Ok(())
+    }
+
+    fn ct_tag(&self, nonce: u64, ct: &[u8]) -> Tag {
+        let mut s = self.mac.stream(8 + ct.len() as u64);
+        s.update(&nonce.to_be_bytes());
+        s.update(ct);
+        s.finalize_truncated(self.tag_bytes)
     }
 }
 
 /// The protocol's default authenticated-encryption configuration:
 /// RC5-32/12/16 in CTR mode + length-prepended CBC-MAC(RC5), 8-byte tags.
+///
+/// Construction expands both RC5 key schedules, so hot paths should build
+/// one per key pair and reuse it (`wsn-core` keeps a per-peer cache).
+#[derive(Clone)]
 pub struct AuthEnc {
     inner: AuthEncAead<Rc5>,
 }
@@ -103,6 +136,21 @@ impl AuthEnc {
     /// See [`AuthEncAead::open`].
     pub fn open(&self, nonce: u64, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
         self.inner.open(nonce, sealed)
+    }
+
+    /// See [`AuthEncAead::seal_in_place_detached`].
+    pub fn seal_in_place_detached(&self, nonce: u64, data: &mut [u8]) -> Tag {
+        self.inner.seal_in_place_detached(nonce, data)
+    }
+
+    /// See [`AuthEncAead::open_in_place_detached`].
+    pub fn open_in_place_detached(
+        &self,
+        nonce: u64,
+        ct: &mut [u8],
+        tag: &[u8],
+    ) -> Result<(), CryptoError> {
+        self.inner.open_in_place_detached(nonce, ct, tag)
     }
 
     /// Overhead added by sealing, in bytes.
@@ -191,5 +239,53 @@ mod tests {
     #[should_panic]
     fn tiny_tag_rejected_at_construction() {
         let _ = AuthEncAead::from_ciphers(Rc5::new(&Key128::ZERO), Rc5::new(&Key128::ZERO), 2);
+    }
+
+    #[test]
+    fn in_place_matches_vec_path() {
+        let ae = ae();
+        for len in [0usize, 1, 8, 13, 64] {
+            let msg = vec![0xCD; len];
+            let sealed = ae.seal(5, &msg);
+
+            let mut buf = msg.clone();
+            let tag = ae.seal_in_place_detached(5, &mut buf);
+            buf.extend_from_slice(tag.as_bytes());
+            assert_eq!(buf, sealed, "len {len}");
+
+            let split = sealed.len() - DEFAULT_TAG_BYTES;
+            let mut ct = sealed[..split].to_vec();
+            ae.open_in_place_detached(5, &mut ct, &sealed[split..])
+                .unwrap();
+            assert_eq!(ct, msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn in_place_open_leaves_ciphertext_on_bad_tag() {
+        let ae = ae();
+        let sealed = ae.seal(7, b"reading");
+        let split = sealed.len() - DEFAULT_TAG_BYTES;
+        let mut ct = sealed[..split].to_vec();
+        let mut bad_tag = sealed[split..].to_vec();
+        bad_tag[0] ^= 1;
+        assert_eq!(
+            ae.open_in_place_detached(7, &mut ct, &bad_tag),
+            Err(CryptoError::BadTag)
+        );
+        assert_eq!(ct, &sealed[..split], "ciphertext must be untouched");
+        assert_eq!(
+            ae.open_in_place_detached(7, &mut ct, &bad_tag[..4]),
+            Err(CryptoError::Truncated)
+        );
+    }
+
+    #[test]
+    fn cloned_instance_matches() {
+        let ae1 = ae();
+        let ae2 = ae1.clone();
+        let sealed = ae1.seal(3, b"cloned");
+        assert_eq!(ae2.seal(3, b"cloned"), sealed);
+        assert_eq!(ae2.open(3, &sealed).unwrap(), b"cloned");
     }
 }

@@ -4,6 +4,12 @@
 //! generic over [`BlockCipher`], so the RC5/Speck/AES choice is a one-line
 //! swap (and an ablation benchmark in `wsn-bench`).
 
+/// Largest block size of any cipher in the crate (AES-128 and
+/// Speck128/128 at 16 bytes). Lets the CTR and CBC-MAC modes keep their
+/// per-block working state on the stack instead of heap-allocating a
+/// scratch vector per call.
+pub const MAX_BLOCK_BYTES: usize = 16;
+
 /// A block cipher with a fixed block size, keyed at construction.
 ///
 /// Implementations in this crate: [`crate::rc5::Rc5`] (8-byte blocks),

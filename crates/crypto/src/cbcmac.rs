@@ -7,14 +7,42 @@
 //! RC5, so it is the period-accurate choice for the protocol's hop-by-hop
 //! tags.
 
-use crate::block::BlockCipher;
+use crate::block::{BlockCipher, MAX_BLOCK_BYTES};
 use crate::ct;
+
+/// A computed CBC-MAC tag, held inline (no heap allocation). At most one
+/// cipher block long.
+#[derive(Clone, Copy)]
+pub struct Tag {
+    bytes: [u8; MAX_BLOCK_BYTES],
+    len: usize,
+}
+
+impl Tag {
+    /// The tag bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..self.len]
+    }
+
+    /// Tag length in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl AsRef<[u8]> for Tag {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
 
 /// A CBC-MAC instance over block cipher `C`.
 ///
 /// The tag is one full cipher block (8 bytes for RC5/Speck64, 16 for
 /// AES/Speck128). The protocol layer chooses how many tag bytes to transmit
 /// via [`CbcMac::tag_truncated`].
+#[derive(Clone)]
 pub struct CbcMac<C: BlockCipher> {
     cipher: C,
 }
@@ -25,34 +53,38 @@ impl<C: BlockCipher> CbcMac<C> {
         CbcMac { cipher }
     }
 
-    /// Computes the full-block tag of `data`.
-    pub fn tag(&self, data: &[u8]) -> Vec<u8> {
+    /// Starts a streaming MAC over a message of exactly `total_len` bytes.
+    ///
+    /// The length must be declared upfront because the length-prepend
+    /// encoding makes it the *first* block. Feed the message with
+    /// [`CbcMacStream::update`] in any fragmentation; the resulting tag is
+    /// byte-identical to [`CbcMac::tag`] over the concatenation. Everything
+    /// stays on the stack, so hot paths can MAC `header ‖ ciphertext`
+    /// without first gathering the pieces into a scratch vector.
+    pub fn stream(&self, total_len: u64) -> CbcMacStream<'_, C> {
         let bs = C::BLOCK_BYTES;
-        let mut state = vec![0u8; bs];
+        debug_assert!((8..=MAX_BLOCK_BYTES).contains(&bs));
+        let mut state = [0u8; MAX_BLOCK_BYTES];
 
         // Block 0: the message length, big-endian, right-aligned. This makes
         // the encoding prefix-free across lengths.
-        let len_bytes = (data.len() as u64).to_be_bytes();
-        state[bs - 8..].copy_from_slice(&len_bytes);
-        self.cipher.encrypt_block(&mut state);
+        state[bs - 8..bs].copy_from_slice(&total_len.to_be_bytes());
+        self.cipher.encrypt_block(&mut state[..bs]);
 
-        let mut chunks = data.chunks_exact(bs);
-        for chunk in &mut chunks {
-            for (s, d) in state.iter_mut().zip(chunk.iter()) {
-                *s ^= d;
-            }
-            self.cipher.encrypt_block(&mut state);
+        CbcMacStream {
+            mac: self,
+            state,
+            buf: [0u8; MAX_BLOCK_BYTES],
+            buffered: 0,
+            remaining: total_len,
         }
-        let rem = chunks.remainder();
-        if !rem.is_empty() {
-            // 10* padding for the final partial block.
-            for (s, d) in state.iter_mut().zip(rem.iter()) {
-                *s ^= d;
-            }
-            state[rem.len()] ^= 0x80;
-            self.cipher.encrypt_block(&mut state);
-        }
-        state
+    }
+
+    /// Computes the full-block tag of `data`.
+    pub fn tag(&self, data: &[u8]) -> Vec<u8> {
+        let mut s = self.stream(data.len() as u64);
+        s.update(data);
+        s.finalize().as_bytes().to_vec()
     }
 
     /// Computes a tag truncated to `n` bytes (`n <= BLOCK_BYTES`).
@@ -61,9 +93,9 @@ impl<C: BlockCipher> CbcMac<C> {
     /// protocol configuration controls the choice.
     pub fn tag_truncated(&self, data: &[u8], n: usize) -> Vec<u8> {
         assert!(n <= C::BLOCK_BYTES, "tag longer than cipher block");
-        let mut t = self.tag(data);
-        t.truncate(n);
-        t
+        let mut s = self.stream(data.len() as u64);
+        s.update(data);
+        s.finalize_truncated(n).as_bytes().to_vec()
     }
 
     /// Verifies a (possibly truncated) tag in constant time.
@@ -73,6 +105,74 @@ impl<C: BlockCipher> CbcMac<C> {
         }
         let expected = self.tag(data);
         ct::eq(&expected[..tag.len()], tag)
+    }
+}
+
+/// In-progress streaming CBC-MAC; see [`CbcMac::stream`].
+pub struct CbcMacStream<'a, C: BlockCipher> {
+    mac: &'a CbcMac<C>,
+    state: [u8; MAX_BLOCK_BYTES],
+    buf: [u8; MAX_BLOCK_BYTES],
+    buffered: usize,
+    remaining: u64,
+}
+
+impl<C: BlockCipher> CbcMacStream<'_, C> {
+    fn absorb_block(&mut self) {
+        let bs = C::BLOCK_BYTES;
+        for (s, d) in self.state[..bs].iter_mut().zip(self.buf[..bs].iter()) {
+            *s ^= d;
+        }
+        self.mac.cipher.encrypt_block(&mut self.state[..bs]);
+        self.buffered = 0;
+    }
+
+    /// Absorbs the next `data` bytes of the message.
+    pub fn update(&mut self, mut data: &[u8]) {
+        let bs = C::BLOCK_BYTES;
+        self.remaining = self
+            .remaining
+            .checked_sub(data.len() as u64)
+            .expect("more data than the declared length");
+        while !data.is_empty() {
+            // A full buffer is absorbed only once more data arrives, so at
+            // finalize a non-empty buffer is exactly the final block —
+            // padded when partial, absorbed as-is when full.
+            if self.buffered == bs {
+                self.absorb_block();
+            }
+            let take = (bs - self.buffered).min(data.len());
+            self.buf[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+        }
+    }
+
+    /// Finishes and returns the full-block tag.
+    pub fn finalize(self) -> Tag {
+        self.finalize_truncated(C::BLOCK_BYTES)
+    }
+
+    /// Finishes and returns the tag truncated to `n` bytes.
+    pub fn finalize_truncated(mut self, n: usize) -> Tag {
+        assert!(n <= C::BLOCK_BYTES, "tag longer than cipher block");
+        assert_eq!(self.remaining, 0, "fewer bytes than the declared length");
+        let bs = C::BLOCK_BYTES;
+        if self.buffered == bs {
+            self.absorb_block();
+        } else if self.buffered > 0 {
+            // 10* padding for the final partial block.
+            let buffered = self.buffered;
+            for (s, d) in self.state[..bs].iter_mut().zip(self.buf[..buffered].iter()) {
+                *s ^= d;
+            }
+            self.state[buffered] ^= 0x80;
+            self.mac.cipher.encrypt_block(&mut self.state[..bs]);
+        }
+        Tag {
+            bytes: self.state,
+            len: n,
+        }
     }
 }
 
@@ -162,5 +262,54 @@ mod tests {
     fn truncation_longer_than_block_panics() {
         let m = mac_rc5();
         let _ = m.tag_truncated(b"x", 9);
+    }
+
+    #[test]
+    fn stream_matches_oneshot_any_fragmentation() {
+        let m = mac_rc5();
+        let data: Vec<u8> = (0..53u8).collect();
+        for len in [0usize, 1, 7, 8, 9, 16, 23, 24, 53] {
+            let oneshot = m.tag(&data[..len]);
+            for frag in [1usize, 3, 8, 11, 64] {
+                let mut s = m.stream(len as u64);
+                for piece in data[..len].chunks(frag) {
+                    s.update(piece);
+                }
+                assert_eq!(
+                    s.finalize().as_bytes(),
+                    &oneshot[..],
+                    "len {len} frag {frag}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_truncation_matches_oneshot() {
+        let m = mac_rc5();
+        let mut s = m.stream(5);
+        s.update(b"hello");
+        assert_eq!(
+            s.finalize_truncated(4).as_bytes(),
+            &m.tag_truncated(b"hello", 4)[..]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn stream_underfeed_panics() {
+        let m = mac_rc5();
+        let mut s = m.stream(10);
+        s.update(b"short");
+        let _ = s.finalize();
+    }
+
+    #[test]
+    #[should_panic]
+    fn stream_overfeed_panics() {
+        let m = mac_rc5();
+        let mut s = m.stream(2);
+        s.update(b"toolong");
+        let _ = s.finalize();
     }
 }

@@ -7,7 +7,7 @@
 //! supported at the protocol layer). CTR mode is the natural realization:
 //! the keystream block for position `i` is `E_K(nonce || ctr+i)`.
 
-use crate::block::BlockCipher;
+use crate::block::{BlockCipher, MAX_BLOCK_BYTES};
 
 /// Maximum number of blocks per message under an 8-byte-block cipher: the
 /// low [`NONCE_BLOCK_BITS`] bits of the counter word index blocks within a
@@ -28,6 +28,7 @@ pub fn message_nonce(sender: u32, seq: u64) -> u64 {
 }
 
 /// CTR-mode encryptor/decryptor over cipher `C`.
+#[derive(Clone)]
 pub struct Ctr<C: BlockCipher> {
     cipher: C,
 }
@@ -51,7 +52,9 @@ impl<C: BlockCipher> Ctr<C> {
     /// numbers.
     pub fn apply(&self, nonce: u64, data: &mut [u8]) {
         let bs = C::BLOCK_BYTES;
-        let mut keystream = vec![0u8; bs];
+        debug_assert!(bs <= MAX_BLOCK_BYTES);
+        let mut keystream_buf = [0u8; MAX_BLOCK_BYTES];
+        let keystream: &mut [u8] = &mut keystream_buf[..bs];
         for (block_index, chunk) in data.chunks_mut(bs).enumerate() {
             keystream.iter_mut().for_each(|b| *b = 0);
             if bs >= 16 {
@@ -61,7 +64,7 @@ impl<C: BlockCipher> Ctr<C> {
                 let word = nonce.wrapping_add(block_index as u64);
                 keystream[..8].copy_from_slice(&word.to_be_bytes());
             }
-            self.cipher.encrypt_block(&mut keystream);
+            self.cipher.encrypt_block(&mut *keystream);
             for (d, k) in chunk.iter_mut().zip(keystream.iter()) {
                 *d ^= k;
             }

@@ -3,19 +3,28 @@
 //! Serves two roles in the reproduction: the end-to-end MAC of the paper's
 //! Step 1 (any secure MAC works there) and the keyed core of the PRF `F`
 //! used everywhere keys are derived.
+//!
+//! [`HmacKey`] holds the precomputed ipad/opad midstates for a key, so the
+//! two key-schedule compressions are paid once per key instead of once per
+//! MAC — the dominant cost on the simulator's steady-state path, where the
+//! same 16-byte keys authenticate thousands of frames.
 
 use crate::ct;
 use crate::sha256::{Sha256, BLOCK_BYTES, DIGEST_BYTES};
 
-/// Streaming HMAC-SHA256.
+/// Precomputed HMAC-SHA256 key schedule: the SHA-256 midstates after
+/// absorbing `key ⊕ ipad` and `key ⊕ opad`. Building one costs the same
+/// as a single [`HmacSha256::new`]; every MAC started from it afterwards
+/// skips both key compressions. Output is byte-identical to the one-shot
+/// path for every (key, message) pair.
 #[derive(Clone)]
-pub struct HmacSha256 {
-    inner: Sha256,
-    opad_key: [u8; BLOCK_BYTES],
+pub struct HmacKey {
+    inner0: Sha256,
+    outer0: Sha256,
 }
 
-impl HmacSha256 {
-    /// Creates an HMAC instance keyed with `key` (any length).
+impl HmacKey {
+    /// Expands `key` (any length) into the two padded midstates.
     pub fn new(key: &[u8]) -> Self {
         let mut block_key = [0u8; BLOCK_BYTES];
         if key.len() > BLOCK_BYTES {
@@ -32,9 +41,45 @@ impl HmacSha256 {
             opad_key[i] = block_key[i] ^ 0x5C;
         }
 
-        let mut inner = Sha256::new();
-        inner.update(&ipad_key);
-        HmacSha256 { inner, opad_key }
+        let mut inner0 = Sha256::new();
+        inner0.update(&ipad_key);
+        let mut outer0 = Sha256::new();
+        outer0.update(&opad_key);
+        HmacKey { inner0, outer0 }
+    }
+
+    /// Starts a streaming MAC from the cached schedule.
+    pub fn begin(&self) -> HmacSha256 {
+        HmacSha256 {
+            inner: self.inner0.clone(),
+            outer0: self.outer0.clone(),
+        }
+    }
+
+    /// One-shot tag over `data` using the cached schedule.
+    pub fn mac(&self, data: &[u8]) -> [u8; DIGEST_BYTES] {
+        let mut h = self.begin();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// One-shot verification in constant time.
+    pub fn verify(&self, data: &[u8], tag: &[u8]) -> bool {
+        ct::eq(&self.mac(data), tag)
+    }
+}
+
+/// Streaming HMAC-SHA256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer0: Sha256,
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        HmacKey::new(key).begin()
     }
 
     /// Absorbs message bytes.
@@ -45,8 +90,7 @@ impl HmacSha256 {
     /// Finishes and returns the 32-byte tag.
     pub fn finalize(self) -> [u8; DIGEST_BYTES] {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad_key);
+        let mut outer = self.outer0;
         outer.update(&inner_digest);
         outer.finalize()
     }
@@ -140,5 +184,28 @@ mod tests {
             h.update(piece);
         }
         assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn cached_key_equals_fresh_expansion() {
+        for key_len in [0usize, 1, 16, 63, 64, 65, 131] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 7) as u8).collect();
+            let hk = HmacKey::new(&key);
+            for msg_len in [0usize, 1, 31, 64, 200] {
+                let msg: Vec<u8> = (0..msg_len).map(|i| (i * 13 + 1) as u8).collect();
+                assert_eq!(hk.mac(&msg), HmacSha256::mac(&key, &msg));
+                assert!(hk.verify(&msg, &HmacSha256::mac(&key, &msg)));
+            }
+        }
+    }
+
+    #[test]
+    fn cached_key_reuse_is_independent() {
+        let hk = HmacKey::new(b"shared key");
+        let a1 = hk.mac(b"first");
+        let b = hk.mac(b"second");
+        let a2 = hk.mac(b"first");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
     }
 }

@@ -63,6 +63,14 @@ impl PartialEq for Key128 {
 
 impl Eq for Key128 {}
 
+// Hashes the raw bytes, consistent with `PartialEq` (constant-time equality
+// over the same bytes). Lets cipher-schedule caches key on `Key128` directly.
+impl core::hash::Hash for Key128 {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
 impl core::fmt::Debug for Key128 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "Key128(<redacted>)")

@@ -7,6 +7,11 @@
 //! repeatedly applying `F` to the received link reproduces its stored
 //! commitment, then advances the commitment. Because `F` is one-way, an
 //! adversary holding `K_{l-1}` cannot forge `K_l`.
+//!
+//! Unlike the protocol's sealing keys, every chain step keys `F` with a
+//! *different* value, so the per-key schedule caching used elsewhere
+//! ([`crate::prf::PrfKey`]) buys nothing here — each link's schedule is
+//! used exactly once by construction.
 
 use crate::prf::Prf;
 use crate::{CryptoError, Key128};

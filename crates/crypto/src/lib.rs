@@ -19,7 +19,8 @@
 //!   a shared counter for semantic security).
 //! * **Key derivation**: [`prf::Prf`] implements the paper's `F`, used for
 //!   `K_encr = F(K, 0)`, `K_mac = F(K, 1)`, cluster keys `Kc_i = F(KMC, i)`,
-//!   and hash-refresh `Kc <- F(Kc)`.
+//!   and hash-refresh `Kc <- F(Kc)`. Hot paths hold a [`prf::PrfKey`] /
+//!   [`hmac::HmacKey`], which precompute the HMAC key schedule once per key.
 //! * **One-way key chains**: [`keychain`] implements the revocation chain of
 //!   Section IV-D (`K_{l-1} = F(K_l)`).
 //! * **Deterministic randomness**: [`drbg::HmacDrbg`] so simulations are
@@ -64,7 +65,7 @@ pub mod xtea;
 
 mod key;
 
-pub use block::BlockCipher;
+pub use block::{BlockCipher, MAX_BLOCK_BYTES};
 pub use key::{Key128, KEY_BYTES};
 
 /// Errors produced by authenticated operations in this crate.

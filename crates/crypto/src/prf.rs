@@ -11,7 +11,7 @@
 //! 3. One-way key chains for revocation: `K_{l-1} = F(K_l)`.
 //! 4. Cluster-key refresh by hashing: `Kc <- F(Kc)`.
 
-use crate::hmac::HmacSha256;
+use crate::hmac::HmacKey;
 use crate::{Key128, KEY_BYTES};
 
 /// Namespace labels keeping the four uses of `F` in disjoint input domains.
@@ -24,12 +24,26 @@ mod domain {
     pub const REFRESH: &[u8] = b"wsn/refresh";
 }
 
-/// Stateless PRF operations (all associated functions).
-pub struct Prf;
+/// A PRF key with its HMAC schedule precomputed. Use when the same key
+/// feeds many evaluations (the provisioner deriving one `Kc_i` per node
+/// from `KMC`, key separation on every sealer build): each call skips the
+/// two SHA-256 key compressions that [`Prf`]'s stateless functions pay.
+/// Outputs are byte-identical to the stateless path.
+#[derive(Clone)]
+pub struct PrfKey {
+    hk: HmacKey,
+}
 
-impl Prf {
-    fn eval(key: &Key128, dom: &[u8], input: &[u8]) -> Key128 {
-        let mut h = HmacSha256::new(key.as_bytes());
+impl PrfKey {
+    /// Precomputes the HMAC schedule for `key`.
+    pub fn new(key: &Key128) -> Self {
+        PrfKey {
+            hk: HmacKey::new(key.as_bytes()),
+        }
+    }
+
+    fn eval(&self, dom: &[u8], input: &[u8]) -> Key128 {
+        let mut h = self.hk.begin();
         h.update(dom);
         h.update(&[0x00]); // unambiguous domain/input separator
         h.update(input);
@@ -38,23 +52,49 @@ impl Prf {
     }
 
     /// General key derivation `F(K, label)` — used for `K_encr`/`K_mac`.
+    pub fn derive(&self, label: &[u8]) -> Key128 {
+        self.eval(domain::DERIVE, label)
+    }
+
+    /// Cluster-key derivation `Kc_i = F(KMC, i)`.
+    pub fn cluster_key(&self, node_id: u32) -> Key128 {
+        self.eval(domain::CLUSTER, &node_id.to_be_bytes())
+    }
+
+    /// One step of the one-way key chain: `K_{l-1} = F(K_l)`.
+    pub fn chain_step(&self) -> Key128 {
+        self.eval(domain::CHAIN, &[])
+    }
+
+    /// Cluster-key refresh by hashing: `Kc <- F(Kc)` (Section IV-C/VI).
+    pub fn refresh(&self) -> Key128 {
+        self.eval(domain::REFRESH, &[])
+    }
+}
+
+/// Stateless PRF operations (all associated functions). Each call expands
+/// the HMAC key schedule from scratch; hot paths should hold a [`PrfKey`].
+pub struct Prf;
+
+impl Prf {
+    /// General key derivation `F(K, label)` — used for `K_encr`/`K_mac`.
     pub fn derive(key: &Key128, label: &[u8]) -> Key128 {
-        Self::eval(key, domain::DERIVE, label)
+        PrfKey::new(key).derive(label)
     }
 
     /// Cluster-key derivation `Kc_i = F(KMC, i)`.
     pub fn cluster_key(kmc: &Key128, node_id: u32) -> Key128 {
-        Self::eval(kmc, domain::CLUSTER, &node_id.to_be_bytes())
+        PrfKey::new(kmc).cluster_key(node_id)
     }
 
     /// One step of the one-way key chain: `K_{l-1} = F(K_l)`.
     pub fn chain_step(link: &Key128) -> Key128 {
-        Self::eval(link, domain::CHAIN, &[])
+        PrfKey::new(link).chain_step()
     }
 
     /// Cluster-key refresh by hashing: `Kc <- F(Kc)` (Section IV-C/VI).
     pub fn refresh(kc: &Key128) -> Key128 {
-        Self::eval(kc, domain::REFRESH, &[])
+        PrfKey::new(kc).refresh()
     }
 }
 
@@ -107,5 +147,18 @@ mod tests {
     fn output_not_all_zero() {
         let k = Key128::from_bytes([0; 16]);
         assert!(!Prf::derive(&k, b"anything").is_zero());
+    }
+
+    #[test]
+    fn cached_key_matches_stateless() {
+        for seed in 0..8u8 {
+            let k = Key128::from_bytes([seed; 16]);
+            let pk = PrfKey::new(&k);
+            assert_eq!(pk.derive(b"label"), Prf::derive(&k, b"label"));
+            assert_eq!(pk.derive(&[0]), Prf::derive(&k, &[0]));
+            assert_eq!(pk.cluster_key(42), Prf::cluster_key(&k, 42));
+            assert_eq!(pk.chain_step(), Prf::chain_step(&k));
+            assert_eq!(pk.refresh(), Prf::refresh(&k));
+        }
     }
 }

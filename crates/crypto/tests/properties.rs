@@ -6,9 +6,9 @@ use wsn_crypto::authenc::{AuthEnc, AuthEncAead};
 use wsn_crypto::cbcmac::CbcMac;
 use wsn_crypto::ctr::Ctr;
 use wsn_crypto::drbg::HmacDrbg;
-use wsn_crypto::hmac::HmacSha256;
+use wsn_crypto::hmac::{HmacKey, HmacSha256};
 use wsn_crypto::keychain::{ChainVerifier, KeyChain};
-use wsn_crypto::prf::Prf;
+use wsn_crypto::prf::{Prf, PrfKey};
 use wsn_crypto::rc5::Rc5;
 use wsn_crypto::sha256::Sha256;
 use wsn_crypto::speck::{Speck128_128, Speck64_128};
@@ -199,5 +199,70 @@ proptest! {
         for _ in 0..n {
             prop_assert_eq!(a.next_key(), b.next_key());
         }
+    }
+}
+
+// Cached-schedule vs fresh-expansion equivalence: the perf pass (HMAC
+// midstates, PrfKey, in-place AEAD, streaming CBC-MAC) must be a pure
+// optimization — every cached/in-place path must produce bytes identical
+// to its allocate-and-expand-per-call counterpart.
+proptest! {
+    #[test]
+    fn hmac_cached_key_matches_fresh(
+        key in proptest::collection::vec(any::<u8>(), 0..100),
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let hk = HmacKey::new(&key);
+        prop_assert_eq!(hk.mac(&msg), HmacSha256::mac(&key, &msg));
+    }
+
+    #[test]
+    fn prf_cached_key_matches_stateless(
+        key in key_strategy(),
+        label in proptest::collection::vec(any::<u8>(), 0..32),
+        node in any::<u32>(),
+    ) {
+        let pk = PrfKey::new(&key);
+        prop_assert_eq!(pk.derive(&label), Prf::derive(&key, &label));
+        prop_assert_eq!(pk.cluster_key(node), Prf::cluster_key(&key, node));
+        prop_assert_eq!(pk.chain_step(), Prf::chain_step(&key));
+        prop_assert_eq!(pk.refresh(), Prf::refresh(&key));
+    }
+
+    #[test]
+    fn authenc_in_place_matches_vec_path(
+        ke in key_strategy(),
+        km in key_strategy(),
+        nonce in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        prop_assume!(ke != km);
+        let ae = AuthEnc::new(ke, km);
+        let sealed = ae.seal(nonce, &msg);
+
+        let mut buf = msg.clone();
+        let tag = ae.seal_in_place_detached(nonce, &mut buf);
+        buf.extend_from_slice(tag.as_bytes());
+        prop_assert_eq!(&buf, &sealed);
+
+        let split = sealed.len() - ae.overhead();
+        let mut ct = sealed[..split].to_vec();
+        ae.open_in_place_detached(nonce, &mut ct, &sealed[split..]).unwrap();
+        prop_assert_eq!(&ct, &msg);
+        prop_assert_eq!(ae.open(nonce, &sealed).unwrap(), msg);
+    }
+
+    #[test]
+    fn cbcmac_stream_matches_oneshot(
+        key in key_strategy(),
+        msg in proptest::collection::vec(any::<u8>(), 0..160),
+        frag in 1usize..24,
+    ) {
+        let mac = CbcMac::new(Rc5::new(&key));
+        let mut s = mac.stream(msg.len() as u64);
+        for piece in msg.chunks(frag) {
+            s.update(piece);
+        }
+        prop_assert_eq!(s.finalize().as_bytes(), &mac.tag(&msg)[..]);
     }
 }

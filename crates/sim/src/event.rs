@@ -89,6 +89,20 @@ impl EventQueue {
         Self::default()
     }
 
+    /// Creates an empty queue with heap space for `cap` pending events, so
+    /// steady-state scheduling avoids reallocation-and-copy of the heap.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+        }
+    }
+
+    /// Total heap slots currently allocated.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `kind` at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
@@ -145,6 +159,16 @@ mod tests {
         })
         .collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn with_capacity_preallocates_and_behaves_identically() {
+        let mut q = EventQueue::with_capacity(16);
+        assert!(q.capacity() >= 16);
+        q.schedule(30, EventKind::Start(3));
+        q.schedule(10, EventKind::Start(1));
+        let order: Vec<SimTime> = std::iter::from_fn(|| q.pop().map(|e| e.at)).collect();
+        assert_eq!(order, vec![10, 30]);
     }
 
     #[test]

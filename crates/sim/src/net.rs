@@ -124,7 +124,10 @@ impl<A: App> Simulator<A> {
         let n = topo.n();
         let link = Box::new(IidLoss { loss: radio.loss });
         let apps: Vec<A> = (0..n as NodeId).map(&mut make_app).collect();
-        let mut queue = EventQueue::new();
+        // Pre-size the heap for the broadcast fan-out one node's actions
+        // enqueue (every neighbor gets a Deliver event), so the steady
+        // state never grows it incrementally.
+        let mut queue = EventQueue::with_capacity(n * 4);
         for id in 0..n as NodeId {
             queue.schedule(start, EventKind::Start(id));
         }
@@ -138,7 +141,7 @@ impl<A: App> Simulator<A> {
             counters: Counters::new(n),
             timers: HashMap::new(),
             timer_gen: 0,
-            scratch_actions: Vec::new(),
+            scratch_actions: Vec::with_capacity(8),
             events_processed: 0,
             sink: None,
             trace_seq: 0,
@@ -154,6 +157,12 @@ impl<A: App> Simulator<A> {
     /// event is recorded into it. Replaces any previous sink.
     pub fn install_trace(&mut self, sink: impl TraceSink + 'static) {
         self.sink = Some(Box::new(sink));
+    }
+
+    /// [`Self::install_trace`] for an already-boxed sink, so builders can
+    /// hold `Box<dyn TraceSink>` without double-boxing on install.
+    pub fn install_trace_boxed(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
     }
 
     /// Removes and returns the installed sink (flushed), leaving the

@@ -17,16 +17,34 @@ use std::sync::mpsc;
 /// `f(trial_index, trial_seed)` must be a pure function of its arguments
 /// (all simulator state seeded from `trial_seed`), which makes the output
 /// independent of thread count — asserted by the test suite.
+///
+/// The worker-thread count is `WSN_JOBS` when that environment variable
+/// is set to a positive integer, otherwise the machine's available
+/// parallelism. Results are identical either way; the variable exists so
+/// CI (and anyone chasing a determinism bug) can pin the fan-out and
+/// prove it by diffing two runs. Every sweep that goes through this
+/// function honors it uniformly.
 pub fn run_trials<T, F>(master_seed: u64, trials: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, u64) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let threads = wsn_jobs()
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
         .min(trials.max(1));
     run_trials_on(master_seed, trials, threads, f)
+}
+
+/// The `WSN_JOBS` override, if set to a positive integer.
+pub fn wsn_jobs() -> Option<usize> {
+    std::env::var("WSN_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n >= 1)
 }
 
 /// [`run_trials`] with an explicit thread count (1 = sequential).
@@ -121,5 +139,22 @@ mod tests {
     fn auto_thread_count_works() {
         let out = run_trials(3, 10, |i, _| i);
         assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wsn_jobs_accepts_only_positive_integers() {
+        // Restores the variable afterwards; the only other readers pick
+        // a thread count, which never changes results.
+        let prior = std::env::var("WSN_JOBS").ok();
+        std::env::set_var("WSN_JOBS", "3");
+        assert_eq!(wsn_jobs(), Some(3));
+        std::env::set_var("WSN_JOBS", "0");
+        assert_eq!(wsn_jobs(), None);
+        std::env::set_var("WSN_JOBS", "many");
+        assert_eq!(wsn_jobs(), None);
+        match prior {
+            Some(v) => std::env::set_var("WSN_JOBS", v),
+            None => std::env::remove_var("WSN_JOBS"),
+        }
     }
 }

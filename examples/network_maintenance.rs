@@ -7,8 +7,6 @@
 //! cargo run -p wsn-core --release --example network_maintenance
 //! ```
 
-use wsn_core::config::RefreshMode;
-use wsn_core::node::Role;
 use wsn_core::prelude::*;
 
 fn main() {

@@ -7,7 +7,6 @@
 //! ```
 
 use std::collections::BTreeMap;
-use wsn_core::node::Role;
 use wsn_core::prelude::*;
 
 fn main() {

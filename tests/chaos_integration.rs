@@ -6,7 +6,8 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use wsn_chaos::{run_plan, FaultPlan, GeParams, GilbertElliott};
+use wsn_chaos::{FaultPlan, GeParams, GilbertElliott};
+use wsn_core::chaos::run_plan;
 use wsn_core::prelude::*;
 use wsn_sim::link::LinkProcess;
 use wsn_sim::parallel::run_trials_on;
@@ -35,7 +36,9 @@ fn full_plan(seed: u64, sensors: &[u32]) -> FaultPlan {
 /// One traced trial: setup, gradient, staggered readings, full fault
 /// plan — rendered to JSONL. The determinism gate compares these bytes.
 fn chaotic_trace(seed: u64) -> String {
-    let mut o = run_setup_traced(&params(80, 10.0, seed), MemorySink::new());
+    let mut o = Scenario::new(params(80, 10.0, seed))
+        .trace(MemorySink::new())
+        .run();
     o.handle.establish_gradient();
     let sensors = o.handle.sensor_ids();
     for (j, &src) in sensors.iter().step_by(9).take(8).enumerate() {
@@ -173,7 +176,9 @@ fn empty_plan_is_invisible() {
 /// accounting and partition spans exactly.
 #[test]
 fn faults_land_in_trace_and_timeline() {
-    let mut o = run_setup_traced(&params(100, 10.0, 5), MemorySink::new());
+    let mut o = Scenario::new(params(100, 10.0, 5))
+        .trace(MemorySink::new())
+        .run();
     o.handle.establish_gradient();
     let victim = o
         .handle

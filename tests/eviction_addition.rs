@@ -6,8 +6,6 @@
 use wsn_core::config::RefreshMode;
 use wsn_core::node::Role;
 use wsn_core::prelude::*;
-use wsn_core::setup::run_setup_with_attack;
-use wsn_sim::radio::RadioConfig;
 
 fn setup(seed: u64) -> SetupOutcome {
     run_setup(&SetupParams {
@@ -368,11 +366,13 @@ fn nodes_dark_through_setup_do_not_break_formation() {
         seed: 23,
         cfg: ProtocolConfig::default(),
     };
-    let o = run_setup_with_attack(&params, RadioConfig::default(), |sim| {
-        for id in [40, 41, 42] {
-            sim.set_node_down(id);
-        }
-    });
+    let o = Scenario::new(params)
+        .attack(|sim| {
+            for id in [40, 41, 42] {
+                sim.set_node_down(id);
+            }
+        })
+        .run();
     for id in [40u32, 41, 42] {
         assert_eq!(
             o.handle.sensor(id).role(),

@@ -7,15 +7,14 @@ use wsn_core::prelude::*;
 use wsn_sim::radio::RadioConfig;
 
 fn lossy_setup(seed: u64, loss: f64) -> SetupOutcome {
-    wsn_core::setup::run_setup_with_radio(
-        &SetupParams {
-            n: 400,
-            density: 16.0,
-            seed,
-            cfg: ProtocolConfig::default(),
-        },
-        RadioConfig::default().with_loss(loss),
-    )
+    Scenario::new(SetupParams {
+        n: 400,
+        density: 16.0,
+        seed,
+        cfg: ProtocolConfig::default(),
+    })
+    .radio(RadioConfig::default().with_loss(loss))
+    .run()
 }
 
 #[test]
@@ -146,15 +145,13 @@ fn implicit_counters_recover_within_window_only() {
 #[test]
 fn explicit_counters_recover_from_any_outage() {
     let window = ProtocolConfig::default().counter_window as usize;
-    let mut o = wsn_core::setup::run_setup_with_radio(
-        &SetupParams {
-            n: 400,
-            density: 16.0,
-            seed: 5,
-            cfg: ProtocolConfig::default().with_counter_mode(CounterMode::Explicit),
-        },
-        RadioConfig::default(),
-    );
+    let mut o = Scenario::new(SetupParams {
+        n: 400,
+        density: 16.0,
+        seed: 5,
+        cfg: ProtocolConfig::default().with_counter_mode(CounterMode::Explicit),
+    })
+    .run();
     o.handle.establish_gradient();
     let src = partition_source(&mut o, window * 3);
     let before = o.handle.bs().received.len();

@@ -214,15 +214,14 @@ fn setup_survives_packet_loss() {
     use wsn_sim::radio::RadioConfig;
     // With 10% loss some LINK messages vanish; clustering must still
     // complete (every node decides) even if some S entries are missing.
-    let outcome = wsn_core::setup::run_setup_with_radio(
-        &SetupParams {
-            n: 300,
-            density: 12.0,
-            seed: 12,
-            cfg: ProtocolConfig::default(),
-        },
-        RadioConfig::default().with_loss(0.10),
-    );
+    let outcome = Scenario::new(SetupParams {
+        n: 300,
+        density: 12.0,
+        seed: 12,
+        cfg: ProtocolConfig::default(),
+    })
+    .radio(RadioConfig::default().with_loss(0.10))
+    .run();
     for id in outcome.handle.sensor_ids() {
         let node = outcome.handle.sensor(id);
         assert_ne!(node.role(), Role::Undecided, "node {id} undecided");

@@ -1,0 +1,136 @@
+//! The referee for the `Scenario` builder migration: for a fixed seed,
+//! the builder must replay the *exact* event stream of every legacy
+//! `run_setup_*` entry point — equal `SetupReport`s (strict `PartialEq`,
+//! floats included) and byte-identical traces — and the attached-plan
+//! chaos path must match a direct `run_plan` call record for record.
+
+#![allow(deprecated)] // comparing against the deprecated ladder is the point
+
+use wsn_core::chaos::run_plan;
+use wsn_core::prelude::*;
+use wsn_core::setup::{run_setup_traced, run_setup_with_attack, run_setup_with_radio};
+use wsn_trace::MemorySink;
+
+fn params(n: usize, density: f64, seed: u64) -> SetupParams {
+    SetupParams {
+        n,
+        density,
+        seed,
+        cfg: ProtocolConfig::default(),
+    }
+}
+
+/// Renders the full trace currently held by `handle`'s sink as JSONL.
+fn drain_jsonl(handle: &mut NetworkHandle) -> String {
+    let records = handle
+        .sim_mut()
+        .take_trace()
+        .expect("sink installed")
+        .drain();
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&rec.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn builder_matches_run_setup() {
+    for seed in [3, 17, 92] {
+        let p = params(120, 10.0, seed);
+        let old = run_setup(&p).report;
+        let new = Scenario::new(p).run().report;
+        assert_eq!(old, new, "seed {seed}");
+    }
+}
+
+#[test]
+fn builder_matches_run_setup_with_radio() {
+    let radio = RadioConfig::default().with_loss(0.15);
+    let p = params(150, 12.0, 7);
+    let old = run_setup_with_radio(&p, radio.clone()).report;
+    let new = Scenario::new(p).radio(radio).run().report;
+    assert_eq!(old, new);
+}
+
+#[test]
+fn builder_matches_run_setup_traced_byte_for_byte() {
+    for seed in [5, 41] {
+        let p = params(100, 10.0, seed);
+        let mut old = run_setup_traced(&p, MemorySink::new());
+        let mut new = Scenario::new(p).trace(MemorySink::new()).run();
+        assert_eq!(old.report, new.report, "seed {seed}");
+        assert_eq!(
+            drain_jsonl(&mut old.handle),
+            drain_jsonl(&mut new.handle),
+            "traces diverged at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn builder_matches_run_setup_with_attack() {
+    // The attack: three nodes dark through the whole setup phase.
+    let p = params(150, 12.0, 23);
+    let attack = |sim: &mut wsn_sim::net::Simulator<ProtocolApp>| {
+        for id in [10, 11, 12] {
+            sim.set_node_down(id);
+        }
+    };
+    let old = run_setup_with_attack(&p, RadioConfig::default(), attack);
+    let new = Scenario::new(p).attack(attack).run();
+    assert_eq!(old.report, new.report);
+    assert_eq!(old.handle.total_tx(), new.handle.total_tx());
+}
+
+#[test]
+fn attached_chaos_plan_matches_direct_run_plan() {
+    let plan = |seed: u64| {
+        FaultPlan::new(seed)
+            .crash_at(200_000, 5)
+            .reboot_at(900_000, 5)
+            .partition_at(300_000, 0.5)
+            .heal_at(700_000)
+            .refresh_at(500_000)
+    };
+    let p = params(100, 10.0, 13);
+
+    let mut old = run_setup_traced(&p, MemorySink::new());
+    old.handle.establish_gradient();
+    let old_report = run_plan(&mut old.handle, &plan(13), 1_500_000);
+
+    let mut new = Scenario::new(p)
+        .trace(MemorySink::new())
+        .chaos(plan(13))
+        .run();
+    new.handle.establish_gradient();
+    let new_report = new.handle.run_chaos(1_500_000);
+
+    assert_eq!(old_report.crashes, new_report.crashes);
+    assert_eq!(old_report.reboots, new_report.reboots);
+    assert_eq!(old_report.refreshes, new_report.refreshes);
+    assert_eq!(old_report.down_at_end, new_report.down_at_end);
+    assert_eq!(
+        drain_jsonl(&mut old.handle),
+        drain_jsonl(&mut new.handle),
+        "chaos traces diverged"
+    );
+}
+
+#[test]
+fn run_chaos_without_plan_is_a_plain_run_until() {
+    let p = params(80, 10.0, 9);
+
+    let mut plain = Scenario::new(p.clone()).trace(MemorySink::new()).run();
+    plain.handle.establish_gradient();
+    let t_end = plain.handle.sim().now() + 400_000;
+    plain.handle.sim_mut().run_until(t_end);
+
+    let mut via = Scenario::new(p).trace(MemorySink::new()).run();
+    via.handle.establish_gradient();
+    let report = via.handle.run_chaos(400_000);
+
+    assert_eq!(report.total_faults(), 0);
+    assert_eq!(drain_jsonl(&mut plain.handle), drain_jsonl(&mut via.handle));
+}

@@ -19,7 +19,9 @@ fn params(n: usize, density: f64, seed: u64) -> SetupParams {
 
 /// Runs one traced setup and renders its full trace as JSONL.
 fn traced_jsonl(n: usize, density: f64, seed: u64) -> String {
-    let mut o = run_setup_traced(&params(n, density, seed), MemorySink::new());
+    let mut o = Scenario::new(params(n, density, seed))
+        .trace(MemorySink::new())
+        .run();
     let records = o
         .handle
         .sim_mut()
@@ -65,8 +67,8 @@ proptest! {
     fn tracing_does_not_perturb_setup(seed in 0u64..1_000) {
         let p = params(80, 10.0, seed);
         let plain = run_setup(&p).report;
-        let null = run_setup_traced(&p, NullSink).report;
-        let traced = run_setup_traced(&p, MemorySink::new()).report;
+        let null = Scenario::new(p.clone()).trace(NullSink).run().report;
+        let traced = Scenario::new(p.clone()).trace(MemorySink::new()).run().report;
         for (name, r) in [("null", &null), ("traced", &traced)] {
             prop_assert_eq!(r.cluster_of.clone(), plain.cluster_of.clone(), "{} sink changed clustering", name);
             prop_assert_eq!(r.n_heads, plain.n_heads, "{} sink changed heads", name);
@@ -82,7 +84,9 @@ proptest! {
 /// `Counters` exactly.
 #[test]
 fn timeline_activity_equals_counters_exactly() {
-    let mut o = run_setup_traced(&params(200, 10.0, 42), MemorySink::new());
+    let mut o = Scenario::new(params(200, 10.0, 42))
+        .trace(MemorySink::new())
+        .run();
     let counters = o.handle.sim().counters().clone();
     let records = o
         .handle
@@ -111,7 +115,9 @@ fn timeline_activity_equals_counters_exactly() {
 
 #[test]
 fn timeline_reconstructs_the_election() {
-    let mut o = run_setup_traced(&params(200, 10.0, 7), MemorySink::new());
+    let mut o = Scenario::new(params(200, 10.0, 7))
+        .trace(MemorySink::new())
+        .run();
     let report = o.handle.report();
     let records = o
         .handle
@@ -162,7 +168,11 @@ fn traced_and_untraced_trials_agree() {
         run_trials_on(99, 3, 2, move |_, seed| {
             let p = params(60, 8.0, seed);
             if traced {
-                run_setup_traced(&p, MemorySink::new()).report.n_heads
+                Scenario::new(p)
+                    .trace(MemorySink::new())
+                    .run()
+                    .report
+                    .n_heads
             } else {
                 run_setup(&p).report.n_heads
             }
@@ -175,7 +185,9 @@ fn traced_and_untraced_trials_agree() {
 /// nodes that actually dropped key material.
 #[test]
 fn eviction_is_visible_in_the_trace() {
-    let mut o = run_setup_traced(&params(150, 12.0, 3), MemorySink::new());
+    let mut o = Scenario::new(params(150, 12.0, 3))
+        .trace(MemorySink::new())
+        .run();
     o.handle.establish_gradient();
     let victim = o.handle.sensor_ids()[10];
     o.handle.evict_nodes(&[victim]);
