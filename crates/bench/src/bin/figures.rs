@@ -177,10 +177,11 @@ fn run_resilience(trials: usize) {
     emit_table("resilience", &resilience_table(&rows), trials);
     if let Some(worst) = rows.last() {
         println!(
-            "at intensity {} ({:.0} faults/trial): delivery {:.1}%, current keys ours {:.1}% vs global-key {:.1}%\n",
+            "at intensity {} ({:.0} faults/trial): delivery {:.1}% ({:.1}% with recovery), current keys ours {:.1}% vs global-key {:.1}%\n",
             worst.intensity,
             worst.faults_per_trial,
             worst.delivery_ratio * 100.0,
+            worst.delivery_recovery * 100.0,
             worst.ours_current * 100.0,
             worst.global_key_current * 100.0,
         );

@@ -58,8 +58,14 @@ pub struct ResilienceRow {
     pub faults_per_trial: f64,
     /// Readings accepted by the BS over readings queued.
     pub delivery_ratio: f64,
+    /// Delivery ratio with the self-healing recovery layer on (ARQ,
+    /// heartbeat failover, epoch catch-up) — same seeds, same faults.
+    pub delivery_recovery: f64,
     /// Sensors at the latest key epoch — our protocol, simulated.
     pub ours_current: f64,
+    /// Current-key fraction with the recovery layer on: stale reboots
+    /// ratchet forward on the first current-epoch frame they hear.
+    pub ours_recovery: f64,
     /// Sensors at the latest epoch — global-key flooding, modeled.
     pub global_key_current: f64,
     /// Sensors at the latest epoch — random predistribution, modeled.
@@ -139,15 +145,27 @@ struct TrialOut {
     predist: f64,
 }
 
-fn trial(seed: u64, intensity: usize) -> TrialOut {
+fn trial(seed: u64, intensity: usize, recovery: bool) -> TrialOut {
+    let cfg = if recovery {
+        ProtocolConfig::default().with_recovery()
+    } else {
+        ProtocolConfig::default()
+    };
     let outcome = run_setup(&SetupParams {
         n: N,
         density: DENSITY,
         seed,
-        cfg: ProtocolConfig::default(),
+        cfg,
     });
     let mut handle = outcome.handle;
     handle.establish_gradient();
+    if recovery {
+        // Head-failure detection over the whole fault window (plus the
+        // drain slack): heads beat until the horizon, members that stop
+        // hearing their head re-elect or adopt mid-window.
+        let horizon = handle.sim().now() + WINDOW_US + 500_000;
+        handle.start_heartbeats(horizon);
+    }
     let sensors = handle.sensor_ids();
     let plan = plan_for(seed, intensity, &sensors);
 
@@ -197,18 +215,22 @@ pub fn resilience_rows(trials: usize) -> Vec<ResilienceRow> {
             let master = derive_seed(MASTER_SEED, 0xFA00 + intensity as u64);
             let run = |i: usize, seed: u64| {
                 let _ = i;
-                trial(seed, intensity)
+                // The ablation pair shares the seed: identical topology,
+                // identical fault plan, recovery layer the only variable.
+                (trial(seed, intensity, false), trial(seed, intensity, true))
             };
             // `WSN_JOBS` pins the worker-thread count inside run_trials.
             let outs = run_trials(master, trials, run);
             let n = outs.len() as f64;
             ResilienceRow {
                 intensity,
-                faults_per_trial: outs.iter().map(|o| o.faults as f64).sum::<f64>() / n,
-                delivery_ratio: outs.iter().map(|o| o.delivery).sum::<f64>() / n,
-                ours_current: outs.iter().map(|o| o.ours).sum::<f64>() / n,
-                global_key_current: outs.iter().map(|o| o.global_key).sum::<f64>() / n,
-                predist_current: outs.iter().map(|o| o.predist).sum::<f64>() / n,
+                faults_per_trial: outs.iter().map(|(o, _)| o.faults as f64).sum::<f64>() / n,
+                delivery_ratio: outs.iter().map(|(o, _)| o.delivery).sum::<f64>() / n,
+                delivery_recovery: outs.iter().map(|(_, r)| r.delivery).sum::<f64>() / n,
+                ours_current: outs.iter().map(|(o, _)| o.ours).sum::<f64>() / n,
+                ours_recovery: outs.iter().map(|(_, r)| r.ours).sum::<f64>() / n,
+                global_key_current: outs.iter().map(|(o, _)| o.global_key).sum::<f64>() / n,
+                predist_current: outs.iter().map(|(o, _)| o.predist).sum::<f64>() / n,
             }
         })
         .collect()
@@ -220,7 +242,9 @@ pub fn resilience_table(rows: &[ResilienceRow]) -> Table {
         "intensity",
         "faults/trial",
         "delivery ratio",
+        "delivery (recovery)",
         "current keys (ours)",
+        "current keys (ours+recovery)",
         "current keys (global key)",
         "current keys (predist)",
     ]);
@@ -229,7 +253,9 @@ pub fn resilience_table(rows: &[ResilienceRow]) -> Table {
             r.intensity.to_string(),
             format!("{:.1}", r.faults_per_trial),
             format!("{:.3}", r.delivery_ratio),
+            format!("{:.3}", r.delivery_recovery),
             format!("{:.3}", r.ours_current),
+            format!("{:.3}", r.ours_recovery),
             format!("{:.3}", r.global_key_current),
             format!("{:.3}", r.predist_current),
         ]);
@@ -243,7 +269,7 @@ mod tests {
 
     #[test]
     fn healthy_network_delivers_and_stays_current() {
-        let out = trial(41, 0);
+        let out = trial(41, 0, false);
         assert_eq!(out.faults, 0, "intensity 0 must apply no faults");
         assert!(out.delivery > 0.9, "delivery {}", out.delivery);
         assert!(out.ours > 0.99, "current-key fraction {}", out.ours);
@@ -253,8 +279,8 @@ mod tests {
 
     #[test]
     fn degradation_is_graceful_not_a_cliff() {
-        let low = trial(42, 1);
-        let high = trial(42, 4);
+        let low = trial(42, 1, false);
+        let high = trial(42, 4, false);
         for out in [&low, &high] {
             assert!(
                 out.delivery > 0.2,
@@ -271,12 +297,33 @@ mod tests {
         // Intensity ≥ 2 includes a partition spanning a refresh instant:
         // hash refresh is local and does not care; a flooded global key
         // cannot cross the cut.
-        let out = trial(43, 2);
+        let out = trial(43, 2, false);
         assert!(
             out.ours > out.global_key,
             "ours {} vs global {}",
             out.ours,
             out.global_key
+        );
+    }
+
+    #[test]
+    fn recovery_ablation_never_hurts_and_lifts_faulty_delivery() {
+        // Same seed, same fault plan; the recovery layer is the only
+        // variable. Under burst loss and churn the acknowledged
+        // transport must deliver strictly more, and never less.
+        let off = trial(44, 3, false);
+        let on = trial(44, 3, true);
+        assert!(
+            on.delivery > off.delivery,
+            "recovery on {} must beat off {} under faults",
+            on.delivery,
+            off.delivery
+        );
+        assert!(
+            on.ours >= off.ours,
+            "catch-up must not lose epochs: on {} off {}",
+            on.ours,
+            off.ours
         );
     }
 }

@@ -91,6 +91,9 @@ pub struct BaseStation {
     /// Cached cipher schedules — the BS opens traffic under every cluster
     /// key and every `Ki`, so this cache is the hottest in the network.
     sealers: SealerCache,
+    /// When the BS last answered a RouteRequest (recovery-layer rate
+    /// limiting, mirrors the sensors' cooldown).
+    last_route_reply: Option<wsn_sim::event::SimTime>,
     /// Reusable decrypt buffer for the receive path.
     rx_scratch: Vec<u8>,
     /// Copies suppressed as multi-path duplicates.
@@ -138,6 +141,7 @@ impl BaseStation {
             link_advertised: false,
             dedup,
             sealers: SealerCache::new(),
+            last_route_reply: None,
             rx_scratch: Vec::new(),
             duplicates: 0,
             received: Vec::new(),
@@ -297,15 +301,69 @@ impl BaseStation {
         );
         match result {
             Ok(u) => match u.inner {
-                Inner::Data(unit) => self.accept_data(unit),
-                // The BS is the gradient root; beacons and refresh HELLOs
-                // from the field carry nothing it needs.
-                Inner::Beacon | Inner::RefreshHello { .. } => {}
+                Inner::Data(unit) => {
+                    if self.cfg.recovery.enabled {
+                        // ACK *every* successfully unwrapped Data frame —
+                        // duplicates and counter replays included — under
+                        // the key it arrived under: honest forwarders must
+                        // stop retransmitting regardless of what end-to-end
+                        // validation decides.
+                        self.send_ack(ctx, cid, &key, unit.dedup_key());
+                    }
+                    self.accept_data(unit);
+                }
+                Inner::RouteRequest => {
+                    if self.cfg.recovery.enabled
+                        && self.last_route_reply.is_none_or(|t| {
+                            ctx.now().saturating_sub(t) >= self.cfg.recovery.route_reply_cooldown
+                        })
+                    {
+                        // The gradient root itself is always a viable next
+                        // hop: answer with a hops-0 beacon under the
+                        // requester's cluster key.
+                        let seq = self.next_seq();
+                        let frame = wrap_frame(
+                            self.sealers.get(&key),
+                            cid,
+                            self.id,
+                            seq,
+                            ctx.now(),
+                            Gradient::at(0).hops(),
+                            &Inner::Beacon,
+                        );
+                        ctx.broadcast(frame);
+                        self.last_route_reply = Some(ctx.now());
+                    }
+                }
+                // The BS is the gradient root; beacons, refresh HELLOs,
+                // heartbeats, failover announcements and ACKs from the
+                // field carry nothing it needs.
+                Inner::Beacon
+                | Inner::RefreshHello { .. }
+                | Inner::Ack { .. }
+                | Inner::Heartbeat
+                | Inner::NewHead { .. } => {}
             },
             Err(ProtocolError::Stale) => self.drops.stale += 1,
             Err(ProtocolError::Crypto(_)) => self.drops.bad_auth += 1,
             Err(_) => self.drops.malformed += 1,
         }
+    }
+
+    /// Emits a hop-by-hop ACK under the key the acknowledged frame arrived
+    /// under (recovery layer).
+    fn send_ack(&mut self, ctx: &mut Ctx, cid: ClusterId, key: &Key128, ack_key: u64) {
+        let seq = self.next_seq();
+        let frame = wrap_frame(
+            self.sealers.get(key),
+            cid,
+            self.id,
+            seq,
+            ctx.now(),
+            Gradient::at(0).hops(),
+            &Inner::Ack { key: ack_key },
+        );
+        ctx.broadcast(frame);
     }
 }
 

@@ -11,6 +11,22 @@
 //!   from the sender's *cluster* key. One transmission reaches every
 //!   neighbor; border nodes pick the right key from their set `S` using
 //!   the cleartext CID.
+//!
+//! # Contract with the recovery layer
+//!
+//! The acknowledged transport ([`crate::recovery`]) retransmits the
+//! *exact bytes* [`wrap_frame`] produced — same `τ`, same sequence, same
+//! embedded hop count — so a retransmission is indistinguishable from a
+//! radio-level duplicate and is absorbed by the same dedup caches. Two
+//! invariants make that safe:
+//!
+//! * [`crate::msg::DataUnit::dedup_key`] hashes only `src | body`, so the
+//!   key survives every hop-by-hop re-wrap and identifies the logical
+//!   reading on both original and retried paths.
+//! * Retries fit inside the freshness window: the deepest backoff
+//!   (`retx_base · 2^max_retries`) must stay well below
+//!   [`crate::config::ProtocolConfig::freshness_window`], or a node's own
+//!   retransmissions would be dropped as stale replays.
 
 use crate::config::ProtocolConfig;
 use crate::error::ProtocolError;

@@ -8,6 +8,20 @@
 //! arbitrary cluster keys. The joiner derives each responding cluster's
 //! key locally from `KMC`, adopts the first responder's cluster as its
 //! own, stores the rest as neighbors, and erases `KMC`.
+//!
+//! # Route-blind joiners and the recovery layer
+//!
+//! Joining yields keys, not routes: the link phase predated the join, so
+//! a joiner's gradient is whatever beacons happened to wash over it —
+//! possibly re-wrapped by a *neighboring* cluster whose members cannot
+//! translate frames wrapped under the joiner's own cluster id. Such a
+//! joiner advertises a hop count no holder of its key can beat, and its
+//! readings die one hop out. With [`crate::config::RecoveryConfig`]
+//! enabled, the join-completion timer resets the borrowed gradient,
+//! restricts future beacon learning to frames wrapped under the node's
+//! own cluster id, and solicits fresh routes with a
+//! [`crate::msg::Inner::RouteRequest`] — fixing the blindness at the
+//! source (see `§IV-E` adoption and `tests/eviction_addition.rs`).
 
 use crate::msg::{ClusterId, SHORT_TAG};
 use wsn_crypto::hmac::HmacSha256;

@@ -59,6 +59,7 @@ pub mod join;
 pub mod keys;
 pub mod msg;
 pub mod node;
+pub mod recovery;
 pub mod refresh;
 pub mod routing;
 pub mod setup;
@@ -70,7 +71,7 @@ pub mod stats;
 pub mod prelude {
     pub use crate::base_station::BaseStation;
     pub use crate::chaos::{run_plan, ChaosReport};
-    pub use crate::config::{ProtocolConfig, RefreshMode};
+    pub use crate::config::{ProtocolConfig, RecoveryConfig, RefreshMode};
     pub use crate::error::ProtocolError;
     pub use crate::keys::{NodeKeyMaterial, Provisioner};
     pub use crate::node::{ProtocolApp, ProtocolNode, Role};

@@ -33,6 +33,10 @@ const T_REVOKE_REVEAL: u8 = 0x08;
 const I_DATA: u8 = 0x11;
 const I_BEACON: u8 = 0x12;
 const I_REFRESH: u8 = 0x13;
+const I_ACK: u8 = 0x14;
+const I_ROUTE_REQ: u8 = 0x15;
+const I_HEARTBEAT: u8 = 0x16;
+const I_NEW_HEAD: u8 = 0x17;
 
 /// Length of the short tags on revocation/join messages.
 pub const SHORT_TAG: usize = 8;
@@ -356,6 +360,37 @@ pub enum Inner {
         /// New cluster key.
         new_kc: Key128,
     },
+    /// Recovery-layer hop-by-hop acknowledgment: a next hop (a strictly
+    /// closer node or the base station) confirms custody of a frame.
+    /// `key` names the acknowledged unit — [`DataUnit::dedup_key`] for
+    /// readings, [`crate::recovery::refresh_ack_key`] for refresh
+    /// HELLOs — and the envelope's cluster key authenticates the acker.
+    Ack {
+        /// Dedup key of the acknowledged unit.
+        key: u64,
+    },
+    /// Recovery-layer route-repair request: the sender's gradient went
+    /// stale (next-hop timeout) and it asks neighbors that hold its
+    /// cluster key for a fresh beacon. Body is empty — the envelope's
+    /// cleartext `cid` already names whose key a useful replier must
+    /// hold.
+    RouteRequest,
+    /// Recovery-layer keyed heartbeat, broadcast periodically by a
+    /// cluster head under the current cluster key so members can detect
+    /// head death (and stale members can detect missed epochs).
+    Heartbeat,
+    /// Recovery-layer failover announcement: a member that won the
+    /// localized re-election takes over headship. Secured under the
+    /// *lost* head's cluster key, so only members of the dead cluster
+    /// (and their neighbors holding that key) accept it.
+    NewHead {
+        /// The new head's cluster id (its node id).
+        new_cid: ClusterId,
+        /// The new cluster key (the new head's individual key material
+        /// rolled to the current epoch, so the base station already
+        /// derives it independently).
+        new_kc: Key128,
+    },
 }
 
 impl Inner {
@@ -383,6 +418,21 @@ impl Inner {
                 b.put_u32(*epoch);
                 b.put_slice(new_kc.as_bytes());
             }
+            Inner::Ack { key } => {
+                b.put_u8(I_ACK);
+                b.put_u64(*key);
+            }
+            Inner::RouteRequest => {
+                b.put_u8(I_ROUTE_REQ);
+            }
+            Inner::Heartbeat => {
+                b.put_u8(I_HEARTBEAT);
+            }
+            Inner::NewHead { new_cid, new_kc } => {
+                b.put_u8(I_NEW_HEAD);
+                b.put_u32(*new_cid);
+                b.put_slice(new_kc.as_bytes());
+            }
         }
     }
 
@@ -408,6 +458,36 @@ impl Inner {
                 buf.copy_to_slice(&mut kb);
                 Ok(Inner::RefreshHello {
                     epoch,
+                    new_kc: Key128::from_bytes(kb),
+                })
+            }
+            I_ACK => {
+                if buf.remaining() != 8 {
+                    return Err(ProtocolError::Malformed);
+                }
+                Ok(Inner::Ack { key: buf.get_u64() })
+            }
+            I_ROUTE_REQ => {
+                if buf.has_remaining() {
+                    return Err(ProtocolError::Malformed);
+                }
+                Ok(Inner::RouteRequest)
+            }
+            I_HEARTBEAT => {
+                if buf.has_remaining() {
+                    return Err(ProtocolError::Malformed);
+                }
+                Ok(Inner::Heartbeat)
+            }
+            I_NEW_HEAD => {
+                if buf.remaining() != 4 + KEY_BYTES {
+                    return Err(ProtocolError::Malformed);
+                }
+                let new_cid = buf.get_u32();
+                let mut kb = [0u8; KEY_BYTES];
+                buf.copy_to_slice(&mut kb);
+                Ok(Inner::NewHead {
+                    new_cid,
                     new_kc: Key128::from_bytes(kb),
                 })
             }
@@ -580,6 +660,14 @@ mod tests {
                 epoch: 5,
                 new_kc: Key128::from_bytes([3; 16]),
             },
+            Inner::Ack { key: u64::MAX },
+            Inner::Ack { key: 0 },
+            Inner::RouteRequest,
+            Inner::Heartbeat,
+            Inner::NewHead {
+                new_cid: 77,
+                new_kc: Key128::from_bytes([6; 16]),
+            },
             Inner::Data(DataUnit {
                 src: 14,
                 ctr: Some(99),
@@ -609,6 +697,10 @@ mod tests {
         assert!(Inner::decode(&[0x00]).is_err());
         assert!(Inner::decode(&[I_BEACON, 1]).is_err()); // trailing bytes
         assert!(Inner::decode(&[I_DATA, 0, 0, 0, 1, 0xFF]).is_err()); // bad flags
+        assert!(Inner::decode(&[I_ACK, 1, 2, 3]).is_err()); // short key
+        assert!(Inner::decode(&[I_ROUTE_REQ, 0]).is_err()); // trailing bytes
+        assert!(Inner::decode(&[I_HEARTBEAT, 0]).is_err()); // trailing bytes
+        assert!(Inner::decode(&[I_NEW_HEAD, 0, 0, 0, 1]).is_err()); // short key
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::fusion::{DedupCache, PeekAggregator};
 use crate::join::{join_tag, verify_join_tag};
 use crate::keys::NodeKeyMaterial;
 use crate::msg::{ClusterId, DataUnit, Inner, Message};
+use crate::recovery::{self, RecoveryState, RetxEntry, RetxKind};
 use crate::refresh;
 use crate::routing::Gradient;
 use bytes::Bytes;
@@ -46,6 +47,14 @@ pub const TIMER_SEND: TimerKey = 4;
 pub const TIMER_JOIN: TimerKey = 5;
 /// Timer: autonomous periodic hash refresh.
 pub const TIMER_AUTO_REFRESH: TimerKey = 6;
+/// Timer: scan the ARQ retransmit queue (recovery layer).
+pub const TIMER_RETX: TimerKey = 20;
+/// Timer: emit the next cluster-head heartbeat (recovery layer).
+pub const TIMER_HEARTBEAT: TimerKey = 21;
+/// Timer: member-side head-loss watchdog (recovery layer).
+pub const TIMER_HEAD_WATCH: TimerKey = 22;
+/// Timer: close the localized re-election window (recovery layer).
+pub const TIMER_REELECT: TimerKey = 23;
 
 /// One candidate payload of a two-phase revocation announce:
 /// `(cluster ids, MAC under the not-yet-disclosed link)`.
@@ -98,6 +107,12 @@ pub struct NodeStats {
     pub forwarded: u64,
     /// Duplicates suppressed by the fusion peek.
     pub fused_duplicates: u64,
+    /// ARQ retransmissions performed (recovery layer).
+    pub retransmits: u64,
+    /// Hop-by-hop ACKs emitted (recovery layer).
+    pub acks_sent: u64,
+    /// Route repairs initiated after retry exhaustion (recovery layer).
+    pub route_repairs: u64,
     /// Frames dropped, by reason.
     pub drops: DropCounts,
 }
@@ -175,6 +190,8 @@ pub struct ProtocolNode {
     /// Reusable decrypt buffer for the receive path (one per node, not one
     /// allocation per overheard frame).
     rx_scratch: Vec<u8>,
+    /// Self-healing recovery state (inert unless `cfg.recovery.enabled`).
+    recovery: RecoveryState,
     /// Protocol statistics.
     pub stats: NodeStats,
 }
@@ -205,6 +222,7 @@ impl ProtocolNode {
             join_responses: Vec::new(),
             sealers: SealerCache::new(),
             rx_scratch: Vec::new(),
+            recovery: RecoveryState::default(),
             stats: NodeStats::default(),
         }
     }
@@ -275,6 +293,20 @@ impl ProtocolNode {
         self.pending.push_back(reading);
     }
 
+    /// Read access to the self-healing recovery state (tests, drivers).
+    pub fn recovery_state(&self) -> &RecoveryState {
+        &self.recovery
+    }
+
+    /// Sets the absolute virtual-time horizon for heartbeat emission and
+    /// head-loss watching (see `RecoveryConfig::heartbeat_until`). Drivers
+    /// call this *after* setup so the bounded heartbeat schedule covers
+    /// exactly the observation window — arming it before setup would let
+    /// the run-to-quiescence setup phases drain every future beat.
+    pub fn set_heartbeat_horizon(&mut self, until: SimTime) {
+        self.cfg.recovery.heartbeat_until = until;
+    }
+
     /// Everything an adversary learns by capturing this node right now.
     pub fn extract_keys(&self) -> CapturedKeys {
         CapturedKeys {
@@ -321,6 +353,12 @@ impl ProtocolNode {
             *kc = refresh::hash_step(kc);
         }
         self.epoch += 1;
+        // Pending ARQ frames wrapped under the retired epoch can never
+        // verify anywhere again; retrying them would only exhaust into a
+        // spurious route repair against a healthy gradient.
+        if self.cfg.recovery.enabled {
+            self.recovery.purge_pre_epoch(self.epoch);
+        }
     }
 
     /// As the (historical) cluster head, generates a fresh cluster key and
@@ -346,6 +384,24 @@ impl ProtocolNode {
             hops,
             &inner,
         );
+        if self.cfg.recovery.enabled {
+            // Acknowledged refresh: track the broadcast until the first
+            // member confirms. ACKs will arrive under the key being
+            // retired, so keep it around. The driver arms [`TIMER_RETX`]
+            // (this runs outside a simulation callback, so no `Ctx` here).
+            self.recovery.prev_cluster_key = Some(old_kc);
+            self.recovery.pending.insert(
+                recovery::refresh_ack_key(cid, self.epoch + 1),
+                RetxEntry {
+                    frame: frame.clone(),
+                    kind: RetxKind::Refresh,
+                    attempt: 0,
+                    deadline: now + self.cfg.recovery.retx_base,
+                    repaired: false,
+                    epoch: self.epoch + 1,
+                },
+            );
+        }
         // Adopt the new key immediately.
         self.cluster_key = Some(new_kc);
         self.epoch += 1;
@@ -450,14 +506,17 @@ impl ProtocolNode {
         };
         // Remember our own unit so echoes from forwarders are not
         // re-forwarded back out.
-        self.dedup.insert(unit.dedup_key());
+        let dkey = unit.dedup_key();
+        self.dedup.insert(dkey);
         self.stats.originated += 1;
-        self.broadcast_wrapped(ctx, &Inner::Data(unit));
+        if let Some(frame) = self.broadcast_wrapped(ctx, &Inner::Data(unit)) {
+            self.enroll_retx(ctx, dkey, frame, RetxKind::Data);
+        }
     }
 
-    fn broadcast_wrapped(&mut self, ctx: &mut Ctx, inner: &Inner) {
+    fn broadcast_wrapped(&mut self, ctx: &mut Ctx, inner: &Inner) -> Option<Bytes> {
         let (Some(cid), Some(kc)) = (self.cid, self.cluster_key) else {
-            return;
+            return None;
         };
         let seq = self.next_seq();
         let hops = self.gradient.hops();
@@ -470,7 +529,8 @@ impl ProtocolNode {
             hops,
             inner,
         );
-        ctx.broadcast(frame);
+        ctx.broadcast(frame.clone());
+        Some(frame)
     }
 
     // --- message handling ----------------------------------------------
@@ -544,6 +604,19 @@ impl ProtocolNode {
                 return;
             }
             Err(ProtocolError::Crypto(_)) => {
+                if self.cfg.recovery.enabled {
+                    if self.try_prev_key_ack(ctx, cid, nonce, sealed) {
+                        return;
+                    }
+                    if self.try_epoch_catchup(ctx, cid, nonce, sealed) {
+                        return;
+                    }
+                    if self.cid == Some(cid) {
+                        // Own-cluster traffic we cannot authenticate and
+                        // cannot ratchet to: the wiped-rejoin signal.
+                        self.recovery.unhealed_auth_failures += 1;
+                    }
+                }
                 self.stats.drops.bad_auth += 1;
                 return;
             }
@@ -552,24 +625,81 @@ impl ProtocolNode {
                 return;
             }
         };
-        match unwrapped.inner {
+        self.dispatch_inner(ctx, cid, key, unwrapped.inner, unwrapped.sender_hops);
+    }
+
+    fn dispatch_inner(
+        &mut self,
+        ctx: &mut Ctx,
+        outer_cid: ClusterId,
+        outer_key: Key128,
+        inner: Inner,
+        sender_hops: u32,
+    ) {
+        match inner {
             Inner::Beacon => {
-                if self.gradient.observe_beacon(unwrapped.sender_hops) {
+                if self.recovery.own_cid_beacons_only && self.cid != Some(outer_cid) {
+                    // Route-blind-joiner guard: only a beacon wrapped under
+                    // our *own* cluster key proves its sender can serve as
+                    // our first hop, so only those may teach us a distance.
+                    return;
+                }
+                if self.gradient.observe_beacon(sender_hops) {
                     self.broadcast_wrapped(ctx, &Inner::Beacon);
                 }
             }
-            Inner::Data(unit) => self.handle_data(ctx, unit, unwrapped.sender_hops),
+            Inner::Data(unit) => self.handle_data(ctx, unit, sender_hops, outer_cid, outer_key),
             Inner::RefreshHello { epoch, new_kc } => {
-                self.handle_refresh_hello(ctx, cid, epoch, new_kc)
+                self.handle_refresh_hello(ctx, outer_cid, epoch, new_kc)
+            }
+            Inner::Ack { key } => {
+                // Honor an ACK only from a node strictly closer to the
+                // base station (same rule as the implicit ACK): a
+                // forwarder's ACK is aimed uphill, but it radiates in all
+                // directions, and a same-hops custodian that dropped its
+                // pending entry on a peer's ACK would leave the frame
+                // with no custodian at all if every downhill copy of the
+                // peer's transmission is then lost.
+                if self.cfg.recovery.enabled
+                    && sender_hops < self.gradient.hops()
+                    && self.recovery.ack(key)
+                {
+                    self.arm_retx_timer(ctx);
+                }
+            }
+            Inner::RouteRequest => self.handle_route_request(ctx, outer_cid, outer_key),
+            Inner::Heartbeat => self.handle_heartbeat(ctx, outer_cid),
+            Inner::NewHead { new_cid, new_kc } => {
+                self.handle_new_head(ctx, outer_cid, new_cid, new_kc)
             }
         }
     }
 
-    fn handle_data(&mut self, ctx: &mut Ctx, unit: DataUnit, sender_hops: u32) {
+    fn handle_data(
+        &mut self,
+        ctx: &mut Ctx,
+        unit: DataUnit,
+        sender_hops: u32,
+        outer_cid: ClusterId,
+        outer_key: Key128,
+    ) {
+        let rec_on = self.cfg.recovery.enabled;
+        let dkey = unit.dedup_key();
+        // Implicit ACK: a node strictly closer to the base station just
+        // rebroadcast a unit we still hold pending — custody has moved
+        // downhill even if the explicit ACK was lost.
+        if rec_on && sender_hops < self.gradient.hops() && self.recovery.ack(dkey) {
+            self.arm_retx_timer(ctx);
+        }
         // The fusion peek, level 1: discard byte-identical copies before
         // spending a transmission.
-        if !self.dedup.insert(unit.dedup_key()) {
+        if !self.dedup.insert(dkey) {
             self.stats.fused_duplicates += 1;
+            // A duplicate from uphill is (also) a retransmission aimed at
+            // us: our earlier ACK was lost, so confirm again.
+            if rec_on && self.gradient.should_forward(sender_hops) && !self.muted {
+                self.send_ack(ctx, outer_cid, &outer_key, dkey);
+            }
             return;
         }
         if self.gradient.should_forward(sender_hops) && !self.muted {
@@ -580,12 +710,22 @@ impl ProtocolNode {
             if self.cfg.fusion_suppression && !unit.sealed {
                 if self.peek.is_redundant(&unit.body) {
                     self.stats.fused_duplicates += 1;
+                    // Suppressed, but received: the uphill sender must
+                    // still stop retransmitting.
+                    if rec_on {
+                        self.send_ack(ctx, outer_cid, &outer_key, dkey);
+                    }
                     return;
                 }
                 self.peek.observe(&unit.body);
             }
             self.stats.forwarded += 1;
-            self.broadcast_wrapped(ctx, &Inner::Data(unit));
+            if rec_on {
+                self.send_ack(ctx, outer_cid, &outer_key, dkey);
+            }
+            if let Some(frame) = self.broadcast_wrapped(ctx, &Inner::Data(unit)) {
+                self.enroll_retx(ctx, dkey, frame, RetxKind::Data);
+            }
         }
     }
 
@@ -622,6 +762,14 @@ impl ProtocolNode {
                         &Inner::RefreshHello { epoch, new_kc },
                     );
                     ctx.broadcast(frame);
+                    if self.cfg.recovery.enabled {
+                        // Confirm receipt to the head — necessarily under
+                        // the key being retired (the head keeps it one
+                        // epoch for exactly this) — and keep the old key
+                        // ourselves for stragglers' ACKs.
+                        self.send_ack(ctx, cid, &old_kc, recovery::refresh_ack_key(cid, epoch));
+                        self.recovery.prev_cluster_key = Some(old_kc);
+                    }
                 }
                 self.cluster_key = Some(new_kc);
                 self.epoch = epoch;
@@ -824,6 +972,450 @@ impl ProtocolNode {
         }
         self.keys.erase_kmc();
     }
+
+    // --- self-healing recovery layer ------------------------------------
+    //
+    // Everything below is inert while `cfg.recovery.enabled` is false: no
+    // timers armed, no RNG draws, no extra frames — default-config runs
+    // stay byte-identical to a build without the layer.
+
+    /// Tracks a just-broadcast frame until a hop-by-hop ACK clears it.
+    fn enroll_retx(&mut self, ctx: &mut Ctx, key: u64, frame: Bytes, kind: RetxKind) {
+        if !self.cfg.recovery.enabled {
+            return;
+        }
+        let deadline = ctx.now() + recovery::backoff_delay(&self.cfg.recovery, 0, ctx.rng());
+        self.recovery.pending.insert(
+            key,
+            RetxEntry {
+                frame,
+                kind,
+                attempt: 0,
+                deadline,
+                repaired: false,
+                epoch: self.epoch,
+            },
+        );
+        self.arm_retx_timer(ctx);
+    }
+
+    /// (Re-)arms the single retransmit-scan timer at the earliest pending
+    /// deadline, or cancels it when nothing is pending.
+    fn arm_retx_timer(&mut self, ctx: &mut Ctx) {
+        match self.recovery.next_deadline() {
+            Some(dl) => ctx.set_timer(TIMER_RETX, dl.saturating_sub(ctx.now()).max(1)),
+            None => ctx.cancel_timer(TIMER_RETX),
+        }
+    }
+
+    /// Emits a hop-by-hop ACK under the key the acknowledged frame
+    /// *arrived* under — the one key its custodian provably holds.
+    fn send_ack(&mut self, ctx: &mut Ctx, cid: ClusterId, key: &Key128, ack_key: u64) {
+        let seq = self.next_seq();
+        let hops = self.gradient.hops();
+        let frame = wrap_frame(
+            self.sealers.get(key),
+            cid,
+            self.keys.id,
+            seq,
+            ctx.now(),
+            hops,
+            &Inner::Ack { key: ack_key },
+        );
+        ctx.broadcast(frame);
+        self.stats.acks_sent += 1;
+    }
+
+    fn on_retx_timer(&mut self, ctx: &mut Ctx) {
+        let rec = self.cfg.recovery;
+        if !rec.enabled {
+            return;
+        }
+        let now = ctx.now();
+        for key in self.recovery.due_keys(now) {
+            let Some(mut entry) = self.recovery.pending.remove(&key) else {
+                continue;
+            };
+            if entry.attempt < rec.max_retries {
+                entry.attempt += 1;
+                entry.deadline = now + recovery::backoff_delay(&rec, entry.attempt, ctx.rng());
+                ctx.trace(TraceEvent::RetryScheduled {
+                    key,
+                    attempt: entry.attempt,
+                    fire_at: entry.deadline,
+                });
+                // Byte-identical retransmission: receiver dedup absorbs
+                // extras, and the stamp stays inside the freshness window.
+                ctx.broadcast(entry.frame.clone());
+                self.stats.retransmits += 1;
+                self.recovery.pending.insert(key, entry);
+            } else {
+                ctx.trace(TraceEvent::AckTimeout {
+                    key,
+                    attempts: entry.attempt + 1,
+                });
+                if entry.kind == RetxKind::Data && !entry.repaired {
+                    self.start_route_repair(ctx, key, entry);
+                }
+                // Refresh frames (or a second exhaustion) just give up:
+                // the refresh walk or the next reading will retry at the
+                // protocol level.
+            }
+        }
+        self.arm_retx_timer(ctx);
+    }
+
+    /// Retry exhaustion: stop trusting the gradient, ask the neighborhood
+    /// for a scoped re-flood, and give the frame one more retry cycle.
+    fn start_route_repair(&mut self, ctx: &mut Ctx, key: u64, mut entry: RetxEntry) {
+        self.gradient.invalidate();
+        self.broadcast_wrapped(ctx, &Inner::RouteRequest);
+        self.stats.route_repairs += 1;
+        entry.repaired = true;
+        entry.attempt = 0;
+        // Leave room for the repair round trip before retransmitting.
+        entry.deadline = ctx.now() + recovery::backoff_delay(&self.cfg.recovery, 1, ctx.rng());
+        self.recovery.pending.insert(key, entry);
+    }
+
+    /// Answers a RouteRequest with a scoped beacon under the *requester's*
+    /// cluster key — decrypting the request proves we hold that key, and
+    /// answering proves a live path: exactly the two properties a first
+    /// hop needs.
+    fn handle_route_request(&mut self, ctx: &mut Ctx, outer_cid: ClusterId, outer_key: Key128) {
+        let rec = self.cfg.recovery;
+        if !rec.enabled
+            || !self.gradient.established()
+            || self.muted
+            || self.revoked
+            || !self
+                .recovery
+                .route_reply_allowed(ctx.now(), rec.route_reply_cooldown)
+        {
+            return;
+        }
+        let seq = self.next_seq();
+        let hops = self.gradient.hops();
+        let frame = wrap_frame(
+            self.sealers.get(&outer_key),
+            outer_cid,
+            self.keys.id,
+            seq,
+            ctx.now(),
+            hops,
+            &Inner::Beacon,
+        );
+        ctx.broadcast(frame);
+        self.recovery.last_route_reply = Some(ctx.now());
+    }
+
+    /// Arms the next head heartbeat, bounded by the absolute horizon so
+    /// run-to-quiescence simulations terminate.
+    fn arm_heartbeat(&mut self, ctx: &mut Ctx) {
+        let rec = &self.cfg.recovery;
+        if !rec.enabled || rec.heartbeat_until == 0 || self.role != Role::Head || self.revoked {
+            return;
+        }
+        if ctx.now() + rec.heartbeat_period <= rec.heartbeat_until {
+            ctx.set_timer(TIMER_HEARTBEAT, rec.heartbeat_period);
+        }
+    }
+
+    /// A keyed heartbeat from a head. Strictly 1-hop — never relayed (a
+    /// relay chain could keep a dead head "alive" indefinitely). Members
+    /// who cannot hear their head directly simply do not participate in
+    /// failover detection; in hash-refresh mode the global lockstep keeps
+    /// their keys current regardless.
+    fn handle_heartbeat(&mut self, ctx: &mut Ctx, outer_cid: ClusterId) {
+        let rec = &self.cfg.recovery;
+        if !rec.enabled || rec.heartbeat_until == 0 {
+            return;
+        }
+        if self.role == Role::Member && self.cid == Some(outer_cid) && !self.revoked {
+            self.recovery.reelecting = false;
+            ctx.cancel_timer(TIMER_REELECT);
+            self.arm_head_watch(ctx);
+        }
+    }
+
+    /// (Re-)arms the head-loss watchdog. Only ever called on heartbeat
+    /// receipt — a member that never heard its head cannot lose it, which
+    /// is what keeps 2-hop joiners from raising false alarms.
+    fn arm_head_watch(&mut self, ctx: &mut Ctx) {
+        let rec = &self.cfg.recovery;
+        if ctx.now() >= rec.heartbeat_until {
+            return;
+        }
+        let delay = rec
+            .heartbeat_period
+            .saturating_mul(SimTime::from(rec.heartbeat_miss_limit))
+            .saturating_add(rec.heartbeat_period / 2);
+        ctx.set_timer(TIMER_HEAD_WATCH, delay);
+    }
+
+    /// The watchdog starved: `heartbeat_miss_limit` consecutive beats
+    /// missed. Declare the head lost and run the paper's first-HELLO-wins
+    /// timer rule locally: draw `Exp(λ)`; a draw inside the window makes
+    /// this node a candidate, a draw outside makes it an adopter.
+    fn on_head_watch(&mut self, ctx: &mut Ctx) {
+        let rec = self.cfg.recovery;
+        if !rec.enabled
+            || self.role != Role::Member
+            || self.revoked
+            || self.recovery.reelecting
+            || self.cid.is_none()
+        {
+            return;
+        }
+        if ctx.now() > rec.heartbeat_until {
+            // Silence past the horizon is end-of-observation, not loss.
+            return;
+        }
+        ctx.trace(TraceEvent::HeadLost {
+            cid: self.cid.unwrap_or_default(),
+        });
+        self.recovery.reelecting = true;
+        let raw = exp_delay(ctx.rng(), self.cfg.election_rate);
+        let delay_us = (raw * SECOND as f64) as SimTime;
+        if delay_us <= rec.reelect_window {
+            self.recovery.reelect_runner = true;
+            ctx.set_timer(TIMER_REELECT, delay_us.max(1));
+        } else {
+            // Sit out the window; if no NewHead is heard by its end,
+            // adopt into a neighboring cluster (§IV-E path).
+            self.recovery.reelect_runner = false;
+            ctx.set_timer(TIMER_REELECT, rec.reelect_window);
+        }
+    }
+
+    fn on_reelect_timer(&mut self, ctx: &mut Ctx) {
+        if !self.recovery.reelecting || self.role != Role::Member || self.revoked {
+            return;
+        }
+        self.recovery.reelecting = false;
+        if self.recovery.reelect_runner {
+            self.promote_to_head(ctx);
+            return;
+        }
+        // Window closed with no successor heard. Adopt the smallest-ID
+        // neighboring cluster from S (deterministic tie-break), or run
+        // for head ourselves as the last resort when S is empty.
+        let adopt = self
+            .neighbor_keys
+            .iter()
+            .min_by_key(|(c, _)| **c)
+            .map(|(c, k)| (*c, *k));
+        match adopt {
+            Some((new_cid, new_kc)) => {
+                let old = self.cid.zip(self.cluster_key);
+                self.neighbor_keys.remove(&new_cid);
+                if let Some((oc, ok)) = old {
+                    // Keep the orphaned cluster's key: its traffic may
+                    // still be in flight and we can keep forwarding it.
+                    self.neighbor_keys.insert(oc, ok);
+                }
+                self.cid = Some(new_cid);
+                self.cluster_key = Some(new_kc);
+                ctx.trace(TraceEvent::ClusterJoined { head: new_cid });
+            }
+            None => self.promote_to_head(ctx),
+        }
+    }
+
+    /// Localized re-election won: become head of a fresh cluster under
+    /// this node's *provisioned* potential cluster key `Kci`, ratcheted to
+    /// the current epoch — a key the base station already holds for every
+    /// provisioned ID, so failover needs no base-station round trip.
+    fn promote_to_head(&mut self, ctx: &mut Ctx) {
+        let old = self.cid.zip(self.cluster_key);
+        let new_cid = self.keys.id;
+        let new_kc = refresh::hash_steps(&self.keys.kci, self.epoch);
+        self.role = Role::Head;
+        self.cid = Some(new_cid);
+        self.cluster_key = Some(new_kc);
+        if let Some((oc, ok)) = old {
+            self.neighbor_keys.insert(oc, ok);
+            ctx.trace(TraceEvent::ReElected { old_cid: oc });
+            // Announce under the OLD cluster key — the one credential the
+            // orphaned members share with us.
+            let seq = self.next_seq();
+            let hops = self.gradient.hops();
+            let frame = wrap_frame(
+                self.sealers.get(&ok),
+                oc,
+                self.keys.id,
+                seq,
+                ctx.now(),
+                hops,
+                &Inner::NewHead { new_cid, new_kc },
+            );
+            ctx.broadcast(frame);
+        }
+        ctx.trace(TraceEvent::BecameHead);
+        self.arm_heartbeat(ctx);
+    }
+
+    /// A re-elected head announced itself under a key we hold.
+    fn handle_new_head(
+        &mut self,
+        ctx: &mut Ctx,
+        outer_cid: ClusterId,
+        new_cid: ClusterId,
+        new_kc: Key128,
+    ) {
+        if !self.cfg.recovery.enabled || new_cid == self.keys.id || self.revoked {
+            return;
+        }
+        if self.cid == Some(outer_cid) {
+            if self.role != Role::Member {
+                // A still-alive head hearing a usurper (partition false
+                // positive): ignore; two clusters now coexist, which is
+                // safe — both keys are provisioned at the base station.
+                return;
+            }
+            // Relay once under the old key so 2-hop orphans hear, then
+            // adopt. Termination: after adoption the old CID moves to S,
+            // so duplicates take the neighbor branch below (no relay).
+            let (Some(oc), Some(ok)) = (self.cid, self.cluster_key) else {
+                return;
+            };
+            let seq = self.next_seq();
+            let hops = self.gradient.hops();
+            let frame = wrap_frame(
+                self.sealers.get(&ok),
+                oc,
+                self.keys.id,
+                seq,
+                ctx.now(),
+                hops,
+                &Inner::NewHead { new_cid, new_kc },
+            );
+            ctx.broadcast(frame);
+            self.neighbor_keys.insert(oc, ok);
+            self.neighbor_keys.remove(&new_cid);
+            self.cid = Some(new_cid);
+            self.cluster_key = Some(new_kc);
+            self.recovery.reelecting = false;
+            self.recovery.reelect_runner = false;
+            ctx.cancel_timer(TIMER_REELECT);
+            ctx.trace(TraceEvent::ClusterJoined { head: new_cid });
+        } else {
+            // A neighboring cluster re-elected: track the successor
+            // alongside the old entry (old-CID traffic may still be in
+            // flight and we can forward both).
+            self.neighbor_keys.insert(new_cid, new_kc);
+        }
+    }
+
+    /// A MAC failure under our *previous* cluster key may be a straggler's
+    /// refresh ACK (sent, correctly, under the key it was retiring). Only
+    /// ACKs are honored under a retired key.
+    fn try_prev_key_ack(
+        &mut self,
+        ctx: &mut Ctx,
+        cid: ClusterId,
+        nonce: u64,
+        sealed: &[u8],
+    ) -> bool {
+        if self.cid != Some(cid) {
+            return false;
+        }
+        let Some(pk) = self.recovery.prev_cluster_key else {
+            return false;
+        };
+        let mut scratch = std::mem::take(&mut self.rx_scratch);
+        let result = unwrap_in(
+            self.sealers.get(&pk),
+            cid,
+            nonce,
+            sealed,
+            ctx.now(),
+            &self.cfg,
+            &mut scratch,
+        );
+        self.rx_scratch = scratch;
+        if let Ok(u) = result {
+            if let Inner::Ack { key } = u.inner {
+                if self.recovery.ack(key) {
+                    self.arm_retx_timer(ctx);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Stale-epoch catch-up: hash refresh is globally lockstepped, so a
+    /// frame we cannot authenticate under a held key might verify under
+    /// `F^k` of it — meaning we slept through `k` epochs. Ratchet the
+    /// whole key set forward `k` steps and process the frame normally.
+    fn try_epoch_catchup(
+        &mut self,
+        ctx: &mut Ctx,
+        cid: ClusterId,
+        nonce: u64,
+        sealed: &[u8],
+    ) -> bool {
+        let rec = self.cfg.recovery;
+        if self.cfg.refresh_mode != RefreshMode::Hash || rec.max_catchup_epochs == 0 {
+            return false;
+        }
+        let Some(base) = self.cluster_key_for(cid) else {
+            return false;
+        };
+        let mut candidate = base;
+        for k in 1..=rec.max_catchup_epochs {
+            candidate = refresh::hash_step(&candidate);
+            let mut scratch = std::mem::take(&mut self.rx_scratch);
+            let result = unwrap_in(
+                self.sealers.get(&candidate),
+                cid,
+                nonce,
+                sealed,
+                ctx.now(),
+                &self.cfg,
+                &mut scratch,
+            );
+            self.rx_scratch = scratch;
+            match result {
+                Ok(u) => {
+                    let from_epoch = self.epoch;
+                    for _ in 0..k {
+                        self.apply_hash_refresh();
+                    }
+                    // Frames enrolled under pre-catch-up keys are
+                    // undecipherable noise now; drop them.
+                    self.recovery.pending.clear();
+                    ctx.cancel_timer(TIMER_RETX);
+                    ctx.trace(TraceEvent::EpochCatchUp {
+                        from_epoch,
+                        to_epoch: self.epoch,
+                    });
+                    self.dispatch_inner(ctx, cid, candidate, u.inner, u.sender_hops);
+                    return true;
+                }
+                Err(ProtocolError::Stale) => {
+                    // The key matched (freshness is checked after auth):
+                    // the catch-up is confirmed even though this
+                    // particular frame is too old to act on.
+                    let from_epoch = self.epoch;
+                    for _ in 0..k {
+                        self.apply_hash_refresh();
+                    }
+                    self.recovery.pending.clear();
+                    ctx.cancel_timer(TIMER_RETX);
+                    ctx.trace(TraceEvent::EpochCatchUp {
+                        from_epoch,
+                        to_epoch: self.epoch,
+                    });
+                    self.stats.drops.stale += 1;
+                    return true;
+                }
+                Err(_) => {}
+            }
+        }
+        false
+    }
 }
 
 impl App for ProtocolNode {
@@ -840,9 +1432,14 @@ impl App for ProtocolNode {
             }
             Role::Undecided => self.start_initial_deployment(ctx),
             // Already clustered: this is a simulator rebuild (node
-            // addition), not a fresh deployment. Pending timers did not
-            // survive the rebuild; re-arm the autonomous refresh schedule.
-            Role::Head | Role::Member => self.arm_auto_refresh(ctx),
+            // addition) or a reboot, not a fresh deployment. Pending
+            // timers did not survive; re-arm the autonomous refresh
+            // schedule, and a head resumes its heartbeat (members re-arm
+            // their watchdog on the next beat heard).
+            Role::Head | Role::Member => {
+                self.arm_auto_refresh(ctx);
+                self.arm_heartbeat(ctx);
+            }
         }
     }
 
@@ -887,10 +1484,27 @@ impl App for ProtocolNode {
                         if let Some(cid) = self.cid {
                             ctx.trace(TraceEvent::JoinCompleted { cid });
                         }
+                        if self.cfg.recovery.enabled {
+                            // Route-blind-joiner fix: forget whatever hop
+                            // counts leaked in during the join window (they
+                            // may have come through clusters that cannot
+                            // decrypt our traffic), accept only own-cluster
+                            // beacons from here on, and solicit one now.
+                            self.recovery.own_cid_beacons_only = true;
+                            self.gradient = Gradient::default();
+                            self.broadcast_wrapped(ctx, &Inner::RouteRequest);
+                        }
                     }
                     self.arm_auto_refresh(ctx);
                 }
             }
+            TIMER_RETX => self.on_retx_timer(ctx),
+            TIMER_HEARTBEAT if self.role == Role::Head && !self.revoked => {
+                self.broadcast_wrapped(ctx, &Inner::Heartbeat);
+                self.arm_heartbeat(ctx);
+            }
+            TIMER_HEAD_WATCH => self.on_head_watch(ctx),
+            TIMER_REELECT => self.on_reelect_timer(ctx),
             _ => {}
         }
     }

@@ -24,6 +24,18 @@ pub fn hash_step(kc: &Key128) -> Key128 {
     Prf::refresh(kc)
 }
 
+/// `n` hash-refresh steps: `F^n(Kc)`. Used by the recovery layer to
+/// ratchet a stale node forward (epoch catch-up) and to derive the
+/// current-epoch value of a provisioned potential cluster key during
+/// localized re-election.
+pub fn hash_steps(kc: &Key128, n: u32) -> Key128 {
+    let mut k = *kc;
+    for _ in 0..n {
+        k = hash_step(&k);
+    }
+    k
+}
+
 /// The cluster key of head `cid` at a given hash-refresh epoch:
 /// `F_refresh^epoch(F_cluster(KMC, cid))`. New nodes carrying `KMC` use
 /// this to derive current keys when joining a refreshed network.

@@ -67,6 +67,14 @@ impl Gradient {
     pub fn should_forward(&self, sender_hops: u32) -> bool {
         self.established() && self.hops < sender_hops
     }
+
+    /// Forgets the learned distance — route repair: the next-hop set this
+    /// gradient implied has stopped responding, so stop trusting it and
+    /// let the following beacon (scoped RouteRequest reply or full
+    /// re-flood) re-teach it.
+    pub fn invalidate(&mut self) {
+        self.hops = NO_GRADIENT;
+    }
 }
 
 #[cfg(test)]

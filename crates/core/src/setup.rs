@@ -53,7 +53,9 @@ use crate::base_station::{BaseStation, TIMER_BEACON, TIMER_REVOKE};
 use crate::config::{ProtocolConfig, RefreshMode};
 use crate::keys::Provisioner;
 use crate::msg::ClusterId;
-use crate::node::{PendingReading, ProtocolApp, ProtocolNode, TIMER_SEND};
+use crate::node::{
+    PendingReading, ProtocolApp, ProtocolNode, Role, TIMER_HEARTBEAT, TIMER_RETX, TIMER_SEND,
+};
 use crate::stats::SetupReport;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -326,6 +328,32 @@ impl NetworkHandle {
         SetupReport::from_simulation(&self.sim, &self.setup_counters)
     }
 
+    /// Turns on cluster-head failure detection until the absolute virtual
+    /// time `until`: every powered-up sensor gets the heartbeat horizon,
+    /// and every current head starts beating. Called *after* setup on
+    /// purpose — the heartbeat schedule is bounded by the horizon so the
+    /// run-to-quiescence phases (`send_reading`, `establish_gradient`, …)
+    /// still terminate, but that same bound means arming it before a long
+    /// quiescence run would drain every future beat up front. Requires
+    /// `cfg.recovery.enabled`; a no-op otherwise.
+    pub fn start_heartbeats(&mut self, until: SimTime) {
+        if !self.cfg.recovery.enabled {
+            return;
+        }
+        let period = self.cfg.recovery.heartbeat_period;
+        for id in self.sensor_ids() {
+            if !self.sim.node_is_up(id) {
+                continue;
+            }
+            let node = self.sensor_mut(id);
+            node.set_heartbeat_horizon(until);
+            let is_head = node.role() == Role::Head;
+            if is_head {
+                self.sim.schedule_timer(id, TIMER_HEARTBEAT, period);
+            }
+        }
+    }
+
     /// Floods a base-station beacon and runs until the gradient converges.
     /// Existing gradients are reset first so the flood reaches nodes added
     /// since the last beacon (beacons only propagate on improvement).
@@ -409,6 +437,16 @@ impl NetworkHandle {
                         // The BS cannot derive head-generated keys; the
                         // harness syncs it (documented simulation shortcut).
                         self.bs_mut().set_cluster_key(head, new_kc);
+                        if self.cfg.recovery.enabled {
+                            // Acknowledged refresh: the head enrolled the
+                            // frame (initiate_recluster_refresh runs with
+                            // no Ctx), so arm its retransmit scan here.
+                            self.sim.schedule_timer(
+                                head,
+                                TIMER_RETX,
+                                self.cfg.recovery.retx_base + 1,
+                            );
+                        }
                     }
                 }
                 self.sim.run();

@@ -120,6 +120,44 @@ pub enum TraceEvent {
         cid: NodeId,
     },
 
+    // ---- recovery layer (self-healing) ----
+    /// The node armed a retransmission for an unacknowledged frame.
+    RetryScheduled {
+        /// Dedup key of the frame being retried.
+        key: u64,
+        /// Retransmission attempt number (1 = first retry).
+        attempt: u32,
+        /// Virtual time the retransmission will fire.
+        fire_at: SimTime,
+    },
+    /// Retries for a frame were exhausted without an acknowledgment.
+    AckTimeout {
+        /// Dedup key of the abandoned frame.
+        key: u64,
+        /// Retransmissions that were attempted before giving up.
+        attempts: u32,
+    },
+    /// The node's heartbeat watchdog expired: its cluster head is
+    /// presumed dead.
+    HeadLost {
+        /// The presumed-dead head's cluster id.
+        cid: NodeId,
+    },
+    /// The node won a localized re-election and took over as head of a
+    /// new cluster (its own id) after the old head was lost.
+    ReElected {
+        /// The cluster whose head was lost.
+        old_cid: NodeId,
+    },
+    /// The node detected missed refresh epochs and ratcheted its cluster
+    /// key forward along the hash chain.
+    EpochCatchUp {
+        /// Epoch the node was stuck at.
+        from_epoch: u32,
+        /// Epoch now in effect after the catch-up.
+        to_epoch: u32,
+    },
+
     // ---- fault layer (wsn-chaos) ----
     /// A scheduled fault was applied by the fault-plan engine. The
     /// record's `node` is the primary subject (or the base station for
@@ -205,6 +243,11 @@ impl TraceEvent {
             TraceEvent::KeyRefreshed { .. } => "key_refreshed",
             TraceEvent::ClusterRevoked { .. } => "cluster_revoked",
             TraceEvent::JoinCompleted { .. } => "join_completed",
+            TraceEvent::RetryScheduled { .. } => "retry_scheduled",
+            TraceEvent::AckTimeout { .. } => "ack_timeout",
+            TraceEvent::HeadLost { .. } => "head_lost",
+            TraceEvent::ReElected { .. } => "re_elected",
+            TraceEvent::EpochCatchUp { .. } => "epoch_catch_up",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::NodeDown => "node_down",
             TraceEvent::NodeUp => "node_up",
@@ -304,6 +347,31 @@ impl TraceRecord {
             TraceEvent::KeyRefreshed { cid, epoch } => {
                 let _ = write!(s, ",\"cid\":{cid},\"epoch\":{epoch}");
             }
+            TraceEvent::RetryScheduled {
+                key,
+                attempt,
+                fire_at,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"key\":{key},\"attempt\":{attempt},\"fire_at\":{fire_at}"
+                );
+            }
+            TraceEvent::AckTimeout { key, attempts } => {
+                let _ = write!(s, ",\"key\":{key},\"attempts\":{attempts}");
+            }
+            TraceEvent::HeadLost { cid } => {
+                let _ = write!(s, ",\"cid\":{cid}");
+            }
+            TraceEvent::ReElected { old_cid } => {
+                let _ = write!(s, ",\"old_cid\":{old_cid}");
+            }
+            TraceEvent::EpochCatchUp {
+                from_epoch,
+                to_epoch,
+            } => {
+                let _ = write!(s, ",\"from_epoch\":{from_epoch},\"to_epoch\":{to_epoch}");
+            }
             TraceEvent::FaultInjected { fault } => {
                 let _ = write!(s, ",\"fault\":\"{}\"", fault.label());
             }
@@ -397,6 +465,57 @@ mod tests {
             (TraceEvent::PartitionHeal, "partition_heal"),
         ] {
             assert_eq!(ev.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn recovery_events_render_their_fields() {
+        let rec = TraceRecord {
+            seq: 1,
+            at: 40,
+            node: 5,
+            event: TraceEvent::RetryScheduled {
+                key: 0xABCD,
+                attempt: 2,
+                fire_at: 99,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"seq\":1,\"at\":40,\"node\":5,\"kind\":\"retry_scheduled\",\
+             \"key\":43981,\"attempt\":2,\"fire_at\":99}"
+        );
+        for (ev, frag) in [
+            (
+                TraceEvent::AckTimeout {
+                    key: 7,
+                    attempts: 3,
+                },
+                "\"kind\":\"ack_timeout\",\"key\":7,\"attempts\":3",
+            ),
+            (
+                TraceEvent::HeadLost { cid: 12 },
+                "\"kind\":\"head_lost\",\"cid\":12",
+            ),
+            (
+                TraceEvent::ReElected { old_cid: 12 },
+                "\"kind\":\"re_elected\",\"old_cid\":12",
+            ),
+            (
+                TraceEvent::EpochCatchUp {
+                    from_epoch: 0,
+                    to_epoch: 2,
+                },
+                "\"kind\":\"epoch_catch_up\",\"from_epoch\":0,\"to_epoch\":2",
+            ),
+        ] {
+            let rec = TraceRecord {
+                seq: 0,
+                at: 0,
+                node: 1,
+                event: ev,
+            };
+            assert!(rec.to_json().contains(frag), "{}", rec.to_json());
         }
     }
 

@@ -6,29 +6,29 @@ use wsn_core::config::CounterMode;
 use wsn_core::prelude::*;
 use wsn_sim::radio::RadioConfig;
 
-fn lossy_setup(seed: u64, loss: f64) -> SetupOutcome {
+fn lossy_setup_cfg(seed: u64, loss: f64, cfg: ProtocolConfig) -> SetupOutcome {
     Scenario::new(SetupParams {
         n: 400,
         density: 16.0,
         seed,
-        cfg: ProtocolConfig::default(),
+        cfg,
     })
     .radio(RadioConfig::default().with_loss(loss))
     .run()
 }
 
-#[test]
-fn steady_state_delivery_under_20_percent_loss() {
-    // Per-reading survival depends on the deployment draw: a deep
-    // gradient (7-8 hops to the BS) compounds 20% per-link loss far more
-    // than a shallow one, so a single seed can sit in the distribution's
-    // tail. Aggregate over several draws and require that multi-path
-    // flooding carries well over half the readings through overall, and
-    // that no draw goes completely dark.
+fn lossy_setup(seed: u64, loss: f64) -> SetupOutcome {
+    lossy_setup_cfg(seed, loss, ProtocolConfig::default())
+}
+
+/// Shared body of the two steady-state-loss experiments: aggregate
+/// delivery of 20 readings per seed over four deployment draws.
+fn lossy_delivery(cfg: ProtocolConfig) -> (usize, usize, u64) {
     let mut delivered = 0usize;
     let mut attempted = 0usize;
+    let mut retransmits = 0u64;
     for seed in 1..=4u64 {
-        let mut o = lossy_setup(seed, 0.20);
+        let mut o = lossy_setup_cfg(seed, 0.20, cfg.clone());
         o.handle.establish_gradient();
         let dist = o.handle.sim().topology().hop_distances(0);
         let sources: Vec<u32> = o
@@ -52,10 +52,46 @@ fn steady_state_delivery_under_20_percent_loss() {
         assert!(got > 0, "seed {seed}: nothing delivered under 20% loss");
         delivered += got;
         attempted += sources.len();
+        retransmits += o
+            .handle
+            .sensor_ids()
+            .iter()
+            .map(|&id| o.handle.sensor(id).stats.retransmits)
+            .sum::<u64>();
     }
+    (delivered, attempted, retransmits)
+}
+
+#[test]
+fn steady_state_delivery_under_20_percent_loss() {
+    // Per-reading survival depends on the deployment draw: a deep
+    // gradient (7-8 hops to the BS) compounds 20% per-link loss far more
+    // than a shallow one, so a single seed can sit in the distribution's
+    // tail. Aggregate over several draws and require that multi-path
+    // flooding carries well over half the readings through overall, and
+    // that no draw goes completely dark.
+    let (delivered, attempted, _) = lossy_delivery(ProtocolConfig::default());
     assert!(
         delivered * 100 >= attempted * 65,
         "only {delivered}/{attempted} delivered under 20% loss"
+    );
+}
+
+#[test]
+fn recovery_lifts_steady_state_delivery_to_95_percent_under_20_percent_loss() {
+    // Same deployments, same per-link loss, same 20 readings per seed —
+    // but with the acknowledged transport on. Hop-by-hop retries turn a
+    // per-hop survival of 0.8 into effectively 1 - 0.2^4, so the
+    // aggregate delivery floor jumps from 65% to 95%.
+    let (delivered, attempted, retransmits) =
+        lossy_delivery(ProtocolConfig::default().with_recovery());
+    assert!(
+        delivered * 100 >= attempted * 95,
+        "only {delivered}/{attempted} delivered under 20% loss with recovery on"
+    );
+    assert!(
+        retransmits > 0,
+        "the lift must come from the ARQ layer actually retransmitting"
     );
 }
 
