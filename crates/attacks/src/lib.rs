@@ -26,6 +26,9 @@
 //! * [`chaos_flood`] — attacks composed with `wsn-chaos` fault plans:
 //!   the HELLO flood fired at a partition's heal instant, when the
 //!   network is at its most confused, must stay contained anyway.
+//! * [`overload_flood`] — resource-exhaustion floods (valid-MAC data and
+//!   bad-MAC garbage) against per-node buffers, the adversary of the
+//!   resource-budget layer's overload figure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod capture;
 pub mod chaos_flood;
 pub mod eavesdrop;
 pub mod hello_flood;
+pub mod overload_flood;
 pub mod replay;
 pub mod selective_forward;
 pub mod sybil;

@@ -1,0 +1,209 @@
+//! Resource-exhaustion floods: the adversary of the overload figure.
+//!
+//! The HELLO flood of §VI targets *key agreement*; this module targets
+//! *capacity*. Two shapes, both paced so the pressure is sustained
+//! rather than a single burst:
+//!
+//! * [`data_flood`] — cryptographically valid `Data` frames wrapped
+//!   under a captured cluster key. Every frame authenticates, enters
+//!   dedup caches, earns a hop-by-hop ACK and a forwarding attempt, and
+//!   (with the recovery layer on) a retransmission-custody entry: the
+//!   most expensive traffic an insider can generate per byte. Without
+//!   resource budgets, victim buffers grow linearly with flood size.
+//! * [`garbage_flood`] — frames carrying the victim's own cluster ID
+//!   but sealed under a key the adversary invented. Receivers burn a
+//!   full MAC verification on each before dropping it as `bad_auth` —
+//!   and with budgets on, the quarantine rule mutes the sender after
+//!   `quarantine_threshold` consecutive failures, converting a per-frame
+//!   decrypt cost into a per-frame map lookup.
+//!
+//! The two floods claim *distinct* hostile identities — [`ATTACKER_ID`]
+//! for valid-MAC data, [`JUNK_ID`] for garbage — so per-neighbor
+//! admission control can throttle one and quarantine the other
+//! independently: a node hearing both streams must not let the valid
+//! frames reset the garbage sender's consecutive-failure streak.
+
+use crate::hello_flood::ATTACKER_ID;
+use bytes::Bytes;
+use wsn_core::forward::wrap;
+use wsn_core::msg::{DataUnit, Inner};
+use wsn_core::setup::NetworkHandle;
+use wsn_crypto::Key128;
+use wsn_sim::event::SimTime;
+
+/// Claimed sender of [`garbage_flood`] frames. Distinct from
+/// [`ATTACKER_ID`] so the quarantine rule's consecutive-failure count is
+/// not reset by the *valid* flood when both run against one network.
+pub const JUNK_ID: u32 = 0x00AD_BEF1;
+
+/// Stages `frames` valid-MAC `Data` frames under `victim`'s captured
+/// cluster key, the first landing `start_at` µs from now and one every
+/// `pace` µs after, **without** running the simulation (the caller owns
+/// the clock, typically via a chaos plan or `run_until`). Bodies are
+/// distinct so every frame survives dedup. Returns the number injected
+/// (0 if the victim is unclustered).
+pub fn data_flood(
+    handle: &mut NetworkHandle,
+    victim: u32,
+    frames: usize,
+    start_at: SimTime,
+    pace: SimTime,
+) -> usize {
+    let Some((cid, kc)) = handle.sensor(victim).extract_keys().cluster else {
+        return 0;
+    };
+    let now = handle.sim().now();
+    for k in 0..frames {
+        let at = start_at + pace * k as u64;
+        // Unique body per frame: dedup keys differ, so each one costs
+        // the victim real work. Claimed from very far uphill so every
+        // receiver believes it should forward the frame downhill.
+        let body = Bytes::from(format!("flood-{k}").into_bytes());
+        let unit = DataUnit {
+            src: ATTACKER_ID,
+            ctr: None,
+            sealed: false,
+            body,
+        };
+        let msg = wrap(
+            &kc,
+            cid,
+            ATTACKER_ID,
+            0xF100_0000 + k as u64,
+            now + at,
+            0xFFFF,
+            &Inner::Data(unit),
+        );
+        handle
+            .sim_mut()
+            .inject_broadcast_at(victim, ATTACKER_ID, at, msg.encode());
+    }
+    frames
+}
+
+/// Stages `frames` forged frames carrying `victim`'s cluster ID but
+/// sealed under an adversary-invented key, paced like [`data_flood`].
+/// Each one fails authentication at every receiver that holds the real
+/// key — the consecutive-failure stream the quarantine rule exists for.
+/// Returns the number injected (0 if the victim is unclustered).
+pub fn garbage_flood(
+    handle: &mut NetworkHandle,
+    victim: u32,
+    frames: usize,
+    start_at: SimTime,
+    pace: SimTime,
+) -> usize {
+    let Some((cid, _)) = handle.sensor(victim).extract_keys().cluster else {
+        return 0;
+    };
+    let bogus = Key128::from_bytes([0xBA; 16]);
+    let now = handle.sim().now();
+    for k in 0..frames {
+        let at = start_at + pace * k as u64;
+        let unit = DataUnit {
+            src: JUNK_ID,
+            ctr: None,
+            sealed: false,
+            body: Bytes::from(format!("junk-{k}").into_bytes()),
+        };
+        let msg = wrap(
+            &bogus,
+            cid,
+            JUNK_ID,
+            0xF200_0000 + k as u64,
+            now + at,
+            0xFFFF,
+            &Inner::Data(unit),
+        );
+        handle
+            .sim_mut()
+            .inject_broadcast_at(victim, JUNK_ID, at, msg.encode());
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_core::config::{ProtocolConfig, ResourceConfig};
+    use wsn_core::setup::{run_setup, SetupParams};
+
+    fn network(cfg: ProtocolConfig) -> NetworkHandle {
+        run_setup(&SetupParams {
+            n: 150,
+            density: 12.0,
+            seed: 21,
+            cfg,
+        })
+        .handle
+    }
+
+    #[test]
+    fn unbudgeted_data_flood_grows_custody_without_bound() {
+        let cfg = ProtocolConfig::default().with_recovery();
+        let mut handle = network(cfg);
+        handle.establish_gradient();
+        let victim = handle.sensor_ids()[30];
+        // Paced well inside the ACK round trip (~tens of ms of airtime),
+        // so custody accumulates faster than it clears.
+        let injected = data_flood(&mut handle, victim, 400, 10_000, 200);
+        assert_eq!(injected, 400);
+        let horizon = handle.sim().now() + 600_000;
+        handle.sim_mut().run_until(horizon);
+        // Someone in the victim's neighborhood is holding custody state
+        // proportional to the flood.
+        let peak = handle
+            .sensor_ids()
+            .iter()
+            .map(|&id| handle.sensor(id).resource_state().peak_retx)
+            .max()
+            .unwrap();
+        assert!(
+            peak > 64,
+            "unbudgeted custody should grow with the flood, peak {peak}"
+        );
+    }
+
+    #[test]
+    fn budgets_cap_custody_under_the_same_flood() {
+        let cfg = ProtocolConfig::default().with_recovery().with_resources();
+        let cap = ResourceConfig::default().max_retx_pending;
+        let mut handle = network(cfg);
+        handle.establish_gradient();
+        let victim = handle.sensor_ids()[30];
+        data_flood(&mut handle, victim, 400, 10_000, 200);
+        let horizon = handle.sim().now() + 600_000;
+        handle.sim_mut().run_until(horizon);
+        for id in handle.sensor_ids() {
+            let peak = handle.sensor(id).resource_state().peak_retx;
+            assert!(peak <= cap, "node {id} custody peak {peak} > cap {cap}");
+        }
+    }
+
+    #[test]
+    fn garbage_flood_trips_quarantine_only_with_budgets() {
+        let cfg = ProtocolConfig::default().with_resources();
+        let mut handle = network(cfg);
+        handle.establish_gradient();
+        let victim = handle.sensor_ids()[10];
+        garbage_flood(&mut handle, victim, 60, 10_000, 1_000);
+        let horizon = handle.sim().now() + 300_000;
+        handle.sim_mut().run_until(horizon);
+        let quarantines: u64 = handle
+            .sensor_ids()
+            .iter()
+            .map(|&id| handle.sensor(id).resource_state().quarantines)
+            .sum();
+        assert!(
+            quarantines > 0,
+            "sustained bad-MAC stream must trip the quarantine rule"
+        );
+        // And the muted stretch means not every frame paid a decrypt.
+        let q_drops: u64 = handle
+            .sensor_ids()
+            .iter()
+            .map(|&id| handle.sensor(id).resource_state().quarantine_drops)
+            .sum();
+        assert!(q_drops > 0, "quarantined frames should drop pre-crypto");
+    }
+}

@@ -18,6 +18,7 @@ use wsn_bench::figures::{
     default_trials, fig1_cluster_size_distribution, fig1_table, fig6_keys_per_node,
     fig7_cluster_size, fig8_head_fraction, fig9_setup_messages, scale_invariance, series_table,
 };
+use wsn_bench::overload::{overload_rows, overload_table};
 use wsn_bench::resilience::{resilience_rows, resilience_table};
 use wsn_bench::security::{cost_table, hello_flood_table, resilience_sweep, ResilienceParams};
 use wsn_bench::MASTER_SEED;
@@ -188,7 +189,26 @@ fn run_resilience(trials: usize) {
     }
 }
 
-const KNOWN: [&str; 11] = [
+fn run_overload(trials: usize) {
+    println!(
+        "# Overload — legitimate delivery and peak buffers vs flood intensity ({trials} trials)\n"
+    );
+    let rows = overload_rows(trials);
+    emit_table("overload", &overload_table(&rows), trials);
+    if let Some(worst) = rows.last() {
+        println!(
+            "at intensity {} ({} hostile frames): legit delivery {:.1}% unbudgeted vs {:.1}% budgeted; peak buffers {:.0} vs {:.0}\n",
+            worst.intensity,
+            worst.flood_frames,
+            worst.delivery_unbudgeted * 100.0,
+            worst.delivery_budgeted * 100.0,
+            worst.peak_unbudgeted,
+            worst.peak_budgeted,
+        );
+    }
+}
+
+const KNOWN: [&str; 12] = [
     "all",
     "fig1",
     "fig6",
@@ -200,6 +220,7 @@ const KNOWN: [&str; 11] = [
     "ablations",
     "energy",
     "resilience",
+    "overload",
 ];
 
 fn main() {
@@ -272,6 +293,9 @@ fn main() {
     }
     if want("resilience") {
         run_resilience(trials.min(5));
+    }
+    if want("overload") {
+        run_overload(trials.min(5));
     }
     println!("done.");
 }

@@ -336,11 +336,12 @@ impl BaseStation {
                     }
                 }
                 // The BS is the gradient root; beacons, refresh HELLOs,
-                // heartbeats, failover announcements and ACKs from the
-                // field carry nothing it needs.
+                // heartbeats, failover announcements and ACKs (busy or
+                // plain) from the field carry nothing it needs.
                 Inner::Beacon
                 | Inner::RefreshHello { .. }
                 | Inner::Ack { .. }
+                | Inner::BusyAck { .. }
                 | Inner::Heartbeat
                 | Inner::NewHead { .. } => {}
             },

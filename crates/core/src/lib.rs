@@ -61,6 +61,7 @@ pub mod msg;
 pub mod node;
 pub mod recovery;
 pub mod refresh;
+pub mod resource;
 pub mod routing;
 pub mod setup;
 pub mod stats;
@@ -71,7 +72,7 @@ pub mod stats;
 pub mod prelude {
     pub use crate::base_station::BaseStation;
     pub use crate::chaos::{run_plan, ChaosReport};
-    pub use crate::config::{ProtocolConfig, RecoveryConfig, RefreshMode};
+    pub use crate::config::{ProtocolConfig, RecoveryConfig, RefreshMode, ResourceConfig};
     pub use crate::error::ProtocolError;
     pub use crate::keys::{NodeKeyMaterial, Provisioner};
     pub use crate::node::{ProtocolApp, ProtocolNode, Role};

@@ -37,6 +37,7 @@ const I_ACK: u8 = 0x14;
 const I_ROUTE_REQ: u8 = 0x15;
 const I_HEARTBEAT: u8 = 0x16;
 const I_NEW_HEAD: u8 = 0x17;
+const I_BUSY_ACK: u8 = 0x18;
 
 /// Length of the short tags on revocation/join messages.
 pub const SHORT_TAG: usize = 8;
@@ -369,6 +370,17 @@ pub enum Inner {
         /// Dedup key of the acknowledged unit.
         key: u64,
     },
+    /// Resource-layer backpressure variant of [`Inner::Ack`]: custody is
+    /// confirmed exactly as with a plain ACK, but the acker's transmit
+    /// queue is past its high-water mark, so the upstream custodian
+    /// should stretch its retransmission backoff toward this hop instead
+    /// of retrying into congestion. Emitted only when
+    /// [`crate::config::ResourceConfig::enabled`] is set — default-config
+    /// runs never put this tag on the air.
+    BusyAck {
+        /// Dedup key of the acknowledged unit.
+        key: u64,
+    },
     /// Recovery-layer route-repair request: the sender's gradient went
     /// stale (next-hop timeout) and it asks neighbors that hold its
     /// cluster key for a fresh beacon. Body is empty — the envelope's
@@ -422,6 +434,10 @@ impl Inner {
                 b.put_u8(I_ACK);
                 b.put_u64(*key);
             }
+            Inner::BusyAck { key } => {
+                b.put_u8(I_BUSY_ACK);
+                b.put_u64(*key);
+            }
             Inner::RouteRequest => {
                 b.put_u8(I_ROUTE_REQ);
             }
@@ -466,6 +482,12 @@ impl Inner {
                     return Err(ProtocolError::Malformed);
                 }
                 Ok(Inner::Ack { key: buf.get_u64() })
+            }
+            I_BUSY_ACK => {
+                if buf.remaining() != 8 {
+                    return Err(ProtocolError::Malformed);
+                }
+                Ok(Inner::BusyAck { key: buf.get_u64() })
             }
             I_ROUTE_REQ => {
                 if buf.has_remaining() {
@@ -662,6 +684,7 @@ mod tests {
             },
             Inner::Ack { key: u64::MAX },
             Inner::Ack { key: 0 },
+            Inner::BusyAck { key: 42 },
             Inner::RouteRequest,
             Inner::Heartbeat,
             Inner::NewHead {
@@ -698,6 +721,7 @@ mod tests {
         assert!(Inner::decode(&[I_BEACON, 1]).is_err()); // trailing bytes
         assert!(Inner::decode(&[I_DATA, 0, 0, 0, 1, 0xFF]).is_err()); // bad flags
         assert!(Inner::decode(&[I_ACK, 1, 2, 3]).is_err()); // short key
+        assert!(Inner::decode(&[I_BUSY_ACK, 1, 2, 3]).is_err()); // short key
         assert!(Inner::decode(&[I_ROUTE_REQ, 0]).is_err()); // trailing bytes
         assert!(Inner::decode(&[I_HEARTBEAT, 0]).is_err()); // trailing bytes
         assert!(Inner::decode(&[I_NEW_HEAD, 0, 0, 0, 1]).is_err()); // short key

@@ -33,9 +33,10 @@
 //!
 //! # Migrating from the `run_setup_*` ladder
 //!
-//! Earlier revisions grew one entry point per concern; each is now a
-//! thin deprecated wrapper over the builder ([`run_setup`] itself stays,
-//! as the no-options common case):
+//! Earlier revisions grew one entry point per concern
+//! (`run_setup_with_radio`, `run_setup_traced`, `run_setup_with_attack`);
+//! those wrappers went through a deprecation cycle and are now removed.
+//! [`run_setup`] itself stays, as the no-options common case:
 //!
 //! | old                                    | new                                              |
 //! |----------------------------------------|--------------------------------------------------|
@@ -225,40 +226,6 @@ impl<'a> Scenario<'a> {
 /// Shorthand for `Scenario::new(params.clone()).run()`.
 pub fn run_setup(params: &SetupParams) -> SetupOutcome {
     Scenario::new(params.clone()).run()
-}
-
-/// [`run_setup`] with an explicit radio model (e.g. lossy links).
-#[deprecated(note = "use Scenario::new(params).radio(radio).run()")]
-pub fn run_setup_with_radio(params: &SetupParams, radio: RadioConfig) -> SetupOutcome {
-    Scenario::new(params.clone()).radio(radio).run()
-}
-
-/// [`run_setup`] with a trace sink installed before the first event, so
-/// the trace covers the election, link, and erase phases in full. The
-/// sink stays installed on the returned handle; retrieve it with
-/// `handle.sim_mut().take_trace()`.
-#[deprecated(note = "use Scenario::new(params).trace(sink).run()")]
-pub fn run_setup_traced(
-    params: &SetupParams,
-    sink: impl wsn_trace::TraceSink + 'static,
-) -> SetupOutcome {
-    Scenario::new(params.clone()).trace(sink).run()
-}
-
-/// [`run_setup`] with an adversary: `attack` runs after node construction
-/// but before the simulation starts, so it can schedule frame injections
-/// that interleave with the election and link phases (HELLO floods,
-/// setup-time replays).
-#[deprecated(note = "use Scenario::new(params).radio(radio).attack(f).run()")]
-pub fn run_setup_with_attack(
-    params: &SetupParams,
-    radio: RadioConfig,
-    attack: impl FnOnce(&mut Simulator<ProtocolApp>),
-) -> SetupOutcome {
-    Scenario::new(params.clone())
-        .radio(radio)
-        .attack(attack)
-        .run()
 }
 
 /// A live, set-up network: the driver for everything after the key-setup

@@ -19,6 +19,20 @@ pub struct RadioConfig {
     pub tx_uj_per_byte: f64,
     /// Receive energy, microjoules per byte.
     pub rx_uj_per_byte: f64,
+    /// Finite per-node transmit queue depth. `None` (the default) keeps
+    /// the historical idealized radio: every transmission is scheduled
+    /// immediately, none is ever refused. With `Some(cap)`, a node with
+    /// `cap` frames already awaiting air *tail-drops* further
+    /// transmissions (counted in `Counters::tx_drops`) — a flooding node
+    /// saturates its own queue first.
+    pub tx_queue_cap: Option<usize>,
+    /// Serialize each node's transmissions (airtime contention): a frame
+    /// starts only after the node's previous frame has left the air, so
+    /// transmission time is a resource a flooder exhausts rather than a
+    /// constant per-frame offset. Off by default — the idealized model —
+    /// and runs that never queue two frames at once are byte-identical
+    /// either way.
+    pub contention: bool,
 }
 
 impl Default for RadioConfig {
@@ -31,6 +45,8 @@ impl Default for RadioConfig {
             // tx ≈ 16 µJ/byte and rx ≈ 12 µJ/byte on the Mica platform.
             tx_uj_per_byte: 16.25,
             rx_uj_per_byte: 12.5,
+            tx_queue_cap: None,
+            contention: false,
         }
     }
 }
@@ -40,6 +56,19 @@ impl RadioConfig {
     pub fn with_loss(mut self, loss: f64) -> Self {
         assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
         self.loss = loss;
+        self
+    }
+
+    /// A variant of `self` with a finite transmit queue of `cap` frames.
+    pub fn with_tx_queue(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "tx queue capacity must be positive");
+        self.tx_queue_cap = Some(cap);
+        self
+    }
+
+    /// A variant of `self` with per-node airtime contention enabled.
+    pub fn with_contention(mut self) -> Self {
+        self.contention = true;
         self
     }
 

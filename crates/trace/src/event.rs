@@ -158,6 +158,32 @@ pub enum TraceEvent {
         to_epoch: u32,
     },
 
+    // ---- resource layer (budgets, backpressure, quarantine) ----
+    /// A bounded per-node buffer was full and an entry was dropped (the
+    /// evicted victim or the refused newcomer, per the drop-priority
+    /// ordering documented in `wsn_core::resource`).
+    QueueDrop {
+        /// Which buffer overflowed.
+        queue: QueueKind,
+        /// Identity of the dropped entry: the dedup/ACK key for frame
+        /// queues, the cluster id for the key table.
+        key: u64,
+    },
+    /// Per-neighbor admission control refused a frame: the neighbor's
+    /// token bucket was empty.
+    Throttled {
+        /// The rate-limited neighbor.
+        from: NodeId,
+    },
+    /// A neighbor crossed the consecutive-MAC-failure threshold and was
+    /// quarantined (muted).
+    Quarantined {
+        /// The muted neighbor.
+        from: NodeId,
+        /// Consecutive authentication failures that triggered the mute.
+        failures: u32,
+    },
+
     // ---- fault layer (wsn-chaos) ----
     /// A scheduled fault was applied by the fault-plan engine. The
     /// record's `node` is the primary subject (or the base station for
@@ -181,6 +207,32 @@ pub enum TraceEvent {
     },
     /// The partition healed; all surviving links deliver again.
     PartitionHeal,
+}
+
+/// The bounded-buffer vocabulary recorded by [`TraceEvent::QueueDrop`].
+///
+/// A closed, trace-level enum (not the protocol's buffer types) so the
+/// JSON vocabulary stays stable as `wsn-core` grows more budgeted
+/// buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// The node's own outbound reading queue.
+    Pending,
+    /// The recovery layer's retransmission-custody map.
+    Retx,
+    /// The neighbor-cluster key table (the paper's set `S`).
+    NeighborKeys,
+}
+
+impl QueueKind {
+    /// Stable lowercase name, used as the JSON `queue` value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueKind::Pending => "pending",
+            QueueKind::Retx => "retx",
+            QueueKind::NeighborKeys => "neighbor_keys",
+        }
+    }
 }
 
 /// The fault vocabulary recorded by [`TraceEvent::FaultInjected`].
@@ -248,6 +300,9 @@ impl TraceEvent {
             TraceEvent::HeadLost { .. } => "head_lost",
             TraceEvent::ReElected { .. } => "re_elected",
             TraceEvent::EpochCatchUp { .. } => "epoch_catch_up",
+            TraceEvent::QueueDrop { .. } => "queue_drop",
+            TraceEvent::Throttled { .. } => "throttled",
+            TraceEvent::Quarantined { .. } => "quarantined",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::NodeDown => "node_down",
             TraceEvent::NodeUp => "node_up",
@@ -371,6 +426,15 @@ impl TraceRecord {
                 to_epoch,
             } => {
                 let _ = write!(s, ",\"from_epoch\":{from_epoch},\"to_epoch\":{to_epoch}");
+            }
+            TraceEvent::QueueDrop { queue, key } => {
+                let _ = write!(s, ",\"queue\":\"{}\",\"key\":{key}", queue.label());
+            }
+            TraceEvent::Throttled { from } => {
+                let _ = write!(s, ",\"from\":{from}");
+            }
+            TraceEvent::Quarantined { from, failures } => {
+                let _ = write!(s, ",\"from\":{from},\"failures\":{failures}");
             }
             TraceEvent::FaultInjected { fault } => {
                 let _ = write!(s, ",\"fault\":\"{}\"", fault.label());
@@ -507,6 +571,59 @@ mod tests {
                     to_epoch: 2,
                 },
                 "\"kind\":\"epoch_catch_up\",\"from_epoch\":0,\"to_epoch\":2",
+            ),
+        ] {
+            let rec = TraceRecord {
+                seq: 0,
+                at: 0,
+                node: 1,
+                event: ev,
+            };
+            assert!(rec.to_json().contains(frag), "{}", rec.to_json());
+        }
+    }
+
+    #[test]
+    fn resource_events_render_their_fields() {
+        let rec = TraceRecord {
+            seq: 2,
+            at: 55,
+            node: 9,
+            event: TraceEvent::QueueDrop {
+                queue: QueueKind::Retx,
+                key: 77,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"seq\":2,\"at\":55,\"node\":9,\"kind\":\"queue_drop\",\
+             \"queue\":\"retx\",\"key\":77}"
+        );
+        for (ev, frag) in [
+            (
+                TraceEvent::Throttled { from: 4 },
+                "\"kind\":\"throttled\",\"from\":4",
+            ),
+            (
+                TraceEvent::Quarantined {
+                    from: 4,
+                    failures: 8,
+                },
+                "\"kind\":\"quarantined\",\"from\":4,\"failures\":8",
+            ),
+            (
+                TraceEvent::QueueDrop {
+                    queue: QueueKind::Pending,
+                    key: 0,
+                },
+                "\"queue\":\"pending\",\"key\":0",
+            ),
+            (
+                TraceEvent::QueueDrop {
+                    queue: QueueKind::NeighborKeys,
+                    key: 3,
+                },
+                "\"queue\":\"neighbor_keys\",\"key\":3",
             ),
         ] {
             let rec = TraceRecord {

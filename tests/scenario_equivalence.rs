@@ -1,14 +1,15 @@
-//! The referee for the `Scenario` builder migration: for a fixed seed,
-//! the builder must replay the *exact* event stream of every legacy
-//! `run_setup_*` entry point — equal `SetupReport`s (strict `PartialEq`,
-//! floats included) and byte-identical traces — and the attached-plan
-//! chaos path must match a direct `run_plan` call record for record.
-
-#![allow(deprecated)] // comparing against the deprecated ladder is the point
+//! The referee for the `Scenario` builder: for a fixed seed the builder
+//! must be a pure function of its inputs — replaying the same
+//! `SetupParams` yields equal `SetupReport`s (strict `PartialEq`, floats
+//! included) and byte-identical traces, options (radio, trace, attack)
+//! must not perturb the parts of the run they don't touch, and the
+//! attached-plan chaos path must match a direct `run_plan` call record
+//! for record. (The deprecated `run_setup_*` ladder these tests
+//! originally refereed against is removed; the builder is now the only
+//! entry point, and these pins keep it deterministic.)
 
 use wsn_core::chaos::run_plan;
 use wsn_core::prelude::*;
-use wsn_core::setup::{run_setup_traced, run_setup_with_attack, run_setup_with_radio};
 use wsn_trace::MemorySink;
 
 fn params(n: usize, density: f64, seed: u64) -> SetupParams {
@@ -46,31 +47,35 @@ fn builder_matches_run_setup() {
 }
 
 #[test]
-fn builder_matches_run_setup_with_radio() {
+fn builder_replays_with_explicit_radio() {
     let radio = RadioConfig::default().with_loss(0.15);
     let p = params(150, 12.0, 7);
-    let old = run_setup_with_radio(&p, radio.clone()).report;
+    let old = Scenario::new(p.clone()).radio(radio.clone()).run().report;
     let new = Scenario::new(p).radio(radio).run().report;
     assert_eq!(old, new);
 }
 
 #[test]
-fn builder_matches_run_setup_traced_byte_for_byte() {
+fn tracing_is_invisible_and_byte_stable() {
     for seed in [5, 41] {
         let p = params(100, 10.0, seed);
-        let mut old = run_setup_traced(&p, MemorySink::new());
-        let mut new = Scenario::new(p).trace(MemorySink::new()).run();
-        assert_eq!(old.report, new.report, "seed {seed}");
+        let untraced = Scenario::new(p.clone()).run().report;
+        let mut a = Scenario::new(p.clone()).trace(MemorySink::new()).run();
+        let mut b = Scenario::new(p).trace(MemorySink::new()).run();
+        // Installing a sink must not perturb the protocol...
+        assert_eq!(untraced, a.report, "seed {seed}");
+        // ...and two traced replays must agree byte for byte.
+        assert_eq!(a.report, b.report, "seed {seed}");
         assert_eq!(
-            drain_jsonl(&mut old.handle),
-            drain_jsonl(&mut new.handle),
+            drain_jsonl(&mut a.handle),
+            drain_jsonl(&mut b.handle),
             "traces diverged at seed {seed}"
         );
     }
 }
 
 #[test]
-fn builder_matches_run_setup_with_attack() {
+fn builder_replays_with_attack_hook() {
     // The attack: three nodes dark through the whole setup phase.
     let p = params(150, 12.0, 23);
     let attack = |sim: &mut wsn_sim::net::Simulator<ProtocolApp>| {
@@ -78,7 +83,10 @@ fn builder_matches_run_setup_with_attack() {
             sim.set_node_down(id);
         }
     };
-    let old = run_setup_with_attack(&p, RadioConfig::default(), attack);
+    let old = Scenario::new(p.clone())
+        .radio(RadioConfig::default())
+        .attack(attack)
+        .run();
     let new = Scenario::new(p).attack(attack).run();
     assert_eq!(old.report, new.report);
     assert_eq!(old.handle.total_tx(), new.handle.total_tx());
@@ -96,7 +104,7 @@ fn attached_chaos_plan_matches_direct_run_plan() {
     };
     let p = params(100, 10.0, 13);
 
-    let mut old = run_setup_traced(&p, MemorySink::new());
+    let mut old = Scenario::new(p.clone()).trace(MemorySink::new()).run();
     old.handle.establish_gradient();
     let old_report = run_plan(&mut old.handle, &plan(13), 1_500_000);
 
