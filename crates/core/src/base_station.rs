@@ -19,6 +19,7 @@ use crate::msg::{ClusterId, DataUnit, Inner, Message};
 use crate::node::DropCounts;
 use crate::refresh;
 use crate::routing::Gradient;
+use crate::transport::Transport;
 use rand::Rng;
 use std::collections::HashMap;
 use wsn_crypto::keychain::KeyChain;
@@ -208,7 +209,7 @@ impl BaseStation {
     /// Arms the next autonomous refresh tick at the shared absolute
     /// boundaries `erase_km_at + k · period` (mirrors the sensors'
     /// schedule so the whole network rolls keys in lockstep).
-    fn arm_auto_refresh(&mut self, ctx: &mut Ctx) {
+    fn arm_auto_refresh(&mut self, ctx: &mut impl Transport) {
         if self.cfg.auto_refresh_epochs == 0 || self.epoch >= self.cfg.auto_refresh_epochs {
             return;
         }
@@ -285,7 +286,13 @@ impl BaseStation {
         }
     }
 
-    fn handle_wrapped(&mut self, ctx: &mut Ctx, cid: ClusterId, nonce: u64, sealed: &[u8]) {
+    fn handle_wrapped(
+        &mut self,
+        ctx: &mut impl Transport,
+        cid: ClusterId,
+        nonce: u64,
+        sealed: &[u8],
+    ) {
         let Some(key) = self.cluster_keys.get(&cid).copied() else {
             self.drops.unknown_cluster += 1;
             return;
@@ -353,7 +360,7 @@ impl BaseStation {
 
     /// Emits a hop-by-hop ACK under the key the acknowledged frame arrived
     /// under (recovery layer).
-    fn send_ack(&mut self, ctx: &mut Ctx, cid: ClusterId, key: &Key128, ack_key: u64) {
+    fn send_ack(&mut self, ctx: &mut impl Transport, cid: ClusterId, key: &Key128, ack_key: u64) {
         let seq = self.next_seq();
         let frame = wrap_frame(
             self.sealers.get(key),
@@ -368,8 +375,11 @@ impl BaseStation {
     }
 }
 
-impl App for BaseStation {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+impl BaseStation {
+    /// The start hook body, generic over the transport backend. The
+    /// simulator reaches it through the [`App`] adapter below; the
+    /// `wsn-net` backends call it directly.
+    pub fn dispatch_start(&mut self, ctx: &mut impl Transport) {
         // Advertise the BS's own cluster key in phase 2, like every node,
         // so radio neighbors can authenticate BS-originated beacons.
         if !self.link_advertised {
@@ -379,7 +389,8 @@ impl App for BaseStation {
         self.arm_auto_refresh(ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx, key: TimerKey) {
+    /// The timer hook body, generic over the transport backend.
+    pub fn dispatch_timer(&mut self, ctx: &mut impl Transport, key: TimerKey) {
         match key {
             TIMER_BS_LINK => {
                 self.link_advertised = true;
@@ -445,7 +456,8 @@ impl App for BaseStation {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, payload: &[u8]) {
+    /// The message hook body, generic over the transport backend.
+    pub fn dispatch_message(&mut self, ctx: &mut impl Transport, payload: &[u8]) {
         // Same zero-copy fast path as the sensors: wrapped frames dominate
         // steady-state traffic and `peek_wrapped` agrees exactly with
         // `decode`.
@@ -461,6 +473,20 @@ impl App for BaseStation {
             Ok(_) => {}
             Err(_) => self.drops.malformed += 1,
         }
+    }
+}
+
+impl App for BaseStation {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.dispatch_start(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, key: TimerKey) {
+        self.dispatch_timer(ctx, key);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, payload: &[u8]) {
+        self.dispatch_message(ctx, payload);
     }
 }
 

@@ -65,6 +65,7 @@ pub mod resource;
 pub mod routing;
 pub mod setup;
 pub mod stats;
+pub mod transport;
 
 /// Common imports for protocol users: everything an experiment needs —
 /// the [`setup::Scenario`] builder, the chaos plan vocabulary, and the

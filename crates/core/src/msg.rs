@@ -21,6 +21,13 @@ use wsn_crypto::{Key128, KEY_BYTES};
 /// Cluster identifier — the elected head's node ID.
 pub type ClusterId = u32;
 
+/// The shared frame-size ceiling, re-exported from the radio model so
+/// codec users see it next to the wire formats. Every transport — the
+/// simulated radio and the `wsn-net` socket backends — enforces this
+/// same bound, so a frame the protocol can emit through one transport
+/// is never rejected by another. Pinned by the codec property tests.
+pub use wsn_sim::radio::MAX_FRAME_BYTES;
+
 const T_HELLO: u8 = 0x01;
 const T_LINK: u8 = 0x02;
 const T_WRAPPED: u8 = 0x03;

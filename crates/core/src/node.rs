@@ -27,6 +27,7 @@ use crate::recovery::{self, RecoveryState, RetxEntry, RetxKind};
 use crate::refresh;
 use crate::resource::{self, Admission, ResourceState};
 use crate::routing::Gradient;
+use crate::transport::Transport;
 use bytes::Bytes;
 use rand::Rng;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -464,7 +465,7 @@ impl ProtocolNode {
 
     // --- phase machinery -----------------------------------------------
 
-    fn start_initial_deployment(&mut self, ctx: &mut Ctx) {
+    fn start_initial_deployment(&mut self, ctx: &mut impl Transport) {
         // Election: Exp(λ) seconds, clamped inside the election window so
         // the phases cannot interleave.
         let raw = exp_delay(ctx.rng(), self.cfg.election_rate);
@@ -478,7 +479,7 @@ impl ProtocolNode {
         ctx.set_timer(TIMER_ERASE, self.cfg.erase_km_at);
     }
 
-    fn become_head(&mut self, ctx: &mut Ctx, announce: bool) {
+    fn become_head(&mut self, ctx: &mut impl Transport, announce: bool) {
         self.role = Role::Head;
         self.cid = Some(self.keys.id);
         self.cluster_key = Some(self.keys.kci);
@@ -499,7 +500,7 @@ impl ProtocolNode {
         }
     }
 
-    fn broadcast_link_advert(&mut self, ctx: &mut Ctx) {
+    fn broadcast_link_advert(&mut self, ctx: &mut impl Transport) {
         let (Some(cid), Some(kc)) = (self.cid, self.cluster_key) else {
             return;
         };
@@ -516,7 +517,7 @@ impl ProtocolNode {
     /// boundaries `erase_km_at + k · period` so every key holder — including
     /// nodes that joined later — rolls at the same virtual instants with no
     /// coordination traffic.
-    fn arm_auto_refresh(&mut self, ctx: &mut Ctx) {
+    fn arm_auto_refresh(&mut self, ctx: &mut impl Transport) {
         if self.cfg.auto_refresh_epochs == 0 || self.epoch >= self.cfg.auto_refresh_epochs {
             return;
         }
@@ -527,7 +528,7 @@ impl ProtocolNode {
         ctx.set_timer(TIMER_AUTO_REFRESH, next - now);
     }
 
-    fn send_next_reading(&mut self, ctx: &mut Ctx) {
+    fn send_next_reading(&mut self, ctx: &mut impl Transport) {
         let Some(reading) = self.pending.pop_front() else {
             return;
         };
@@ -562,7 +563,7 @@ impl ProtocolNode {
         }
     }
 
-    fn broadcast_wrapped(&mut self, ctx: &mut Ctx, inner: &Inner) -> Option<Bytes> {
+    fn broadcast_wrapped(&mut self, ctx: &mut impl Transport, inner: &Inner) -> Option<Bytes> {
         let (Some(cid), Some(kc)) = (self.cid, self.cluster_key) else {
             return None;
         };
@@ -583,7 +584,7 @@ impl ProtocolNode {
 
     // --- message handling ----------------------------------------------
 
-    fn handle_hello(&mut self, ctx: &mut Ctx, nonce: u64, sealed: &[u8]) {
+    fn handle_hello(&mut self, ctx: &mut impl Transport, nonce: u64, sealed: &[u8]) {
         let Some(km) = self.keys.km else {
             self.stats.drops.wrong_phase += 1;
             return;
@@ -604,7 +605,7 @@ impl ProtocolNode {
         }
     }
 
-    fn handle_link_advert(&mut self, ctx: &mut Ctx, nonce: u64, sealed: &[u8]) {
+    fn handle_link_advert(&mut self, ctx: &mut impl Transport, nonce: u64, sealed: &[u8]) {
         let Some(km) = self.keys.km else {
             self.stats.drops.wrong_phase += 1;
             return;
@@ -625,7 +626,12 @@ impl ProtocolNode {
     /// state and are never evicted to admit newcomers (see
     /// [`crate::resource`]). Updating an already-known CID always
     /// succeeds.
-    fn bounded_neighbor_insert(&mut self, ctx: &mut Ctx, cid: ClusterId, kc: Key128) -> bool {
+    fn bounded_neighbor_insert(
+        &mut self,
+        ctx: &mut impl Transport,
+        cid: ClusterId,
+        kc: Key128,
+    ) -> bool {
         let res = self.cfg.resources;
         if res.enabled
             && self.neighbor_keys.len() >= res.max_neighbor_keys
@@ -660,7 +666,7 @@ impl ProtocolNode {
 
     fn handle_wrapped(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut impl Transport,
         from: NodeId,
         cid: ClusterId,
         nonce: u64,
@@ -754,7 +760,7 @@ impl ProtocolNode {
 
     fn dispatch_inner(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut impl Transport,
         outer_cid: ClusterId,
         outer_key: Key128,
         inner: Inner,
@@ -815,7 +821,7 @@ impl ProtocolNode {
 
     fn handle_data(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut impl Transport,
         unit: DataUnit,
         sender_hops: u32,
         outer_cid: ClusterId,
@@ -869,7 +875,7 @@ impl ProtocolNode {
 
     fn handle_refresh_hello(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut impl Transport,
         outer_cid: ClusterId,
         epoch: u32,
         new_kc: Key128,
@@ -928,7 +934,7 @@ impl ProtocolNode {
 
     fn handle_revoke(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut impl Transport,
         link: Key128,
         seq: u32,
         cids: Vec<ClusterId>,
@@ -964,7 +970,7 @@ impl ProtocolNode {
         );
     }
 
-    fn apply_revocation(&mut self, ctx: &mut Ctx, cids: &[ClusterId]) {
+    fn apply_revocation(&mut self, ctx: &mut impl Transport, cids: &[ClusterId]) {
         for cid in cids {
             let mut dropped = self.neighbor_keys.remove(cid).is_some();
             if self.cid == Some(*cid) {
@@ -985,7 +991,7 @@ impl ProtocolNode {
     /// candidate once.
     fn handle_revoke_announce(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut impl Transport,
         seq: u32,
         cids: Vec<ClusterId>,
         tag: [u8; crate::msg::SHORT_TAG],
@@ -1010,7 +1016,7 @@ impl ProtocolNode {
     /// the chain *before* flooding it (so a forged reveal can neither
     /// propagate nor block the genuine one), then act on the matching
     /// buffered announce.
-    fn handle_revoke_reveal(&mut self, ctx: &mut Ctx, seq: u32, link: Key128) {
+    fn handle_revoke_reveal(&mut self, ctx: &mut impl Transport, seq: u32, link: Key128) {
         if self.revoke_seen.contains(&seq) || self.verified_links.contains_key(&seq) {
             return;
         }
@@ -1028,7 +1034,7 @@ impl ProtocolNode {
         self.complete_revocation_if_ready(ctx, seq);
     }
 
-    fn complete_revocation_if_ready(&mut self, ctx: &mut Ctx, seq: u32) {
+    fn complete_revocation_if_ready(&mut self, ctx: &mut impl Transport, seq: u32) {
         let Some(link) = self.verified_links.get(&seq).copied() else {
             return;
         };
@@ -1049,7 +1055,7 @@ impl ProtocolNode {
         }
     }
 
-    fn handle_join_request(&mut self, ctx: &mut Ctx, from: NodeId, new_id: u32) {
+    fn handle_join_request(&mut self, ctx: &mut impl Transport, from: NodeId, new_id: u32) {
         let (Some(cid), Some(kc)) = (self.cid, self.cluster_key) else {
             return;
         };
@@ -1132,7 +1138,7 @@ impl ProtocolNode {
     /// evicted first, and an incoming data frame refused outright when
     /// only refresh entries remain (the frame was still broadcast once —
     /// it loses retransmission coverage, not its first transmission).
-    fn enroll_retx(&mut self, ctx: &mut Ctx, key: u64, frame: Bytes, kind: RetxKind) {
+    fn enroll_retx(&mut self, ctx: &mut impl Transport, key: u64, frame: Bytes, kind: RetxKind) {
         if !self.cfg.recovery.enabled {
             return;
         }
@@ -1181,7 +1187,7 @@ impl ProtocolNode {
     /// consumed identically either way — the stretch multiplies *after*
     /// the jitter draw — so enabling budgets never shifts the random
     /// stream of a run that happens not to congest.
-    fn stretched_backoff(&mut self, ctx: &mut Ctx, attempt: u32) -> SimTime {
+    fn stretched_backoff(&mut self, ctx: &mut impl Transport, attempt: u32) -> SimTime {
         let d = recovery::backoff_delay(&self.cfg.recovery, attempt, ctx.rng());
         let res = self.cfg.resources;
         if res.enabled && self.resource.congested(ctx.now()) {
@@ -1193,7 +1199,7 @@ impl ProtocolNode {
 
     /// (Re-)arms the single retransmit-scan timer at the earliest pending
     /// deadline, or cancels it when nothing is pending.
-    fn arm_retx_timer(&mut self, ctx: &mut Ctx) {
+    fn arm_retx_timer(&mut self, ctx: &mut impl Transport) {
         match self.recovery.next_deadline() {
             Some(dl) => ctx.set_timer(TIMER_RETX, dl.saturating_sub(ctx.now()).max(1)),
             None => ctx.cancel_timer(TIMER_RETX),
@@ -1205,7 +1211,7 @@ impl ProtocolNode {
     /// resource budgets on, a node whose custody map has passed the
     /// high-water mark confirms with [`Inner::BusyAck`] instead, telling
     /// upstream to back off before retrying through this hop.
-    fn send_ack(&mut self, ctx: &mut Ctx, cid: ClusterId, key: &Key128, ack_key: u64) {
+    fn send_ack(&mut self, ctx: &mut impl Transport, cid: ClusterId, key: &Key128, ack_key: u64) {
         let res = self.cfg.resources;
         let inner = if res.enabled && self.recovery.pending.len() >= res.tx_high_water {
             Inner::BusyAck { key: ack_key }
@@ -1227,7 +1233,7 @@ impl ProtocolNode {
         self.stats.acks_sent += 1;
     }
 
-    fn on_retx_timer(&mut self, ctx: &mut Ctx) {
+    fn on_retx_timer(&mut self, ctx: &mut impl Transport) {
         let rec = self.cfg.recovery;
         if !rec.enabled {
             return;
@@ -1268,7 +1274,7 @@ impl ProtocolNode {
 
     /// Retry exhaustion: stop trusting the gradient, ask the neighborhood
     /// for a scoped re-flood, and give the frame one more retry cycle.
-    fn start_route_repair(&mut self, ctx: &mut Ctx, key: u64, mut entry: RetxEntry) {
+    fn start_route_repair(&mut self, ctx: &mut impl Transport, key: u64, mut entry: RetxEntry) {
         self.gradient.invalidate();
         self.broadcast_wrapped(ctx, &Inner::RouteRequest);
         self.stats.route_repairs += 1;
@@ -1283,7 +1289,12 @@ impl ProtocolNode {
     /// cluster key — decrypting the request proves we hold that key, and
     /// answering proves a live path: exactly the two properties a first
     /// hop needs.
-    fn handle_route_request(&mut self, ctx: &mut Ctx, outer_cid: ClusterId, outer_key: Key128) {
+    fn handle_route_request(
+        &mut self,
+        ctx: &mut impl Transport,
+        outer_cid: ClusterId,
+        outer_key: Key128,
+    ) {
         let rec = self.cfg.recovery;
         if !rec.enabled
             || !self.gradient.established()
@@ -1312,7 +1323,7 @@ impl ProtocolNode {
 
     /// Arms the next head heartbeat, bounded by the absolute horizon so
     /// run-to-quiescence simulations terminate.
-    fn arm_heartbeat(&mut self, ctx: &mut Ctx) {
+    fn arm_heartbeat(&mut self, ctx: &mut impl Transport) {
         let rec = &self.cfg.recovery;
         if !rec.enabled || rec.heartbeat_until == 0 || self.role != Role::Head || self.revoked {
             return;
@@ -1327,7 +1338,7 @@ impl ProtocolNode {
     /// who cannot hear their head directly simply do not participate in
     /// failover detection; in hash-refresh mode the global lockstep keeps
     /// their keys current regardless.
-    fn handle_heartbeat(&mut self, ctx: &mut Ctx, outer_cid: ClusterId) {
+    fn handle_heartbeat(&mut self, ctx: &mut impl Transport, outer_cid: ClusterId) {
         let rec = &self.cfg.recovery;
         if !rec.enabled || rec.heartbeat_until == 0 {
             return;
@@ -1342,7 +1353,7 @@ impl ProtocolNode {
     /// (Re-)arms the head-loss watchdog. Only ever called on heartbeat
     /// receipt — a member that never heard its head cannot lose it, which
     /// is what keeps 2-hop joiners from raising false alarms.
-    fn arm_head_watch(&mut self, ctx: &mut Ctx) {
+    fn arm_head_watch(&mut self, ctx: &mut impl Transport) {
         let rec = &self.cfg.recovery;
         if ctx.now() >= rec.heartbeat_until {
             return;
@@ -1358,7 +1369,7 @@ impl ProtocolNode {
     /// missed. Declare the head lost and run the paper's first-HELLO-wins
     /// timer rule locally: draw `Exp(λ)`; a draw inside the window makes
     /// this node a candidate, a draw outside makes it an adopter.
-    fn on_head_watch(&mut self, ctx: &mut Ctx) {
+    fn on_head_watch(&mut self, ctx: &mut impl Transport) {
         let rec = self.cfg.recovery;
         if !rec.enabled
             || self.role != Role::Member
@@ -1389,7 +1400,7 @@ impl ProtocolNode {
         }
     }
 
-    fn on_reelect_timer(&mut self, ctx: &mut Ctx) {
+    fn on_reelect_timer(&mut self, ctx: &mut impl Transport) {
         if !self.recovery.reelecting || self.role != Role::Member || self.revoked {
             return;
         }
@@ -1430,7 +1441,7 @@ impl ProtocolNode {
     /// this node's *provisioned* potential cluster key `Kci`, ratcheted to
     /// the current epoch — a key the base station already holds for every
     /// provisioned ID, so failover needs no base-station round trip.
-    fn promote_to_head(&mut self, ctx: &mut Ctx) {
+    fn promote_to_head(&mut self, ctx: &mut impl Transport) {
         let old = self.cid.zip(self.cluster_key);
         let new_cid = self.keys.id;
         let new_kc = refresh::hash_steps(&self.keys.kci, self.epoch);
@@ -1463,7 +1474,7 @@ impl ProtocolNode {
     /// A re-elected head announced itself under a key we hold.
     fn handle_new_head(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut impl Transport,
         outer_cid: ClusterId,
         new_cid: ClusterId,
         new_kc: Key128,
@@ -1518,7 +1529,7 @@ impl ProtocolNode {
     /// ACKs are honored under a retired key.
     fn try_prev_key_ack(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut impl Transport,
         cid: ClusterId,
         nonce: u64,
         sealed: &[u8],
@@ -1572,7 +1583,7 @@ impl ProtocolNode {
     /// whole key set forward `k` steps and process the frame normally.
     fn try_epoch_catchup(
         &mut self,
-        ctx: &mut Ctx,
+        ctx: &mut impl Transport,
         cid: ClusterId,
         nonce: u64,
         sealed: &[u8],
@@ -1639,8 +1650,11 @@ impl ProtocolNode {
     }
 }
 
-impl App for ProtocolNode {
-    fn on_start(&mut self, ctx: &mut Ctx) {
+impl ProtocolNode {
+    /// The start hook body, generic over the transport backend. The
+    /// simulator reaches it through the [`App`] adapter below; the
+    /// `wsn-net` backends call it directly.
+    pub fn dispatch_start(&mut self, ctx: &mut impl Transport) {
         match self.role {
             Role::Joining => {
                 ctx.broadcast(
@@ -1664,7 +1678,8 @@ impl App for ProtocolNode {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx, key: TimerKey) {
+    /// The timer hook body, generic over the transport backend.
+    pub fn dispatch_timer(&mut self, ctx: &mut impl Transport, key: TimerKey) {
         match key {
             TIMER_ELECTION if self.role == Role::Undecided => {
                 self.become_head(ctx, true);
@@ -1730,7 +1745,8 @@ impl App for ProtocolNode {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, payload: &[u8]) {
+    /// The message hook body, generic over the transport backend.
+    pub fn dispatch_message(&mut self, ctx: &mut impl Transport, from: NodeId, payload: &[u8]) {
         // Fast path for the dominant steady-state frame type: borrow the
         // sealed region straight out of the radio payload instead of
         // copying it into an owned `Message`. `peek_wrapped` agrees
@@ -1765,6 +1781,20 @@ impl App for ProtocolNode {
             Message::JoinRequest { new_id } => self.handle_join_request(ctx, from, new_id),
             Message::JoinResponse { cid, epoch, tag } => self.handle_join_response(cid, epoch, tag),
         }
+    }
+}
+
+impl App for ProtocolNode {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.dispatch_start(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, key: TimerKey) {
+        self.dispatch_timer(ctx, key);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, payload: &[u8]) {
+        self.dispatch_message(ctx, from, payload);
     }
 }
 
@@ -1815,26 +1845,43 @@ impl ProtocolApp {
     }
 }
 
+impl ProtocolApp {
+    /// The start hook body, generic over the transport backend.
+    pub fn dispatch_start(&mut self, ctx: &mut impl Transport) {
+        match self {
+            ProtocolApp::Sensor(n) => n.dispatch_start(ctx),
+            ProtocolApp::Base(b) => b.dispatch_start(ctx),
+        }
+    }
+
+    /// The timer hook body, generic over the transport backend.
+    pub fn dispatch_timer(&mut self, ctx: &mut impl Transport, key: TimerKey) {
+        match self {
+            ProtocolApp::Sensor(n) => n.dispatch_timer(ctx, key),
+            ProtocolApp::Base(b) => b.dispatch_timer(ctx, key),
+        }
+    }
+
+    /// The message hook body, generic over the transport backend.
+    pub fn dispatch_message(&mut self, ctx: &mut impl Transport, from: NodeId, payload: &[u8]) {
+        match self {
+            ProtocolApp::Sensor(n) => n.dispatch_message(ctx, from, payload),
+            ProtocolApp::Base(b) => b.dispatch_message(ctx, payload),
+        }
+    }
+}
+
 impl App for ProtocolApp {
     fn on_start(&mut self, ctx: &mut Ctx) {
-        match self {
-            ProtocolApp::Sensor(n) => n.on_start(ctx),
-            ProtocolApp::Base(b) => b.on_start(ctx),
-        }
+        self.dispatch_start(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx, key: TimerKey) {
-        match self {
-            ProtocolApp::Sensor(n) => n.on_timer(ctx, key),
-            ProtocolApp::Base(b) => b.on_timer(ctx, key),
-        }
+        self.dispatch_timer(ctx, key);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, payload: &[u8]) {
-        match self {
-            ProtocolApp::Sensor(n) => n.on_message(ctx, from, payload),
-            ProtocolApp::Base(b) => b.on_message(ctx, from, payload),
-        }
+        self.dispatch_message(ctx, from, payload);
     }
 }
 

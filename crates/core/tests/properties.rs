@@ -241,3 +241,97 @@ proptest! {
         prop_assert!(!verify_join_tag(&other, cid, new_id, epoch, &tag));
     }
 }
+
+// ---------------------------------------------------------------------
+// Transport-boundary hardening: the codec must stay total on arbitrary
+// bytes *and* on damaged versions of its own output (a socket backend
+// feeds it raw datagrams), `peek_wrapped` must agree exactly with
+// `decode`, and every frame the protocol emits must fit under the
+// shared MAX_FRAME_BYTES ceiling so no transport can ever reject it.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn peek_wrapped_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::peek_wrapped(&bytes);
+    }
+
+    #[test]
+    fn peek_wrapped_agrees_with_decode(msg in message_strategy()) {
+        // peek is the zero-copy fast path used by the socket readers and
+        // the BS dispatch: it must fire exactly on Wrapped frames, with
+        // the same fields decode extracts.
+        let enc = msg.encode();
+        match (Message::peek_wrapped(&enc), Message::decode(&enc).unwrap()) {
+            (Some((pc, pn, ps)), Message::Wrapped { cid, nonce, sealed }) => {
+                prop_assert_eq!(pc, cid);
+                prop_assert_eq!(pn, nonce);
+                prop_assert_eq!(ps, &sealed[..]);
+            }
+            (None, Message::Wrapped { .. }) => {
+                return Err(TestCaseError::fail("peek missed a Wrapped frame"));
+            }
+            (Some(_), other) => {
+                return Err(TestCaseError::fail(format!(
+                    "peek fired on non-Wrapped {other:?}"
+                )));
+            }
+            (None, _) => {}
+        }
+    }
+
+    #[test]
+    fn truncated_encodings_never_panic(msg in message_strategy(), cut in any::<proptest::sample::Index>()) {
+        // Datagrams arrive truncated in the real world; every prefix of a
+        // valid encoding must decode or fail cleanly, never panic.
+        let enc = msg.encode();
+        let keep = cut.index(enc.len() + 1);
+        let _ = Message::decode(&enc[..keep]);
+        let _ = Message::peek_wrapped(&enc[..keep]);
+        let _ = Inner::decode(&enc[..keep]);
+    }
+
+    #[test]
+    fn mutated_encodings_never_panic(
+        msg in message_strategy(),
+        at in any::<proptest::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut enc = msg.encode().to_vec();
+        let i = at.index(enc.len());
+        enc[i] ^= xor;
+        let _ = Message::decode(&enc);
+        let _ = Message::peek_wrapped(&enc);
+        let _ = Inner::decode(&enc);
+    }
+
+    #[test]
+    fn truncated_inner_encodings_never_panic(inner in inner_strategy(), cut in any::<proptest::sample::Index>()) {
+        let enc = inner.encode();
+        let keep = cut.index(enc.len() + 1);
+        let _ = Inner::decode(&enc[..keep]);
+    }
+
+    #[test]
+    fn protocol_frames_fit_max_frame_bytes(
+        kc in key_strategy(),
+        cid in any::<u32>(),
+        sender in any::<u32>(),
+        seq in any::<u64>(),
+        inner in inner_strategy(),
+    ) {
+        use wsn_core::forward::wrap_frame;
+        use wsn_core::msg::MAX_FRAME_BYTES;
+        // data_unit_strategy bodies go to 128 bytes — larger than any
+        // reading the drivers or figures emit — and control inners are
+        // far smaller still: all must fit the shared transport ceiling.
+        let ae = wsn_core::forward::sealer(&kc);
+        let frame = wrap_frame(&ae, cid, sender, seq, 1_000, 1, &inner);
+        prop_assert!(
+            frame.len() <= MAX_FRAME_BYTES,
+            "wrapped frame {} bytes exceeds MAX_FRAME_BYTES {}",
+            frame.len(),
+            MAX_FRAME_BYTES
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! `net-soak`: the self-contained CI smoke for the UDP backend — spawns
+//! an in-process base-station reactor on loopback ephemeral ports,
+//! drives it with the motegen core, and asserts zero protocol errors
+//! plus a readings/s floor.
+//!
+//! ```text
+//! net-soak --duration 30 --motes 20000 --floor 2000
+//! ```
+//!
+//! Exit status 0 = pass. Non-zero = the soak saw protocol errors or
+//! missed the throughput floor.
+
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+use wsn_core::config::{CounterMode, ProtocolConfig};
+use wsn_net::load::{provision_motes, run, LoadParams};
+use wsn_net::{UdpServer, UdpServerConfig};
+
+fn num(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for {name}: {v}");
+                std::process::exit(2);
+            })
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let duration = num(&args, "--duration", 30);
+    let motes = num(&args, "--motes", 20_000) as usize;
+    let floor = num(&args, "--floor", 1_000);
+    let seed = num(&args, "--seed", 2005);
+
+    let cfg = ProtocolConfig::default()
+        .with_recovery()
+        .with_counter_mode(CounterMode::Explicit);
+    let mut server_cfg = UdpServerConfig::localhost(0, motes + 1, seed, cfg);
+    server_cfg.queue_depth = 8192;
+    eprintln!("net-soak: spawning in-process server for {motes} motes...");
+    let server = UdpServer::spawn(server_cfg).unwrap_or_else(|e| {
+        eprintln!("net-soak: spawn failed: {e}");
+        std::process::exit(1);
+    });
+    let targets: Vec<SocketAddr> = server
+        .ports()
+        .iter()
+        .map(|p| SocketAddr::from(([127, 0, 0, 1], *p)))
+        .collect();
+
+    let params = LoadParams {
+        motes,
+        seed,
+        targets,
+        senders: 1,
+        duration: Duration::from_secs(duration),
+        payload_bytes: 24,
+        rate: None,
+        latency_sample: 64,
+    };
+    eprintln!("net-soak: provisioning motes...");
+    let army = provision_motes(motes, seed);
+    eprintln!("net-soak: soaking for {duration}s...");
+    let report = run(&params, army).unwrap_or_else(|e| {
+        eprintln!("net-soak: load run failed: {e}");
+        std::process::exit(1);
+    });
+
+    // Give in-flight datagrams a moment to clear the reactor.
+    std::thread::sleep(Duration::from_millis(300));
+    let stats = server.stats();
+    let accepted = stats.readings_accepted.load(Ordering::Relaxed);
+    let errors = stats.protocol_errors();
+    let shed = stats.queue_full_drops.load(Ordering::Relaxed);
+    let accepted_per_sec = accepted as f64 / report.elapsed.as_secs_f64();
+    println!(
+        "sent {} ({:.0}/s) | accepted {} ({:.0}/s) | shed {} | protocol errors {} | acks {}",
+        report.sent,
+        report.sent_per_sec,
+        accepted,
+        accepted_per_sec,
+        shed,
+        errors,
+        report.acks_seen,
+    );
+    if let (Some(p50), Some(p99)) = (report.p50_us, report.p99_us) {
+        println!(
+            "latency ({} samples): p50 {:.2} ms | p99 {:.2} ms",
+            report.latency_samples,
+            p50 as f64 / 1000.0,
+            p99 as f64 / 1000.0
+        );
+    }
+    server.shutdown();
+
+    if errors != 0 {
+        eprintln!("net-soak: FAIL — {errors} protocol errors");
+        std::process::exit(1);
+    }
+    if accepted_per_sec < floor as f64 {
+        eprintln!("net-soak: FAIL — {accepted_per_sec:.0} readings/s below floor {floor}");
+        std::process::exit(1);
+    }
+    println!("net-soak: PASS");
+}

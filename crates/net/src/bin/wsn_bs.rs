@@ -1,0 +1,130 @@
+//! `wsn-bs`: the base-station daemon, serving the protocol over real
+//! UDP sockets.
+//!
+//! Pair it with `motegen` on the same (or another) host:
+//!
+//! ```text
+//! wsn-bs  --port 47800 --motes 100000 --seed 2005 --duration 40 &
+//! motegen --target 127.0.0.1:47800 --motes 100000 --seed 2005 --duration 30
+//! ```
+//!
+//! The daemon provisions key material for `motes + 1` node ids from the
+//! shared seed, spawns the sharded reactor (readers on consecutive
+//! ports from `--port`), and prints a stats line every `--interval`
+//! seconds until `--duration` elapses (0 = run until killed).
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+use wsn_core::config::{CounterMode, ProtocolConfig, ResourceConfig};
+use wsn_net::{UdpServer, UdpServerConfig};
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn num(args: &[String], name: &str, default: u64) -> u64 {
+    opt(args, name).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for {name}: {v}");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if flag(&args, "--help") || flag(&args, "-h") {
+        eprintln!(
+            "usage: wsn-bs [--port P] [--readers R] [--workers W] [--motes M] [--seed S]\n\
+             \x20             [--admit] [--admit-rate N] [--admit-burst N]\n\
+             \x20             [--duration SECS] [--interval SECS]"
+        );
+        return;
+    }
+    let port = num(&args, "--port", 47800) as u16;
+    let readers = num(&args, "--readers", 1) as usize;
+    let workers = num(&args, "--workers", 1) as usize;
+    let motes = num(&args, "--motes", 100_000) as usize;
+    let seed = num(&args, "--seed", 2005);
+    let duration = num(&args, "--duration", 0);
+    let interval = num(&args, "--interval", 5).max(1);
+
+    // Recovery on (the BS ACKs every accepted reading, which is what
+    // motegen measures RTT against); explicit counters so drops never
+    // desynchronize the end-to-end window.
+    let cfg = ProtocolConfig::default()
+        .with_recovery()
+        .with_counter_mode(CounterMode::Explicit);
+
+    let admission = flag(&args, "--admit").then(|| ResourceConfig {
+        enabled: true,
+        neighbor_rate_per_sec: num(&args, "--admit-rate", 50),
+        neighbor_burst: num(&args, "--admit-burst", 25),
+        ..ResourceConfig::default()
+    });
+
+    let n = motes + 1;
+    eprintln!("wsn-bs: provisioning {n} node ids (seed {seed})...");
+    let t0 = Instant::now();
+    let server = UdpServer::spawn(UdpServerConfig {
+        bind: opt(&args, "--bind").unwrap_or_else(|| "0.0.0.0".to_string()),
+        base_port: port,
+        readers,
+        workers,
+        n,
+        seed,
+        cfg,
+        admission,
+        queue_depth: num(&args, "--queue", 4096) as usize,
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("wsn-bs: spawn failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "wsn-bs: up in {:?}; readers on ports {:?}, {workers} worker shard(s)",
+        t0.elapsed(),
+        server.ports()
+    );
+
+    let started = Instant::now();
+    let mut last_rx = 0u64;
+    let mut last_ok = 0u64;
+    loop {
+        std::thread::sleep(Duration::from_secs(interval));
+        let s = server.stats();
+        let rx = s.datagrams_rx.load(Ordering::Relaxed);
+        let ok = s.readings_accepted.load(Ordering::Relaxed);
+        println!(
+            "rx {rx} (+{}/s) | accepted {ok} (+{}/s) | tx {} | shed: admit {} quarantine {} \
+             queue {} oversize {} | errors: auth {} stale {} malformed {} unknown {} ctr {} | \
+             unroutable {}",
+            (rx - last_rx) / interval,
+            (ok - last_ok) / interval,
+            s.datagrams_tx.load(Ordering::Relaxed),
+            s.admission_rejects.load(Ordering::Relaxed),
+            s.quarantine_rejects.load(Ordering::Relaxed),
+            s.queue_full_drops.load(Ordering::Relaxed),
+            s.oversize_drops.load(Ordering::Relaxed),
+            s.bad_auth.load(Ordering::Relaxed),
+            s.stale.load(Ordering::Relaxed),
+            s.malformed.load(Ordering::Relaxed),
+            s.unknown_cluster.load(Ordering::Relaxed),
+            s.counter_rejects.load(Ordering::Relaxed),
+            s.unroutable.load(Ordering::Relaxed),
+        );
+        last_rx = rx;
+        last_ok = ok;
+        if duration > 0 && started.elapsed() >= Duration::from_secs(duration) {
+            break;
+        }
+    }
+    server.shutdown();
+}

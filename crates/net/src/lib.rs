@@ -1,0 +1,27 @@
+//! `wsn-net`: real transport backends for the protocol state machines.
+//!
+//! The protocol crates (`wsn-core`) talk to the world only through the
+//! [`wsn_core::transport::Transport`] seam. The discrete-event
+//! simulator is one implementation; this crate provides two more, built
+//! from `std::net` and threads alone (no async runtime):
+//!
+//! - [`loopback`]: an in-process deterministic engine with the
+//!   simulator's exact event semantics, for differential testing (the
+//!   `differential` integration test pins sim-vs-loopback equality of
+//!   every protocol-visible outcome) and for syscall-free throughput
+//!   measurement (the perf harness's `net_loopback` row).
+//! - [`udp`]: a sharded UDP reactor — reader threads performing
+//!   pre-crypto admission control feed per-cluster worker shards over
+//!   bounded channels — serving the base station over real sockets.
+//!
+//! Three binaries ship with the crate: `wsn-bs` (a base-station daemon
+//! on UDP), `motegen` (a load generator multiplexing 100k+ simulated
+//! motes over a bounded socket pool), and `net-soak` (a self-contained
+//! CI smoke: in-process base station plus generator on 127.0.0.1).
+
+pub mod load;
+pub mod loopback;
+pub mod udp;
+
+pub use loopback::{LoopbackCounters, LoopbackNet, LoopbackParams};
+pub use udp::{NetStats, UdpServer, UdpServerConfig};

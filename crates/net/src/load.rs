@@ -1,0 +1,322 @@
+//! The load-generator core shared by `motegen` and `net-soak`: a
+//! population of simulated motes multiplexed over a bounded UDP socket
+//! pool, producing protocol-correct sealed readings at line rate.
+//!
+//! Each mote is modeled as a singleton cluster head (cluster id = node
+//! id) provisioned from the same master seed as the server, so its
+//! cluster key `Kci` and end-to-end key `Ki` match what the base
+//! station derives. A reading is the full two-step pipeline of the
+//! paper — Step 1 (`Ki` seal with an explicit counter) then Step 2
+//! (`Kci` wrap with `τ` freshness) — indistinguishable on the wire from
+//! a frame emitted by the simulator.
+//!
+//! Latency is measured through the recovery layer's hop-by-hop ACKs:
+//! the base station (run with recovery enabled) acknowledges every
+//! accepted Data frame under the mote's cluster key, keyed by the
+//! frame's dedup key. A 1-in-K sample of sends is remembered and
+//! matched against unwrapped ACKs for round-trip percentiles, so the
+//! latency map stays small at any send rate.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+use wsn_core::config::ProtocolConfig;
+use wsn_core::forward::{e2e_seal_with, sealer, unwrap_with, wrap_frame};
+use wsn_core::keys::Provisioner;
+use wsn_core::msg::{DataUnit, Inner, Message};
+use wsn_crypto::authenc::AuthEnc;
+use wsn_sim::rng::derive_seed;
+
+use crate::udp::wall_us;
+
+/// One simulated mote: a singleton cluster head with prebuilt cipher
+/// schedules for both protocol layers.
+pub struct Mote {
+    /// Node id (= cluster id).
+    pub id: u32,
+    /// Step-2 sealer under the cluster key `Kci`.
+    kc: AuthEnc,
+    /// Step-1 sealer under the end-to-end key `Ki`.
+    ki: AuthEnc,
+    /// End-to-end counter (explicit mode).
+    ctr: u64,
+    /// Frame sequence (nonce input); per-mote, so nonces never repeat
+    /// under a key.
+    seq: u64,
+}
+
+impl Mote {
+    /// Builds the next sealed reading frame. Returns the wire frame and
+    /// the ACK key (the data unit's dedup key) the base station will
+    /// acknowledge it under.
+    pub fn next_reading(&mut self, payload_bytes: usize) -> (bytes::Bytes, u64) {
+        // Unique body per (mote, counter): the counter is the leading 8
+        // bytes, the rest is filler — so dedup keys never collide.
+        let mut body = vec![0u8; payload_bytes.max(8)];
+        body[..8].copy_from_slice(&self.ctr.to_be_bytes());
+        let sealed = e2e_seal_with(&self.ki, self.id, self.ctr, &body);
+        let unit = DataUnit {
+            src: self.id,
+            ctr: Some(self.ctr),
+            sealed: true,
+            body: sealed,
+        };
+        let ack_key = unit.dedup_key();
+        let frame = wrap_frame(
+            &self.kc,
+            self.id,
+            self.id,
+            self.seq,
+            wall_us(),
+            1,
+            &Inner::Data(unit),
+        );
+        self.ctr += 1;
+        self.seq += 1;
+        (frame, ack_key)
+    }
+}
+
+/// Provisions `motes` simulated motes (ids `1..=motes`) from the shared
+/// master seed, with cipher schedules prebuilt. The server must be
+/// spawned with `n = motes + 1` and the same seed.
+pub fn provision_motes(motes: usize, seed: u64) -> Vec<Mote> {
+    let mut provisioner = Provisioner::new(derive_seed(seed, 1));
+    let mut army = Vec::with_capacity(motes);
+    for id in 1..=motes as u32 {
+        let m = provisioner.provision(id);
+        army.push(Mote {
+            id,
+            kc: sealer(&m.kci),
+            ki: sealer(&m.ki),
+            ctr: 0,
+            seq: 0,
+        });
+    }
+    army
+}
+
+/// Load-run parameters.
+#[derive(Clone, Debug)]
+pub struct LoadParams {
+    /// Concurrent simulated motes.
+    pub motes: usize,
+    /// Master seed shared with the server.
+    pub seed: u64,
+    /// Server reader sockets to spray across (round-robin per send).
+    pub targets: Vec<SocketAddr>,
+    /// Sender threads; each owns one socket from the bounded pool and
+    /// an `id % senders` partition of the mote population.
+    pub senders: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Reading payload size before sealing, bytes (min 8).
+    pub payload_bytes: usize,
+    /// Aggregate target send rate, readings/s (`None` = as fast as the
+    /// sockets drain).
+    pub rate: Option<u64>,
+    /// Latency sampling: remember 1 in this many sends for RTT matching
+    /// against ACKs (0 disables latency measurement).
+    pub latency_sample: u64,
+}
+
+/// What a load run measured.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Motes simulated.
+    pub motes: usize,
+    /// Readings sent.
+    pub sent: u64,
+    /// ACKs received and matched to a live latency sample, plus ACKs
+    /// observed without a sample (counted, not timed).
+    pub acks_seen: u64,
+    /// `send_to` failures (e.g. ECONNREFUSED bursts on loopback).
+    pub send_errors: u64,
+    /// Wall-clock elapsed.
+    pub elapsed: Duration,
+    /// Sustained send rate.
+    pub sent_per_sec: f64,
+    /// RTT samples collected.
+    pub latency_samples: usize,
+    /// Median round-trip, µs (send → BS accept → ACK back), if sampled.
+    pub p50_us: Option<u64>,
+    /// 99th-percentile round-trip, µs, if sampled.
+    pub p99_us: Option<u64>,
+}
+
+/// Per-thread tallies merged into the final report.
+struct ThreadTally {
+    sent: u64,
+    acks_seen: u64,
+    send_errors: u64,
+    samples: Vec<u64>,
+}
+
+/// Runs the load: partitions the mote army across `senders` threads,
+/// each cycling its motes round-robin (so per-mote rates stay uniform
+/// and far below any admission limit), draining ACKs opportunistically.
+pub fn run(params: &LoadParams, army: Vec<Mote>) -> io::Result<LoadReport> {
+    assert!(!params.targets.is_empty(), "no targets");
+    assert!(params.senders >= 1);
+    assert_eq!(army.len(), params.motes, "army size mismatch");
+    let cfg = ProtocolConfig::default();
+
+    // Partition motes across sender threads by position.
+    let mut partitions: Vec<Vec<Mote>> = (0..params.senders).map(|_| Vec::new()).collect();
+    for (i, mote) in army.into_iter().enumerate() {
+        partitions[i % params.senders].push(mote);
+    }
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(params.senders);
+    for (p, motes) in partitions.into_iter().enumerate() {
+        let params = params.clone();
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || -> io::Result<ThreadTally> {
+            sender_loop(p, motes, &params, &cfg)
+        }));
+    }
+
+    let mut report = LoadReport {
+        motes: params.motes,
+        ..LoadReport::default()
+    };
+    let mut all_samples: Vec<u64> = Vec::new();
+    for h in handles {
+        let tally = h.join().expect("sender thread panicked")?;
+        report.sent += tally.sent;
+        report.acks_seen += tally.acks_seen;
+        report.send_errors += tally.send_errors;
+        all_samples.extend(tally.samples);
+    }
+    report.elapsed = start.elapsed();
+    report.sent_per_sec = report.sent as f64 / report.elapsed.as_secs_f64();
+    all_samples.sort_unstable();
+    report.latency_samples = all_samples.len();
+    if !all_samples.is_empty() {
+        report.p50_us = Some(all_samples[all_samples.len() / 2]);
+        report.p99_us = Some(all_samples[(all_samples.len() * 99) / 100]);
+    }
+    Ok(report)
+}
+
+fn sender_loop(
+    thread_idx: usize,
+    mut motes: Vec<Mote>,
+    params: &LoadParams,
+    cfg: &ProtocolConfig,
+) -> io::Result<ThreadTally> {
+    let socket = UdpSocket::bind("127.0.0.1:0").or_else(|_| UdpSocket::bind("0.0.0.0:0"))?;
+    socket.set_nonblocking(true)?;
+    let mut tally = ThreadTally {
+        sent: 0,
+        acks_seen: 0,
+        send_errors: 0,
+        samples: Vec::new(),
+    };
+    if motes.is_empty() {
+        return Ok(tally);
+    }
+    // Sampled in-flight sends: ACK key → send time. Bounded by pruning.
+    let mut pending: HashMap<u64, u64> = HashMap::new();
+    let mut rx_buf = vec![0u8; 2048];
+    let per_thread_rate = params.rate.map(|r| (r as f64) / params.senders as f64);
+    let start = Instant::now();
+    let mut mote_idx = thread_idx; // desynchronize thread start positions
+    let mut target_idx = thread_idx;
+    let sample_every = params.latency_sample;
+
+    while start.elapsed() < params.duration {
+        // Pace against the per-thread budget if a rate was requested.
+        if let Some(rate) = per_thread_rate {
+            let budget = (start.elapsed().as_secs_f64() * rate) as u64;
+            if tally.sent >= budget {
+                drain_acks(&socket, &mut rx_buf, &motes, cfg, &mut pending, &mut tally);
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+        }
+
+        let n = motes.len();
+        let mote = &mut motes[mote_idx % n];
+        mote_idx += 1;
+        let (frame, ack_key) = mote.next_reading(params.payload_bytes);
+        let target = params.targets[target_idx % params.targets.len()];
+        target_idx += 1;
+        match socket.send_to(&frame, target) {
+            Ok(_) => {
+                tally.sent += 1;
+                if sample_every > 0 && tally.sent.is_multiple_of(sample_every) {
+                    pending.insert(ack_key, wall_us());
+                    // Keep the sample map bounded: drop stale samples
+                    // (their ACK was lost or shed) once it grows.
+                    if pending.len() > 65_536 {
+                        let cutoff = wall_us().saturating_sub(5_000_000);
+                        pending.retain(|_, &mut t| t >= cutoff);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            Err(_) => tally.send_errors += 1,
+        }
+
+        // Drain replies periodically rather than per send.
+        if tally.sent.is_multiple_of(32) {
+            drain_acks(&socket, &mut rx_buf, &motes, cfg, &mut pending, &mut tally);
+        }
+    }
+    // Final drain: catch ACKs still in flight at the deadline.
+    let grace = Instant::now();
+    while grace.elapsed() < Duration::from_millis(200) {
+        drain_acks(&socket, &mut rx_buf, &motes, cfg, &mut pending, &mut tally);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Ok(tally)
+}
+
+/// Drains the socket non-blocking; unwraps ACK frames under the owning
+/// mote's cluster key and matches them against sampled sends.
+fn drain_acks(
+    socket: &UdpSocket,
+    buf: &mut [u8],
+    motes: &[Mote],
+    cfg: &ProtocolConfig,
+    pending: &mut HashMap<u64, u64>,
+    tally: &mut ThreadTally,
+) {
+    loop {
+        let len = match socket.recv_from(buf) {
+            Ok((len, _)) => len,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(_) => return,
+        };
+        let Some((cid, nonce, sealed)) = Message::peek_wrapped(&buf[..len]) else {
+            continue;
+        };
+        // cid → owning mote: this thread holds ids where the position
+        // (id - 1) mod senders landed here; ids ascend by `senders`.
+        let first = motes[0].id;
+        let stride = if motes.len() > 1 {
+            motes[1].id - motes[0].id
+        } else {
+            1
+        };
+        if cid < first || !(cid - first).is_multiple_of(stride) {
+            continue;
+        }
+        let idx = ((cid - first) / stride) as usize;
+        let Some(mote) = motes.get(idx) else { continue };
+        let Ok(u) = unwrap_with(&mote.kc, cid, nonce, sealed, wall_us(), cfg) else {
+            continue;
+        };
+        if let Inner::Ack { key } = u.inner {
+            tally.acks_seen += 1;
+            if let Some(sent_at) = pending.remove(&key) {
+                tally.samples.push(wall_us().saturating_sub(sent_at));
+            }
+        }
+    }
+}

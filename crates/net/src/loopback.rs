@@ -1,0 +1,512 @@
+//! The in-process loopback transport: a deterministic engine that drives
+//! the protocol state machines through the [`Transport`] seam with the
+//! *exact* event semantics of the discrete-event simulator — same
+//! `(time, insertion-seq)` event ordering, same airtime math, same
+//! superseding timer generations, same shared-RNG draw discipline —
+//! without depending on the simulator's own loop.
+//!
+//! Purpose: differential testing. A scenario run here and the same
+//! scenario run on `wsn_sim::net::Simulator` must produce identical
+//! protocol-visible outcomes (roles, cluster membership, keys held,
+//! epochs, the base station's accepted-readings log). Any divergence
+//! means one of the two transports violates the seam contract. The
+//! engine is also the zero-syscall reference backend for the perf
+//! harness's `net_loopback` row and the CI soak.
+//!
+//! Trace vocabulary: where the simulator emits `TxBroadcast`/`Rx`, this
+//! backend emits the transport-level `DatagramTx`/`DatagramRx` kinds, so
+//! `wsn_trace::Timeline` reconstruction distinguishes net runs from sim
+//! runs while reusing the same machinery.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use wsn_core::base_station::{BaseStation, TIMER_BEACON};
+use wsn_core::config::ProtocolConfig;
+use wsn_core::keys::Provisioner;
+use wsn_core::msg::ClusterId;
+use wsn_core::node::{PendingReading, ProtocolApp, ProtocolNode, TIMER_SEND};
+use wsn_core::transport::Transport;
+use wsn_crypto::Key128;
+use wsn_sim::event::SimTime;
+use wsn_sim::node::{NodeId, TimerKey};
+use wsn_sim::radio::{RadioConfig, MAX_FRAME_BYTES};
+use wsn_sim::rng::derive_seed;
+use wsn_sim::topology::{Topology, TopologyConfig};
+use wsn_trace::{TraceEvent, TraceRecord, TraceSink};
+
+/// What the engine schedules. Mirrors the simulator's event vocabulary
+/// (minus the fault surface, which the loopback backend does not model).
+#[derive(Debug)]
+enum EventKind {
+    /// Run a node's start hook.
+    Start(NodeId),
+    /// Fire a timer, if generation `gen` is still current.
+    Timer {
+        node: NodeId,
+        key: TimerKey,
+        gen: u64,
+    },
+    /// Deliver a frame.
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        payload: Bytes,
+    },
+}
+
+/// Heap entry ordered earliest-`at` first, ties broken by insertion
+/// sequence — the simulator's total order, reproduced exactly.
+struct Queued {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest (then
+        // lowest-seq) entry surfaces first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deferred actions queued by a hook through the [`Transport`] seam.
+/// Applied after the hook returns, exactly like the simulator's.
+enum Action {
+    Broadcast(Bytes),
+    Send(NodeId, Bytes),
+    SetTimer(TimerKey, SimTime),
+    CancelTimer(TimerKey),
+}
+
+/// The per-invocation [`Transport`] handed to hooks by the engine.
+struct LoopbackCtx<'a> {
+    id: NodeId,
+    now: SimTime,
+    rng: &'a mut StdRng,
+    actions: &'a mut Vec<Action>,
+    sink: Option<&'a mut (dyn TraceSink + 'static)>,
+    trace_seq: &'a mut u64,
+}
+
+impl Transport for LoopbackCtx<'_> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    fn broadcast(&mut self, payload: Bytes) {
+        self.actions.push(Action::Broadcast(payload));
+    }
+
+    fn send(&mut self, to: NodeId, payload: Bytes) {
+        self.actions.push(Action::Send(to, payload));
+    }
+
+    fn set_timer(&mut self, key: TimerKey, delay: SimTime) {
+        self.actions.push(Action::SetTimer(key, delay));
+    }
+
+    fn cancel_timer(&mut self, key: TimerKey) {
+        self.actions.push(Action::CancelTimer(key));
+    }
+
+    fn tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    fn trace(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let rec = TraceRecord {
+                seq: *self.trace_seq,
+                at: self.now,
+                node: self.id,
+                event,
+            };
+            *self.trace_seq += 1;
+            sink.record(rec);
+        }
+    }
+}
+
+/// Scenario parameters for a loopback deployment — the same vocabulary
+/// as `wsn_core::setup::SetupParams`, and seeds derived identically, so
+/// a `(n, density, seed, cfg)` tuple names the same network on both
+/// backends.
+#[derive(Clone, Debug)]
+pub struct LoopbackParams {
+    /// Number of nodes including the base station (node 0).
+    pub n: usize,
+    /// Target average neighbors per node.
+    pub density: f64,
+    /// Master seed; sub-seeds derived exactly as `Scenario::run` does.
+    pub seed: u64,
+    /// Protocol configuration deployed on every node.
+    pub cfg: ProtocolConfig,
+}
+
+/// Transport-level counters kept by the engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoopbackCounters {
+    /// Datagrams handed to application dispatch.
+    pub datagrams_rx: u64,
+    /// Datagrams transmitted (one per broadcast/send, regardless of
+    /// fan-out — the paper's one-transmission property).
+    pub datagrams_tx: u64,
+    /// Frames refused because they exceeded [`MAX_FRAME_BYTES`]. Always
+    /// zero for frames the protocol itself emits (pinned by test).
+    pub oversize_drops: u64,
+}
+
+/// The deterministic loopback network: topology, apps, event queue.
+pub struct LoopbackNet {
+    topo: Topology,
+    apps: Vec<ProtocolApp>,
+    provisioner: Provisioner,
+    radio: RadioConfig,
+    queue: BinaryHeap<Queued>,
+    queue_seq: u64,
+    now: SimTime,
+    rng: StdRng,
+    timers: HashMap<(NodeId, TimerKey), u64>,
+    timer_gen: u64,
+    scratch: Vec<Action>,
+    counters: LoopbackCounters,
+    sink: Option<Box<dyn TraceSink>>,
+    trace_seq: u64,
+    events_processed: u64,
+}
+
+impl LoopbackNet {
+    /// Deploys the network: identical construction sequence to
+    /// `Scenario::run` (topology from sub-seed 0, provisioning from
+    /// sub-seed 1, engine RNG from sub-seed 2) and schedules every
+    /// node's start hook at time 0. Call [`Self::run`] to execute the
+    /// setup phase.
+    pub fn new(params: &LoopbackParams) -> Self {
+        assert!(params.n >= 2, "need a base station and at least one sensor");
+        let topo = Topology::random(
+            &TopologyConfig::with_density(params.n, params.density),
+            derive_seed(params.seed, 0),
+        );
+        let mut provisioner = Provisioner::new(derive_seed(params.seed, 1));
+        let materials: Vec<_> = (0..params.n as u32)
+            .map(|id| provisioner.provision(id))
+            .collect();
+        let registry = provisioner.registry().clone();
+        let cluster_keys: HashMap<ClusterId, Key128> = (0..params.n as u32)
+            .map(|id| (id, provisioner.cluster_key_of(id)))
+            .collect();
+        let apps: Vec<ProtocolApp> = materials
+            .into_iter()
+            .map(|m| {
+                if m.id == 0 {
+                    ProtocolApp::Base(BaseStation::new(
+                        params.cfg.clone(),
+                        0,
+                        provisioner.km(),
+                        registry.clone(),
+                        cluster_keys.clone(),
+                        provisioner.revocation_chain(),
+                    ))
+                } else {
+                    ProtocolApp::Sensor(ProtocolNode::new(params.cfg.clone(), m))
+                }
+            })
+            .collect();
+
+        let mut net = LoopbackNet {
+            topo,
+            apps,
+            provisioner,
+            radio: RadioConfig::default(),
+            queue: BinaryHeap::with_capacity(params.n * 4),
+            queue_seq: 0,
+            now: 0,
+            rng: StdRng::seed_from_u64(derive_seed(params.seed, 2)),
+            timers: HashMap::new(),
+            timer_gen: 0,
+            scratch: Vec::with_capacity(8),
+            counters: LoopbackCounters::default(),
+            sink: None,
+            trace_seq: 0,
+            events_processed: 0,
+        };
+        for id in 0..params.n as NodeId {
+            net.schedule(0, EventKind::Start(id));
+        }
+        net
+    }
+
+    /// Uses an explicit radio model (timing/loss; the loopback engine
+    /// models neither finite TX queues nor contention).
+    pub fn radio(mut self, radio: RadioConfig) -> Self {
+        assert!(
+            radio.tx_queue_cap.is_none() && !radio.contention,
+            "loopback engine models the default immediate-schedule radio"
+        );
+        self.radio = radio;
+        self
+    }
+
+    /// Installs a trace sink; transport events are recorded as
+    /// `DatagramTx`/`DatagramRx` kinds.
+    pub fn install_trace(&mut self, sink: impl TraceSink + 'static) {
+        self.sink = Some(Box::new(sink));
+    }
+
+    /// Removes and returns the installed sink (flushed).
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut sink = self.sink.take();
+        if let Some(s) = sink.as_mut() {
+            s.flush();
+        }
+        sink
+    }
+
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.queue_seq;
+        self.queue_seq += 1;
+        self.queue.push(Queued { at, seq, kind });
+    }
+
+    /// Arms a timer from outside the hooks (driver entry point), with
+    /// the simulator's superseding-generation semantics.
+    pub fn schedule_timer(&mut self, node: NodeId, key: TimerKey, delay: SimTime) {
+        self.timer_gen += 1;
+        let gen = self.timer_gen;
+        self.timers.insert((node, key), gen);
+        let fire_at = self.now + delay;
+        self.trace_with(node, || TraceEvent::TimerSet { key, fire_at });
+        self.schedule(fire_at, EventKind::Timer { node, key, gen });
+    }
+
+    /// Runs until the event queue drains. Returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Processes one event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        self.now = ev.at;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Start(id) => {
+                self.dispatch(id, |app, t| app.dispatch_start(t));
+            }
+            EventKind::Timer { node, key, gen } => {
+                if self.timers.get(&(node, key)) == Some(&gen) {
+                    self.timers.remove(&(node, key));
+                    self.trace_with(node, || TraceEvent::TimerFired { key });
+                    self.dispatch(node, |app, t| app.dispatch_timer(t, key));
+                }
+            }
+            EventKind::Deliver { from, to, payload } => {
+                // Per-receiver i.i.d. loss with the simulator's exact
+                // draw discipline: no RNG consumed at loss = 0.
+                if self.radio.loss > 0.0 && self.rng.gen::<f64>() < self.radio.loss {
+                    self.trace_with(to, || TraceEvent::SocketDrop {
+                        bytes: payload.len() as u32,
+                    });
+                    return true;
+                }
+                self.counters.datagrams_rx += 1;
+                self.trace_with(to, || TraceEvent::DatagramRx {
+                    from,
+                    bytes: payload.len() as u32,
+                });
+                self.dispatch(to, |app, t| app.dispatch_message(t, from, &payload));
+            }
+        }
+        true
+    }
+
+    fn trace_with(&mut self, node: NodeId, make: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            let rec = TraceRecord {
+                seq: self.trace_seq,
+                at: self.now,
+                node,
+                event: make(),
+            };
+            self.trace_seq += 1;
+            sink.record(rec);
+        }
+    }
+
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut ProtocolApp, &mut LoopbackCtx)) {
+        let mut actions = std::mem::take(&mut self.scratch);
+        {
+            let mut ctx = LoopbackCtx {
+                id,
+                now: self.now,
+                rng: &mut self.rng,
+                actions: &mut actions,
+                sink: self.sink.as_deref_mut(),
+                trace_seq: &mut self.trace_seq,
+            };
+            f(&mut self.apps[id as usize], &mut ctx);
+        }
+        for action in actions.drain(..) {
+            self.apply(id, action);
+        }
+        self.scratch = actions;
+    }
+
+    fn apply(&mut self, id: NodeId, action: Action) {
+        match action {
+            Action::Broadcast(payload) => {
+                if payload.len() > MAX_FRAME_BYTES {
+                    self.counters.oversize_drops += 1;
+                    return;
+                }
+                let at = self.now + self.radio.airtime_us(payload.len());
+                self.counters.datagrams_tx += 1;
+                self.trace_with(id, || TraceEvent::DatagramTx {
+                    bytes: payload.len() as u32,
+                });
+                for i in 0..self.topo.neighbors(id).len() {
+                    let to = self.topo.neighbors(id)[i];
+                    self.schedule(
+                        at,
+                        EventKind::Deliver {
+                            from: id,
+                            to,
+                            payload: payload.clone(),
+                        },
+                    );
+                }
+            }
+            Action::Send(to, payload) => {
+                if payload.len() > MAX_FRAME_BYTES {
+                    self.counters.oversize_drops += 1;
+                    return;
+                }
+                let at = self.now + self.radio.airtime_us(payload.len());
+                self.counters.datagrams_tx += 1;
+                self.trace_with(id, || TraceEvent::DatagramTx {
+                    bytes: payload.len() as u32,
+                });
+                if self.topo.neighbors(id).binary_search(&to).is_ok() {
+                    self.schedule(
+                        at,
+                        EventKind::Deliver {
+                            from: id,
+                            to,
+                            payload,
+                        },
+                    );
+                }
+            }
+            Action::SetTimer(key, delay) => {
+                self.timer_gen += 1;
+                let gen = self.timer_gen;
+                self.timers.insert((id, key), gen);
+                let fire_at = self.now + delay;
+                self.trace_with(id, || TraceEvent::TimerSet { key, fire_at });
+                self.schedule(fire_at, EventKind::Timer { node: id, key, gen });
+            }
+            Action::CancelTimer(key) => {
+                if self.timers.remove(&(id, key)).is_some() {
+                    self.trace_with(id, || TraceEvent::TimerCanceled { key });
+                }
+            }
+        }
+    }
+
+    // ---- driver surface (mirrors `NetworkHandle`) --------------------
+
+    /// Floods a base-station beacon and runs until the gradient
+    /// converges; existing gradients are reset first. Mirrors
+    /// `NetworkHandle::establish_gradient` exactly.
+    pub fn establish_gradient(&mut self) {
+        for id in 1..self.topo.n() as NodeId {
+            if let Some(s) = self.apps[id as usize].as_sensor_mut() {
+                s.reset_gradient();
+            }
+        }
+        self.schedule_timer(0, TIMER_BEACON, 1);
+        self.run();
+    }
+
+    /// Queues a reading at `src` and runs to quiescence; returns total
+    /// readings the BS has accepted. Mirrors
+    /// `NetworkHandle::send_reading` exactly.
+    pub fn send_reading(&mut self, src: NodeId, data: Vec<u8>, sealed: bool) -> usize {
+        self.apps[src as usize]
+            .as_sensor_mut()
+            .expect("not a sensor")
+            .queue_reading(PendingReading { data, sealed });
+        self.schedule_timer(src, TIMER_SEND, 1);
+        self.run();
+        self.bs().received.len()
+    }
+
+    /// The base station.
+    pub fn bs(&self) -> &BaseStation {
+        self.apps[0].as_base().expect("node 0 is the BS")
+    }
+
+    /// The sensor app of node `id`.
+    pub fn sensor(&self, id: NodeId) -> &ProtocolNode {
+        self.apps[id as usize].as_sensor().expect("not a sensor")
+    }
+
+    /// All sensor IDs.
+    pub fn sensor_ids(&self) -> Vec<NodeId> {
+        (1..self.topo.n() as NodeId).collect()
+    }
+
+    /// The deployed topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The provisioning authority used at deployment.
+    pub fn provisioner(&self) -> &Provisioner {
+        &self.provisioner
+    }
+
+    /// Transport counters so far.
+    pub fn counters(&self) -> LoopbackCounters {
+        self.counters
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Current engine time, microseconds.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}

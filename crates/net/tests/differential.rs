@@ -1,0 +1,173 @@
+//! Sim-vs-net differential tests: the same scenario executed on the
+//! discrete-event simulator and on the loopback transport backend must
+//! produce identical protocol-visible outcomes — roles, cluster
+//! membership, key tables, epochs, gradient depths, and the exact
+//! sequence of readings the base station accepts.
+//!
+//! This is the contract of the `Transport` seam: the protocol state
+//! machines cannot tell which backend is driving them.
+
+use wsn_core::config::ProtocolConfig;
+use wsn_core::node::Role;
+use wsn_core::setup::SetupParams;
+use wsn_net::{LoopbackNet, LoopbackParams};
+use wsn_sim::radio::RadioConfig;
+
+const N: usize = 60;
+const DENSITY: f64 = 10.0;
+
+fn params(seed: u64, cfg: ProtocolConfig) -> (SetupParams, LoopbackParams) {
+    (
+        SetupParams {
+            n: N,
+            density: DENSITY,
+            seed,
+            cfg: cfg.clone(),
+        },
+        LoopbackParams {
+            n: N,
+            density: DENSITY,
+            seed,
+            cfg,
+        },
+    )
+}
+
+/// One full steady-state workout on both backends, asserting equality
+/// at every observable checkpoint.
+fn assert_backends_agree(seed: u64, cfg: ProtocolConfig, radio: RadioConfig) {
+    let (sim_params, net_params) = params(seed, cfg);
+
+    // Setup phase.
+    let mut handle = wsn_core::setup::Scenario::new(sim_params)
+        .radio(radio.clone())
+        .run()
+        .handle;
+    let mut net = LoopbackNet::new(&net_params).radio(radio);
+    net.run();
+
+    // Post-setup state: roles, membership, key tables, Km erasure.
+    for id in net.sensor_ids() {
+        let s = handle.sensor(id);
+        let l = net.sensor(id);
+        assert_eq!(s.role(), l.role(), "role of node {id} (seed {seed})");
+        assert_eq!(s.cid(), l.cid(), "cid of node {id} (seed {seed})");
+        assert_eq!(
+            s.keys_held(),
+            l.keys_held(),
+            "keys held by node {id} (seed {seed})"
+        );
+        assert_eq!(
+            s.neighbor_cids(),
+            l.neighbor_cids(),
+            "neighbor clusters of node {id} (seed {seed})"
+        );
+        assert_eq!(s.holds_km(), l.holds_km(), "Km at node {id} (seed {seed})");
+        assert_eq!(s.epoch(), l.epoch(), "epoch of node {id} (seed {seed})");
+    }
+
+    // Gradient phase.
+    handle.establish_gradient();
+    net.establish_gradient();
+    for id in net.sensor_ids() {
+        assert_eq!(
+            handle.sensor(id).hops_to_bs(),
+            net.sensor(id).hops_to_bs(),
+            "gradient depth of node {id} (seed {seed})"
+        );
+    }
+
+    // Steady state: every cluster head sends one sealed reading; both
+    // base stations must accept the same readings in the same order.
+    let heads: Vec<u32> = net
+        .sensor_ids()
+        .into_iter()
+        .filter(|&id| net.sensor(id).role() == Role::Head)
+        .collect();
+    assert!(!heads.is_empty(), "no heads elected (seed {seed})");
+    for (i, &src) in heads.iter().enumerate() {
+        let data = format!("reading-{seed}-{i}-from-{src}").into_bytes();
+        let got_sim = handle.send_reading(src, data.clone(), true);
+        let got_net = net.send_reading(src, data, true);
+        assert_eq!(
+            got_sim, got_net,
+            "delivered count after reading {i} from {src} (seed {seed})"
+        );
+    }
+    assert_eq!(
+        handle.bs().received,
+        net.bs().received,
+        "base-station reading log (seed {seed})"
+    );
+    assert_eq!(
+        handle.bs().epoch(),
+        net.bs().epoch(),
+        "base-station epoch (seed {seed})"
+    );
+}
+
+#[test]
+fn loopback_matches_simulator_default_config() {
+    for seed in [1, 2005, 42] {
+        assert_backends_agree(seed, ProtocolConfig::default(), RadioConfig::default());
+    }
+}
+
+#[test]
+fn loopback_matches_simulator_with_recovery_and_resources() {
+    assert_backends_agree(
+        7,
+        ProtocolConfig::default().with_recovery().with_resources(),
+        RadioConfig::default(),
+    );
+}
+
+#[test]
+fn loopback_matches_simulator_on_lossy_links() {
+    let radio = RadioConfig {
+        loss: 0.10,
+        ..RadioConfig::default()
+    };
+    assert_backends_agree(11, ProtocolConfig::default().with_recovery(), radio);
+}
+
+#[test]
+fn loopback_is_deterministic() {
+    let (_, net_params) = params(2005, ProtocolConfig::default());
+    let run = |p: &LoopbackParams| {
+        let mut net = LoopbackNet::new(p);
+        net.run();
+        net.establish_gradient();
+        for (i, src) in net.sensor_ids().into_iter().take(8).enumerate() {
+            if net.sensor(src).role() == Role::Head {
+                net.send_reading(src, vec![i as u8; 4], true);
+            }
+        }
+        (
+            net.bs().received.clone(),
+            net.counters().datagrams_tx,
+            net.counters().datagrams_rx,
+            net.events_processed(),
+            net.now(),
+        )
+    };
+    let a = run(&net_params);
+    let b = run(&net_params);
+    assert_eq!(a, b, "loopback replay diverged");
+}
+
+/// The loopback engine never rejects a frame the protocol emits: the
+/// shared MAX_FRAME_BYTES ceiling is sized above every protocol frame.
+#[test]
+fn no_oversize_drops_in_normal_operation() {
+    let (_, net_params) = params(3, ProtocolConfig::default().with_recovery());
+    let mut net = LoopbackNet::new(&net_params);
+    net.run();
+    net.establish_gradient();
+    for src in net.sensor_ids() {
+        if net.sensor(src).role() == Role::Head {
+            net.send_reading(src, vec![0xAB; 64], true);
+        }
+    }
+    assert_eq!(net.counters().oversize_drops, 0);
+}

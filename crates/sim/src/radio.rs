@@ -5,6 +5,17 @@
 //! the paper's era (TR1000-class, ~19.2 kbit/s), whose costs motivate the
 //! paper's "one transmission per broadcast" design goal.
 
+/// Largest frame any transport must carry, in bytes.
+///
+/// Shared ceiling between the simulated radio and the real socket
+/// backends (`wsn-net`): a datagram the protocol can emit through the
+/// simulator must never be rejected by the UDP or loopback transport,
+/// so both sides size against this one constant. Generously above the
+/// largest wrapped protocol frame (header + sealed inner + tag; well
+/// under 512 bytes at the default 16-byte-block cipher) while still a
+/// single unfragmented UDP payload on any sane MTU path.
+pub const MAX_FRAME_BYTES: usize = 1024;
+
 /// Radio timing, loss and energy parameters.
 #[derive(Clone, Debug)]
 pub struct RadioConfig {

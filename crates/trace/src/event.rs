@@ -207,6 +207,44 @@ pub enum TraceEvent {
     },
     /// The partition healed; all surviving links deliver again.
     PartitionHeal,
+
+    // ---- transport layer (wsn-net socket backends) ----
+    /// A real transport backend (loopback engine or UDP reactor)
+    /// received a datagram and handed it to application dispatch. The
+    /// net-layer counterpart of [`TraceEvent::Rx`]: payloads are not
+    /// captured (a socket backend cannot afford the refcount plumbing on
+    /// its hot path), only the byte count.
+    DatagramRx {
+        /// Originating node, when the backend knows it (the loopback
+        /// engine always does; the UDP reactor recovers it from the
+        /// frame header).
+        from: NodeId,
+        /// Datagram length in bytes.
+        bytes: u32,
+    },
+    /// A real transport backend transmitted a datagram (one per
+    /// broadcast/send, regardless of fan-out — the paper's
+    /// one-transmission property holds at the socket layer too).
+    DatagramTx {
+        /// Datagram length in bytes.
+        bytes: u32,
+    },
+    /// A datagram was dropped at the socket/transport layer before
+    /// reaching dispatch: emulated channel loss, an oversize frame
+    /// (> `MAX_FRAME_BYTES`), or a full worker queue.
+    SocketDrop {
+        /// Length of the dropped datagram in bytes.
+        bytes: u32,
+    },
+    /// Pre-crypto admission control at a socket backend refused a
+    /// datagram: the per-cluster token bucket was empty or the cluster
+    /// is quarantined. The net-layer counterpart of
+    /// [`TraceEvent::Throttled`], keyed by cluster because a socket
+    /// reader only knows the claimed cluster id, not a node identity.
+    AdmissionReject {
+        /// Cluster id claimed by the refused datagram's header.
+        cid: NodeId,
+    },
 }
 
 /// The bounded-buffer vocabulary recorded by [`TraceEvent::QueueDrop`].
@@ -308,6 +346,10 @@ impl TraceEvent {
             TraceEvent::NodeUp => "node_up",
             TraceEvent::PartitionStart { .. } => "partition_start",
             TraceEvent::PartitionHeal => "partition_heal",
+            TraceEvent::DatagramRx { .. } => "datagram_rx",
+            TraceEvent::DatagramTx { .. } => "datagram_tx",
+            TraceEvent::SocketDrop { .. } => "socket_drop",
+            TraceEvent::AdmissionReject { .. } => "admission_reject",
         }
     }
 
@@ -441,6 +483,15 @@ impl TraceRecord {
             }
             TraceEvent::PartitionStart { links_cut } => {
                 let _ = write!(s, ",\"links_cut\":{links_cut}");
+            }
+            TraceEvent::DatagramRx { from, bytes } => {
+                let _ = write!(s, ",\"from\":{from},\"bytes\":{bytes}");
+            }
+            TraceEvent::DatagramTx { bytes } | TraceEvent::SocketDrop { bytes } => {
+                let _ = write!(s, ",\"bytes\":{bytes}");
+            }
+            TraceEvent::AdmissionReject { cid } => {
+                let _ = write!(s, ",\"cid\":{cid}");
             }
             TraceEvent::HelloSent
             | TraceEvent::BecameHead
@@ -648,5 +699,36 @@ mod tests {
             Some(&p)
         );
         assert_eq!(TraceEvent::BecameHead.payload(), None);
+    }
+
+    #[test]
+    fn transport_events_render() {
+        let cases = [
+            (
+                TraceEvent::DatagramRx { from: 5, bytes: 80 },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"datagram_rx\",\"from\":5,\"bytes\":80}",
+            ),
+            (
+                TraceEvent::DatagramTx { bytes: 96 },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"datagram_tx\",\"bytes\":96}",
+            ),
+            (
+                TraceEvent::SocketDrop { bytes: 2048 },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"socket_drop\",\"bytes\":2048}",
+            ),
+            (
+                TraceEvent::AdmissionReject { cid: 42 },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"admission_reject\",\"cid\":42}",
+            ),
+        ];
+        for (event, expected) in cases {
+            let rec = TraceRecord {
+                seq: 0,
+                at: 0,
+                node: 1,
+                event,
+            };
+            assert_eq!(rec.to_json(), expected);
+        }
     }
 }

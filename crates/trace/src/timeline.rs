@@ -113,11 +113,20 @@ impl Timeline {
                         .or_insert(0) += 1;
                     tl.activity.entry(rec.node).or_default().tx_unicast += 1;
                 }
-                TraceEvent::Rx { .. } => {
+                TraceEvent::Rx { .. } | TraceEvent::DatagramRx { .. } => {
                     tl.activity.entry(rec.node).or_default().rx += 1;
                 }
-                TraceEvent::RadioDrop { .. } | TraceEvent::Collision { .. } => {
+                TraceEvent::RadioDrop { .. }
+                | TraceEvent::Collision { .. }
+                | TraceEvent::SocketDrop { .. }
+                | TraceEvent::AdmissionReject { .. } => {
                     tl.activity.entry(rec.node).or_default().dropped += 1;
+                }
+                // Socket backends do not capture payloads, so datagram
+                // transmissions count as broadcast activity without a
+                // frames_by_kind classification.
+                TraceEvent::DatagramTx { .. } => {
+                    tl.activity.entry(rec.node).or_default().tx_broadcast += 1;
                 }
                 TraceEvent::LinkStored { .. } => tl.links_stored += 1,
                 TraceEvent::KmErased => tl.km_erasures += 1,
@@ -337,5 +346,20 @@ mod tests {
     fn summary_mentions_heads() {
         let tl = Timeline::reconstruct(&[rec(0, 1, 1, TraceEvent::BecameHead)]);
         assert!(tl.summary().contains("1 head(s)"));
+    }
+
+    #[test]
+    fn net_transport_events_count_as_activity() {
+        let tl = Timeline::reconstruct(&[
+            rec(0, 10, 0, TraceEvent::DatagramRx { from: 7, bytes: 96 }),
+            rec(1, 20, 0, TraceEvent::DatagramRx { from: 8, bytes: 96 }),
+            rec(2, 30, 0, TraceEvent::DatagramTx { bytes: 64 }),
+            rec(3, 40, 0, TraceEvent::SocketDrop { bytes: 2048 }),
+            rec(4, 50, 0, TraceEvent::AdmissionReject { cid: 7 }),
+        ]);
+        let a = &tl.activity[&0];
+        assert_eq!(a.rx, 2);
+        assert_eq!(a.tx_broadcast, 1);
+        assert_eq!(a.dropped, 2);
     }
 }
