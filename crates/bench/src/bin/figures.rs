@@ -18,6 +18,7 @@ use wsn_bench::figures::{
     default_trials, fig1_cluster_size_distribution, fig1_table, fig6_keys_per_node,
     fig7_cluster_size, fig8_head_fraction, fig9_setup_messages, scale_invariance, series_table,
 };
+use wsn_bench::multisink::{multisink_rows, multisink_table};
 use wsn_bench::overload::{overload_rows, overload_table};
 use wsn_bench::resilience::{resilience_rows, resilience_table};
 use wsn_bench::security::{cost_table, hello_flood_table, resilience_sweep, ResilienceParams};
@@ -208,7 +209,22 @@ fn run_overload(trials: usize) {
     }
 }
 
-const KNOWN: [&str; 12] = [
+fn run_multisink(trials: usize) {
+    println!(
+        "# Multi-sink — aggregate delivered readings/s vs sink count, same-seed 1-sink ablation ({trials} trials)\n"
+    );
+    let rows = multisink_rows(trials);
+    emit_table("multisink", &multisink_table(&rows), trials);
+    for r in &rows[1..] {
+        println!(
+            "{} sinks: {:.1} readings/s delivered = {:.2}x the single-sink arm ({:.1} entries re-homed)",
+            r.sinks, r.per_sec, r.speedup, r.rehomed
+        );
+    }
+    println!();
+}
+
+const KNOWN: [&str; 13] = [
     "all",
     "fig1",
     "fig6",
@@ -221,6 +237,7 @@ const KNOWN: [&str; 12] = [
     "energy",
     "resilience",
     "overload",
+    "multisink",
 ];
 
 fn main() {
@@ -296,6 +313,9 @@ fn main() {
     }
     if want("overload") {
         run_overload(trials.min(5));
+    }
+    if want("multisink") {
+        run_multisink(trials.min(5));
     }
     println!("done.");
 }

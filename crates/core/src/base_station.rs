@@ -190,6 +190,37 @@ impl BaseStation {
         self.cluster_keys.insert(id, kc);
     }
 
+    /// Multi-sink handoff, sending side: removes and returns the per-node
+    /// partition entry (`Ki` + replay window) so it can be installed at
+    /// the sink now serving the node. `None` if this sink does not hold
+    /// the node's entry.
+    pub fn take_node_state(&mut self, node: u32) -> Option<crate::sink::SinkNodeState> {
+        let ki = self.registry.remove(&node)?;
+        let window = self.windows.remove(&node).unwrap_or_default();
+        Some(crate::sink::SinkNodeState {
+            id: node,
+            ki,
+            window,
+        })
+    }
+
+    /// Multi-sink handoff, receiving side: installs a partition entry
+    /// taken from another sink. The replay window travels with the key so
+    /// a handoff never re-opens the counter-replay surface.
+    pub fn install_node_state(&mut self, state: crate::sink::SinkNodeState) {
+        self.registry.insert(state.id, state.ki);
+        self.windows.insert(state.id, state.window);
+    }
+
+    /// The node ids whose partition entries this sink currently holds
+    /// (ascending) — the conservation invariant across handoffs and
+    /// failovers is that the union over sinks never loses an id.
+    pub fn registered_nodes(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.registry.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Installs an out-of-band-learned cluster key (re-cluster refresh:
     /// heads generate random keys the BS cannot derive; the simulation
     /// harness syncs it — see DESIGN.md "known deviations").
@@ -342,10 +373,22 @@ impl BaseStation {
                         self.last_route_reply = Some(ctx.now());
                     }
                 }
-                // The BS is the gradient root; beacons, refresh HELLOs,
-                // heartbeats, failover announcements and ACKs (busy or
-                // plain) from the field carry nothing it needs.
+                Inner::SinkData { sink, unit } => {
+                    if self.cfg.sinks.enabled && sink == self.id {
+                        if self.cfg.recovery.enabled {
+                            self.send_ack(ctx, cid, &key, unit.dedup_key());
+                        }
+                        self.accept_data(unit);
+                    }
+                    // Addressed to another sink: overheard in passing, that
+                    // sink (or a node nearer to it) handles it — not a drop.
+                }
+                // The BS is the gradient root; beacons (its own or a peer
+                // sink's), refresh HELLOs, heartbeats, failover
+                // announcements and ACKs (busy or plain) from the field
+                // carry nothing it needs.
                 Inner::Beacon
+                | Inner::SinkBeacon { .. }
                 | Inner::RefreshHello { .. }
                 | Inner::Ack { .. }
                 | Inner::BusyAck { .. }
@@ -405,6 +448,14 @@ impl BaseStation {
                 ctx.broadcast(Message::LinkAdvert { nonce, sealed }.encode());
             }
             TIMER_BEACON => {
+                // Multi-sink: flood a beacon naming this sink, so sensors
+                // learn a *per-sink* gradient. Single-sink keeps the legacy
+                // anonymous beacon byte-identical.
+                let inner = if self.cfg.sinks.enabled {
+                    Inner::SinkBeacon { sink: self.id }
+                } else {
+                    Inner::Beacon
+                };
                 let seq = self.next_seq();
                 let frame = wrap_frame(
                     self.sealers.get(&self.own_kc),
@@ -413,7 +464,7 @@ impl BaseStation {
                     seq,
                     ctx.now(),
                     Gradient::at(0).hops(),
-                    &Inner::Beacon,
+                    &inner,
                 );
                 ctx.broadcast(frame);
             }

@@ -64,6 +64,7 @@ pub mod refresh;
 pub mod resource;
 pub mod routing;
 pub mod setup;
+pub mod sink;
 pub mod stats;
 pub mod transport;
 
@@ -73,11 +74,14 @@ pub mod transport;
 pub mod prelude {
     pub use crate::base_station::BaseStation;
     pub use crate::chaos::{run_plan, ChaosReport};
-    pub use crate::config::{ProtocolConfig, RecoveryConfig, RefreshMode, ResourceConfig};
+    pub use crate::config::{
+        ProtocolConfig, RecoveryConfig, RefreshMode, ResourceConfig, SinkConfig,
+    };
     pub use crate::error::ProtocolError;
     pub use crate::keys::{NodeKeyMaterial, Provisioner};
     pub use crate::node::{ProtocolApp, ProtocolNode, Role};
     pub use crate::setup::{run_setup, NetworkHandle, Scenario, SetupOutcome, SetupParams};
+    pub use crate::sink::{Handoff, SinkNodeState, SinkSet, SinkTable};
     pub use crate::stats::SetupReport;
     pub use wsn_chaos::{BatteryBudget, FaultPlan, FaultSpec, GeParams, GilbertElliott};
     pub use wsn_sim::radio::RadioConfig;

@@ -45,6 +45,8 @@ const I_ROUTE_REQ: u8 = 0x15;
 const I_HEARTBEAT: u8 = 0x16;
 const I_NEW_HEAD: u8 = 0x17;
 const I_BUSY_ACK: u8 = 0x18;
+const I_SINK_BEACON: u8 = 0x19;
+const I_SINK_DATA: u8 = 0x1A;
 
 /// Length of the short tags on revocation/join messages.
 pub const SHORT_TAG: usize = 8;
@@ -410,6 +412,26 @@ pub enum Inner {
         /// derives it independently).
         new_kc: Key128,
     },
+    /// Multi-sink routing beacon: like [`Inner::Beacon`], but names which
+    /// sink the flood originates from, so nodes can keep one gradient per
+    /// sink. The Step-2 header's hop field carries the sender's distance
+    /// to *this* sink. Emitted only when
+    /// [`crate::config::SinkConfig::enabled`] is set — default-config
+    /// runs never put this tag on the air.
+    SinkBeacon {
+        /// Originating sink's node id.
+        sink: u32,
+    },
+    /// Multi-sink data unit: like [`Inner::Data`], but addressed to a
+    /// specific sink (the source's nearest). Forwarders relay it strictly
+    /// downhill on *that sink's* gradient; the Step-2 hop field carries
+    /// the sender's distance to the target sink.
+    SinkData {
+        /// Target sink's node id.
+        sink: u32,
+        /// The reading in flight.
+        unit: DataUnit,
+    },
 }
 
 impl Inner {
@@ -455,6 +477,15 @@ impl Inner {
                 b.put_u8(I_NEW_HEAD);
                 b.put_u32(*new_cid);
                 b.put_slice(new_kc.as_bytes());
+            }
+            Inner::SinkBeacon { sink } => {
+                b.put_u8(I_SINK_BEACON);
+                b.put_u32(*sink);
+            }
+            Inner::SinkData { sink, unit } => {
+                b.put_u8(I_SINK_DATA);
+                b.put_u32(*sink);
+                unit.encode_into(b);
             }
         }
     }
@@ -519,6 +550,21 @@ impl Inner {
                     new_cid,
                     new_kc: Key128::from_bytes(kb),
                 })
+            }
+            I_SINK_BEACON => {
+                if buf.remaining() != 4 {
+                    return Err(ProtocolError::Malformed);
+                }
+                Ok(Inner::SinkBeacon {
+                    sink: buf.get_u32(),
+                })
+            }
+            I_SINK_DATA => {
+                if buf.remaining() < 4 {
+                    return Err(ProtocolError::Malformed);
+                }
+                let sink = buf.get_u32();
+                DataUnit::decode(buf).map(|unit| Inner::SinkData { sink, unit })
             }
             _ => Err(ProtocolError::Malformed),
         }
@@ -710,6 +756,17 @@ mod tests {
                 sealed: false,
                 body: Bytes::new(),
             }),
+            Inner::SinkBeacon { sink: 3 },
+            Inner::SinkBeacon { sink: u32::MAX },
+            Inner::SinkData {
+                sink: 1,
+                unit: DataUnit {
+                    src: 14,
+                    ctr: Some(7),
+                    sealed: true,
+                    body: Bytes::from_static(b"reading"),
+                },
+            },
         ] {
             let enc = inner.encode();
             assert_eq!(Inner::decode(&enc).unwrap(), inner);
@@ -732,6 +789,11 @@ mod tests {
         assert!(Inner::decode(&[I_ROUTE_REQ, 0]).is_err()); // trailing bytes
         assert!(Inner::decode(&[I_HEARTBEAT, 0]).is_err()); // trailing bytes
         assert!(Inner::decode(&[I_NEW_HEAD, 0, 0, 0, 1]).is_err()); // short key
+        assert!(Inner::decode(&[I_SINK_BEACON, 0, 0, 1]).is_err()); // short sink id
+        assert!(Inner::decode(&[I_SINK_BEACON, 0, 0, 0, 1, 9]).is_err()); // trailing
+        assert!(Inner::decode(&[I_SINK_DATA, 0, 0, 0, 1]).is_err()); // missing unit
+        assert!(Inner::decode(&[I_SINK_DATA, 0, 0, 0, 1, 0, 0, 0, 2, 0xFF]).is_err());
+        // bad flags
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::recovery::{self, RecoveryState, RetxEntry, RetxKind};
 use crate::refresh;
 use crate::resource::{self, Admission, ResourceState};
 use crate::routing::Gradient;
+use crate::sink::SinkTable;
 use crate::transport::Transport;
 use bytes::Bytes;
 use rand::Rng;
@@ -161,6 +162,8 @@ pub struct ProtocolNode {
     /// Step-1 end-to-end counter shared with the base station.
     e2e_ctr: u64,
     gradient: Gradient,
+    /// Per-sink gradients (empty — zero cost — unless `cfg.sinks.enabled`).
+    sink_table: SinkTable,
     dedup: DedupCache,
     /// Fusion-mode redundancy envelope (only consulted when
     /// `cfg.fusion_suppression` is on).
@@ -216,6 +219,7 @@ impl ProtocolNode {
             seq: 0,
             e2e_ctr: 0,
             gradient: Gradient::default(),
+            sink_table: SinkTable::default(),
             dedup,
             peek: PeekAggregator::default(),
             revoke_seen: HashSet::new(),
@@ -282,6 +286,19 @@ impl ProtocolNode {
     /// Hop distance to the base station (`u32::MAX` before any beacon).
     pub fn hops_to_bs(&self) -> u32 {
         self.gradient.hops()
+    }
+
+    /// Per-sink gradient table (empty unless multi-sink is enabled and a
+    /// `SinkBeacon` has been heard).
+    pub fn sink_table(&self) -> &SinkTable {
+        &self.sink_table
+    }
+
+    /// The sink this node currently routes to, with its hop distance:
+    /// minimum `(hops, sink_id)` over established per-sink gradients.
+    /// `None` before any `SinkBeacon` (or in single-sink mode).
+    pub fn nearest_sink(&self) -> Option<(u32, u32)> {
+        self.sink_table.nearest()
     }
 
     /// Whether `Km` is still in memory (setup phase).
@@ -378,6 +395,7 @@ impl ProtocolNode {
     /// before it reaches newcomers).
     pub fn reset_gradient(&mut self) {
         self.gradient = Gradient::default();
+        self.sink_table.reset();
     }
 
     /// Applies a hash refresh locally: own key and every key in `S` roll
@@ -558,17 +576,42 @@ impl ProtocolNode {
         let dkey = unit.dedup_key();
         self.dedup.insert(dkey);
         self.stats.originated += 1;
-        if let Some(frame) = self.broadcast_wrapped(ctx, &Inner::Data(unit)) {
+        // Multi-sink: address the unit to the nearest sink (deterministic
+        // tie-break by sink id inside `nearest`) and carry our distance to
+        // *that* sink in the header, so forwarders apply the per-sink
+        // downhill rule. Before any SinkBeacon arrives, fall back to the
+        // legacy single-gradient frame.
+        let (inner, hops) = if self.cfg.sinks.enabled {
+            match self.sink_table.nearest() {
+                Some((sink, hops)) => (Inner::SinkData { sink, unit }, hops),
+                None => (Inner::Data(unit), self.gradient.hops()),
+            }
+        } else {
+            (Inner::Data(unit), self.gradient.hops())
+        };
+        if let Some(frame) = self.broadcast_wrapped_hops(ctx, &inner, hops) {
             self.enroll_retx(ctx, dkey, frame, RetxKind::Data);
         }
     }
 
     fn broadcast_wrapped(&mut self, ctx: &mut impl Transport, inner: &Inner) -> Option<Bytes> {
+        let hops = self.gradient.hops();
+        self.broadcast_wrapped_hops(ctx, inner, hops)
+    }
+
+    /// Like [`Self::broadcast_wrapped`] but with an explicit hop distance
+    /// for the authenticated header — multi-sink frames carry the distance
+    /// to the sink they are addressed to, not the legacy BS gradient.
+    fn broadcast_wrapped_hops(
+        &mut self,
+        ctx: &mut impl Transport,
+        inner: &Inner,
+        hops: u32,
+    ) -> Option<Bytes> {
         let (Some(cid), Some(kc)) = (self.cid, self.cluster_key) else {
             return None;
         };
         let seq = self.next_seq();
-        let hops = self.gradient.hops();
         let frame = wrap_frame(
             self.sealers.get(&kc),
             cid,
@@ -815,6 +858,78 @@ impl ProtocolNode {
             Inner::Heartbeat => self.handle_heartbeat(ctx, outer_cid),
             Inner::NewHead { new_cid, new_kc } => {
                 self.handle_new_head(ctx, outer_cid, new_cid, new_kc)
+            }
+            Inner::SinkBeacon { sink } => {
+                if !self.cfg.sinks.enabled {
+                    self.stats.drops.wrong_phase += 1;
+                    return;
+                }
+                // Same route-blind-joiner guard as the legacy beacon.
+                if self.recovery.own_cid_beacons_only && self.cid != Some(outer_cid) {
+                    return;
+                }
+                if self.sink_table.observe_beacon(sink, sender_hops) {
+                    let hops = self.sink_table.hops_to(sink);
+                    self.broadcast_wrapped_hops(ctx, &Inner::SinkBeacon { sink }, hops);
+                }
+            }
+            Inner::SinkData { sink, unit } => {
+                self.handle_sink_data(ctx, sink, unit, sender_hops, outer_cid, outer_key)
+            }
+        }
+    }
+
+    /// The multi-sink mirror of [`Self::handle_data`]: the implicit-ACK,
+    /// dedup, and strictly-downhill forwarding decisions all use the
+    /// gradient *to the sink the unit is addressed to*, and the re-wrapped
+    /// frame keeps that sink's address and our distance to it.
+    fn handle_sink_data(
+        &mut self,
+        ctx: &mut impl Transport,
+        sink: u32,
+        unit: DataUnit,
+        sender_hops: u32,
+        outer_cid: ClusterId,
+        outer_key: Key128,
+    ) {
+        if !self.cfg.sinks.enabled {
+            self.stats.drops.wrong_phase += 1;
+            return;
+        }
+        let rec_on = self.cfg.recovery.enabled;
+        let dkey = unit.dedup_key();
+        let my_hops = self.sink_table.hops_to(sink);
+        // Implicit ACK: a node strictly closer to *this* sink rebroadcast a
+        // unit we hold pending — custody moved downhill.
+        if rec_on && sender_hops < my_hops && self.recovery.ack(dkey) {
+            self.arm_retx_timer(ctx);
+        }
+        if !self.dedup.insert(dkey) {
+            self.stats.fused_duplicates += 1;
+            if rec_on && self.sink_table.should_forward(sink, sender_hops) && !self.muted {
+                self.send_ack_hops(ctx, outer_cid, &outer_key, dkey, my_hops);
+            }
+            return;
+        }
+        if self.sink_table.should_forward(sink, sender_hops) && !self.muted {
+            if self.cfg.fusion_suppression && !unit.sealed {
+                if self.peek.is_redundant(&unit.body) {
+                    self.stats.fused_duplicates += 1;
+                    if rec_on {
+                        self.send_ack_hops(ctx, outer_cid, &outer_key, dkey, my_hops);
+                    }
+                    return;
+                }
+                self.peek.observe(&unit.body);
+            }
+            self.stats.forwarded += 1;
+            if rec_on {
+                self.send_ack_hops(ctx, outer_cid, &outer_key, dkey, my_hops);
+            }
+            if let Some(frame) =
+                self.broadcast_wrapped_hops(ctx, &Inner::SinkData { sink, unit }, my_hops)
+            {
+                self.enroll_retx(ctx, dkey, frame, RetxKind::Data);
             }
         }
     }
@@ -1212,6 +1327,21 @@ impl ProtocolNode {
     /// high-water mark confirms with [`Inner::BusyAck`] instead, telling
     /// upstream to back off before retrying through this hop.
     fn send_ack(&mut self, ctx: &mut impl Transport, cid: ClusterId, key: &Key128, ack_key: u64) {
+        let hops = self.gradient.hops();
+        self.send_ack_hops(ctx, cid, key, ack_key, hops);
+    }
+
+    /// [`Self::send_ack`] with an explicit header hop distance — multi-sink
+    /// ACKs advertise the acker's distance to the sink the acknowledged
+    /// frame was addressed to.
+    fn send_ack_hops(
+        &mut self,
+        ctx: &mut impl Transport,
+        cid: ClusterId,
+        key: &Key128,
+        ack_key: u64,
+        hops: u32,
+    ) {
         let res = self.cfg.resources;
         let inner = if res.enabled && self.recovery.pending.len() >= res.tx_high_water {
             Inner::BusyAck { key: ack_key }
@@ -1219,7 +1349,6 @@ impl ProtocolNode {
             Inner::Ack { key: ack_key }
         };
         let seq = self.next_seq();
-        let hops = self.gradient.hops();
         let frame = wrap_frame(
             self.sealers.get(key),
             cid,

@@ -57,6 +57,7 @@ use crate::msg::ClusterId;
 use crate::node::{
     PendingReading, ProtocolApp, ProtocolNode, Role, TIMER_HEARTBEAT, TIMER_RETX, TIMER_SEND,
 };
+use crate::sink::{home_sink, multi_sink_topology, SinkSet};
 use crate::stats::SetupReport;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -160,9 +161,23 @@ impl<'a> Scenario<'a> {
     pub fn run(self) -> SetupOutcome {
         let params = &self.params;
         assert!(params.n >= 2, "need a base station and at least one sensor");
-        let topo = Topology::random(
-            &TopologyConfig::with_density(params.n, params.density),
+        // Multi-sink: node ids 0..K are sinks on a deterministic grid;
+        // with sinks disabled this is exactly the legacy random topology.
+        let n_sinks = if params.cfg.sinks.enabled {
+            params.cfg.sinks.count
+        } else {
+            1
+        };
+        assert!(
+            (n_sinks as usize) < params.n,
+            "need more nodes than sinks (n = {}, sinks = {n_sinks})",
+            params.n
+        );
+        let topo = multi_sink_topology(
+            params.n,
+            params.density,
             derive_seed(params.seed, 0),
+            &params.cfg.sinks,
         );
         let mut provisioner = Provisioner::new(derive_seed(params.seed, 1));
         // Provision everyone up front so the BS registry is complete.
@@ -179,12 +194,26 @@ impl<'a> Scenario<'a> {
         let mut pool: Vec<Option<ProtocolApp>> = materials
             .drain(..)
             .map(|m| {
-                Some(if m.id == 0 {
+                Some(if m.id < n_sinks {
+                    // Partitioned BS state: each sink starts with the `Ki`
+                    // entries of the nodes whose home sink it is (node id
+                    // mod K). Cluster keys and the revocation chain are
+                    // replicated — any sink can unwrap any cluster's
+                    // envelope; only sink 0 issues revocations.
+                    let partition: HashMap<u32, Key128> = if cfg.sinks.enabled {
+                        registry
+                            .iter()
+                            .filter(|(&id, _)| home_sink(id, n_sinks) == m.id)
+                            .map(|(&id, &ki)| (id, ki))
+                            .collect()
+                    } else {
+                        registry.clone()
+                    };
                     ProtocolApp::Base(BaseStation::new(
                         cfg.clone(),
-                        0,
+                        m.id,
                         provisioner.km(),
-                        registry.clone(),
+                        partition,
                         cluster_keys.clone(),
                         provisioner.revocation_chain(),
                     ))
@@ -207,6 +236,10 @@ impl<'a> Scenario<'a> {
 
         let setup_counters = sim.counters().clone();
         let report = SetupReport::from_simulation(&sim, &setup_counters);
+        let sinks = cfg
+            .sinks
+            .enabled
+            .then(|| SinkSet::new(n_sinks, n_sinks..params.n as u32));
         let handle = NetworkHandle {
             sim,
             cfg,
@@ -216,6 +249,7 @@ impl<'a> Scenario<'a> {
             aux_rng: StdRng::seed_from_u64(derive_seed(params.seed, 4)),
             next_id: params.n as u32,
             chaos_plan: self.chaos,
+            sinks,
         };
         SetupOutcome { handle, report }
     }
@@ -240,6 +274,9 @@ pub struct NetworkHandle {
     aux_rng: StdRng,
     next_id: u32,
     chaos_plan: Option<wsn_chaos::FaultPlan>,
+    /// Multi-sink bookkeeping: which sink serves which node. `None`
+    /// unless `cfg.sinks.enabled`.
+    sinks: Option<SinkSet>,
 }
 
 impl NetworkHandle {
@@ -275,7 +312,7 @@ impl NetworkHandle {
         self.sim.app_mut(id).as_sensor_mut().expect("not a sensor")
     }
 
-    /// The base station.
+    /// The base station (sink 0 in a multi-sink deployment).
     pub fn bs(&self) -> &BaseStation {
         self.sim.apps()[0].as_base().expect("node 0 is the BS")
     }
@@ -285,9 +322,43 @@ impl NetworkHandle {
         self.sim.app_mut(0).as_base_mut().expect("node 0 is the BS")
     }
 
-    /// All sensor IDs.
+    /// All sink node ids: `0..K` with multi-sink enabled, `[0]` otherwise.
+    pub fn sink_ids(&self) -> Vec<u32> {
+        match &self.sinks {
+            Some(set) => (0..set.k()).collect(),
+            None => vec![0],
+        }
+    }
+
+    /// The base-station app of sink `k`. Panics if `k` is not a sink.
+    pub fn sink(&self, k: u32) -> &BaseStation {
+        self.sim.apps()[k as usize]
+            .as_base()
+            .expect("not a sink id")
+    }
+
+    /// Mutable access to sink `k`'s base-station app.
+    pub fn sink_mut(&mut self, k: u32) -> &mut BaseStation {
+        self.sim.app_mut(k).as_base_mut().expect("not a sink id")
+    }
+
+    /// The multi-sink serving map (`None` for single-sink runs).
+    pub fn sink_set(&self) -> Option<&SinkSet> {
+        self.sinks.as_ref()
+    }
+
+    /// Readings accepted across every sink, in arrival order per sink.
+    pub fn total_received(&self) -> usize {
+        self.sink_ids()
+            .into_iter()
+            .map(|k| self.sink(k).received.len())
+            .sum()
+    }
+
+    /// All sensor IDs (sinks excluded).
     pub fn sensor_ids(&self) -> Vec<u32> {
-        (1..self.sim.topology().n() as u32).collect()
+        let first = self.sinks.as_ref().map_or(1, |s| s.k());
+        (first..self.sim.topology().n() as u32).collect()
     }
 
     /// Recomputes the setup report from current state.
@@ -328,18 +399,115 @@ impl NetworkHandle {
         for id in self.sensor_ids() {
             self.sensor_mut(id).reset_gradient();
         }
-        self.sim.schedule_timer(0, TIMER_BEACON, 1);
+        let multi = self.sinks.is_some();
+        for k in self.sink_ids() {
+            // Multi-sink skips dead sinks (failover re-beacons survivors);
+            // the single-sink path schedules unconditionally, as it always
+            // has.
+            if !multi || self.sim.node_is_up(k) {
+                self.sim.schedule_timer(k, TIMER_BEACON, 1);
+            }
+        }
         self.sim.run();
     }
 
+    /// Multi-sink: moves every node's partition entry (`Ki` + replay
+    /// window) to its *nearest* sink, as determined by the per-sink
+    /// gradients — call after [`Self::establish_gradient`]. Emits a
+    /// `SinkElected` event per assigned node, a `SinkHandoff` per move,
+    /// and one aggregate `SinkSync` per (from, to) sink pair. Returns
+    /// the number of entries moved. No-op (0) for single-sink runs.
+    pub fn rehome_to_nearest(&mut self) -> usize {
+        let Some(mut set) = self.sinks.take() else {
+            return 0;
+        };
+        let mut nearest = std::collections::BTreeMap::new();
+        // `self.sinks` is taken: enumerate sensors from the set itself.
+        for id in set.k()..self.sim.apps().len() as u32 {
+            if let Some((sink, hops)) = self.sensor(id).nearest_sink() {
+                nearest.insert(id, sink);
+                self.sim
+                    .trace_record(id, wsn_trace::TraceEvent::SinkElected { sink, hops });
+            }
+        }
+        let moves = set.plan_rehome(&nearest);
+        self.execute_handoffs(&moves);
+        self.sinks = Some(set);
+        moves.len()
+    }
+
+    /// Multi-sink failover: powers sink `dead` off and re-homes every
+    /// node it served to that node's nearest *surviving* sink (fallback:
+    /// the smallest surviving sink id, for nodes with no gradient to any
+    /// survivor). Partition entries are conserved — the dead sink's
+    /// registry drains into the survivors. Returns the handoffs made.
+    pub fn fail_sink(&mut self, dead: u32) -> usize {
+        let mut set = self.sinks.take().expect("fail_sink needs multi-sink mode");
+        self.sim.set_node_down(dead);
+        self.sim.trace_record(dead, wsn_trace::TraceEvent::NodeDown);
+        let survivors: Vec<u32> = (0..set.k()).filter(|&k| k != dead).collect();
+        assert!(!survivors.is_empty(), "cannot fail the last sink");
+        let moves = {
+            let sim = &self.sim;
+            set.plan_failover(dead, |node| {
+                sim.apps()[node as usize]
+                    .as_sensor()
+                    .and_then(|n| {
+                        survivors
+                            .iter()
+                            .map(|&k| (n.sink_table().hops_to(k), k))
+                            .filter(|&(hops, _)| hops != crate::routing::NO_GRADIENT)
+                            .min()
+                            .map(|(_, k)| k)
+                    })
+                    .unwrap_or(survivors[0])
+            })
+        };
+        self.execute_handoffs(&moves);
+        self.sinks = Some(set);
+        moves.len()
+    }
+
+    /// Executes planned handoffs against the sink apps and emits the
+    /// trace events: one `SinkHandoff` per moved node, then one
+    /// aggregate `SinkSync` per (from, to) sink pair, attributed to the
+    /// receiving sink.
+    fn execute_handoffs(&mut self, moves: &[crate::sink::Handoff]) {
+        let mut batches: std::collections::BTreeMap<(u32, u32), u32> =
+            std::collections::BTreeMap::new();
+        for m in moves {
+            if let Some(state) = self.sink_mut(m.from).take_node_state(m.node) {
+                self.sink_mut(m.to).install_node_state(state);
+                *batches.entry((m.from, m.to)).or_insert(0) += 1;
+                self.sim.trace_record(
+                    m.node,
+                    wsn_trace::TraceEvent::SinkHandoff {
+                        from_sink: m.from,
+                        to_sink: m.to,
+                    },
+                );
+            }
+        }
+        for ((from, to), entries) in batches {
+            self.sim.trace_record(
+                to,
+                wsn_trace::TraceEvent::SinkSync {
+                    from_sink: from,
+                    entries,
+                },
+            );
+        }
+    }
+
     /// Queues a reading at `src` and runs the network until quiescent.
-    /// Returns how many readings the BS has accepted in total afterwards.
+    /// Returns how many readings have been accepted in total afterwards,
+    /// summed across every sink (just the BS in single-sink mode).
     pub fn send_reading(&mut self, src: u32, data: Vec<u8>, sealed: bool) -> usize {
         self.sensor_mut(src)
             .queue_reading(PendingReading { data, sealed });
         self.sim.schedule_timer(src, TIMER_SEND, 1);
         self.sim.run();
-        self.bs().received.len()
+        self.total_received()
     }
 
     /// Queues a reading at `src` to be transmitted `delay` µs from now
@@ -403,7 +571,10 @@ impl NetworkHandle {
                         self.sim.inject_broadcast_at(head, head, 1, frame);
                         // The BS cannot derive head-generated keys; the
                         // harness syncs it (documented simulation shortcut).
-                        self.bs_mut().set_cluster_key(head, new_kc);
+                        // Cluster keys are replicated at every sink.
+                        for k in self.sink_ids() {
+                            self.sink_mut(k).set_cluster_key(head, new_kc);
+                        }
                         if self.cfg.recovery.enabled {
                             // Acknowledged refresh: the head enrolled the
                             // frame (initiate_recluster_refresh runs with
@@ -511,8 +682,25 @@ impl NetworkHandle {
         let mut pool: Vec<Option<ProtocolApp>> =
             old_apps.into_iter().chain(joiner_apps).map(Some).collect();
         for (id, ki, kc) in registrations {
-            if let Some(ProtocolApp::Base(bs)) = pool[0].as_mut() {
-                bs.register_node(id, ki, kc);
+            // Multi-sink: the joiner's partition entry starts at its home
+            // sink; cluster keys are replicated at every sink.
+            let home = match &mut self.sinks {
+                Some(set) => {
+                    set.track(id);
+                    home_sink(id, set.k())
+                }
+                None => 0,
+            };
+            for k in 0..pool.len() as u32 {
+                if let Some(ProtocolApp::Base(bs)) = pool[k as usize].as_mut() {
+                    if k == home {
+                        bs.register_node(id, ki, kc);
+                    } else {
+                        bs.set_cluster_key(id, kc);
+                    }
+                } else {
+                    break;
+                }
             }
         }
         self.sim = Simulator::with_config_at(topo, RadioConfig::default(), seed, resume_at, |id| {
@@ -598,7 +786,15 @@ impl NetworkHandle {
             id,
             ProtocolApp::Sensor(ProtocolNode::new_joiner(self.cfg.clone(), m)),
         );
-        self.bs_mut().register_node(id, ki, kc);
+        // Re-register at whichever sink currently serves the node (its
+        // partition entry may have been handed off since deployment).
+        let serving = self.sinks.as_ref().and_then(|s| s.serving(id)).unwrap_or(0);
+        self.sink_mut(serving).register_node(id, ki, kc);
+        for k in self.sink_ids() {
+            if k != serving {
+                self.sink_mut(k).set_cluster_key(id, kc);
+            }
+        }
         self.sim.set_node_up(id);
         self.sim.schedule_start(id, 1);
     }

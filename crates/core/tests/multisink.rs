@@ -1,0 +1,212 @@
+//! Multi-sink integration tests: per-sink gradients, nearest-sink
+//! routing, partitioned BS state with handoffs, and sink failover.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use wsn_core::prelude::*;
+use wsn_core::setup::SetupParams;
+
+fn multi_sink_outcome(n: usize, k: u32, seed: u64) -> NetworkHandle {
+    let outcome = Scenario::new(SetupParams {
+        n,
+        density: 12.0,
+        seed,
+        cfg: ProtocolConfig::default().with_sinks(k),
+    })
+    .run();
+    outcome.handle
+}
+
+/// The full pipeline: beacons establish per-sink gradients, rehoming
+/// moves partition entries to the elected sinks, and readings from
+/// every clustered sensor land at some sink.
+#[test]
+fn readings_reach_sinks_end_to_end() {
+    let mut h = multi_sink_outcome(60, 2, 2005);
+    h.establish_gradient();
+    let moved = h.rehome_to_nearest();
+    // With home = id % 2 and geometry-based election, *some* nodes must
+    // re-home (the two halves of the field are not the even/odd ids).
+    assert!(moved > 0, "no partition entries moved");
+
+    let mut delivered = 0;
+    for id in h.sensor_ids() {
+        delivered = h.send_reading(id, vec![0xAB, id as u8], true);
+    }
+    let _ = delivered;
+    let total = h.total_received();
+    let connected: usize = h
+        .sensor_ids()
+        .iter()
+        .filter(|&&id| h.sensor(id).nearest_sink().is_some())
+        .count();
+    assert!(
+        total >= connected * 9 / 10,
+        "only {total} of {connected} connected sensors delivered"
+    );
+    // Both sinks participate: the load is split, not funneled.
+    assert!(!h.sink(0).received.is_empty(), "sink 0 idle");
+    assert!(!h.sink(1).received.is_empty(), "sink 1 idle");
+    // Every reading was accepted by the sink its source elected.
+    let mut elected: BTreeMap<u32, u32> = BTreeMap::new();
+    for id in h.sensor_ids() {
+        if let Some((sink, _)) = h.sensor(id).nearest_sink() {
+            elected.insert(id, sink);
+        }
+    }
+    for k in h.sink_ids() {
+        for r in &h.sink(k).received {
+            assert_eq!(
+                elected.get(&r.src),
+                Some(&k),
+                "reading from {} at sink {k}",
+                r.src
+            );
+        }
+    }
+}
+
+/// Sink trace events are emitted and the Timeline reconstructs them.
+#[test]
+fn sink_events_appear_in_trace() {
+    let outcome = Scenario::new(SetupParams {
+        n: 50,
+        density: 12.0,
+        seed: 7,
+        cfg: ProtocolConfig::default().with_sinks(2),
+    })
+    .trace(MemorySink::new())
+    .run();
+    let mut h = outcome.handle;
+    h.establish_gradient();
+    let moved = h.rehome_to_nearest();
+    let records = h.sim_mut().take_trace().expect("trace installed").drain();
+    let tl = Timeline::reconstruct(&records);
+    assert!(!tl.sink_assignment.is_empty(), "no SinkElected events");
+    assert_eq!(tl.handoff_log.len(), moved);
+    assert_eq!(tl.sink_sync_entries as usize, moved);
+    // Every assignment names a real sink.
+    for sink in tl.sink_assignment.values() {
+        assert!(*sink < 2);
+    }
+}
+
+/// Killing a sink re-homes every node it served onto survivors without
+/// losing a single key-table entry, and delivery continues.
+#[test]
+fn sink_failover_conserves_key_entries() {
+    let mut h = multi_sink_outcome(60, 3, 11);
+    h.establish_gradient();
+    h.rehome_to_nearest();
+
+    let union_before: usize = h
+        .sink_ids()
+        .iter()
+        .map(|&k| h.sink(k).registered_nodes().len())
+        .sum();
+    let served_by_dead = h.sink_set().unwrap().nodes_served_by(1);
+    assert!(!served_by_dead.is_empty());
+
+    let moved = h.fail_sink(1);
+    assert_eq!(moved, served_by_dead.len());
+    // The dead sink's partition drained into the survivors: the union is
+    // conserved and the dead sink keeps only its own entry.
+    let union_after: usize = h
+        .sink_ids()
+        .iter()
+        .map(|&k| h.sink(k).registered_nodes().len())
+        .sum();
+    assert_eq!(union_before, union_after);
+    assert_eq!(h.sink(1).registered_nodes(), vec![1]);
+    for node in &served_by_dead {
+        let now_at = h.sink_set().unwrap().serving(*node).unwrap();
+        assert_ne!(now_at, 1, "node {node} still homed at the dead sink");
+    }
+
+    // Survivors re-beacon, nodes re-learn gradients, traffic still flows.
+    h.establish_gradient();
+    h.rehome_to_nearest();
+    let before = h.total_received();
+    for id in h.sensor_ids() {
+        h.send_reading(id, vec![0xCD, id as u8], true);
+    }
+    assert!(h.total_received() > before, "no delivery after failover");
+}
+
+/// `with_sinks(1)` uses the multi-sink machinery (grid placement,
+/// SinkBeacon/SinkData frames) but must still deliver: it is the
+/// fair same-placement ablation arm for the scaling figure.
+#[test]
+fn single_sink_ablation_arm_delivers() {
+    let mut h = multi_sink_outcome(40, 1, 3);
+    h.establish_gradient();
+    assert_eq!(h.rehome_to_nearest(), 0, "k = 1 has nowhere to re-home");
+    for id in h.sensor_ids() {
+        h.send_reading(id, vec![1, id as u8], true);
+    }
+    assert!(h.total_received() > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Nearest-sink assignment is total (every sensor that heard any
+    /// beacon routes to exactly one sink, which is a real sink id) and
+    /// deterministic (two identical runs elect identically — the
+    /// tie-break by smaller sink id leaves nothing to chance, so the
+    /// assignment cannot depend on thread count or iteration order).
+    #[test]
+    fn nearest_sink_total_and_deterministic(
+        seed in 0u64..1_000,
+        n in 30usize..60,
+        k in 2u32..5,
+    ) {
+        let assignment = |seed, n, k| {
+            let mut h = multi_sink_outcome(n, k, seed);
+            h.establish_gradient();
+            let mut a: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
+            for id in h.sensor_ids() {
+                if let Some(e) = h.sensor(id).nearest_sink() {
+                    a.insert(id, e);
+                }
+            }
+            a
+        };
+        let a = assignment(seed, n, k);
+        let b = assignment(seed, n, k);
+        prop_assert_eq!(&a, &b, "same seed elected differently");
+        for (node, (sink, hops)) in &a {
+            prop_assert!(*sink < k, "node {} elected non-sink {}", node, sink);
+            prop_assert!(*hops < u32::MAX);
+        }
+    }
+
+    /// Failover never loses key-table entries, for any victim sink.
+    #[test]
+    fn failover_conserves_registry(
+        seed in 0u64..1_000,
+        k in 2u32..5,
+        victim_ix in 0u32..4,
+    ) {
+        let victim = victim_ix % k;
+        let mut h = multi_sink_outcome(40, k, seed);
+        h.establish_gradient();
+        h.rehome_to_nearest();
+        let mut before: Vec<u32> = h
+            .sink_ids()
+            .iter()
+            .flat_map(|&s| h.sink(s).registered_nodes())
+            .collect();
+        before.sort_unstable();
+        h.fail_sink(victim);
+        let mut after: Vec<u32> = h
+            .sink_ids()
+            .iter()
+            .flat_map(|&s| h.sink(s).registered_nodes())
+            .collect();
+        after.sort_unstable();
+        prop_assert_eq!(before, after, "registry entries lost or duplicated");
+        // Nothing but the dead sink's own entry remains at the victim.
+        prop_assert_eq!(h.sink(victim).registered_nodes(), vec![victim]);
+    }
+}

@@ -36,6 +36,9 @@ fn inner_strategy() -> impl Strategy<Value = Inner> {
         (any::<u32>(), key_strategy())
             .prop_map(|(epoch, new_kc)| Inner::RefreshHello { epoch, new_kc }),
         data_unit_strategy().prop_map(Inner::Data),
+        any::<u32>().prop_map(|sink| Inner::SinkBeacon { sink }),
+        (any::<u32>(), data_unit_strategy())
+            .prop_map(|(sink, unit)| Inner::SinkData { sink, unit }),
     ]
 }
 

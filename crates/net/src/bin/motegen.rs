@@ -37,7 +37,7 @@ fn main() {
         eprintln!(
             "usage: motegen --target HOST:PORT[,HOST:PORT...] [--motes M] [--seed S]\n\
              \x20              [--senders P] [--duration SECS] [--payload BYTES]\n\
-             \x20              [--rate READINGS_PER_SEC] [--sample 1_IN_K]"
+             \x20              [--rate READINGS_PER_SEC] [--sample 1_IN_K] [--sinks K]"
         );
         return;
     }
@@ -65,7 +65,19 @@ fn main() {
             })
         }),
         latency_sample: num(&args, "--sample", 64),
+        // --sinks K: mote id → target id % K (a fleet of partitioned
+        // `wsn-bs --sink I --sinks K` daemons), instead of round-robin.
+        sinks: num(&args, "--sinks", 1) as usize,
     };
+    if params.sinks > 1 && params.targets.len() < params.sinks {
+        eprintln!(
+            "motegen: --sinks {} needs {} targets, got {}",
+            params.sinks,
+            params.sinks,
+            params.targets.len()
+        );
+        std::process::exit(2);
+    }
 
     eprintln!(
         "motegen: provisioning {} motes (seed {}) and precomputing cipher schedules...",

@@ -44,6 +44,7 @@ fn main() {
         eprintln!(
             "usage: wsn-bs [--port P] [--readers R] [--workers W] [--motes M] [--seed S]\n\
              \x20             [--admit] [--admit-rate N] [--admit-burst N]\n\
+             \x20             [--rcvbuf BYTES] [--sink I --sinks K]\n\
              \x20             [--duration SECS] [--interval SECS]"
         );
         return;
@@ -70,6 +71,16 @@ fn main() {
         ..ResourceConfig::default()
     });
 
+    // Multi-sink deployment: `--sink I --sinks K` makes this process
+    // sink I of K — it holds only the `Ki` entries of motes whose home
+    // sink (id mod K) is I. Run K daemons on distinct ports and point
+    // `motegen --sinks K` at all of them.
+    let sinks = num(&args, "--sinks", 1) as u32;
+    let sink_partition = (sinks > 1).then(|| {
+        let sink = num(&args, "--sink", 0) as u32;
+        (sink, sinks)
+    });
+
     let n = motes + 1;
     eprintln!("wsn-bs: provisioning {n} node ids (seed {seed})...");
     let t0 = Instant::now();
@@ -83,6 +94,13 @@ fn main() {
         cfg,
         admission,
         queue_depth: num(&args, "--queue", 4096) as usize,
+        rcvbuf: opt(&args, "--rcvbuf").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --rcvbuf: {v}");
+                std::process::exit(2);
+            })
+        }),
+        sink_partition,
     })
     .unwrap_or_else(|e| {
         eprintln!("wsn-bs: spawn failed: {e}");
@@ -93,6 +111,15 @@ fn main() {
         t0.elapsed(),
         server.ports()
     );
+    if !server.rcvbuf_effective().is_empty() {
+        eprintln!(
+            "wsn-bs: SO_RCVBUF granted per reader: {:?}",
+            server.rcvbuf_effective()
+        );
+    }
+    if let Some((sink, k)) = sink_partition {
+        eprintln!("wsn-bs: serving as sink {sink} of {k} (partitioned key registry)");
+    }
 
     let started = Instant::now();
     let mut last_rx = 0u64;

@@ -119,6 +119,12 @@ pub struct LoadParams {
     /// Latency sampling: remember 1 in this many sends for RTT matching
     /// against ACKs (0 disables latency measurement).
     pub latency_sample: u64,
+    /// Multi-sink routing: with `sinks > 1`, mote `id` always sends to
+    /// `targets[id % sinks]` — the socket realization of nearest-sink
+    /// assignment, matching a fleet of `wsn-bs --sink I --sinks K`
+    /// daemons whose partitioned registries hold exactly those motes.
+    /// `0` or `1` keeps the legacy round-robin spray.
+    pub sinks: usize,
 }
 
 /// What a load run measured.
@@ -159,6 +165,12 @@ struct ThreadTally {
 pub fn run(params: &LoadParams, army: Vec<Mote>) -> io::Result<LoadReport> {
     assert!(!params.targets.is_empty(), "no targets");
     assert!(params.senders >= 1);
+    assert!(
+        params.sinks <= 1 || params.targets.len() >= params.sinks,
+        "--sinks {} needs at least that many targets (got {})",
+        params.sinks,
+        params.targets.len()
+    );
     assert_eq!(army.len(), params.motes, "army size mismatch");
     let cfg = ProtocolConfig::default();
 
@@ -241,9 +253,15 @@ fn sender_loop(
         let n = motes.len();
         let mote = &mut motes[mote_idx % n];
         mote_idx += 1;
+        let target = if params.sinks > 1 {
+            // Home-sink routing: the sink holding this mote's `Ki`.
+            params.targets[mote.id as usize % params.sinks]
+        } else {
+            let t = params.targets[target_idx % params.targets.len()];
+            target_idx += 1;
+            t
+        };
         let (frame, ack_key) = mote.next_reading(params.payload_bytes);
-        let target = params.targets[target_idx % params.targets.len()];
-        target_idx += 1;
         match socket.send_to(&frame, target) {
             Ok(_) => {
                 tally.sent += 1;

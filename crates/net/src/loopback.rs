@@ -28,13 +28,14 @@ use wsn_core::config::ProtocolConfig;
 use wsn_core::keys::Provisioner;
 use wsn_core::msg::ClusterId;
 use wsn_core::node::{PendingReading, ProtocolApp, ProtocolNode, TIMER_SEND};
+use wsn_core::sink::{home_sink, multi_sink_topology, SinkSet};
 use wsn_core::transport::Transport;
 use wsn_crypto::Key128;
 use wsn_sim::event::SimTime;
 use wsn_sim::node::{NodeId, TimerKey};
 use wsn_sim::radio::{RadioConfig, MAX_FRAME_BYTES};
 use wsn_sim::rng::derive_seed;
-use wsn_sim::topology::{Topology, TopologyConfig};
+use wsn_sim::topology::Topology;
 use wsn_trace::{TraceEvent, TraceRecord, TraceSink};
 
 /// What the engine schedules. Mirrors the simulator's event vocabulary
@@ -199,6 +200,7 @@ pub struct LoopbackNet {
     sink: Option<Box<dyn TraceSink>>,
     trace_seq: u64,
     events_processed: u64,
+    sinks: Option<SinkSet>,
 }
 
 impl LoopbackNet {
@@ -209,9 +211,23 @@ impl LoopbackNet {
     /// setup phase.
     pub fn new(params: &LoopbackParams) -> Self {
         assert!(params.n >= 2, "need a base station and at least one sensor");
-        let topo = Topology::random(
-            &TopologyConfig::with_density(params.n, params.density),
+        // Multi-sink: mirrors `Scenario::run` — ids 0..K are sinks on the
+        // same deterministic grid, with the same partitioned registries.
+        let n_sinks = if params.cfg.sinks.enabled {
+            params.cfg.sinks.count
+        } else {
+            1
+        };
+        assert!(
+            (n_sinks as usize) < params.n,
+            "need more nodes than sinks (n = {}, sinks = {n_sinks})",
+            params.n
+        );
+        let topo = multi_sink_topology(
+            params.n,
+            params.density,
             derive_seed(params.seed, 0),
+            &params.cfg.sinks,
         );
         let mut provisioner = Provisioner::new(derive_seed(params.seed, 1));
         let materials: Vec<_> = (0..params.n as u32)
@@ -224,12 +240,21 @@ impl LoopbackNet {
         let apps: Vec<ProtocolApp> = materials
             .into_iter()
             .map(|m| {
-                if m.id == 0 {
+                if m.id < n_sinks {
+                    let partition: HashMap<u32, Key128> = if params.cfg.sinks.enabled {
+                        registry
+                            .iter()
+                            .filter(|(&id, _)| home_sink(id, n_sinks) == m.id)
+                            .map(|(&id, &ki)| (id, ki))
+                            .collect()
+                    } else {
+                        registry.clone()
+                    };
                     ProtocolApp::Base(BaseStation::new(
                         params.cfg.clone(),
-                        0,
+                        m.id,
                         provisioner.km(),
-                        registry.clone(),
+                        partition,
                         cluster_keys.clone(),
                         provisioner.revocation_chain(),
                     ))
@@ -238,6 +263,11 @@ impl LoopbackNet {
                 }
             })
             .collect();
+        let sinks = params
+            .cfg
+            .sinks
+            .enabled
+            .then(|| SinkSet::new(n_sinks, n_sinks..params.n as u32));
 
         let mut net = LoopbackNet {
             topo,
@@ -255,6 +285,7 @@ impl LoopbackNet {
             sink: None,
             trace_seq: 0,
             events_processed: 0,
+            sinks,
         };
         for id in 0..params.n as NodeId {
             net.schedule(0, EventKind::Start(id));
@@ -444,21 +475,57 @@ impl LoopbackNet {
 
     // ---- driver surface (mirrors `NetworkHandle`) --------------------
 
-    /// Floods a base-station beacon and runs until the gradient
-    /// converges; existing gradients are reset first. Mirrors
-    /// `NetworkHandle::establish_gradient` exactly.
+    /// Floods a beacon from every sink and runs until the gradients
+    /// converge; existing gradients are reset first. Mirrors
+    /// `NetworkHandle::establish_gradient` exactly (the loopback engine
+    /// has no fault surface, so every sink is always up).
     pub fn establish_gradient(&mut self) {
-        for id in 1..self.topo.n() as NodeId {
+        let first = self.sinks.as_ref().map_or(1, |s| s.k());
+        for id in first..self.topo.n() as NodeId {
             if let Some(s) = self.apps[id as usize].as_sensor_mut() {
                 s.reset_gradient();
             }
         }
-        self.schedule_timer(0, TIMER_BEACON, 1);
+        for k in self.sink_ids() {
+            self.schedule_timer(k, TIMER_BEACON, 1);
+        }
         self.run();
     }
 
+    /// Multi-sink: moves every node's partition entry to its nearest
+    /// sink. Mirrors `NetworkHandle::rehome_to_nearest` exactly (same
+    /// `plan_rehome` over the same gradients), minus the trace events.
+    /// Returns entries moved; 0 for single-sink runs.
+    pub fn rehome_to_nearest(&mut self) -> usize {
+        let Some(mut set) = self.sinks.take() else {
+            return 0;
+        };
+        let mut nearest = std::collections::BTreeMap::new();
+        for id in set.k()..self.topo.n() as NodeId {
+            if let Some(n) = self.apps[id as usize].as_sensor() {
+                if let Some((sink, _)) = n.nearest_sink() {
+                    nearest.insert(id, sink);
+                }
+            }
+        }
+        let moves = set.plan_rehome(&nearest);
+        for m in &moves {
+            let state = self.apps[m.from as usize]
+                .as_base_mut()
+                .expect("handoff source is a sink")
+                .take_node_state(m.node)
+                .expect("planned handoff had no entry");
+            self.apps[m.to as usize]
+                .as_base_mut()
+                .expect("handoff target is a sink")
+                .install_node_state(state);
+        }
+        self.sinks = Some(set);
+        moves.len()
+    }
+
     /// Queues a reading at `src` and runs to quiescence; returns total
-    /// readings the BS has accepted. Mirrors
+    /// readings accepted across all sinks. Mirrors
     /// `NetworkHandle::send_reading` exactly.
     pub fn send_reading(&mut self, src: NodeId, data: Vec<u8>, sealed: bool) -> usize {
         self.apps[src as usize]
@@ -467,12 +534,38 @@ impl LoopbackNet {
             .queue_reading(PendingReading { data, sealed });
         self.schedule_timer(src, TIMER_SEND, 1);
         self.run();
-        self.bs().received.len()
+        self.total_received()
     }
 
-    /// The base station.
+    /// The base station (sink 0 in a multi-sink deployment).
     pub fn bs(&self) -> &BaseStation {
         self.apps[0].as_base().expect("node 0 is the BS")
+    }
+
+    /// The sink with id `k`.
+    pub fn sink(&self, k: NodeId) -> &BaseStation {
+        self.apps[k as usize].as_base().expect("not a sink")
+    }
+
+    /// All sink ids: `0..K` multi-sink, `[0]` otherwise.
+    pub fn sink_ids(&self) -> Vec<NodeId> {
+        match &self.sinks {
+            Some(set) => (0..set.k()).collect(),
+            None => vec![0],
+        }
+    }
+
+    /// The partition bookkeeping, when running multi-sink.
+    pub fn sink_set(&self) -> Option<&SinkSet> {
+        self.sinks.as_ref()
+    }
+
+    /// Readings accepted across every sink.
+    pub fn total_received(&self) -> usize {
+        self.sink_ids()
+            .into_iter()
+            .map(|k| self.sink(k).received.len())
+            .sum()
     }
 
     /// The sensor app of node `id`.
@@ -482,7 +575,8 @@ impl LoopbackNet {
 
     /// All sensor IDs.
     pub fn sensor_ids(&self) -> Vec<NodeId> {
-        (1..self.topo.n() as NodeId).collect()
+        let first = self.sinks.as_ref().map_or(1, |s| s.k());
+        (first..self.topo.n() as NodeId).collect()
     }
 
     /// The deployed topology.

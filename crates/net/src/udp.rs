@@ -168,6 +168,19 @@ pub struct UdpServerConfig {
     pub admission: Option<ResourceConfig>,
     /// Bounded per-worker queue depth.
     pub queue_depth: usize,
+    /// Requested kernel receive buffer (`SO_RCVBUF`) per reader socket,
+    /// in bytes; `None` keeps the system default. The kernel doubles
+    /// the request for bookkeeping and clamps it to `net.core.rmem_max`
+    /// — [`UdpServer::rcvbuf_effective`] reports what was granted.
+    pub rcvbuf: Option<usize>,
+    /// Multi-sink partitioning: `Some((sink, k))` makes this server one
+    /// of `k` sinks, holding only the `Ki` entries of motes whose home
+    /// sink (`id % k`, as in `wsn_core::sink::home_sink`) is `sink`.
+    /// Cluster keys stay replicated — any sink can unwrap any envelope —
+    /// mirroring the partitioned-registry/replicated-cluster-key split
+    /// of the in-sim multi-sink deployment. `None` = the single-sink
+    /// server holding everything.
+    pub sink_partition: Option<(u32, u32)>,
 }
 
 impl UdpServerConfig {
@@ -184,8 +197,63 @@ impl UdpServerConfig {
             cfg,
             admission: None,
             queue_depth: 4096,
+            rcvbuf: None,
+            sink_partition: None,
         }
     }
+}
+
+/// Sets `SO_RCVBUF` on a bound socket and returns the size the kernel
+/// actually granted (it doubles the request for its own bookkeeping and
+/// clamps to `net.core.rmem_max`). Raw `setsockopt` — the workspace
+/// carries no libc binding and the two constants involved have been ABI
+/// stable on Linux since forever.
+#[cfg(target_os = "linux")]
+fn set_rcvbuf(socket: &UdpSocket, bytes: usize) -> io::Result<usize> {
+    use std::os::fd::AsRawFd;
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, name: i32, val: *const u8, len: u32) -> i32;
+        fn getsockopt(fd: i32, level: i32, name: i32, val: *mut u8, len: *mut u32) -> i32;
+    }
+    let fd = socket.as_raw_fd();
+    let req: i32 = bytes.min(i32::MAX as usize) as i32;
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_RCVBUF,
+            (&req as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let mut got: i32 = 0;
+    let mut len = std::mem::size_of::<i32>() as u32;
+    let rc = unsafe {
+        getsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_RCVBUF,
+            (&mut got as *mut i32).cast(),
+            &mut len,
+        )
+    };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(got as usize)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn set_rcvbuf(_socket: &UdpSocket, _bytes: usize) -> io::Result<usize> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "SO_RCVBUF wiring is linux-only",
+    ))
 }
 
 /// A frame crossing from a reader to a worker: the datagram plus the
@@ -198,6 +266,7 @@ pub struct UdpServer {
     stats: Arc<NetStats>,
     shutdown: Arc<AtomicBool>,
     ports: Vec<u16>,
+    rcvbuf_effective: Vec<usize>,
     threads: Vec<JoinHandle<()>>,
     trace: Option<Arc<SharedTrace>>,
 }
@@ -230,7 +299,18 @@ impl UdpServer {
         for id in 0..config.n as u32 {
             provisioner.provision(id);
         }
-        let registry = provisioner.registry().clone();
+        let registry = match config.sink_partition {
+            Some((sink, k)) => {
+                assert!(sink < k, "sink id {sink} out of range for {k} sinks");
+                provisioner
+                    .registry()
+                    .iter()
+                    .filter(|(&id, _)| wsn_core::sink::home_sink(id, k) == sink)
+                    .map(|(&id, &ki)| (id, ki))
+                    .collect()
+            }
+            None => provisioner.registry().clone(),
+        };
         let cluster_keys: HashMap<ClusterId, Key128> = (0..config.n as u32)
             .map(|id| (id, provisioner.cluster_key_of(id)))
             .collect();
@@ -253,6 +333,7 @@ impl UdpServer {
 
         let mut threads = Vec::with_capacity(config.readers + config.workers);
         let mut ports = Vec::with_capacity(config.readers);
+        let mut rcvbuf_effective = Vec::new();
 
         for (r, feedback_rx) in feedback_rxs.into_iter().enumerate() {
             // base_port 0 = ephemeral for every reader (tests); the
@@ -264,6 +345,9 @@ impl UdpServer {
             };
             let socket = UdpSocket::bind((config.bind.as_str(), port))?;
             socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+            if let Some(bytes) = config.rcvbuf {
+                rcvbuf_effective.push(set_rcvbuf(&socket, bytes)?);
+            }
             ports.push(socket.local_addr()?.port());
             let txs = worker_txs.clone();
             let stats = Arc::clone(&stats);
@@ -286,10 +370,11 @@ impl UdpServer {
         // reader has exited.
         drop(worker_txs);
 
+        let bs_id = config.sink_partition.map_or(0, |(sink, _)| sink);
         for (w, rx) in worker_rxs.into_iter().enumerate() {
             let bs = BaseStation::new(
                 config.cfg.clone(),
-                0,
+                bs_id,
                 provisioner.km(),
                 registry.clone(),
                 cluster_keys.clone(),
@@ -310,6 +395,7 @@ impl UdpServer {
             stats,
             shutdown,
             ports,
+            rcvbuf_effective,
             threads,
             trace,
         })
@@ -323,6 +409,12 @@ impl UdpServer {
     /// The reader ports actually bound, in reader order.
     pub fn ports(&self) -> &[u16] {
         &self.ports
+    }
+
+    /// `SO_RCVBUF` sizes the kernel granted, in reader order. Empty when
+    /// [`UdpServerConfig::rcvbuf`] was `None`.
+    pub fn rcvbuf_effective(&self) -> &[usize] {
+        &self.rcvbuf_effective
     }
 
     /// Signals every thread to stop, joins them, flushes any trace.

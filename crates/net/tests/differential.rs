@@ -131,6 +131,72 @@ fn loopback_matches_simulator_on_lossy_links() {
     assert_backends_agree(11, ProtocolConfig::default().with_recovery(), radio);
 }
 
+/// Multi-sink differential: the same K-sink deployment on both backends
+/// produces identical per-sink gradients, elections, partition moves,
+/// per-sink accepted-reading logs, and epochs.
+#[test]
+fn loopback_matches_simulator_multi_sink() {
+    for k in [2u32, 3] {
+        let seed = 2005 + k as u64;
+        let (sim_params, net_params) = params(seed, ProtocolConfig::default().with_sinks(k));
+        let mut handle = wsn_core::setup::Scenario::new(sim_params).run().handle;
+        let mut net = LoopbackNet::new(&net_params);
+        net.run();
+
+        handle.establish_gradient();
+        net.establish_gradient();
+        for id in net.sensor_ids() {
+            for s in 0..k {
+                assert_eq!(
+                    handle.sensor(id).sink_table().hops_to(s),
+                    net.sensor(id).sink_table().hops_to(s),
+                    "hops from node {id} to sink {s} (K = {k})"
+                );
+            }
+            assert_eq!(
+                handle.sensor(id).nearest_sink(),
+                net.sensor(id).nearest_sink(),
+                "election of node {id} (K = {k})"
+            );
+        }
+
+        let moved_sim = handle.rehome_to_nearest();
+        let moved_net = net.rehome_to_nearest();
+        assert_eq!(moved_sim, moved_net, "partition moves (K = {k})");
+        assert_eq!(
+            handle.sink_set().map(|s| s.len()),
+            net.sink_set().map(|s| s.len()),
+            "partition size (K = {k})"
+        );
+
+        let heads: Vec<u32> = net
+            .sensor_ids()
+            .into_iter()
+            .filter(|&id| net.sensor(id).role() == Role::Head)
+            .collect();
+        assert!(!heads.is_empty(), "no heads elected (K = {k})");
+        for (i, &src) in heads.iter().enumerate() {
+            let data = format!("ms-{k}-{i}-from-{src}").into_bytes();
+            let got_sim = handle.send_reading(src, data.clone(), true);
+            let got_net = net.send_reading(src, data, true);
+            assert_eq!(got_sim, got_net, "delivered after reading {i} (K = {k})");
+        }
+        for s in 0..k {
+            assert_eq!(
+                handle.sink(s).received,
+                net.sink(s).received,
+                "sink {s} reading log (K = {k})"
+            );
+            assert_eq!(
+                handle.sink(s).epoch(),
+                net.sink(s).epoch(),
+                "sink {s} epoch (K = {k})"
+            );
+        }
+        assert!(net.total_received() > 0, "nothing delivered (K = {k})");
+    }
+}
+
 #[test]
 fn loopback_is_deterministic() {
     let (_, net_params) = params(2005, ProtocolConfig::default());

@@ -82,6 +82,7 @@ fn udp_end_to_end_smoke() {
             payload_bytes: 24,
             rate: Some(2_000),
             latency_sample: 8,
+            sinks: 1,
         },
         army,
     )

@@ -208,6 +208,35 @@ pub enum TraceEvent {
     /// The partition healed; all surviving links deliver again.
     PartitionHeal,
 
+    // ---- sink layer (multi-sink base stations) ----
+    /// A node determined the sink it routes to: the nearest by hop
+    /// count over the per-sink gradients, tie-break by smaller sink id.
+    SinkElected {
+        /// The elected sink's node id.
+        sink: NodeId,
+        /// Hop distance to it.
+        hops: u32,
+    },
+    /// Ownership of a node's partitioned BS state (`Ki` + replay
+    /// window) moved between sinks. The record's `node` is the node
+    /// being re-homed.
+    SinkHandoff {
+        /// Sink that held the entry.
+        from_sink: NodeId,
+        /// Sink that now holds it.
+        to_sink: NodeId,
+    },
+    /// An inter-sink state-sync batch completed: `entries` partition
+    /// entries moved from one sink to another (rehoming after gradient
+    /// establishment, or failover after a sink died). The record's
+    /// `node` is the receiving sink.
+    SinkSync {
+        /// Sink the entries came from.
+        from_sink: NodeId,
+        /// Entries transferred in this batch.
+        entries: u32,
+    },
+
     // ---- transport layer (wsn-net socket backends) ----
     /// A real transport backend (loopback engine or UDP reactor)
     /// received a datagram and handed it to application dispatch. The
@@ -346,6 +375,9 @@ impl TraceEvent {
             TraceEvent::NodeUp => "node_up",
             TraceEvent::PartitionStart { .. } => "partition_start",
             TraceEvent::PartitionHeal => "partition_heal",
+            TraceEvent::SinkElected { .. } => "sink_elected",
+            TraceEvent::SinkHandoff { .. } => "sink_handoff",
+            TraceEvent::SinkSync { .. } => "sink_sync",
             TraceEvent::DatagramRx { .. } => "datagram_rx",
             TraceEvent::DatagramTx { .. } => "datagram_tx",
             TraceEvent::SocketDrop { .. } => "socket_drop",
@@ -483,6 +515,15 @@ impl TraceRecord {
             }
             TraceEvent::PartitionStart { links_cut } => {
                 let _ = write!(s, ",\"links_cut\":{links_cut}");
+            }
+            TraceEvent::SinkElected { sink, hops } => {
+                let _ = write!(s, ",\"sink\":{sink},\"hops\":{hops}");
+            }
+            TraceEvent::SinkHandoff { from_sink, to_sink } => {
+                let _ = write!(s, ",\"from_sink\":{from_sink},\"to_sink\":{to_sink}");
+            }
+            TraceEvent::SinkSync { from_sink, entries } => {
+                let _ = write!(s, ",\"from_sink\":{from_sink},\"entries\":{entries}");
             }
             TraceEvent::DatagramRx { from, bytes } => {
                 let _ = write!(s, ",\"from\":{from},\"bytes\":{bytes}");
@@ -699,6 +740,39 @@ mod tests {
             Some(&p)
         );
         assert_eq!(TraceEvent::BecameHead.payload(), None);
+    }
+
+    #[test]
+    fn sink_events_render() {
+        let cases = [
+            (
+                TraceEvent::SinkElected { sink: 2, hops: 4 },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"sink_elected\",\"sink\":2,\"hops\":4}",
+            ),
+            (
+                TraceEvent::SinkHandoff {
+                    from_sink: 1,
+                    to_sink: 3,
+                },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"sink_handoff\",\"from_sink\":1,\"to_sink\":3}",
+            ),
+            (
+                TraceEvent::SinkSync {
+                    from_sink: 0,
+                    entries: 17,
+                },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"sink_sync\",\"from_sink\":0,\"entries\":17}",
+            ),
+        ];
+        for (event, expected) in cases {
+            let rec = TraceRecord {
+                seq: 0,
+                at: 0,
+                node: 1,
+                event,
+            };
+            assert_eq!(rec.to_json(), expected);
+        }
     }
 
     #[test]

@@ -68,6 +68,14 @@ pub struct Timeline {
     pub partition_spans: Vec<(SimTime, SimTime)>,
     /// Nodes currently down when the trace ended.
     pub down_at_end: std::collections::BTreeSet<NodeId>,
+    /// Final sink assignment per node (last `SinkElected` wins; empty
+    /// for single-sink runs).
+    pub sink_assignment: BTreeMap<NodeId, NodeId>,
+    /// `(when, node, from_sink, to_sink)` for every partition-entry
+    /// handoff, in emission order.
+    pub handoff_log: Vec<(SimTime, NodeId, NodeId, NodeId)>,
+    /// Total partition entries moved by inter-sink sync batches.
+    pub sink_sync_entries: u64,
     /// Virtual time of the last record in the trace.
     pub end_time: SimTime,
 }
@@ -140,6 +148,16 @@ impl Timeline {
                     if let Some(since) = down_since.remove(&rec.node) {
                         *tl.downtime.entry(rec.node).or_insert(0) += rec.at.saturating_sub(since);
                     }
+                }
+                TraceEvent::SinkElected { sink, .. } => {
+                    tl.sink_assignment.insert(rec.node, *sink);
+                }
+                TraceEvent::SinkHandoff { from_sink, to_sink } => {
+                    tl.handoff_log
+                        .push((rec.at, rec.node, *from_sink, *to_sink));
+                }
+                TraceEvent::SinkSync { entries, .. } => {
+                    tl.sink_sync_entries += *entries as u64;
                 }
                 TraceEvent::PartitionStart { .. } => {
                     partition_open.get_or_insert(rec.at);
@@ -219,6 +237,17 @@ impl Timeline {
         }
         let _ = writeln!(s, "  links stored: {}", self.links_stored);
         let _ = writeln!(s, "  Km erasures: {}", self.km_erasures);
+        if !self.sink_assignment.is_empty() {
+            let sinks: std::collections::BTreeSet<NodeId> =
+                self.sink_assignment.values().copied().collect();
+            let _ = writeln!(
+                s,
+                "  sinks: {} in use, {} handoff(s), {} synced entr(ies)",
+                sinks.len(),
+                self.handoff_log.len(),
+                self.sink_sync_entries
+            );
+        }
         if !self.fault_log.is_empty() {
             let _ = writeln!(
                 s,
@@ -346,6 +375,39 @@ mod tests {
     fn summary_mentions_heads() {
         let tl = Timeline::reconstruct(&[rec(0, 1, 1, TraceEvent::BecameHead)]);
         assert!(tl.summary().contains("1 head(s)"));
+    }
+
+    #[test]
+    fn sink_events_reconstruct() {
+        let tl = Timeline::reconstruct(&[
+            rec(0, 10, 5, TraceEvent::SinkElected { sink: 1, hops: 3 }),
+            rec(1, 15, 6, TraceEvent::SinkElected { sink: 0, hops: 2 }),
+            rec(
+                2,
+                20,
+                5,
+                TraceEvent::SinkHandoff {
+                    from_sink: 0,
+                    to_sink: 1,
+                },
+            ),
+            rec(
+                3,
+                20,
+                1,
+                TraceEvent::SinkSync {
+                    from_sink: 0,
+                    entries: 4,
+                },
+            ),
+            // A later re-election overrides the assignment.
+            rec(4, 30, 5, TraceEvent::SinkElected { sink: 2, hops: 1 }),
+        ]);
+        assert_eq!(tl.sink_assignment.get(&5), Some(&2));
+        assert_eq!(tl.sink_assignment.get(&6), Some(&0));
+        assert_eq!(tl.handoff_log, vec![(20, 5, 0, 1)]);
+        assert_eq!(tl.sink_sync_entries, 4);
+        assert!(tl.summary().contains("sinks: 2 in use, 1 handoff(s)"));
     }
 
     #[test]
