@@ -125,7 +125,7 @@ pub fn garbage_flood(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wsn_core::config::{ProtocolConfig, ResourceConfig};
+    use wsn_core::config::{ProtocolConfig, RecoveryConfig, ResourceConfig};
     use wsn_core::setup::{run_setup, SetupParams};
 
     fn network(cfg: ProtocolConfig) -> NetworkHandle {
@@ -140,7 +140,7 @@ mod tests {
 
     #[test]
     fn unbudgeted_data_flood_grows_custody_without_bound() {
-        let cfg = ProtocolConfig::default().with_recovery();
+        let cfg = ProtocolConfig::default().with_recovery(RecoveryConfig::default());
         let mut handle = network(cfg);
         handle.establish_gradient();
         let victim = handle.sensor_ids()[30];
@@ -166,7 +166,9 @@ mod tests {
 
     #[test]
     fn budgets_cap_custody_under_the_same_flood() {
-        let cfg = ProtocolConfig::default().with_recovery().with_resources();
+        let cfg = ProtocolConfig::default()
+            .with_recovery(RecoveryConfig::default())
+            .with_resources(ResourceConfig::default());
         let cap = ResourceConfig::default().max_retx_pending;
         let mut handle = network(cfg);
         handle.establish_gradient();
@@ -182,7 +184,7 @@ mod tests {
 
     #[test]
     fn garbage_flood_trips_quarantine_only_with_budgets() {
-        let cfg = ProtocolConfig::default().with_resources();
+        let cfg = ProtocolConfig::default().with_resources(ResourceConfig::default());
         let mut handle = network(cfg);
         handle.establish_gradient();
         let victim = handle.sensor_ids()[10];

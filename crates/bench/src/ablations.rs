@@ -15,7 +15,7 @@ use crate::MASTER_SEED;
 use wsn_core::config::{CounterMode, RefreshMode};
 use wsn_core::prelude::*;
 use wsn_metrics::Table;
-use wsn_sim::parallel::run_trials;
+use wsn_sim::parallel::{run_trials, Jobs};
 use wsn_sim::rng::derive_seed;
 
 /// One row of the λ ablation.
@@ -44,6 +44,7 @@ pub fn election_rate_ablation(
             let results = run_trials(
                 derive_seed(MASTER_SEED, lambda.to_bits()),
                 trials,
+                Jobs::Auto,
                 |_, seed| {
                     let r = run_setup(&SetupParams {
                         n: n + 1,

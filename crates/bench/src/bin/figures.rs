@@ -18,6 +18,9 @@ use wsn_bench::figures::{
     default_trials, fig1_cluster_size_distribution, fig1_table, fig6_keys_per_node,
     fig7_cluster_size, fig8_head_fraction, fig9_setup_messages, scale_invariance, series_table,
 };
+use wsn_bench::millionnode::{
+    merge_million_node, million_n, million_node_json, millionnode_run, millionnode_table, FULL_N,
+};
 use wsn_bench::multisink::{multisink_rows, multisink_table};
 use wsn_bench::overload::{overload_rows, overload_table};
 use wsn_bench::resilience::{resilience_rows, resilience_table};
@@ -224,7 +227,29 @@ fn run_multisink(trials: usize) {
     println!();
 }
 
-const KNOWN: [&str; 13] = [
+fn run_millionnode() {
+    let n = million_n();
+    println!("# Million-node — sharded-backend setup at n = {n} (1 trial)\n");
+    let row = millionnode_run(n);
+    emit_table("millionnode", &millionnode_table(&row), 1);
+    println!(
+        "n = {}: {} events in {:.1} s wall ({:.0} events/s), virtual time {:.1} ms\n",
+        row.n, row.events, row.wall_s, row.events_per_sec, row.virtual_ms
+    );
+    // Throughput is a perf artifact, not a figure: record it in
+    // BENCH_perf.json, and only from a full-scale run.
+    if n >= FULL_N {
+        let shards = wsn_sim::shard::Shards::Auto.region_count().unwrap_or(1);
+        match merge_million_node("BENCH_perf.json", &million_node_json(&row, shards)) {
+            Ok(()) => println!("(perf: updated million_node section of BENCH_perf.json)\n"),
+            Err(e) => eprintln!("(perf: BENCH_perf.json not updated: {e})\n"),
+        }
+    } else {
+        println!("(perf: n < {FULL_N}; BENCH_perf.json left untouched)\n");
+    }
+}
+
+const KNOWN: [&str; 14] = [
     "all",
     "fig1",
     "fig6",
@@ -238,6 +263,7 @@ const KNOWN: [&str; 13] = [
     "resilience",
     "overload",
     "multisink",
+    "millionnode",
 ];
 
 fn main() {
@@ -316,6 +342,11 @@ fn main() {
     }
     if want("multisink") {
         run_multisink(trials.min(5));
+    }
+    // Explicit-only: a full-scale run takes minutes and rewrites the
+    // perf artifact, so `all` does not imply it.
+    if args.iter().any(|a| a == "millionnode") {
+        run_millionnode();
     }
     println!("done.");
 }

@@ -33,7 +33,7 @@ use std::time::Instant;
 use criterion::black_box;
 use wsn_core::config::ProtocolConfig;
 use wsn_core::forward;
-use wsn_core::setup::{Scenario, SetupParams};
+use wsn_core::setup::{Backend, Scenario, SetupParams};
 use wsn_crypto::aes::Aes128;
 use wsn_crypto::authenc::AuthEnc;
 use wsn_crypto::cbcmac::CbcMac;
@@ -41,7 +41,7 @@ use wsn_crypto::hmac::HmacSha256;
 use wsn_crypto::prf::Prf;
 use wsn_crypto::rc5::Rc5;
 use wsn_crypto::{BlockCipher, Key128};
-use wsn_net::{LoopbackNet, LoopbackParams};
+use wsn_net::LoopbackNet;
 
 /// Network size for the end-to-end sweeps (includes the base station).
 const E2E_N: usize = 150;
@@ -251,12 +251,16 @@ fn run_end_to_end(quick: bool) -> Vec<EndToEnd> {
     // identical warm-up and pass structure, but dispatched through the
     // `Transport` seam's event engine instead of the simulator. Keeps
     // the seam's overhead visible next to the simulator number.
-    let mut net = LoopbackNet::new(&LoopbackParams {
-        n: E2E_N,
-        density: E2E_DENSITY,
-        seed: E2E_SEED,
-        cfg: ProtocolConfig::default(),
-    });
+    let mut net = LoopbackNet::from_deployment(
+        Scenario::new(SetupParams {
+            n: E2E_N,
+            density: E2E_DENSITY,
+            seed: E2E_SEED,
+            cfg: ProtocolConfig::default(),
+        })
+        .backend(Backend::Loopback)
+        .into_deployment(),
+    );
     net.run(); // drain key setup before raising the gradient
     net.establish_gradient();
     let net_sensors = net.sensor_ids();

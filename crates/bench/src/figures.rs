@@ -11,7 +11,7 @@
 
 use wsn_core::prelude::*;
 use wsn_metrics::{Histogram, Series, Table};
-use wsn_sim::parallel::run_trials;
+use wsn_sim::parallel::{run_trials, Jobs};
 use wsn_sim::rng::derive_seed;
 
 use crate::{DEFAULT_TRIALS, DENSITIES, MASTER_SEED};
@@ -45,6 +45,7 @@ pub fn fig1_cluster_size_distribution(trials: usize) -> Vec<(f64, Histogram)> {
             let hists = run_trials(
                 derive_seed(MASTER_SEED, density.to_bits()),
                 trials,
+                Jobs::Auto,
                 |_, seed| {
                     let report = one_setup(SWEEP_N, density, seed);
                     Histogram::from_iter(report.cluster_sizes.iter().copied())
@@ -83,6 +84,7 @@ pub fn density_sweep(
         let values = run_trials(
             derive_seed(MASTER_SEED, density.to_bits()),
             trials,
+            Jobs::Auto,
             |_, seed| metric(&one_setup(n, density, seed)),
         );
         for v in values {
@@ -136,15 +138,20 @@ pub fn scale_invariance(density: f64, sizes: &[usize], trials: usize) -> Vec<Sca
     sizes
         .iter()
         .map(|&n| {
-            let reports = run_trials(derive_seed(MASTER_SEED, n as u64), trials, |_, seed| {
-                let r = one_setup(n, density, seed);
-                (
-                    r.mean_keys_per_node,
-                    r.mean_cluster_size,
-                    r.head_fraction,
-                    r.msgs_per_node,
-                )
-            });
+            let reports = run_trials(
+                derive_seed(MASTER_SEED, n as u64),
+                trials,
+                Jobs::Auto,
+                |_, seed| {
+                    let r = one_setup(n, density, seed);
+                    (
+                        r.mean_keys_per_node,
+                        r.mean_cluster_size,
+                        r.head_fraction,
+                        r.msgs_per_node,
+                    )
+                },
+            );
             let t = reports.len() as f64;
             let sum = reports.iter().fold((0.0, 0.0, 0.0, 0.0), |a, r| {
                 (a.0 + r.0, a.1 + r.1, a.2 + r.2, a.3 + r.3)
@@ -224,6 +231,7 @@ mod tests {
                 let hists = run_trials(
                     derive_seed(MASTER_SEED, density.to_bits()),
                     trials,
+                    Jobs::Auto,
                     |_, seed| {
                         let report = one_setup(n, density, seed);
                         Histogram::from_iter(report.cluster_sizes.iter().copied())

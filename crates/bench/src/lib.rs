@@ -16,6 +16,7 @@
 pub mod ablations;
 pub mod energy;
 pub mod figures;
+pub mod millionnode;
 pub mod multisink;
 pub mod overload;
 pub mod resilience;

@@ -26,7 +26,7 @@ use crate::MASTER_SEED;
 use wsn_core::config::ProtocolConfig;
 use wsn_core::setup::{Scenario, SetupParams};
 use wsn_metrics::Table;
-use wsn_sim::parallel::run_trials;
+use wsn_sim::parallel::{run_trials, Jobs};
 use wsn_sim::radio::RadioConfig;
 use wsn_sim::rng::derive_seed;
 
@@ -116,7 +116,7 @@ pub fn multisink_rows(trials: usize) -> Vec<MultisinkRow> {
             // Same master for every arm: the trial seed, not the sink
             // count, names the sensor deployment.
             let shared = derive_seed(MASTER_SEED, 0x51D0);
-            let outs = run_trials(shared, trials, |_, seed| trial(seed, k));
+            let outs = run_trials(shared, trials, Jobs::Auto, |_, seed| trial(seed, k));
             let n = outs.len() as f64;
             let delivered = outs.iter().map(|(d, _)| *d as f64).sum::<f64>() / n;
             MultisinkRow {

@@ -35,10 +35,10 @@
 
 use crate::MASTER_SEED;
 use wsn_attacks::overload_flood::{data_flood, garbage_flood};
-use wsn_core::config::{ProtocolConfig, ResourceConfig};
+use wsn_core::config::{ProtocolConfig, RecoveryConfig, ResourceConfig};
 use wsn_core::setup::{NetworkHandle, Scenario, SetupParams};
 use wsn_metrics::Table;
-use wsn_sim::parallel::run_trials;
+use wsn_sim::parallel::{run_trials, Jobs};
 use wsn_sim::radio::RadioConfig;
 use wsn_sim::rng::derive_seed;
 
@@ -147,9 +147,9 @@ fn ring_victims(handle: &NetworkHandle) -> Vec<u32> {
 }
 
 fn trial(seed: u64, intensity: usize, budgets: bool) -> TrialOut {
-    let mut cfg = ProtocolConfig::default().with_recovery();
+    let mut cfg = ProtocolConfig::default().with_recovery(RecoveryConfig::default());
     if budgets {
-        cfg = cfg.with_resources_config(radio_calibrated_budgets());
+        cfg = cfg.with_resources(radio_calibrated_budgets());
     }
     let radio = RadioConfig::default()
         .with_tx_queue(TX_QUEUE_CAP)
@@ -242,7 +242,7 @@ pub fn overload_rows(trials: usize) -> Vec<OverloadRow> {
                 // identical floods, the budget layer the only variable.
                 (trial(seed, intensity, false), trial(seed, intensity, true))
             };
-            let outs = run_trials(master, trials, run);
+            let outs = run_trials(master, trials, Jobs::Auto, run);
             let n = outs.len() as f64;
             OverloadRow {
                 intensity,

@@ -33,10 +33,10 @@
 use crate::MASTER_SEED;
 use wsn_chaos::{FaultPlan, FaultSpec, GeParams};
 use wsn_core::chaos::run_plan;
-use wsn_core::config::ProtocolConfig;
+use wsn_core::config::{ProtocolConfig, RecoveryConfig};
 use wsn_core::setup::{run_setup, NetworkHandle, SetupParams};
 use wsn_metrics::Table;
-use wsn_sim::parallel::run_trials;
+use wsn_sim::parallel::{run_trials, Jobs};
 use wsn_sim::rng::derive_seed;
 
 /// Virtual duration of the fault window, µs.
@@ -147,7 +147,7 @@ struct TrialOut {
 
 fn trial(seed: u64, intensity: usize, recovery: bool) -> TrialOut {
     let cfg = if recovery {
-        ProtocolConfig::default().with_recovery()
+        ProtocolConfig::default().with_recovery(RecoveryConfig::default())
     } else {
         ProtocolConfig::default()
     };
@@ -220,7 +220,7 @@ pub fn resilience_rows(trials: usize) -> Vec<ResilienceRow> {
                 (trial(seed, intensity, false), trial(seed, intensity, true))
             };
             // `WSN_JOBS` pins the worker-thread count inside run_trials.
-            let outs = run_trials(master, trials, run);
+            let outs = run_trials(master, trials, Jobs::Auto, run);
             let n = outs.len() as f64;
             ResilienceRow {
                 intensity,

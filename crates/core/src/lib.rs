@@ -80,11 +80,14 @@ pub mod prelude {
     pub use crate::error::ProtocolError;
     pub use crate::keys::{NodeKeyMaterial, Provisioner};
     pub use crate::node::{ProtocolApp, ProtocolNode, Role};
-    pub use crate::setup::{run_setup, NetworkHandle, Scenario, SetupOutcome, SetupParams};
+    pub use crate::setup::{
+        run_setup, Backend, Deployment, NetworkHandle, Scenario, SetupOutcome, SetupParams,
+    };
     pub use crate::sink::{Handoff, SinkNodeState, SinkSet, SinkTable};
     pub use crate::stats::SetupReport;
     pub use wsn_chaos::{BatteryBudget, FaultPlan, FaultSpec, GeParams, GilbertElliott};
     pub use wsn_sim::radio::RadioConfig;
+    pub use wsn_sim::shard::Shards;
     pub use wsn_trace::{JsonlSink, MemorySink, NullSink, Timeline, TraceEvent, TraceSink};
 }
 

@@ -30,6 +30,14 @@
 //! * [`Scenario::chaos`] — a `wsn_chaos::FaultPlan` carried on the
 //!   returned handle; drive it with [`NetworkHandle::run_chaos`] once
 //!   the steady-state workload is queued.
+//! * [`Scenario::backend`] — which engine runs the network: the
+//!   discrete-event simulator (single-heap or spatially sharded, see
+//!   [`Backend::Sim`]) or the `wsn-net` loopback transport
+//!   (`wsn_net::run_scenario` consumes the scenario for that path).
+//!
+//! Construction — topology, provisioning, app building — is shared by
+//! every backend through [`Deployment`], so a differential test comparing
+//! two backends starts from literally the same network.
 //!
 //! # Migrating from the `run_setup_*` ladder
 //!
@@ -69,6 +77,7 @@ use wsn_sim::geom::Point;
 use wsn_sim::net::{Counters, Simulator};
 use wsn_sim::radio::RadioConfig;
 use wsn_sim::rng::derive_seed;
+use wsn_sim::shard::{ShardedSimulator, Shards};
 use wsn_sim::topology::{Topology, TopologyConfig};
 
 /// Parameters of one deployment experiment.
@@ -96,6 +105,64 @@ pub struct SetupOutcome {
 /// construction but before the event loop starts.
 type AttackHook<'a> = Box<dyn FnOnce(&mut Simulator<ProtocolApp>) + 'a>;
 
+/// Which engine a [`Scenario`] runs its network on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The discrete-event simulator. `shards` selects the engine variant:
+    /// [`Shards::Single`] (the default) is the legacy single-heap engine
+    /// with the full fault-injection surface; [`Shards::Auto`] /
+    /// [`Shards::Fixed`] run the key-setup phase on the spatially sharded
+    /// engine (`wsn_sim::shard`) and then collapse into the single-heap
+    /// engine for steady state. Sharded setup is byte-identical across
+    /// region counts, but it is a *different* deterministic universe from
+    /// `Single` (per-node RNG streams vs one global stream).
+    Sim {
+        /// Region-count selector for the sharded engine.
+        shards: Shards,
+    },
+    /// The in-process loopback transport backend (`wsn-net`), exercising
+    /// the real datagram framing path. A `Scenario` with this backend is
+    /// consumed by `wsn_net::run_scenario`, which routes construction
+    /// through [`Scenario::into_deployment`].
+    Loopback,
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::Sim {
+            shards: Shards::Single,
+        }
+    }
+}
+
+/// A constructed-but-not-yet-run network: the topology, the provisioned
+/// apps, and the authorities every backend needs. This is the shared
+/// product of [`Scenario`]'s construction phase — the simulator backends
+/// and the `wsn-net` loopback backend all start from one of these, which
+/// is what makes cross-backend differential tests compare the *same*
+/// network rather than two builder code paths.
+pub struct Deployment {
+    /// Deployed topology: sinks on their deterministic grid, sensors
+    /// uniform at random.
+    pub topo: Topology,
+    /// One app per node, in node-id order.
+    pub apps: Vec<ProtocolApp>,
+    /// The provisioning authority (registry complete for all `n` nodes).
+    pub provisioner: Provisioner,
+    /// The protocol configuration in force.
+    pub cfg: ProtocolConfig,
+    /// Number of sinks (1 when the multi-sink subsystem is off).
+    pub n_sinks: u32,
+    /// The scenario's master seed; engines derive their sub-streams from
+    /// it (`derive_seed(seed, 2)` is the event-engine stream by
+    /// convention).
+    pub seed: u64,
+    /// The radio model.
+    pub radio: RadioConfig,
+    /// Trace sink to install before the first event, if tracing.
+    pub sink: Option<Box<dyn wsn_trace::TraceSink>>,
+}
+
 /// The unified experiment entry point: composes radio model, tracing,
 /// an attack hook, and a fault plan, then runs the key-setup phase.
 ///
@@ -107,11 +174,13 @@ pub struct Scenario<'a> {
     sink: Option<Box<dyn wsn_trace::TraceSink>>,
     attack: Option<AttackHook<'a>>,
     chaos: Option<wsn_chaos::FaultPlan>,
+    backend: Backend,
 }
 
 impl<'a> Scenario<'a> {
     /// Starts a scenario from deployment parameters, with the default
-    /// radio, no tracing, no adversary, and no fault plan.
+    /// radio, the default backend (single-heap simulator), no tracing,
+    /// no adversary, and no fault plan.
     pub fn new(params: SetupParams) -> Self {
         Scenario {
             params,
@@ -119,6 +188,7 @@ impl<'a> Scenario<'a> {
             sink: None,
             attack: None,
             chaos: None,
+            backend: Backend::default(),
         }
     }
 
@@ -126,6 +196,22 @@ impl<'a> Scenario<'a> {
     pub fn radio(mut self, radio: RadioConfig) -> Self {
         self.radio = radio;
         self
+    }
+
+    /// Selects the engine this scenario runs on. See [`Backend`].
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend this scenario will run on.
+    pub fn backend_kind(&self) -> Backend {
+        self.backend
+    }
+
+    /// The radio model this scenario will deploy with.
+    pub fn radio_config(&self) -> &RadioConfig {
+        &self.radio
     }
 
     /// Installs a trace sink before the first event, so the trace covers
@@ -156,10 +242,30 @@ impl<'a> Scenario<'a> {
         self
     }
 
-    /// Runs initialization + cluster key setup + link establishment +
-    /// `Km` erasure on a fresh random deployment.
-    pub fn run(self) -> SetupOutcome {
-        let params = &self.params;
+    /// Consumes the scenario, returning the constructed-but-not-yet-run
+    /// network. This is the construction half of [`Scenario::run`],
+    /// exposed so non-simulator backends (the `wsn-net` loopback) build
+    /// the *same* network the simulator would. Attack hooks and fault
+    /// plans are simulator-engine features, so a scenario carrying one
+    /// cannot be lowered to a bare deployment.
+    pub fn into_deployment(self) -> Deployment {
+        assert!(
+            self.attack.is_none(),
+            "attack hooks are simulator-only; keep Backend::Sim"
+        );
+        assert!(
+            self.chaos.is_none(),
+            "fault plans are simulator-only; keep Backend::Sim"
+        );
+        Self::build_deployment(self.params, self.radio, self.sink)
+    }
+
+    /// Shared construction: topology, provisioning, one app per node.
+    fn build_deployment(
+        params: SetupParams,
+        radio: RadioConfig,
+        sink: Option<Box<dyn wsn_trace::TraceSink>>,
+    ) -> Deployment {
         assert!(params.n >= 2, "need a base station and at least one sensor");
         // Multi-sink: node ids 0..K are sinks on a deterministic grid;
         // with sinks disabled this is exactly the legacy random topology.
@@ -191,10 +297,10 @@ impl<'a> Scenario<'a> {
             .collect();
         let cfg = params.cfg.clone();
 
-        let mut pool: Vec<Option<ProtocolApp>> = materials
+        let apps: Vec<ProtocolApp> = materials
             .drain(..)
             .map(|m| {
-                Some(if m.id < n_sinks {
+                if m.id < n_sinks {
                     // Partitioned BS state: each sink starts with the `Ki`
                     // entries of the nodes whose home sink it is (node id
                     // mod K). Cluster keys and the revocation chain are
@@ -219,36 +325,119 @@ impl<'a> Scenario<'a> {
                     ))
                 } else {
                     ProtocolApp::Sensor(ProtocolNode::new(cfg.clone(), m))
-                })
+                }
             })
             .collect();
 
-        let mut sim = Simulator::with_config(topo, self.radio, derive_seed(params.seed, 2), |id| {
-            pool[id as usize].take().expect("app built once")
-        });
-        if let Some(sink) = self.sink {
-            sim.install_trace_boxed(sink);
+        Deployment {
+            topo,
+            apps,
+            provisioner,
+            cfg,
+            n_sinks,
+            seed: params.seed,
+            radio,
+            sink,
         }
-        if let Some(attack) = self.attack {
-            attack(&mut sim);
-        }
-        sim.run();
+    }
+
+    /// Runs initialization + cluster key setup + link establishment +
+    /// `Km` erasure on a fresh random deployment.
+    pub fn run(self) -> SetupOutcome {
+        let shards = match self.backend {
+            Backend::Sim { shards } => shards,
+            Backend::Loopback => panic!(
+                "Scenario::run drives the simulator; use wsn_net::run_scenario for Backend::Loopback"
+            ),
+        };
+        let attack = self.attack;
+        let chaos = self.chaos;
+        let dep = Self::build_deployment(self.params, self.radio, self.sink);
+        let n = dep.topo.n();
+        let seed = dep.seed;
+        let cfg = dep.cfg;
+        let n_sinks = dep.n_sinks;
+        let provisioner = dep.provisioner;
+
+        let mut pool: Vec<Option<ProtocolApp>> = dep.apps.into_iter().map(Some).collect();
+        let sim = match shards.region_count() {
+            None => {
+                // Legacy single-heap engine: the default, and the only
+                // engine that supports pre-run attack hooks.
+                let mut sim =
+                    Simulator::with_config(dep.topo, dep.radio, derive_seed(seed, 2), |id| {
+                        pool[id as usize].take().expect("app built once")
+                    });
+                if let Some(sink) = dep.sink {
+                    sim.install_trace_boxed(sink);
+                }
+                if let Some(attack) = attack {
+                    attack(&mut sim);
+                }
+                sim.run();
+                sim
+            }
+            Some(k) => {
+                // Sharded setup, then collapse into the single-heap
+                // engine for steady state. Setup output is identical for
+                // every k, and the collapsed engine re-seeds from stream
+                // 5, so everything downstream is shard-count-independent
+                // too.
+                assert!(
+                    attack.is_none(),
+                    "attack hooks require the single-heap engine (Shards::Single)"
+                );
+                let mut sharded = ShardedSimulator::new(
+                    dep.topo,
+                    dep.radio.clone(),
+                    derive_seed(seed, 2),
+                    k,
+                    |id| pool[id as usize].take().expect("app built once"),
+                );
+                let tracing = dep.sink.is_some();
+                if tracing {
+                    sharded.enable_trace();
+                }
+                sharded.run();
+                let end = sharded.now();
+                let events = sharded.events_processed();
+                let records = tracing.then(|| sharded.take_merged_trace());
+                let (topo, apps, counters) = sharded.into_parts();
+                let mut sim = Simulator::from_parts_at(
+                    topo,
+                    dep.radio,
+                    derive_seed(seed, 5),
+                    end,
+                    apps,
+                    counters,
+                    events,
+                );
+                if let (Some(mut sink), Some(records)) = (dep.sink, records) {
+                    let next_seq = records.len() as u64;
+                    for rec in records {
+                        sink.record(rec);
+                    }
+                    sim.restore_trace_state((Some(sink), next_seq));
+                }
+                sim
+            }
+        };
 
         let setup_counters = sim.counters().clone();
         let report = SetupReport::from_simulation(&sim, &setup_counters);
         let sinks = cfg
             .sinks
             .enabled
-            .then(|| SinkSet::new(n_sinks, n_sinks..params.n as u32));
+            .then(|| SinkSet::new(n_sinks, n_sinks..n as u32));
         let handle = NetworkHandle {
             sim,
             cfg,
             provisioner,
             setup_counters,
-            key_rng: HmacDrbg::from_u64(derive_seed(params.seed, 3)),
-            aux_rng: StdRng::seed_from_u64(derive_seed(params.seed, 4)),
-            next_id: params.n as u32,
-            chaos_plan: self.chaos,
+            key_rng: HmacDrbg::from_u64(derive_seed(seed, 3)),
+            aux_rng: StdRng::seed_from_u64(derive_seed(seed, 4)),
+            next_id: n as u32,
+            chaos_plan: chaos,
             sinks,
         };
         SetupOutcome { handle, report }

@@ -1,0 +1,153 @@
+//! Decomposition-independence of the sharded backend at the *protocol*
+//! level: a `Backend::Sim { shards: Fixed(k) }` scenario must produce
+//! byte-identical protocol-visible outcomes for every region count `k`
+//! — roles, cluster membership, key tables, `Km` erasure, gradients,
+//! and the base station's accepted-reading log — across default, lossy,
+//! recovery, and multi-sink configurations.
+//!
+//! The engine-level shard tests (`wsn_sim::shard`) pin raw event
+//! streams equal; these tests pin the thing users observe: the network
+//! that comes out of `Scenario::run` and everything the driver does
+//! with it afterwards. Note `Shards::Fixed(1)` is the sharded universe
+//! with one region — the comparison baseline — not the legacy engine
+//! (`Shards::Single`), which draws from a different RNG discipline.
+
+use proptest::prelude::*;
+use wsn_core::config::{RecoveryConfig, SinkConfig};
+use wsn_core::node::Role;
+use wsn_core::prelude::*;
+use wsn_core::setup::Backend;
+use wsn_sim::radio::RadioConfig;
+use wsn_sim::shard::Shards;
+
+const N: usize = 60;
+const DENSITY: f64 = 10.0;
+
+/// Everything protocol-visible after setup + gradient + one reading
+/// per cluster head.
+type Snapshot = (
+    Vec<(Role, Option<u32>, usize, Vec<u32>, bool, u32)>, // per-sensor state
+    Vec<u32>,                                             // gradient depths
+    Vec<(u32, Vec<u8>, Option<u64>)>,                     // BS reading log
+    u64,                                                  // total radio tx
+    f64,                                                  // report: keys/node
+);
+
+fn snapshot(seed: u64, cfg: ProtocolConfig, radio: RadioConfig, k: usize) -> Snapshot {
+    let outcome = Scenario::new(SetupParams {
+        n: N,
+        density: DENSITY,
+        seed,
+        cfg,
+    })
+    .radio(radio)
+    .backend(Backend::Sim {
+        shards: Shards::Fixed(k),
+    })
+    .run();
+    let report_keys = outcome.report.mean_keys_per_node;
+    let mut handle = outcome.handle;
+
+    let sensors: Vec<_> = handle
+        .sensor_ids()
+        .into_iter()
+        .map(|id| {
+            let s = handle.sensor(id);
+            (
+                s.role(),
+                s.cid(),
+                s.keys_held(),
+                s.neighbor_cids(),
+                s.holds_km(),
+                s.epoch(),
+            )
+        })
+        .collect();
+
+    handle.establish_gradient();
+    let gradients: Vec<u32> = handle
+        .sensor_ids()
+        .into_iter()
+        .map(|id| handle.sensor(id).hops_to_bs())
+        .collect();
+
+    let heads: Vec<u32> = handle
+        .sensor_ids()
+        .into_iter()
+        .filter(|&id| handle.sensor(id).role() == Role::Head)
+        .collect();
+    for (i, &src) in heads.iter().enumerate() {
+        let data = format!("shard-{seed}-{i}-from-{src}").into_bytes();
+        handle.send_reading(src, data, true);
+    }
+
+    let received = handle
+        .bs()
+        .received
+        .iter()
+        .map(|r| (r.src, r.data.clone(), r.ctr))
+        .collect();
+    let tx = handle.sim().counters().total_tx_msgs();
+    (sensors, gradients, received, tx, report_keys)
+}
+
+#[test]
+fn default_config_identical_across_shard_counts() {
+    for seed in [1, 2005] {
+        let base = snapshot(seed, ProtocolConfig::default(), RadioConfig::default(), 1);
+        for k in [2, 4] {
+            let other = snapshot(seed, ProtocolConfig::default(), RadioConfig::default(), k);
+            assert_eq!(base, other, "k = {k} diverged (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn lossy_radio_identical_across_shard_counts() {
+    let radio = RadioConfig {
+        loss: 0.15,
+        ..RadioConfig::default()
+    };
+    let cfg = || ProtocolConfig::default().with_recovery(RecoveryConfig::default());
+    let base = snapshot(11, cfg(), radio.clone(), 1);
+    let other = snapshot(11, cfg(), radio, 4);
+    assert_eq!(base, other, "lossy run diverged between k = 1 and k = 4");
+}
+
+#[test]
+fn multi_sink_identical_across_shard_counts() {
+    for k_sinks in [2u32, 3] {
+        let cfg = || ProtocolConfig::default().with_sinks(k_sinks);
+        let seed = 2005 + k_sinks as u64;
+        let base = snapshot(seed, cfg(), RadioConfig::default(), 1);
+        let other = snapshot(seed, cfg(), RadioConfig::default(), 4);
+        assert_eq!(base, other, "multi-sink K = {k_sinks} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random seeds, recovery on, shard counts 1 vs 4: byte-identical
+    /// roles, key tables, gradients, and accepted readings.
+    #[test]
+    fn sharded_setup_is_decomposition_independent(seed in 0u64..1000) {
+        let cfg = || ProtocolConfig::default().with_recovery(RecoveryConfig::default());
+        let base = snapshot(seed, cfg(), RadioConfig::default(), 1);
+        let other = snapshot(seed, cfg(), RadioConfig::default(), 4);
+        prop_assert_eq!(base, other, "seed {} diverged between k = 1 and k = 4", seed);
+    }
+}
+
+/// `with_sinks` smoke-check used above exists on ProtocolConfig; keep
+/// the SinkConfig import honest for the multi-sink variant.
+#[test]
+fn sink_config_roundtrips_through_builder() {
+    let cfg = ProtocolConfig::default().with_sinks(3);
+    assert_eq!(
+        (cfg.sinks.enabled, cfg.sinks.count),
+        (true, 3),
+        "{:?}",
+        SinkConfig::default()
+    );
+}

@@ -20,7 +20,7 @@ use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use wsn_core::config::{CounterMode, ProtocolConfig, ResourceConfig};
+use wsn_core::config::{CounterMode, ProtocolConfig, RecoveryConfig, ResourceConfig};
 use wsn_core::forward::{e2e_seal_with, sealer, wrap_frame};
 use wsn_core::msg::{DataUnit, Inner};
 use wsn_net::load::{provision_motes, run, LoadParams};
@@ -91,7 +91,7 @@ fn main() {
         .map(|v| v.parse().expect("bad --rcvbuf"));
 
     let cfg = ProtocolConfig::default()
-        .with_recovery()
+        .with_recovery(RecoveryConfig::default())
         .with_counter_mode(CounterMode::Explicit);
     let mut server_cfg = UdpServerConfig::localhost(0, motes + 1, seed, cfg);
     server_cfg.queue_depth = 8192;

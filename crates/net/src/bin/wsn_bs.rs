@@ -15,7 +15,7 @@
 
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
-use wsn_core::config::{CounterMode, ProtocolConfig, ResourceConfig};
+use wsn_core::config::{CounterMode, ProtocolConfig, RecoveryConfig, ResourceConfig};
 use wsn_net::{UdpServer, UdpServerConfig};
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -61,7 +61,7 @@ fn main() {
     // motegen measures RTT against); explicit counters so drops never
     // desynchronize the end-to-end window.
     let cfg = ProtocolConfig::default()
-        .with_recovery()
+        .with_recovery(RecoveryConfig::default())
         .with_counter_mode(CounterMode::Explicit);
 
     let admission = flag(&args, "--admit").then(|| ResourceConfig {

@@ -23,5 +23,60 @@ pub mod load;
 pub mod loopback;
 pub mod udp;
 
-pub use loopback::{LoopbackCounters, LoopbackNet, LoopbackParams};
+#[allow(deprecated)]
+pub use loopback::LoopbackParams;
+pub use loopback::{LoopbackCounters, LoopbackNet};
 pub use udp::{NetStats, UdpServer, UdpServerConfig};
+
+use wsn_core::setup::{Backend, Scenario, SetupOutcome};
+
+/// A network produced by [`run_scenario`]: the simulator's driver
+/// handle, or the loopback engine, depending on the scenario's
+/// [`Backend`] selector.
+pub enum BackendHandle {
+    /// `Backend::Sim`: the simulator ran setup; outcome carries the
+    /// [`wsn_core::setup::NetworkHandle`] and the setup report. (Boxed:
+    /// the outcome is ~2 kB and would otherwise dominate the enum.)
+    Sim(Box<SetupOutcome>),
+    /// `Backend::Loopback`: the loopback engine ran setup to
+    /// quiescence.
+    Loopback(Box<LoopbackNet>),
+}
+
+impl BackendHandle {
+    /// Unwraps the simulator outcome; panics on a loopback handle.
+    pub fn into_sim(self) -> SetupOutcome {
+        match self {
+            BackendHandle::Sim(outcome) => *outcome,
+            BackendHandle::Loopback(_) => panic!("scenario ran on Backend::Loopback"),
+        }
+    }
+
+    /// Unwraps the loopback engine; panics on a simulator handle.
+    pub fn into_loopback(self) -> LoopbackNet {
+        match self {
+            BackendHandle::Sim(_) => panic!("scenario ran on Backend::Sim"),
+            BackendHandle::Loopback(net) => *net,
+        }
+    }
+}
+
+/// Runs a scenario's setup phase on whichever backend it selected.
+///
+/// This is the one entry point that understands every [`Backend`]
+/// variant: `Sim` scenarios go through [`Scenario::run`] (legacy or
+/// sharded engine, per the `shards` selector), and `Loopback` scenarios
+/// are lowered to a [`wsn_core::setup::Deployment`] and executed on the
+/// in-process [`LoopbackNet`] engine. Both paths build the *same*
+/// network from the same sub-seeds; the differential test pins their
+/// protocol-visible outcomes equal.
+pub fn run_scenario(scenario: Scenario<'static>) -> BackendHandle {
+    match scenario.backend_kind() {
+        Backend::Sim { .. } => BackendHandle::Sim(Box::new(scenario.run())),
+        Backend::Loopback => {
+            let mut net = LoopbackNet::from_deployment(scenario.into_deployment());
+            net.run();
+            BackendHandle::Loopback(Box::new(net))
+        }
+    }
+}

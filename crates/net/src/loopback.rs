@@ -26,11 +26,10 @@ use std::collections::{BinaryHeap, HashMap};
 use wsn_core::base_station::{BaseStation, TIMER_BEACON};
 use wsn_core::config::ProtocolConfig;
 use wsn_core::keys::Provisioner;
-use wsn_core::msg::ClusterId;
 use wsn_core::node::{PendingReading, ProtocolApp, ProtocolNode, TIMER_SEND};
-use wsn_core::sink::{home_sink, multi_sink_topology, SinkSet};
+use wsn_core::setup::{Backend, Deployment, Scenario, SetupParams};
+use wsn_core::sink::SinkSet;
 use wsn_core::transport::Transport;
-use wsn_crypto::Key128;
 use wsn_sim::event::SimTime;
 use wsn_sim::node::{NodeId, TimerKey};
 use wsn_sim::radio::{RadioConfig, MAX_FRAME_BYTES};
@@ -158,6 +157,8 @@ impl Transport for LoopbackCtx<'_> {
 /// as `wsn_core::setup::SetupParams`, and seeds derived identically, so
 /// a `(n, density, seed, cfg)` tuple names the same network on both
 /// backends.
+#[deprecated(note = "build a wsn_core Scenario with Backend::Loopback and use \
+            LoopbackNet::from_deployment (or wsn_net::run_scenario)")]
 #[derive(Clone, Debug)]
 pub struct LoopbackParams {
     /// Number of nodes including the base station (node 0).
@@ -204,93 +205,62 @@ pub struct LoopbackNet {
 }
 
 impl LoopbackNet {
-    /// Deploys the network: identical construction sequence to
-    /// `Scenario::run` (topology from sub-seed 0, provisioning from
-    /// sub-seed 1, engine RNG from sub-seed 2) and schedules every
-    /// node's start hook at time 0. Call [`Self::run`] to execute the
-    /// setup phase.
-    pub fn new(params: &LoopbackParams) -> Self {
-        assert!(params.n >= 2, "need a base station and at least one sensor");
-        // Multi-sink: mirrors `Scenario::run` — ids 0..K are sinks on the
-        // same deterministic grid, with the same partitioned registries.
-        let n_sinks = if params.cfg.sinks.enabled {
-            params.cfg.sinks.count
-        } else {
-            1
-        };
+    /// Deploys the network from a [`Deployment`] lowered by
+    /// [`Scenario::into_deployment`] — the same topology, provisioning,
+    /// and app construction as the simulator backend, built in exactly
+    /// one place. The engine RNG comes from sub-seed 2 of the
+    /// deployment's master seed, matching `Scenario::run`, and every
+    /// node's start hook is scheduled at time 0. Call [`Self::run`] to
+    /// execute the setup phase.
+    pub fn from_deployment(dep: Deployment) -> Self {
         assert!(
-            (n_sinks as usize) < params.n,
-            "need more nodes than sinks (n = {}, sinks = {n_sinks})",
-            params.n
+            dep.radio.tx_queue_cap.is_none() && !dep.radio.contention,
+            "loopback engine models the default immediate-schedule radio"
         );
-        let topo = multi_sink_topology(
-            params.n,
-            params.density,
-            derive_seed(params.seed, 0),
-            &params.cfg.sinks,
-        );
-        let mut provisioner = Provisioner::new(derive_seed(params.seed, 1));
-        let materials: Vec<_> = (0..params.n as u32)
-            .map(|id| provisioner.provision(id))
-            .collect();
-        let registry = provisioner.registry().clone();
-        let cluster_keys: HashMap<ClusterId, Key128> = (0..params.n as u32)
-            .map(|id| (id, provisioner.cluster_key_of(id)))
-            .collect();
-        let apps: Vec<ProtocolApp> = materials
-            .into_iter()
-            .map(|m| {
-                if m.id < n_sinks {
-                    let partition: HashMap<u32, Key128> = if params.cfg.sinks.enabled {
-                        registry
-                            .iter()
-                            .filter(|(&id, _)| home_sink(id, n_sinks) == m.id)
-                            .map(|(&id, &ki)| (id, ki))
-                            .collect()
-                    } else {
-                        registry.clone()
-                    };
-                    ProtocolApp::Base(BaseStation::new(
-                        params.cfg.clone(),
-                        m.id,
-                        provisioner.km(),
-                        partition,
-                        cluster_keys.clone(),
-                        provisioner.revocation_chain(),
-                    ))
-                } else {
-                    ProtocolApp::Sensor(ProtocolNode::new(params.cfg.clone(), m))
-                }
-            })
-            .collect();
-        let sinks = params
+        let n = dep.topo.n();
+        let sinks = dep
             .cfg
             .sinks
             .enabled
-            .then(|| SinkSet::new(n_sinks, n_sinks..params.n as u32));
-
+            .then(|| SinkSet::new(dep.n_sinks, dep.n_sinks..n as u32));
         let mut net = LoopbackNet {
-            topo,
-            apps,
-            provisioner,
-            radio: RadioConfig::default(),
-            queue: BinaryHeap::with_capacity(params.n * 4),
+            topo: dep.topo,
+            apps: dep.apps,
+            provisioner: dep.provisioner,
+            radio: dep.radio,
+            queue: BinaryHeap::with_capacity(n * 4),
             queue_seq: 0,
             now: 0,
-            rng: StdRng::seed_from_u64(derive_seed(params.seed, 2)),
+            rng: StdRng::seed_from_u64(derive_seed(dep.seed, 2)),
             timers: HashMap::new(),
             timer_gen: 0,
             scratch: Vec::with_capacity(8),
             counters: LoopbackCounters::default(),
-            sink: None,
+            sink: dep.sink,
             trace_seq: 0,
             events_processed: 0,
             sinks,
         };
-        for id in 0..params.n as NodeId {
+        for id in 0..n as NodeId {
             net.schedule(0, EventKind::Start(id));
         }
         net
+    }
+
+    /// Deploys the network from bare parameters.
+    #[deprecated(note = "build a wsn_core Scenario with Backend::Loopback and use \
+                LoopbackNet::from_deployment (or wsn_net::run_scenario)")]
+    #[allow(deprecated)]
+    pub fn new(params: &LoopbackParams) -> Self {
+        let dep = Scenario::new(SetupParams {
+            n: params.n,
+            density: params.density,
+            seed: params.seed,
+            cfg: params.cfg.clone(),
+        })
+        .backend(Backend::Loopback)
+        .into_deployment();
+        Self::from_deployment(dep)
     }
 
     /// Uses an explicit radio model (timing/loss; the loopback engine

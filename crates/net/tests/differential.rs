@@ -6,45 +6,59 @@
 //!
 //! This is the contract of the `Transport` seam: the protocol state
 //! machines cannot tell which backend is driving them.
+//!
+//! Both backends are reached through the *same* builder: one
+//! [`Scenario`] per configuration, with only the [`Backend`] selector
+//! varied. `run_scenario` lowers the loopback variant through
+//! `Scenario::into_deployment`, so the two runs share topology,
+//! provisioning, and app construction by construction — the tests pin
+//! the *engines* equal, not the builders.
 
-use wsn_core::config::ProtocolConfig;
+use wsn_core::config::{ProtocolConfig, RecoveryConfig, ResourceConfig};
 use wsn_core::node::Role;
-use wsn_core::setup::SetupParams;
-use wsn_net::{LoopbackNet, LoopbackParams};
+use wsn_core::setup::{Backend, Scenario, SetupParams};
+use wsn_net::{run_scenario, LoopbackNet};
 use wsn_sim::radio::RadioConfig;
 
 const N: usize = 60;
 const DENSITY: f64 = 10.0;
 
-fn params(seed: u64, cfg: ProtocolConfig) -> (SetupParams, LoopbackParams) {
-    (
-        SetupParams {
-            n: N,
-            density: DENSITY,
-            seed,
-            cfg: cfg.clone(),
-        },
-        LoopbackParams {
-            n: N,
-            density: DENSITY,
-            seed,
-            cfg,
-        },
-    )
+/// The one scenario definition both backends run.
+fn scenario(
+    seed: u64,
+    cfg: ProtocolConfig,
+    radio: RadioConfig,
+    backend: Backend,
+) -> Scenario<'static> {
+    Scenario::new(SetupParams {
+        n: N,
+        density: DENSITY,
+        seed,
+        cfg,
+    })
+    .radio(radio)
+    .backend(backend)
+}
+
+/// Runs the loopback variant of a scenario through `run_scenario` and
+/// drains its setup phase.
+fn loopback_of(seed: u64, cfg: ProtocolConfig, radio: RadioConfig) -> LoopbackNet {
+    run_scenario(scenario(seed, cfg, radio, Backend::Loopback)).into_loopback()
 }
 
 /// One full steady-state workout on both backends, asserting equality
 /// at every observable checkpoint.
 fn assert_backends_agree(seed: u64, cfg: ProtocolConfig, radio: RadioConfig) {
-    let (sim_params, net_params) = params(seed, cfg);
-
-    // Setup phase.
-    let mut handle = wsn_core::setup::Scenario::new(sim_params)
-        .radio(radio.clone())
-        .run()
-        .handle;
-    let mut net = LoopbackNet::new(&net_params).radio(radio);
-    net.run();
+    // Setup phase: identical Scenario, different Backend.
+    let mut handle = run_scenario(scenario(
+        seed,
+        cfg.clone(),
+        radio.clone(),
+        Backend::default(),
+    ))
+    .into_sim()
+    .handle;
+    let mut net = loopback_of(seed, cfg, radio);
 
     // Post-setup state: roles, membership, key tables, Km erasure.
     for id in net.sensor_ids() {
@@ -117,7 +131,9 @@ fn loopback_matches_simulator_default_config() {
 fn loopback_matches_simulator_with_recovery_and_resources() {
     assert_backends_agree(
         7,
-        ProtocolConfig::default().with_recovery().with_resources(),
+        ProtocolConfig::default()
+            .with_recovery(RecoveryConfig::default())
+            .with_resources(ResourceConfig::default()),
         RadioConfig::default(),
     );
 }
@@ -128,7 +144,11 @@ fn loopback_matches_simulator_on_lossy_links() {
         loss: 0.10,
         ..RadioConfig::default()
     };
-    assert_backends_agree(11, ProtocolConfig::default().with_recovery(), radio);
+    assert_backends_agree(
+        11,
+        ProtocolConfig::default().with_recovery(RecoveryConfig::default()),
+        radio,
+    );
 }
 
 /// Multi-sink differential: the same K-sink deployment on both backends
@@ -138,10 +158,16 @@ fn loopback_matches_simulator_on_lossy_links() {
 fn loopback_matches_simulator_multi_sink() {
     for k in [2u32, 3] {
         let seed = 2005 + k as u64;
-        let (sim_params, net_params) = params(seed, ProtocolConfig::default().with_sinks(k));
-        let mut handle = wsn_core::setup::Scenario::new(sim_params).run().handle;
-        let mut net = LoopbackNet::new(&net_params);
-        net.run();
+        let cfg = ProtocolConfig::default().with_sinks(k);
+        let mut handle = run_scenario(scenario(
+            seed,
+            cfg.clone(),
+            RadioConfig::default(),
+            Backend::default(),
+        ))
+        .into_sim()
+        .handle;
+        let mut net = loopback_of(seed, cfg, RadioConfig::default());
 
         handle.establish_gradient();
         net.establish_gradient();
@@ -199,10 +225,8 @@ fn loopback_matches_simulator_multi_sink() {
 
 #[test]
 fn loopback_is_deterministic() {
-    let (_, net_params) = params(2005, ProtocolConfig::default());
-    let run = |p: &LoopbackParams| {
-        let mut net = LoopbackNet::new(p);
-        net.run();
+    let run = || {
+        let mut net = loopback_of(2005, ProtocolConfig::default(), RadioConfig::default());
         net.establish_gradient();
         for (i, src) in net.sensor_ids().into_iter().take(8).enumerate() {
             if net.sensor(src).role() == Role::Head {
@@ -217,8 +241,8 @@ fn loopback_is_deterministic() {
             net.now(),
         )
     };
-    let a = run(&net_params);
-    let b = run(&net_params);
+    let a = run();
+    let b = run();
     assert_eq!(a, b, "loopback replay diverged");
 }
 
@@ -226,9 +250,11 @@ fn loopback_is_deterministic() {
 /// shared MAX_FRAME_BYTES ceiling is sized above every protocol frame.
 #[test]
 fn no_oversize_drops_in_normal_operation() {
-    let (_, net_params) = params(3, ProtocolConfig::default().with_recovery());
-    let mut net = LoopbackNet::new(&net_params);
-    net.run();
+    let mut net = loopback_of(
+        3,
+        ProtocolConfig::default().with_recovery(RecoveryConfig::default()),
+        RadioConfig::default(),
+    );
     net.establish_gradient();
     for src in net.sensor_ids() {
         if net.sensor(src).role() == Role::Head {

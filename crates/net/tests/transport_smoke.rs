@@ -3,23 +3,27 @@
 //! UDP sockets (in-process server, ephemeral ports).
 
 use std::time::Duration;
-use wsn_core::config::{CounterMode, ProtocolConfig};
+use wsn_core::config::{CounterMode, ProtocolConfig, RecoveryConfig};
+use wsn_core::setup::{Backend, Scenario, SetupParams};
 use wsn_net::load::{self, LoadParams};
-use wsn_net::{LoopbackNet, LoopbackParams, UdpServer, UdpServerConfig};
+use wsn_net::{run_scenario, UdpServer, UdpServerConfig};
 use wsn_trace::{JsonlSink, MemorySink, TraceEvent};
 
 /// The loopback engine reports every delivery and transmission through
 /// the normal trace pipeline, with counts agreeing with its counters.
 #[test]
 fn loopback_emits_transport_trace_events() {
-    let mut net = LoopbackNet::new(&LoopbackParams {
-        n: 30,
-        density: 8.0,
-        seed: 7,
-        cfg: ProtocolConfig::default(),
-    });
-    net.install_trace(MemorySink::new());
-    net.run();
+    let mut net = run_scenario(
+        Scenario::new(SetupParams {
+            n: 30,
+            density: 8.0,
+            seed: 7,
+            cfg: ProtocolConfig::default(),
+        })
+        .trace(MemorySink::new())
+        .backend(Backend::Loopback),
+    )
+    .into_loopback();
     net.establish_gradient();
     let sensors = net.sensor_ids();
     net.send_reading(sensors[0], vec![0xAB, 0xCD], true);
@@ -51,7 +55,7 @@ fn udp_end_to_end_smoke() {
     let motes = 200usize;
     let seed = 2005u64;
     let cfg = ProtocolConfig::default()
-        .with_recovery()
+        .with_recovery(RecoveryConfig::default())
         .with_counter_mode(CounterMode::Explicit);
 
     let mut server_cfg = UdpServerConfig::localhost(0, motes + 1, seed, cfg);

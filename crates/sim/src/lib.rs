@@ -21,6 +21,11 @@
 //! threads while keeping per-trial determinism (each trial derives its own
 //! seed, so results are identical regardless of thread count).
 //!
+//! For million-node deployments, [`shard`] provides a second engine that
+//! decomposes the deployment area into regions running on separate
+//! threads, exchanging boundary events under a conservative lookahead
+//! window — with outputs byte-identical for *any* region count.
+//!
 //! ## Example
 //!
 //! ```
@@ -57,6 +62,7 @@ pub mod node;
 pub mod parallel;
 pub mod radio;
 pub mod rng;
+pub mod shard;
 pub mod topology;
 
 /// One-stop import for simulator users.
@@ -66,10 +72,12 @@ pub mod prelude {
     pub use crate::net::{Counters, Simulator};
     pub use crate::node::{App, Ctx, NodeId, TimerKey};
     pub use crate::radio::RadioConfig;
+    pub use crate::shard::{ShardedSimulator, Shards};
     pub use crate::topology::{Topology, TopologyConfig};
 }
 
 pub use event::SimTime;
 pub use net::Simulator;
 pub use node::{App, Ctx, NodeId};
+pub use shard::{ShardedSimulator, Shards};
 pub use topology::{Topology, TopologyConfig};

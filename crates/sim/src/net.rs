@@ -33,7 +33,7 @@ pub struct Counters {
 }
 
 impl Counters {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Counters {
             tx_msgs: vec![0; n],
             rx_msgs: vec![0; n],
@@ -159,6 +159,51 @@ impl<A: App> Simulator<A> {
             timer_gen: 0,
             scratch_actions: Vec::with_capacity(8),
             events_processed: 0,
+            sink: None,
+            trace_seq: 0,
+            link,
+            down: vec![false; n],
+            n_down: 0,
+            drift: None,
+            partition: None,
+            tx_queue,
+        }
+    }
+
+    /// Rebuilds a simulator around state produced elsewhere — the
+    /// collapse path from the sharded setup engine
+    /// ([`crate::shard::ShardedSimulator`]) after it has run the network
+    /// to quiescence. No `Start` events are scheduled: the queue begins
+    /// empty, the clock at `start`, and the carried `counters` /
+    /// `events_processed` keep the books continuous across the engine
+    /// switch.
+    pub fn from_parts_at(
+        topo: Topology,
+        radio: RadioConfig,
+        seed: u64,
+        start: SimTime,
+        apps: Vec<A>,
+        counters: Counters,
+        events_processed: u64,
+    ) -> Self {
+        let n = topo.n();
+        assert_eq!(apps.len(), n, "one app per node");
+        assert_eq!(counters.tx_msgs.len(), n, "counters sized to the topology");
+        let link = Box::new(IidLoss { loss: radio.loss });
+        let tx_queue = (radio.contention || radio.tx_queue_cap.is_some())
+            .then(|| vec![std::collections::VecDeque::new(); n]);
+        Simulator {
+            topo,
+            apps,
+            queue: EventQueue::with_capacity(n * 4),
+            now: start,
+            radio,
+            rng: StdRng::seed_from_u64(seed),
+            counters,
+            timers: HashMap::new(),
+            timer_gen: 0,
+            scratch_actions: Vec::with_capacity(8),
+            events_processed,
             sink: None,
             trace_seq: 0,
             link,

@@ -6,54 +6,72 @@
 //! **identical to a sequential run** — each trial derives its own seed
 //! from `(master_seed, trial_index)`, and results are returned in trial
 //! order regardless of which thread ran what.
+//!
+//! # Migrating from `run_trials`/`run_trials_on`
+//!
+//! Earlier revisions split the entry point in two: `run_trials` (implicit
+//! thread count) and `run_trials_on` (explicit). They are now one
+//! function taking a [`Jobs`] selector; the old explicit variant survives
+//! as a deprecated shim.
+//!
+//! | old                                       | new                                                |
+//! |-------------------------------------------|----------------------------------------------------|
+//! | `run_trials(seed, trials, f)`             | `run_trials(seed, trials, Jobs::Auto, f)`          |
+//! | `run_trials_on(seed, trials, threads, f)` | `run_trials(seed, trials, Jobs::Fixed(threads), f)`|
 
 use crate::rng::derive_seed;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// Worker-thread selector for [`run_trials`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Jobs {
+    /// `WSN_JOBS` when that environment variable is set to a positive
+    /// integer, otherwise the machine's available parallelism. This is
+    /// the **only** place in the workspace that reads `WSN_JOBS`; the
+    /// variable exists so CI (and anyone chasing a determinism bug) can
+    /// pin the fan-out and prove results identical by diffing two runs.
+    Auto,
+    /// An explicit worker count (1 = sequential, no threads spawned).
+    Fixed(usize),
+}
+
+impl Jobs {
+    /// The worker count this selector resolves to for `trials` trials
+    /// (never more workers than trials, never fewer than one).
+    pub fn resolve(self, trials: usize) -> usize {
+        let threads = match self {
+            Jobs::Fixed(threads) => {
+                assert!(threads >= 1, "need at least one worker");
+                threads
+            }
+            Jobs::Auto => std::env::var("WSN_JOBS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&n: &usize| n >= 1)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                }),
+        };
+        threads.min(trials.max(1))
+    }
+}
 
 /// Runs `trials` independent experiments in parallel and returns their
 /// results in trial order.
 ///
 /// `f(trial_index, trial_seed)` must be a pure function of its arguments
 /// (all simulator state seeded from `trial_seed`), which makes the output
-/// independent of thread count — asserted by the test suite.
-///
-/// The worker-thread count is `WSN_JOBS` when that environment variable
-/// is set to a positive integer, otherwise the machine's available
-/// parallelism. Results are identical either way; the variable exists so
-/// CI (and anyone chasing a determinism bug) can pin the fan-out and
-/// prove it by diffing two runs. Every sweep that goes through this
-/// function honors it uniformly.
-pub fn run_trials<T, F>(master_seed: u64, trials: usize, f: F) -> Vec<T>
+/// independent of the worker count — asserted by the test suite. `jobs`
+/// selects the fan-out; see [`Jobs`].
+pub fn run_trials<T, F>(master_seed: u64, trials: usize, jobs: Jobs, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, u64) -> T + Sync,
 {
-    let threads = wsn_jobs()
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .min(trials.max(1));
-    run_trials_on(master_seed, trials, threads, f)
-}
-
-/// The `WSN_JOBS` override, if set to a positive integer.
-pub fn wsn_jobs() -> Option<usize> {
-    std::env::var("WSN_JOBS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&n: &usize| n >= 1)
-}
-
-/// [`run_trials`] with an explicit thread count (1 = sequential).
-pub fn run_trials_on<T, F>(master_seed: u64, trials: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize, u64) -> T + Sync,
-{
-    assert!(threads >= 1);
+    let threads = jobs.resolve(trials);
     if trials == 0 {
         return Vec::new();
     }
@@ -97,20 +115,30 @@ where
         .collect()
 }
 
+/// [`run_trials`] with an explicit thread count (1 = sequential).
+#[deprecated(note = "use run_trials(seed, trials, Jobs::Fixed(threads), f)")]
+pub fn run_trials_on<T, F>(master_seed: u64, trials: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    run_trials(master_seed, trials, Jobs::Fixed(threads), f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn results_in_trial_order() {
-        let out = run_trials_on(1, 64, 4, |i, _| i * 2);
+        let out = run_trials(1, 64, Jobs::Fixed(4), |i, _| i * 2);
         assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn thread_count_does_not_change_results() {
         let compute = |threads| {
-            run_trials_on(99, 40, threads, |i, seed| {
+            run_trials(99, 40, Jobs::Fixed(threads), |i, seed| {
                 // Something that actually uses the seed.
                 seed.wrapping_mul(i as u64 + 1)
             })
@@ -122,13 +150,13 @@ mod tests {
 
     #[test]
     fn zero_trials() {
-        let out: Vec<u64> = run_trials_on(0, 0, 3, |_, s| s);
+        let out: Vec<u64> = run_trials(0, 0, Jobs::Fixed(3), |_, s| s);
         assert!(out.is_empty());
     }
 
     #[test]
     fn seeds_are_distinct_per_trial() {
-        let seeds = run_trials_on(7, 100, 4, |_, seed| seed);
+        let seeds = run_trials(7, 100, Jobs::Fixed(4), |_, seed| seed);
         let mut uniq = seeds.clone();
         uniq.sort_unstable();
         uniq.dedup();
@@ -137,24 +165,41 @@ mod tests {
 
     #[test]
     fn auto_thread_count_works() {
-        let out = run_trials(3, 10, |i, _| i);
+        let out = run_trials(3, 10, Jobs::Auto, |i, _| i);
         assert_eq!(out, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
-    fn wsn_jobs_accepts_only_positive_integers() {
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_new_entry_point() {
+        let via_shim = run_trials_on(11, 16, 3, |i, seed| (i, seed));
+        let direct = run_trials(11, 16, Jobs::Fixed(3), |i, seed| (i, seed));
+        assert_eq!(via_shim, direct);
+    }
+
+    #[test]
+    fn jobs_resolution_honors_wsn_jobs_and_trial_cap() {
+        assert_eq!(Jobs::Fixed(8).resolve(3), 3);
+        assert_eq!(Jobs::Fixed(2).resolve(100), 2);
+        assert_eq!(Jobs::Fixed(5).resolve(0), 1);
         // Restores the variable afterwards; the only other readers pick
         // a thread count, which never changes results.
         let prior = std::env::var("WSN_JOBS").ok();
         std::env::set_var("WSN_JOBS", "3");
-        assert_eq!(wsn_jobs(), Some(3));
+        assert_eq!(Jobs::Auto.resolve(100), 3);
         std::env::set_var("WSN_JOBS", "0");
-        assert_eq!(wsn_jobs(), None);
+        assert!(Jobs::Auto.resolve(100) >= 1);
         std::env::set_var("WSN_JOBS", "many");
-        assert_eq!(wsn_jobs(), None);
+        assert!(Jobs::Auto.resolve(100) >= 1);
         match prior {
             Some(v) => std::env::set_var("WSN_JOBS", v),
             None => std::env::remove_var("WSN_JOBS"),
         }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_rejected() {
+        let _ = Jobs::Fixed(0).resolve(4);
     }
 }

@@ -35,7 +35,7 @@ pub mod timeline;
 pub use event::{FaultKind, QueueKind, TraceEvent, TraceRecord};
 pub use frame::FrameKind;
 pub use provenance::RunManifest;
-pub use sink::{JsonlSink, MemorySink, NullSink, TraceSink};
+pub use sink::{merge_shard_traces, BufferSink, JsonlSink, MemorySink, NullSink, TraceSink};
 pub use timeline::Timeline;
 
 /// Node identifier, mirroring `wsn_sim::NodeId`.

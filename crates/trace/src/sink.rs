@@ -116,6 +116,64 @@ impl TraceSink for MemorySink {
     }
 }
 
+/// Retains every record in a plain vector, in exactly the order it was
+/// emitted.
+///
+/// This is the sink a **sharded** simulator hands to each region worker:
+/// each shard records into its own `BufferSink` with a *per-node* sequence
+/// counter, and [`merge_shard_traces`] stitches the shard streams back
+/// into one globally ordered trace.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    records: Vec<TraceRecord>,
+}
+
+impl BufferSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BufferSink::default()
+    }
+
+    /// Records retained so far, in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning its records in emission order.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn record(&mut self, rec: TraceRecord) {
+        self.records.push(rec);
+    }
+
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+/// Merges per-shard trace streams into one deterministic global stream.
+///
+/// Input records must carry **per-node** sequence numbers (each node
+/// counts its own emissions from 0). The merge sorts by
+/// `(at, node, per-node seq)` and then reassigns `seq` as a global
+/// counter over the merged order. Because every record is attributed to
+/// exactly one node and a node lives in exactly one shard, this order is
+/// a pure function of the simulation's behavior — **not** of how nodes
+/// were assigned to shards — which is what makes traces byte-identical
+/// across `WSN_SHARDS` settings.
+pub fn merge_shard_traces(shards: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
+    let mut all: Vec<TraceRecord> = shards.into_iter().flatten().collect();
+    all.sort_by_key(|r| (r.at, r.node, r.seq));
+    for (i, rec) in all.iter_mut().enumerate() {
+        rec.seq = i as u64;
+    }
+    all
+}
+
 /// Streams records as JSON lines through a buffered writer.
 ///
 /// Write errors do not panic the simulation: the sink stops writing and
@@ -237,6 +295,65 @@ mod tests {
         assert_eq!(sink.drain().len(), 1);
         assert!(sink.is_empty());
         assert_eq!(sink.drain().len(), 0);
+    }
+
+    #[test]
+    fn buffer_sink_keeps_emission_order_and_drains() {
+        let mut sink = BufferSink::new();
+        sink.record(rec(1, 7));
+        sink.record(rec(0, 3));
+        let seqs: Vec<u64> = sink.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 0], "no reordering on record");
+        assert_eq!(sink.drain().len(), 2);
+        assert!(sink.records().is_empty());
+    }
+
+    /// Records carrying per-node seqs: node 1 emits at t=10 then t=20,
+    /// node 2 emits twice at t=10.
+    fn per_node_stream() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                seq: 0,
+                at: 10,
+                node: 1,
+                event: TraceEvent::BecameHead,
+            },
+            TraceRecord {
+                seq: 1,
+                at: 20,
+                node: 1,
+                event: TraceEvent::BecameHead,
+            },
+            TraceRecord {
+                seq: 0,
+                at: 10,
+                node: 2,
+                event: TraceEvent::BecameHead,
+            },
+            TraceRecord {
+                seq: 1,
+                at: 10,
+                node: 2,
+                event: TraceEvent::BecameHead,
+            },
+        ]
+    }
+
+    #[test]
+    fn shard_merge_is_partition_independent() {
+        let all = per_node_stream();
+        // Partition A: both nodes in one shard. Partition B: one each.
+        let merged_one = merge_shard_traces(vec![all.clone()]);
+        let split: (Vec<_>, Vec<_>) = all.into_iter().partition(|r| r.node == 1);
+        let merged_two = merge_shard_traces(vec![split.1, split.0]);
+        assert_eq!(merged_one, merged_two);
+        // Global seq is reassigned densely over the merged order.
+        let seqs: Vec<u64> = merged_one.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        // (at, node, per-node seq) order: t=10 node 1, t=10 node 2 (both),
+        // then t=20 node 1.
+        let nodes: Vec<NodeId> = merged_one.iter().map(|r| r.node).collect();
+        assert_eq!(nodes, vec![1, 2, 2, 1]);
     }
 
     /// A Vec writer that is Send and lets the test read what was written.

@@ -10,7 +10,7 @@ use wsn_chaos::{FaultPlan, GeParams, GilbertElliott};
 use wsn_core::chaos::run_plan;
 use wsn_core::prelude::*;
 use wsn_sim::link::LinkProcess;
-use wsn_sim::parallel::run_trials_on;
+use wsn_sim::parallel::{run_trials, Jobs};
 use wsn_trace::{MemorySink, Timeline};
 
 fn params(n: usize, density: f64, seed: u64) -> SetupParams {
@@ -71,7 +71,7 @@ proptest! {
     fn fault_runs_are_identical_across_thread_counts(master_seed in 0u64..1_000) {
         let trials = 3;
         let run = |threads: usize| -> Vec<String> {
-            run_trials_on(master_seed, trials, threads, |_, seed| chaotic_trace(seed))
+            run_trials(master_seed, trials, Jobs::Fixed(threads), |_, seed| chaotic_trace(seed))
         };
         let one = run(1);
         prop_assert_eq!(&one, &run(2));

@@ -1,7 +1,7 @@
 //! Reproducibility: a master seed fully determines every experiment.
 
 use wsn_core::prelude::*;
-use wsn_sim::parallel::run_trials_on;
+use wsn_sim::parallel::{run_trials, Jobs};
 
 fn setup(seed: u64) -> SetupOutcome {
     run_setup(&SetupParams {
@@ -66,7 +66,7 @@ fn parallel_trial_results_independent_of_thread_count() {
         });
         (o.report.n_heads, o.report.mean_keys_per_node.to_bits())
     };
-    let seq = run_trials_on(5, 8, 1, experiment);
-    let par4 = run_trials_on(5, 8, 4, experiment);
+    let seq = run_trials(5, 8, Jobs::Fixed(1), experiment);
+    let par4 = run_trials(5, 8, Jobs::Fixed(4), experiment);
     assert_eq!(seq, par4);
 }

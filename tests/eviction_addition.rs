@@ -197,7 +197,7 @@ fn joined_node_can_report_to_base_station() {
         n: 300,
         density: 14.0,
         seed: 8,
-        cfg: ProtocolConfig::default().with_recovery(),
+        cfg: ProtocolConfig::default().with_recovery(RecoveryConfig::default()),
     });
     o.handle.establish_gradient();
     let new_ids = o.handle.add_nodes(5);
@@ -344,7 +344,8 @@ fn retained_reboot_misses_epochs_then_recovers_by_catch_up() {
 
     // Recovery on: the node catches up to the network epoch (N+1 relative
     // to anything it held) and delivers again.
-    let (epoch, delivered) = run(ProtocolConfig::default().with_recovery());
+    let (epoch, delivered) =
+        run(ProtocolConfig::default().with_recovery(RecoveryConfig::default()));
     assert_eq!(epoch, 2, "recovery must ratchet the node to the live epoch");
     assert!(delivered, "a healed node's reading must deliver");
 }

@@ -84,7 +84,7 @@ fn recovery_lifts_steady_state_delivery_to_95_percent_under_20_percent_loss() {
     // per-hop survival of 0.8 into effectively 1 - 0.2^4, so the
     // aggregate delivery floor jumps from 65% to 95%.
     let (delivered, attempted, retransmits) =
-        lossy_delivery(ProtocolConfig::default().with_recovery());
+        lossy_delivery(ProtocolConfig::default().with_recovery(RecoveryConfig::default()));
     assert!(
         delivered * 100 >= attempted * 95,
         "only {delivered}/{attempted} delivered under 20% loss with recovery on"

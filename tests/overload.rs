@@ -62,7 +62,7 @@ proptest! {
         pace in 800u64..4_000,
         partition_at in 200_000u64..600_000,
     ) {
-        let cfg = ProtocolConfig::default().with_recovery().with_resources();
+        let cfg = ProtocolConfig::default().with_recovery(RecoveryConfig::default()).with_resources(ResourceConfig::default());
         let caps = cfg.resources;
         let mut o = Scenario::new(params(seed, cfg)).run();
         o.handle.establish_gradient();
@@ -119,7 +119,7 @@ proptest! {
         loss in 0.0f64..0.25,
         data_frames in 80usize..300,
     ) {
-        let cfg = ProtocolConfig::default().with_recovery().with_resources();
+        let cfg = ProtocolConfig::default().with_recovery(RecoveryConfig::default()).with_resources(ResourceConfig::default());
         let mut o = Scenario::new(params(seed, cfg))
             .radio(RadioConfig::default().with_loss(loss))
             .run();
@@ -162,7 +162,9 @@ proptest! {
 /// old-key traffic dies.
 #[test]
 fn stale_epoch_flood_is_quarantined() {
-    let cfg = ProtocolConfig::default().with_recovery().with_resources();
+    let cfg = ProtocolConfig::default()
+        .with_recovery(RecoveryConfig::default())
+        .with_resources(ResourceConfig::default());
     let mut o = Scenario::new(params(170, cfg)).run();
     o.handle.establish_gradient();
     let horizon = 1_200_000u64;
@@ -227,10 +229,13 @@ proptest! {
     /// form that stays checkable forever.
     #[test]
     fn disabled_resource_layer_is_byte_identical(seed in 0u64..500) {
-        let plain = ProtocolConfig::default().with_recovery();
-        let hostile_but_disabled = ProtocolConfig::default()
-            .with_recovery()
-            .with_resources_config(ResourceConfig {
+        let plain = ProtocolConfig::default().with_recovery(RecoveryConfig::default());
+        // `with_resources` switches the layer on by design, so the
+        // disabled-but-hostile config is installed through the plain
+        // field — the builder is for *enabling* the layer.
+        let mut hostile_but_disabled =
+            ProtocolConfig::default().with_recovery(RecoveryConfig::default());
+        hostile_but_disabled.resources = ResourceConfig {
                 enabled: false,
                 max_pending_readings: 1,
                 max_retx_pending: 1,
@@ -242,7 +247,7 @@ proptest! {
                 neighbor_burst: 0,
                 quarantine_threshold: 1,
                 quarantine_duration: 1,
-            });
+            };
 
         let a = traced_flood_run(seed, plain);
         let b = traced_flood_run(seed, hostile_but_disabled);

@@ -15,7 +15,7 @@ fn killed_head_triggers_failover_and_keys_stay_current() {
         n: 300,
         density: 14.0,
         seed: 11,
-        cfg: ProtocolConfig::default().with_recovery(),
+        cfg: ProtocolConfig::default().with_recovery(RecoveryConfig::default()),
     })
     .trace(MemorySink::new())
     .run();
@@ -128,7 +128,7 @@ proptest! {
             n: 150,
             density: 12.0,
             seed,
-            cfg: ProtocolConfig::default().with_recovery(),
+            cfg: ProtocolConfig::default().with_recovery(RecoveryConfig::default()),
         })
         .trace(MemorySink::new())
         .run();

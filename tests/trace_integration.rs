@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use wsn_core::prelude::*;
-use wsn_sim::parallel::run_trials_on;
+use wsn_sim::parallel::{run_trials, Jobs};
 use wsn_trace::{FrameKind, MemorySink, NullSink, Timeline, TraceEvent};
 
 fn params(n: usize, density: f64, seed: u64) -> SetupParams {
@@ -41,12 +41,12 @@ proptest! {
 
     /// The acceptance gate for determinism: for a fixed master seed, the
     /// traces of every trial are byte-identical no matter how many
-    /// worker threads `run_trials_on` spreads the trials over.
+    /// worker threads `run_trials` spreads the trials over.
     #[test]
     fn trace_is_identical_across_thread_counts(master_seed in 0u64..1_000) {
         let trials = 4;
         let run = |threads: usize| -> Vec<String> {
-            run_trials_on(master_seed, trials, threads, |_, seed| {
+            run_trials(master_seed, trials, Jobs::Fixed(threads), |_, seed| {
                 traced_jsonl(60, 8.0, seed)
             })
         };
@@ -165,7 +165,7 @@ fn timeline_reconstructs_the_election() {
 #[test]
 fn traced_and_untraced_trials_agree() {
     let heads = |traced: bool| -> Vec<usize> {
-        run_trials_on(99, 3, 2, move |_, seed| {
+        run_trials(99, 3, Jobs::Fixed(2), move |_, seed| {
             let p = params(60, 8.0, seed);
             if traced {
                 Scenario::new(p)
