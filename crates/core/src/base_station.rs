@@ -17,6 +17,7 @@ use crate::forward::{
 use crate::fusion::DedupCache;
 use crate::msg::{ClusterId, DataUnit, Inner, Message};
 use crate::node::DropCounts;
+use crate::persist::{BsSnapshot, StateMutation, SEQ_RESERVE_STRIDE};
 use crate::refresh;
 use crate::routing::Gradient;
 use crate::transport::Transport;
@@ -97,6 +98,10 @@ pub struct BaseStation {
     last_route_reply: Option<wsn_sim::event::SimTime>,
     /// Reusable decrypt buffer for the receive path.
     rx_scratch: Vec<u8>,
+    /// Crash-safety journal: when enabled (see [`Self::enable_journal`]),
+    /// every durable state change is recorded here for the host to drain
+    /// into a write-ahead log. `None` costs nothing on the hot path.
+    journal: Option<Vec<StateMutation>>,
     /// Copies suppressed as multi-path duplicates.
     pub duplicates: u64,
     /// Accepted readings, in arrival order.
@@ -144,6 +149,7 @@ impl BaseStation {
             sealers: SealerCache::new(),
             last_route_reply: None,
             rx_scratch: Vec::new(),
+            journal: None,
             duplicates: 0,
             received: Vec::new(),
             drops: DropCounts::default(),
@@ -169,6 +175,10 @@ impl BaseStation {
     /// Queues a revocation command for the given clusters and marks the
     /// member nodes evicted. Fired on the next [`TIMER_REVOKE`].
     pub fn queue_revocation(&mut self, cids: Vec<ClusterId>, compromised_nodes: Vec<u32>) {
+        self.record(|| StateMutation::RevokeQueued {
+            cids: cids.clone(),
+            nodes: compromised_nodes.clone(),
+        });
         self.evicted.extend(compromised_nodes);
         self.pending_revocations.push(cids);
     }
@@ -176,6 +186,7 @@ impl BaseStation {
     /// Rolls every cluster key forward one hash-refresh epoch (the BS
     /// tracks the network's epoch).
     pub fn apply_hash_refresh(&mut self) {
+        self.record(|| StateMutation::EpochRatchet);
         for kc in self.cluster_keys.values_mut() {
             *kc = refresh::hash_step(kc);
         }
@@ -186,6 +197,7 @@ impl BaseStation {
     /// Registers a node provisioned after initial deployment (§IV-E): its
     /// `Ki` joins the registry and its potential cluster key the key map.
     pub fn register_node(&mut self, id: u32, ki: Key128, kc: Key128) {
+        self.record(|| StateMutation::Join { id, ki, kc });
         self.registry.insert(id, ki);
         self.cluster_keys.insert(id, kc);
     }
@@ -197,6 +209,7 @@ impl BaseStation {
     pub fn take_node_state(&mut self, node: u32) -> Option<crate::sink::SinkNodeState> {
         let ki = self.registry.remove(&node)?;
         let window = self.windows.remove(&node).unwrap_or_default();
+        self.record(|| StateMutation::RehomeOut { node });
         Some(crate::sink::SinkNodeState {
             id: node,
             ki,
@@ -208,6 +221,11 @@ impl BaseStation {
     /// taken from another sink. The replay window travels with the key so
     /// a handoff never re-opens the counter-replay surface.
     pub fn install_node_state(&mut self, state: crate::sink::SinkNodeState) {
+        self.record(|| StateMutation::RehomeIn {
+            node: state.id,
+            ki: state.ki,
+            last_ctr: state.window.last(),
+        });
         self.registry.insert(state.id, state.ki);
         self.windows.insert(state.id, state.window);
     }
@@ -225,6 +243,7 @@ impl BaseStation {
     /// heads generate random keys the BS cannot derive; the simulation
     /// harness syncs it — see DESIGN.md "known deviations").
     pub fn set_cluster_key(&mut self, cid: ClusterId, kc: Key128) {
+        self.record(|| StateMutation::ClusterKey { cid, kc });
         self.cluster_keys.insert(cid, kc);
         if cid == self.id {
             self.own_kc = kc;
@@ -234,6 +253,14 @@ impl BaseStation {
     fn next_seq(&mut self) -> u64 {
         let s = self.seq;
         self.seq += 1;
+        if s.is_multiple_of(SEQ_RESERVE_STRIDE) {
+            // Journal a watermark once per stride, not per frame; restores
+            // skip past it so CTR nonces never repeat (see
+            // [`crate::persist::SEQ_RESERVE_STRIDE`]).
+            self.record(|| StateMutation::SeqReserve {
+                next: s + SEQ_RESERVE_STRIDE,
+            });
+        }
         s
     }
 
@@ -308,11 +335,15 @@ impl BaseStation {
             (CounterMode::Explicit, None) => None,
         };
         match accepted {
-            Some((data, ctr)) => self.received.push(Reading {
-                src: unit.src,
-                data,
-                ctr: Some(ctr),
-            }),
+            Some((data, ctr)) => {
+                let src = unit.src;
+                self.record(|| StateMutation::CounterAccept { src, ctr });
+                self.received.push(Reading {
+                    src,
+                    data,
+                    ctr: Some(ctr),
+                });
+            }
             None => self.counter_rejects += 1,
         }
     }
@@ -418,6 +449,193 @@ impl BaseStation {
     }
 }
 
+/// Crash recovery: the mutation journal and snapshot/restore (see
+/// [`crate::persist`]).
+impl BaseStation {
+    /// Records a mutation if journaling is on. The closure keeps the
+    /// disabled path allocation-free — most deployments (the simulator,
+    /// the loopback engine) never enable the journal.
+    fn record(&mut self, m: impl FnOnce() -> StateMutation) {
+        if let Some(j) = self.journal.as_mut() {
+            j.push(m());
+        }
+    }
+
+    /// Turns on the mutation journal. From this point every durable state
+    /// change is buffered until the host collects it with
+    /// [`Self::drain_journal`] and appends it to a write-ahead log.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Takes the mutations buffered since the last drain (empty if the
+    /// journal is disabled). The host must persist these **before**
+    /// releasing any output the dispatch produced (WAL-before-ACK): an
+    /// acknowledged reading must never be lost to a crash.
+    pub fn drain_journal(&mut self) -> Vec<StateMutation> {
+        match self.journal.as_mut() {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
+        }
+    }
+
+    /// Cuts a full snapshot of the durable state (a WAL compaction
+    /// point). Maps are sorted so equal states snapshot byte-identically.
+    pub fn snapshot(&self) -> BsSnapshot {
+        let mut registry: Vec<(u32, Key128)> =
+            self.registry.iter().map(|(k, v)| (*k, *v)).collect();
+        registry.sort_unstable_by_key(|(id, _)| *id);
+        let mut cluster_keys: Vec<(ClusterId, Key128)> =
+            self.cluster_keys.iter().map(|(k, v)| (*k, *v)).collect();
+        cluster_keys.sort_unstable_by_key(|(cid, _)| *cid);
+        let mut windows: Vec<(u32, Option<u64>)> = self
+            .windows
+            .iter()
+            .map(|(src, w)| (*src, w.last()))
+            .collect();
+        windows.sort_unstable_by_key(|(src, _)| *src);
+        BsSnapshot {
+            id: self.id,
+            epoch: self.epoch,
+            seq: self.seq,
+            revoke_seq: self.revoke_seq,
+            chain_next: self.chain.position() as u32,
+            link_advertised: self.link_advertised,
+            registry,
+            cluster_keys,
+            windows,
+            evicted: self.evicted.clone(),
+            pending_revocations: self.pending_revocations.clone(),
+            pending_reveals: self.pending_reveals.clone(),
+        }
+    }
+
+    /// Rebuilds a base station from a snapshot. `km` and `chain` are
+    /// re-derived from the provisioning seed (they are never persisted —
+    /// see [`crate::persist`]); the chain is fast-forwarded to the
+    /// snapshot position here. The restored seq rounds up two
+    /// [`SEQ_RESERVE_STRIDE`]s so no CTR nonce from the previous
+    /// incarnation can repeat.
+    pub fn from_snapshot(
+        cfg: ProtocolConfig,
+        km: Key128,
+        mut chain: KeyChain,
+        snap: BsSnapshot,
+    ) -> Self {
+        chain.skip_to(snap.chain_next as usize);
+        let cluster_keys: HashMap<ClusterId, Key128> = snap.cluster_keys.into_iter().collect();
+        let own_kc = *cluster_keys
+            .get(&snap.id)
+            .expect("snapshot must carry the BS's own cluster key");
+        let dedup = DedupCache::new(cfg.dedup_cache);
+        let windows = snap
+            .windows
+            .into_iter()
+            .map(|(src, last)| {
+                let mut w = CounterWindow::new();
+                if let Some(c) = last {
+                    let _ = w.accept(c);
+                }
+                (src, w)
+            })
+            .collect();
+        BaseStation {
+            cfg,
+            id: snap.id,
+            km,
+            own_kc,
+            registry: snap.registry.into_iter().collect(),
+            cluster_keys,
+            chain,
+            revoke_seq: snap.revoke_seq,
+            pending_revocations: snap.pending_revocations,
+            pending_reveals: snap.pending_reveals,
+            windows,
+            evicted: snap.evicted,
+            seq: (snap.seq / SEQ_RESERVE_STRIDE + 2) * SEQ_RESERVE_STRIDE,
+            epoch: snap.epoch,
+            link_advertised: snap.link_advertised,
+            dedup,
+            sealers: SealerCache::new(),
+            last_route_reply: None,
+            rx_scratch: Vec::new(),
+            journal: None,
+            duplicates: 0,
+            received: Vec::new(),
+            drops: DropCounts::default(),
+            counter_rejects: 0,
+        }
+    }
+
+    /// Replays one journaled mutation (WAL recovery). Mutations are
+    /// applied in journal order on top of the snapshot state; replay
+    /// never re-journals and never produces protocol output — the
+    /// broadcasts that once accompanied these mutations already happened
+    /// in the previous incarnation.
+    pub fn apply_mutation(&mut self, m: &StateMutation) {
+        match m {
+            StateMutation::Join { id, ki, kc } => {
+                self.registry.insert(*id, *ki);
+                self.cluster_keys.insert(*id, *kc);
+            }
+            StateMutation::EpochRatchet => {
+                for kc in self.cluster_keys.values_mut() {
+                    *kc = refresh::hash_step(kc);
+                }
+                self.own_kc = self.cluster_keys[&self.id];
+                self.epoch += 1;
+            }
+            StateMutation::RevokeQueued { cids, nodes } => {
+                self.evicted.extend_from_slice(nodes);
+                self.pending_revocations.push(cids.clone());
+            }
+            StateMutation::RevokeFired { seq, two_phase } => {
+                if !self.pending_revocations.is_empty() {
+                    self.pending_revocations.remove(0);
+                }
+                let link = self.chain.reveal_next();
+                self.revoke_seq = *seq;
+                if let (true, Some(link)) = (*two_phase, link) {
+                    self.pending_reveals.push((*seq, link));
+                }
+            }
+            StateMutation::RevokeExhausted => {
+                if !self.pending_revocations.is_empty() {
+                    self.pending_revocations.remove(0);
+                }
+            }
+            StateMutation::RevealFlushed => self.pending_reveals.clear(),
+            StateMutation::CounterAccept { src, ctr } => {
+                let _ = self.windows.entry(*src).or_default().accept(*ctr);
+            }
+            StateMutation::ClusterKey { cid, kc } => {
+                self.cluster_keys.insert(*cid, *kc);
+                if *cid == self.id {
+                    self.own_kc = *kc;
+                }
+            }
+            StateMutation::RehomeOut { node } => {
+                self.registry.remove(node);
+                self.windows.remove(node);
+            }
+            StateMutation::RehomeIn { node, ki, last_ctr } => {
+                self.registry.insert(*node, *ki);
+                let mut w = CounterWindow::new();
+                if let Some(c) = last_ctr {
+                    let _ = w.accept(*c);
+                }
+                self.windows.insert(*node, w);
+            }
+            StateMutation::SeqReserve { next } => {
+                self.seq = self.seq.max(next + SEQ_RESERVE_STRIDE);
+            }
+            StateMutation::LinkAdvertised => self.link_advertised = true,
+        }
+    }
+}
+
 impl BaseStation {
     /// The start hook body, generic over the transport backend. The
     /// simulator reaches it through the [`App`] adapter below; the
@@ -436,6 +654,7 @@ impl BaseStation {
     pub fn dispatch_timer(&mut self, ctx: &mut impl Transport, key: TimerKey) {
         match key {
             TIMER_BS_LINK => {
+                self.record(|| StateMutation::LinkAdvertised);
                 self.link_advertised = true;
                 let seq = self.next_seq();
                 let (nonce, sealed) = seal_setup_with(
@@ -476,10 +695,13 @@ impl BaseStation {
                 for cids in std::mem::take(&mut self.pending_revocations) {
                     let Some(link) = self.chain.reveal_next() else {
                         // Chain exhausted; command cannot be authenticated.
+                        self.record(|| StateMutation::RevokeExhausted);
                         self.drops.wrong_phase += 1;
                         continue;
                     };
                     self.revoke_seq += 1;
+                    let (seq, two_phase) = (self.revoke_seq, self.cfg.two_phase_revocation);
+                    self.record(|| StateMutation::RevokeFired { seq, two_phase });
                     if self.cfg.two_phase_revocation {
                         // Phase 1: announce under the undisclosed link.
                         let tag = crate::evict::revoke_tag(&link, self.revoke_seq, &cids);
@@ -499,6 +721,9 @@ impl BaseStation {
                 }
             }
             TIMER_REVEAL => {
+                if !self.pending_reveals.is_empty() {
+                    self.record(|| StateMutation::RevealFlushed);
+                }
                 for (seq, link) in std::mem::take(&mut self.pending_reveals) {
                     ctx.broadcast(Message::RevokeReveal { seq, link }.encode());
                 }
@@ -668,6 +893,75 @@ mod tests {
         assert_eq!(bs.epoch(), 1);
         assert_ne!(bs.own_kc, before);
         assert_eq!(bs.own_kc, refresh::cluster_key_at_epoch(&p.kmc(), 0, 1));
+    }
+
+    #[test]
+    fn journal_replay_reproduces_state() {
+        // Drive one BS through every journaled mutation class, then
+        // rebuild a second from an *earlier* snapshot plus the journal —
+        // the two must snapshot identically (modulo the seq round-up).
+        let cfg = ProtocolConfig::default().with_counter_mode(CounterMode::Explicit);
+        let (mut bs, p) = bs_with(cfg.clone());
+        bs.enable_journal();
+        let base = bs.snapshot();
+
+        bs.accept_data(sealed_unit(&p, 2, 0, b"r0", true));
+        bs.accept_data(sealed_unit(&p, 2, 7, b"r7", true));
+        bs.apply_hash_refresh();
+        bs.register_node(9, Key128::from_bytes([9; 16]), Key128::from_bytes([10; 16]));
+        bs.queue_revocation(vec![3], vec![3]);
+        bs.set_cluster_key(1, Key128::from_bytes([0x55; 16]));
+        let taken = bs.take_node_state(2).unwrap();
+        bs.install_node_state(taken);
+        let journal = bs.drain_journal();
+        assert!(!journal.is_empty());
+
+        let mut restored =
+            BaseStation::from_snapshot(cfg, p.km(), p.revocation_chain(), base.clone());
+        for m in &journal {
+            restored.apply_mutation(m);
+        }
+        let mut want = bs.snapshot();
+        let mut got = restored.snapshot();
+        // Seq restores conservatively (rounded up); everything else exact.
+        assert!(got.seq >= want.seq);
+        want.seq = 0;
+        got.seq = 0;
+        assert_eq!(got, want);
+        // The restored station still opens live traffic: epoch keys match.
+        assert_eq!(restored.epoch(), bs.epoch());
+    }
+
+    #[test]
+    fn restored_seq_never_reuses_nonces() {
+        let (mut bs, p) = bs_with(ProtocolConfig::default());
+        bs.enable_journal();
+        for _ in 0..10 {
+            let _ = bs.next_seq();
+        }
+        let snap = bs.snapshot();
+        let journal = bs.drain_journal();
+        let mut restored = BaseStation::from_snapshot(
+            ProtocolConfig::default(),
+            p.km(),
+            p.revocation_chain(),
+            snap,
+        );
+        for m in &journal {
+            restored.apply_mutation(m);
+        }
+        // Every seq the old incarnation could have used (snapshot seq plus
+        // anything up to the next unflushed stride boundary) is below the
+        // restored counter.
+        assert!(restored.next_seq() > bs.next_seq() + crate::persist::SEQ_RESERVE_STRIDE);
+    }
+
+    #[test]
+    fn journal_disabled_is_free() {
+        let (mut bs, p) = bs_with(ProtocolConfig::default());
+        bs.accept_data(sealed_unit(&p, 2, 0, b"r0", false));
+        bs.apply_hash_refresh();
+        assert!(bs.drain_journal().is_empty());
     }
 
     #[test]

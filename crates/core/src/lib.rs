@@ -59,6 +59,7 @@ pub mod join;
 pub mod keys;
 pub mod msg;
 pub mod node;
+pub mod persist;
 pub mod recovery;
 pub mod refresh;
 pub mod resource;

@@ -55,6 +55,20 @@ impl KeyChain {
     pub fn remaining(&self) -> usize {
         self.links.len() - self.next
     }
+
+    /// Index of the next link to reveal (1-based; `1` means no link has
+    /// been revealed yet). Persisted by crash-recovery snapshots so a
+    /// regenerated chain can be fast-forwarded with [`Self::skip_to`].
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
+    /// Fast-forwards the chain so the next reveal returns link `pos`
+    /// (the value a prior [`Self::position`] reported). Clamped to one
+    /// past the final link, i.e. an exhausted chain stays exhausted.
+    pub fn skip_to(&mut self, pos: usize) {
+        self.next = pos.clamp(1, self.links.len());
+    }
 }
 
 /// The sensor-node side: just the latest verified commitment.
@@ -174,5 +188,31 @@ mod tests {
     #[should_panic]
     fn zero_length_chain_panics() {
         let _ = KeyChain::generate(&seed(), 0);
+    }
+
+    #[test]
+    fn position_roundtrips_through_regeneration() {
+        let mut chain = KeyChain::generate(&seed(), 6);
+        let k1 = chain.reveal_next().unwrap();
+        let k2 = chain.reveal_next().unwrap();
+        let pos = chain.position();
+        assert_eq!(pos, 3);
+
+        // A restarted base station regenerates the chain from the same
+        // seed and fast-forwards; the reveal sequence must continue
+        // exactly where the original left off.
+        let mut restored = KeyChain::generate(&seed(), 6);
+        restored.skip_to(pos);
+        assert_eq!(restored.remaining(), chain.remaining());
+        assert_eq!(restored.reveal_next(), chain.reveal_next());
+        let _ = (k1, k2);
+    }
+
+    #[test]
+    fn skip_to_past_end_exhausts() {
+        let mut chain = KeyChain::generate(&seed(), 2);
+        chain.skip_to(99);
+        assert_eq!(chain.remaining(), 0);
+        assert!(chain.reveal_next().is_none());
     }
 }

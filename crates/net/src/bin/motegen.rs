@@ -13,7 +13,8 @@
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
-use wsn_net::load::{provision_motes, run, LoadParams};
+use wsn_net::load::{provision_motes, run, EpochSchedule, LoadParams, RetryConfig};
+use wsn_net::FaultConfig;
 
 fn opt(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -37,7 +38,10 @@ fn main() {
         eprintln!(
             "usage: motegen --target HOST:PORT[,HOST:PORT...] [--motes M] [--seed S]\n\
              \x20              [--senders P] [--duration SECS] [--payload BYTES]\n\
-             \x20              [--rate READINGS_PER_SEC] [--sample 1_IN_K] [--sinks K]"
+             \x20              [--rate READINGS_PER_SEC] [--sample 1_IN_K] [--sinks K]\n\
+             \x20              [--arq] [--timeout-ms MS] [--retries N] [--window W]\n\
+             \x20              [--fault-seed S] [--genesis UNIX_US] [--refresh-period SECS]\n\
+             \x20              [--refresh-epochs N]"
         );
         return;
     }
@@ -68,6 +72,33 @@ fn main() {
         // --sinks K: mote id → target id % K (a fleet of partitioned
         // `wsn-bs --sink I --sinks K` daemons), instead of round-robin.
         sinks: num(&args, "--sinks", 1) as usize,
+        // --arq: retransmit until acknowledged; the knobs default to
+        // the crash-soak schedule.
+        retry: args.iter().any(|a| a == "--arq").then(|| {
+            let soak = RetryConfig::soak();
+            RetryConfig {
+                timeout_us: num(&args, "--timeout-ms", soak.timeout_us / 1000) * 1000,
+                max_retries: num(&args, "--retries", soak.max_retries as u64) as u32,
+                window: num(&args, "--window", soak.window as u64) as usize,
+                ..soak
+            }
+        }),
+        // --fault-seed S: wrap every sender socket in the deterministic
+        // fault shim with the crash-soak schedule (10% bursty drop +
+        // reorder), sub-seeded per thread.
+        faults: opt(&args, "--fault-seed").map(|v| {
+            FaultConfig::soak(v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --fault-seed: {v}");
+                std::process::exit(2);
+            }))
+        }),
+        // Shared wall-clock refresh schedule, mirroring the daemon's
+        // `--genesis/--refresh-*` flags.
+        epochs: (num(&args, "--refresh-epochs", 0) > 0).then(|| EpochSchedule {
+            genesis_us: num(&args, "--genesis", 0),
+            period_us: num(&args, "--refresh-period", 60) * 1_000_000,
+            max_epochs: num(&args, "--refresh-epochs", 0) as u32,
+        }),
     };
     if params.sinks > 1 && params.targets.len() < params.sinks {
         eprintln!(
@@ -104,6 +135,16 @@ fn main() {
         report.acks_seen,
         report.send_errors,
     );
+    if params.retry.is_some() {
+        println!(
+            "arq: acked {}/{} = {:.2}% | retransmits {} | gave up {}",
+            report.acked,
+            report.sent,
+            report.ack_rate() * 100.0,
+            report.retransmits,
+            report.gave_up,
+        );
+    }
     match (report.p50_us, report.p99_us) {
         (Some(p50), Some(p99)) => println!(
             "latency ({} samples): p50 {:.2} ms | p99 {:.2} ms",

@@ -145,6 +145,9 @@ fn main() {
         rate: None,
         latency_sample: 64,
         sinks: 1,
+        retry: None,
+        faults: None,
+        epochs: None,
     };
     eprintln!("net-soak: provisioning motes...");
     let army = provision_motes(motes, seed);

@@ -45,6 +45,8 @@ fn main() {
             "usage: wsn-bs [--port P] [--readers R] [--workers W] [--motes M] [--seed S]\n\
              \x20             [--admit] [--admit-rate N] [--admit-burst N]\n\
              \x20             [--rcvbuf BYTES] [--sink I --sinks K]\n\
+             \x20             [--state-dir DIR] [--dedup N] [--snapshot-bytes B]\n\
+             \x20             [--genesis UNIX_US] [--refresh-period SECS] [--refresh-epochs N]\n\
              \x20             [--duration SECS] [--interval SECS]"
         );
         return;
@@ -60,9 +62,29 @@ fn main() {
     // Recovery on (the BS ACKs every accepted reading, which is what
     // motegen measures RTT against); explicit counters so drops never
     // desynchronize the end-to-end window.
-    let cfg = ProtocolConfig::default()
+    let mut cfg = ProtocolConfig::default()
         .with_recovery(RecoveryConfig::default())
         .with_counter_mode(CounterMode::Explicit);
+    // A bigger dedup ring lets ARQ retransmits of long-gone readings
+    // still find their ACK during crash soaks.
+    cfg.dedup_cache = num(&args, "--dedup", cfg.dedup_cache as u64) as usize;
+
+    // Wall-clock refresh schedule shared with the generator: epoch k
+    // begins at --genesis + k * --refresh-period, so a restarted daemon
+    // and every mote agree on the current epoch with no handshake.
+    let refresh_epochs = num(&args, "--refresh-epochs", 0) as u32;
+    if refresh_epochs > 0 {
+        let genesis = num(&args, "--genesis", 0);
+        if genesis == 0 {
+            eprintln!("wsn-bs: --refresh-epochs needs --genesis UNIX_US");
+            std::process::exit(2);
+        }
+        let period = num(&args, "--refresh-period", 60) * 1_000_000;
+        cfg.erase_km_at = genesis;
+        cfg = cfg.with_auto_refresh(refresh_epochs, period);
+    }
+
+    let state_dir = opt(&args, "--state-dir").map(std::path::PathBuf::from);
 
     let admission = flag(&args, "--admit").then(|| ResourceConfig {
         enabled: true,
@@ -101,6 +123,13 @@ fn main() {
             })
         }),
         sink_partition,
+        state_dir: state_dir.clone(),
+        snapshot_every_bytes: opt(&args, "--snapshot-bytes").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --snapshot-bytes: {v}");
+                std::process::exit(2);
+            })
+        }),
     })
     .unwrap_or_else(|e| {
         eprintln!("wsn-bs: spawn failed: {e}");
@@ -120,6 +149,12 @@ fn main() {
     if let Some((sink, k)) = sink_partition {
         eprintln!("wsn-bs: serving as sink {sink} of {k} (partitioned key registry)");
     }
+    if let Some(dir) = &state_dir {
+        eprintln!(
+            "wsn-bs: durable state in {} (WAL + snapshots)",
+            dir.display()
+        );
+    }
 
     let started = Instant::now();
     let mut last_rx = 0u64;
@@ -132,7 +167,7 @@ fn main() {
         println!(
             "rx {rx} (+{}/s) | accepted {ok} (+{}/s) | tx {} | shed: admit {} quarantine {} \
              queue {} oversize {} | errors: auth {} stale {} malformed {} unknown {} ctr {} | \
-             unroutable {}",
+             unroutable {} | wal {} snap {}",
             (rx - last_rx) / interval,
             (ok - last_ok) / interval,
             s.datagrams_tx.load(Ordering::Relaxed),
@@ -146,6 +181,8 @@ fn main() {
             s.unknown_cluster.load(Ordering::Relaxed),
             s.counter_rejects.load(Ordering::Relaxed),
             s.unroutable.load(Ordering::Relaxed),
+            s.wal_appends.load(Ordering::Relaxed),
+            s.snapshots_written.load(Ordering::Relaxed),
         );
         last_rx = rx;
         last_ok = ok;

@@ -19,12 +19,13 @@
 //! motes over a bounded socket pool), and `net-soak` (a self-contained
 //! CI smoke: in-process base station plus generator on 127.0.0.1).
 
+pub mod fault;
 pub mod load;
 pub mod loopback;
 pub mod udp;
+pub mod wal;
 
-#[allow(deprecated)]
-pub use loopback::LoopbackParams;
+pub use fault::{FaultConfig, FaultCounters, FaultEngine, FaultySocket};
 pub use loopback::{LoopbackCounters, LoopbackNet};
 pub use udp::{NetStats, UdpServer, UdpServerConfig};
 

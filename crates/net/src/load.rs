@@ -17,6 +17,8 @@
 //! matched against unwrapped ACKs for round-trip percentiles, so the
 //! latency map stays small at any send rate.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
@@ -25,17 +27,62 @@ use wsn_core::config::ProtocolConfig;
 use wsn_core::forward::{e2e_seal_with, sealer, unwrap_with, wrap_frame};
 use wsn_core::keys::Provisioner;
 use wsn_core::msg::{DataUnit, Inner, Message};
+use wsn_core::refresh;
 use wsn_crypto::authenc::AuthEnc;
+use wsn_crypto::Key128;
 use wsn_sim::rng::derive_seed;
 
+use crate::fault::{FaultConfig, FaultySocket};
 use crate::udp::wall_us;
+
+/// The network-wide refresh schedule shared by daemon and generator:
+/// refresh epoch `k` begins at `genesis_us + k * period_us` (UNIX
+/// microseconds), capped at `max_epochs`. Mirrors the absolute
+/// boundaries the base station arms (`erase_km_at + k · period`), so
+/// both sides ratchet `Kci` at the same wall-clock instants with no
+/// coordination traffic.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochSchedule {
+    /// `erase_km_at` as an absolute UNIX-microsecond timestamp.
+    pub genesis_us: u64,
+    /// Refresh period, microseconds.
+    pub period_us: u64,
+    /// Total refresh epochs provisioned (`auto_refresh_epochs`).
+    pub max_epochs: u32,
+}
+
+impl EpochSchedule {
+    /// The epoch the schedule says is current at `now_us`.
+    pub fn epoch_at(&self, now_us: u64) -> u32 {
+        if self.period_us == 0 {
+            return 0;
+        }
+        ((now_us.saturating_sub(self.genesis_us) / self.period_us) as u32).min(self.max_epochs)
+    }
+}
+
+/// One sealed reading plus everything needed to retransmit it.
+pub struct Reading {
+    /// The wire frame (Step-2 wrap with a fresh `τ`).
+    pub frame: bytes::Bytes,
+    /// Dedup key the base station acknowledges under.
+    pub ack_key: u64,
+    /// End-to-end counter baked into the Step-1 seal.
+    pub ctr: u64,
+    /// The Step-1 sealed body. Retransmits reuse it verbatim, so the
+    /// dedup key — and therefore the ACK — is identical on every
+    /// attempt, while each attempt still gets a fresh `τ` and nonce.
+    pub sealed: bytes::Bytes,
+}
 
 /// One simulated mote: a singleton cluster head with prebuilt cipher
 /// schedules for both protocol layers.
 pub struct Mote {
     /// Node id (= cluster id).
     pub id: u32,
-    /// Step-2 sealer under the cluster key `Kci`.
+    /// Current cluster key `Kci` (ratcheted per refresh epoch).
+    kci: Key128,
+    /// Step-2 sealer under `Kci`.
     kc: AuthEnc,
     /// Step-1 sealer under the end-to-end key `Ki`.
     ki: AuthEnc,
@@ -44,25 +91,50 @@ pub struct Mote {
     /// Frame sequence (nonce input); per-mote, so nonces never repeat
     /// under a key.
     seq: u64,
+    /// Refresh epoch this mote's `Kci` is at.
+    epoch: u32,
 }
 
 impl Mote {
-    /// Builds the next sealed reading frame. Returns the wire frame and
-    /// the ACK key (the data unit's dedup key) the base station will
-    /// acknowledge it under.
-    pub fn next_reading(&mut self, payload_bytes: usize) -> (bytes::Bytes, u64) {
+    /// Builds the next sealed reading frame.
+    pub fn next_reading(&mut self, payload_bytes: usize) -> Reading {
         // Unique body per (mote, counter): the counter is the leading 8
         // bytes, the rest is filler — so dedup keys never collide.
         let mut body = vec![0u8; payload_bytes.max(8)];
         body[..8].copy_from_slice(&self.ctr.to_be_bytes());
         let sealed = e2e_seal_with(&self.ki, self.id, self.ctr, &body);
+        let ctr = self.ctr;
+        self.ctr += 1;
         let unit = DataUnit {
             src: self.id,
-            ctr: Some(self.ctr),
+            ctr: Some(ctr),
             sealed: true,
-            body: sealed,
+            body: sealed.clone(),
         };
         let ack_key = unit.dedup_key();
+        let frame = self.wrap_unit(unit);
+        Reading {
+            frame,
+            ack_key,
+            ctr,
+            sealed,
+        }
+    }
+
+    /// Re-wraps a previously sealed reading for retransmission: same
+    /// Step-1 body and counter (same dedup/ACK key), fresh `τ` and a
+    /// new nonce, so retries pass freshness and never reuse a nonce
+    /// under `Kci`.
+    pub fn rewrap(&mut self, ctr: u64, sealed: &bytes::Bytes) -> bytes::Bytes {
+        self.wrap_unit(DataUnit {
+            src: self.id,
+            ctr: Some(ctr),
+            sealed: true,
+            body: sealed.clone(),
+        })
+    }
+
+    fn wrap_unit(&mut self, unit: DataUnit) -> bytes::Bytes {
         let frame = wrap_frame(
             &self.kc,
             self.id,
@@ -72,9 +144,21 @@ impl Mote {
             1,
             &Inner::Data(unit),
         );
-        self.ctr += 1;
         self.seq += 1;
-        (frame, ack_key)
+        frame
+    }
+
+    /// Ratchets `Kci` forward to whatever epoch the shared schedule says
+    /// is current — the same `hash_step` the daemon and every in-sim
+    /// node apply, so the mote stays unwrappable across refresh
+    /// boundaries (and across a daemon restart that caught up epochs).
+    pub fn sync_epoch(&mut self, sched: &EpochSchedule, now_us: u64) {
+        let target = sched.epoch_at(now_us);
+        while self.epoch < target {
+            self.kci = refresh::hash_step(&self.kci);
+            self.kc = sealer(&self.kci);
+            self.epoch += 1;
+        }
     }
 }
 
@@ -88,13 +172,47 @@ pub fn provision_motes(motes: usize, seed: u64) -> Vec<Mote> {
         let m = provisioner.provision(id);
         army.push(Mote {
             id,
+            kci: m.kci,
             kc: sealer(&m.kci),
             ki: sealer(&m.ki),
             ctr: 0,
             seq: 0,
+            epoch: 0,
         });
     }
     army
+}
+
+/// Client-side ARQ over the recovery layer's ACKs: every reading is
+/// retransmitted (same dedup key, fresh `τ`) until acknowledged or
+/// abandoned. This is what rides out injected loss and base-station
+/// restarts — in-flight readings simply retry until the daemon is back.
+#[derive(Clone, Debug)]
+pub struct RetryConfig {
+    /// Retransmit timeout for the first attempt, µs; doubles per retry.
+    pub timeout_us: u64,
+    /// Retransmits per reading before giving up.
+    pub max_retries: u32,
+    /// Uniform random extra delay added to each retransmit deadline, µs
+    /// — decorrelates the retry storm after a daemon restart.
+    pub jitter_us: u64,
+    /// Per-thread cap on unacknowledged readings; new sends stall while
+    /// the window is full.
+    pub window: usize,
+}
+
+impl RetryConfig {
+    /// The crash-soak schedule: 250 ms initial timeout doubling over 6
+    /// retries (~16 s of patience — enough to span a kill + restart),
+    /// 50 ms jitter, 64 readings in flight per thread.
+    pub fn soak() -> Self {
+        RetryConfig {
+            timeout_us: 250_000,
+            max_retries: 6,
+            jitter_us: 50_000,
+            window: 64,
+        }
+    }
 }
 
 /// Load-run parameters.
@@ -125,6 +243,15 @@ pub struct LoadParams {
     /// daemons whose partitioned registries hold exactly those motes.
     /// `0` or `1` keeps the legacy round-robin spray.
     pub sinks: usize,
+    /// Client-side ARQ (`None` = fire-and-forget, the legacy behavior:
+    /// loss shows up as missing ACKs, nothing is retransmitted).
+    pub retry: Option<RetryConfig>,
+    /// Seeded fault injection wrapped around every sender socket; each
+    /// thread gets a sub-seeded copy so schedules never collide.
+    pub faults: Option<FaultConfig>,
+    /// Shared refresh schedule: motes hash-ratchet `Kci` at its epoch
+    /// boundaries exactly as the daemon does (`None` = no refresh).
+    pub epochs: Option<EpochSchedule>,
 }
 
 /// What a load run measured.
@@ -149,14 +276,78 @@ pub struct LoadReport {
     pub p50_us: Option<u64>,
     /// 99th-percentile round-trip, µs, if sampled.
     pub p99_us: Option<u64>,
+    /// Unique readings acknowledged end-to-end (ARQ mode only).
+    pub acked: u64,
+    /// Retransmissions sent (ARQ mode only).
+    pub retransmits: u64,
+    /// Readings abandoned after exhausting their retries (ARQ mode
+    /// only).
+    pub gave_up: u64,
+}
+
+impl LoadReport {
+    /// Fraction of unique readings acknowledged end-to-end (ARQ mode).
+    pub fn ack_rate(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        self.acked as f64 / self.sent as f64
+    }
 }
 
 /// Per-thread tallies merged into the final report.
+#[derive(Default)]
 struct ThreadTally {
     sent: u64,
     acks_seen: u64,
     send_errors: u64,
     samples: Vec<u64>,
+    acked: u64,
+    retransmits: u64,
+    gave_up: u64,
+}
+
+/// A sender socket, optionally behind the deterministic fault shim.
+enum LoadSocket {
+    Plain(UdpSocket),
+    Faulty(Box<FaultySocket>),
+}
+
+impl LoadSocket {
+    fn bind(thread_idx: usize, params: &LoadParams) -> io::Result<LoadSocket> {
+        let socket = UdpSocket::bind("127.0.0.1:0").or_else(|_| UdpSocket::bind("0.0.0.0:0"))?;
+        socket.set_nonblocking(true)?;
+        Ok(match &params.faults {
+            Some(f) => {
+                let cfg = FaultConfig {
+                    seed: derive_seed(f.seed, 7_000 + thread_idx as u64),
+                    ..f.clone()
+                };
+                // This thread is link `idx + 1`; the daemon end is 0.
+                LoadSocket::Faulty(Box::new(FaultySocket::new(
+                    socket,
+                    cfg,
+                    thread_idx as u32 + 1,
+                    0,
+                )))
+            }
+            None => LoadSocket::Plain(socket),
+        })
+    }
+
+    fn send_to(&mut self, buf: &[u8], to: SocketAddr) -> io::Result<usize> {
+        match self {
+            LoadSocket::Plain(s) => s.send_to(buf, to),
+            LoadSocket::Faulty(s) => s.send_to(buf, to),
+        }
+    }
+
+    fn recv_from(&mut self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        match self {
+            LoadSocket::Plain(s) => s.recv_from(buf),
+            LoadSocket::Faulty(s) => s.recv_from(buf),
+        }
+    }
 }
 
 /// Runs the load: partitions the mote army across `senders` threads,
@@ -186,7 +377,10 @@ pub fn run(params: &LoadParams, army: Vec<Mote>) -> io::Result<LoadReport> {
         let params = params.clone();
         let cfg = cfg.clone();
         handles.push(std::thread::spawn(move || -> io::Result<ThreadTally> {
-            sender_loop(p, motes, &params, &cfg)
+            match params.retry.clone() {
+                Some(rc) => sender_loop_arq(p, motes, &params, &cfg, &rc),
+                None => sender_loop(p, motes, &params, &cfg),
+            }
         }));
     }
 
@@ -200,6 +394,9 @@ pub fn run(params: &LoadParams, army: Vec<Mote>) -> io::Result<LoadReport> {
         report.sent += tally.sent;
         report.acks_seen += tally.acks_seen;
         report.send_errors += tally.send_errors;
+        report.acked += tally.acked;
+        report.retransmits += tally.retransmits;
+        report.gave_up += tally.gave_up;
         all_samples.extend(tally.samples);
     }
     report.elapsed = start.elapsed();
@@ -219,14 +416,8 @@ fn sender_loop(
     params: &LoadParams,
     cfg: &ProtocolConfig,
 ) -> io::Result<ThreadTally> {
-    let socket = UdpSocket::bind("127.0.0.1:0").or_else(|_| UdpSocket::bind("0.0.0.0:0"))?;
-    socket.set_nonblocking(true)?;
-    let mut tally = ThreadTally {
-        sent: 0,
-        acks_seen: 0,
-        send_errors: 0,
-        samples: Vec::new(),
-    };
+    let mut socket = LoadSocket::bind(thread_idx, params)?;
+    let mut tally = ThreadTally::default();
     if motes.is_empty() {
         return Ok(tally);
     }
@@ -244,7 +435,15 @@ fn sender_loop(
         if let Some(rate) = per_thread_rate {
             let budget = (start.elapsed().as_secs_f64() * rate) as u64;
             if tally.sent >= budget {
-                drain_acks(&socket, &mut rx_buf, &motes, cfg, &mut pending, &mut tally);
+                legacy_drain(
+                    &mut socket,
+                    &mut rx_buf,
+                    &mut motes,
+                    params,
+                    cfg,
+                    &mut pending,
+                    &mut tally,
+                );
                 std::thread::sleep(Duration::from_micros(200));
                 continue;
             }
@@ -253,6 +452,9 @@ fn sender_loop(
         let n = motes.len();
         let mote = &mut motes[mote_idx % n];
         mote_idx += 1;
+        if let Some(sched) = &params.epochs {
+            mote.sync_epoch(sched, wall_us());
+        }
         let target = if params.sinks > 1 {
             // Home-sink routing: the sink holding this mote's `Ki`.
             params.targets[mote.id as usize % params.sinks]
@@ -261,12 +463,12 @@ fn sender_loop(
             target_idx += 1;
             t
         };
-        let (frame, ack_key) = mote.next_reading(params.payload_bytes);
-        match socket.send_to(&frame, target) {
+        let reading = mote.next_reading(params.payload_bytes);
+        match socket.send_to(&reading.frame, target) {
             Ok(_) => {
                 tally.sent += 1;
                 if sample_every > 0 && tally.sent.is_multiple_of(sample_every) {
-                    pending.insert(ack_key, wall_us());
+                    pending.insert(reading.ack_key, wall_us());
                     // Keep the sample map bounded: drop stale samples
                     // (their ACK was lost or shed) once it grows.
                     if pending.len() > 65_536 {
@@ -283,27 +485,286 @@ fn sender_loop(
 
         // Drain replies periodically rather than per send.
         if tally.sent.is_multiple_of(32) {
-            drain_acks(&socket, &mut rx_buf, &motes, cfg, &mut pending, &mut tally);
+            legacy_drain(
+                &mut socket,
+                &mut rx_buf,
+                &mut motes,
+                params,
+                cfg,
+                &mut pending,
+                &mut tally,
+            );
         }
     }
     // Final drain: catch ACKs still in flight at the deadline.
     let grace = Instant::now();
     while grace.elapsed() < Duration::from_millis(200) {
-        drain_acks(&socket, &mut rx_buf, &motes, cfg, &mut pending, &mut tally);
+        legacy_drain(
+            &mut socket,
+            &mut rx_buf,
+            &mut motes,
+            params,
+            cfg,
+            &mut pending,
+            &mut tally,
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     Ok(tally)
 }
 
+/// A reading awaiting its ACK in ARQ mode.
+struct InFlight {
+    /// Index into the thread's mote partition.
+    mote_pos: usize,
+    ctr: u64,
+    sealed: bytes::Bytes,
+    target: SocketAddr,
+    /// Wall time to retransmit at, µs.
+    deadline: u64,
+    /// Retransmits performed so far.
+    attempts: u32,
+    /// First-send time when this reading was latency-sampled.
+    sent_at: Option<u64>,
+}
+
+fn sender_loop_arq(
+    thread_idx: usize,
+    mut motes: Vec<Mote>,
+    params: &LoadParams,
+    cfg: &ProtocolConfig,
+    rc: &RetryConfig,
+) -> io::Result<ThreadTally> {
+    let mut socket = LoadSocket::bind(thread_idx, params)?;
+    let mut tally = ThreadTally::default();
+    if motes.is_empty() {
+        return Ok(tally);
+    }
+    let mut rng = StdRng::seed_from_u64(derive_seed(params.seed, 0x517 + thread_idx as u64));
+    let mut pending: HashMap<u64, InFlight> = HashMap::new();
+    let mut rx_buf = vec![0u8; 2048];
+    let per_thread_rate = params.rate.map(|r| (r as f64) / params.senders as f64);
+    let start = Instant::now();
+    let mut mote_idx = thread_idx;
+    let mut target_idx = thread_idx;
+    let sample_every = params.latency_sample;
+    let mut error_streak = 0u32;
+
+    while start.elapsed() < params.duration {
+        arq_drain(
+            &mut socket,
+            &mut rx_buf,
+            &mut motes,
+            params,
+            cfg,
+            &mut pending,
+            &mut tally,
+        );
+        retransmit_due(
+            &mut socket,
+            &mut motes,
+            params,
+            rc,
+            &mut rng,
+            &mut pending,
+            &mut tally,
+        );
+
+        // Window and rate gates: stall (draining) rather than send.
+        let stalled = pending.len() >= rc.window
+            || per_thread_rate
+                .is_some_and(|rate| tally.sent >= (start.elapsed().as_secs_f64() * rate) as u64);
+        if stalled {
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+
+        let n = motes.len();
+        let pos = mote_idx % n;
+        mote_idx += 1;
+        if let Some(sched) = &params.epochs {
+            motes[pos].sync_epoch(sched, wall_us());
+        }
+        let target = if params.sinks > 1 {
+            params.targets[motes[pos].id as usize % params.sinks]
+        } else {
+            let t = params.targets[target_idx % params.targets.len()];
+            target_idx += 1;
+            t
+        };
+        let reading = motes[pos].next_reading(params.payload_bytes);
+        match socket.send_to(&reading.frame, target) {
+            Ok(_) => {
+                error_streak = 0;
+                tally.sent += 1;
+                let sent_at =
+                    (sample_every > 0 && tally.sent.is_multiple_of(sample_every)).then(wall_us);
+                pending.insert(
+                    reading.ack_key,
+                    InFlight {
+                        mote_pos: pos,
+                        ctr: reading.ctr,
+                        sealed: reading.sealed,
+                        target,
+                        deadline: wall_us() + rc.timeout_us + rng.gen_range(0..=rc.jitter_us),
+                        attempts: 0,
+                        sent_at,
+                    },
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            Err(_) => {
+                // A daemon restart surfaces as an ECONNREFUSED burst on
+                // loopback; back off briefly and let ARQ re-send once
+                // the socket is back.
+                tally.send_errors += 1;
+                error_streak += 1;
+                if error_streak >= 16 {
+                    std::thread::sleep(Duration::from_millis(20));
+                    error_streak = 0;
+                }
+            }
+        }
+    }
+    // Closing drain: keep retransmitting until the window empties or
+    // patience runs out, so readings in flight at the deadline still
+    // count toward the ACK rate.
+    let grace = Instant::now();
+    let patience = Duration::from_micros(rc.timeout_us << (rc.max_retries.min(8) + 1));
+    while !pending.is_empty() && grace.elapsed() < patience.min(Duration::from_secs(20)) {
+        arq_drain(
+            &mut socket,
+            &mut rx_buf,
+            &mut motes,
+            params,
+            cfg,
+            &mut pending,
+            &mut tally,
+        );
+        retransmit_due(
+            &mut socket,
+            &mut motes,
+            params,
+            rc,
+            &mut rng,
+            &mut pending,
+            &mut tally,
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    Ok(tally)
+}
+
+/// Retransmits every in-flight reading past its deadline; abandons
+/// readings that exhausted their retries.
+fn retransmit_due(
+    socket: &mut LoadSocket,
+    motes: &mut [Mote],
+    params: &LoadParams,
+    rc: &RetryConfig,
+    rng: &mut StdRng,
+    pending: &mut HashMap<u64, InFlight>,
+    tally: &mut ThreadTally,
+) {
+    let now = wall_us();
+    let mut abandoned: Vec<u64> = Vec::new();
+    for (key, inf) in pending.iter_mut() {
+        if inf.deadline > now {
+            continue;
+        }
+        if inf.attempts >= rc.max_retries {
+            abandoned.push(*key);
+            continue;
+        }
+        let mote = &mut motes[inf.mote_pos];
+        if let Some(sched) = &params.epochs {
+            mote.sync_epoch(sched, now);
+        }
+        let frame = mote.rewrap(inf.ctr, &inf.sealed);
+        match socket.send_to(&frame, inf.target) {
+            Ok(_) => {}
+            Err(_) => tally.send_errors += 1,
+        }
+        inf.attempts += 1;
+        tally.retransmits += 1;
+        // Exponential backoff with jitter; `wall_us` re-read so a slow
+        // send doesn't compress the next interval.
+        let backoff = rc.timeout_us << inf.attempts.min(16);
+        inf.deadline = wall_us() + backoff + rng.gen_range(0..=rc.jitter_us);
+    }
+    for key in abandoned {
+        pending.remove(&key);
+        tally.gave_up += 1;
+    }
+}
+
 /// Drains the socket non-blocking; unwraps ACK frames under the owning
-/// mote's cluster key and matches them against sampled sends.
-fn drain_acks(
-    socket: &UdpSocket,
+/// mote's cluster key and resolves matching in-flight readings.
+fn arq_drain(
+    socket: &mut LoadSocket,
     buf: &mut [u8],
-    motes: &[Mote],
+    motes: &mut [Mote],
+    params: &LoadParams,
+    cfg: &ProtocolConfig,
+    pending: &mut HashMap<u64, InFlight>,
+    tally: &mut ThreadTally,
+) {
+    let mut acks_seen = 0u64;
+    let mut acked: Vec<InFlight> = Vec::new();
+    drain_acks(socket, buf, motes, params, cfg, |key| {
+        acks_seen += 1;
+        if let Some(inf) = pending.remove(&key) {
+            acked.push(inf);
+        }
+    });
+    tally.acks_seen += acks_seen;
+    let now = wall_us();
+    for inf in acked {
+        tally.acked += 1;
+        if let Some(sent_at) = inf.sent_at {
+            tally.samples.push(now.saturating_sub(sent_at));
+        }
+    }
+}
+
+/// Legacy drain: matches ACKs against the sampled-send map only.
+fn legacy_drain(
+    socket: &mut LoadSocket,
+    buf: &mut [u8],
+    motes: &mut [Mote],
+    params: &LoadParams,
     cfg: &ProtocolConfig,
     pending: &mut HashMap<u64, u64>,
     tally: &mut ThreadTally,
+) {
+    let mut acks_seen = 0u64;
+    let mut matched: Vec<u64> = Vec::new();
+    drain_acks(socket, buf, motes, params, cfg, |key| {
+        acks_seen += 1;
+        if let Some(sent_at) = pending.remove(&key) {
+            matched.push(sent_at);
+        }
+    });
+    tally.acks_seen += acks_seen;
+    let now = wall_us();
+    for sent_at in matched {
+        tally.samples.push(now.saturating_sub(sent_at));
+    }
+}
+
+/// Shared ACK-unwrap plumbing: reads every queued datagram, finds the
+/// owning mote by cluster id, verifies the wrap, and hands each ACK key
+/// to `on_ack`. Epoch sync runs before unwrapping so ACKs keep
+/// verifying across a refresh boundary.
+fn drain_acks(
+    socket: &mut LoadSocket,
+    buf: &mut [u8],
+    motes: &mut [Mote],
+    params: &LoadParams,
+    cfg: &ProtocolConfig,
+    mut on_ack: impl FnMut(u64),
 ) {
     loop {
         let len = match socket.recv_from(buf) {
@@ -326,15 +787,17 @@ fn drain_acks(
             continue;
         }
         let idx = ((cid - first) / stride) as usize;
-        let Some(mote) = motes.get(idx) else { continue };
+        let Some(mote) = motes.get_mut(idx) else {
+            continue;
+        };
+        if let Some(sched) = &params.epochs {
+            mote.sync_epoch(sched, wall_us());
+        }
         let Ok(u) = unwrap_with(&mote.kc, cid, nonce, sealed, wall_us(), cfg) else {
             continue;
         };
         if let Inner::Ack { key } = u.inner {
-            tally.acks_seen += 1;
-            if let Some(sent_at) = pending.remove(&key) {
-                tally.samples.push(wall_us().saturating_sub(sent_at));
-            }
+            on_ack(key);
         }
     }
 }

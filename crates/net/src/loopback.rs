@@ -18,16 +18,16 @@
 //! `wsn_trace::Timeline` reconstruction distinguishes net runs from sim
 //! runs while reusing the same machinery.
 
+use crate::fault::{FaultConfig, FaultCounters, FaultEngine};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use wsn_core::base_station::{BaseStation, TIMER_BEACON};
-use wsn_core::config::ProtocolConfig;
 use wsn_core::keys::Provisioner;
 use wsn_core::node::{PendingReading, ProtocolApp, ProtocolNode, TIMER_SEND};
-use wsn_core::setup::{Backend, Deployment, Scenario, SetupParams};
+use wsn_core::setup::Deployment;
 use wsn_core::sink::SinkSet;
 use wsn_core::transport::Transport;
 use wsn_sim::event::SimTime;
@@ -35,10 +35,11 @@ use wsn_sim::node::{NodeId, TimerKey};
 use wsn_sim::radio::{RadioConfig, MAX_FRAME_BYTES};
 use wsn_sim::rng::derive_seed;
 use wsn_sim::topology::Topology;
-use wsn_trace::{TraceEvent, TraceRecord, TraceSink};
+use wsn_trace::{NetFaultKind, TraceEvent, TraceRecord, TraceSink};
 
 /// What the engine schedules. Mirrors the simulator's event vocabulary
-/// (minus the fault surface, which the loopback backend does not model).
+/// (crash/partition faults stay simulator-only; seeded datagram faults
+/// are modeled here via [`crate::fault::FaultEngine`]).
 #[derive(Debug)]
 enum EventKind {
     /// Run a node's start hook.
@@ -153,26 +154,8 @@ impl Transport for LoopbackCtx<'_> {
     }
 }
 
-/// Scenario parameters for a loopback deployment — the same vocabulary
-/// as `wsn_core::setup::SetupParams`, and seeds derived identically, so
-/// a `(n, density, seed, cfg)` tuple names the same network on both
-/// backends.
-#[deprecated(note = "build a wsn_core Scenario with Backend::Loopback and use \
-            LoopbackNet::from_deployment (or wsn_net::run_scenario)")]
-#[derive(Clone, Debug)]
-pub struct LoopbackParams {
-    /// Number of nodes including the base station (node 0).
-    pub n: usize,
-    /// Target average neighbors per node.
-    pub density: f64,
-    /// Master seed; sub-seeds derived exactly as `Scenario::run` does.
-    pub seed: u64,
-    /// Protocol configuration deployed on every node.
-    pub cfg: ProtocolConfig,
-}
-
 /// Transport-level counters kept by the engine.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LoopbackCounters {
     /// Datagrams handed to application dispatch.
     pub datagrams_rx: u64,
@@ -202,6 +185,7 @@ pub struct LoopbackNet {
     trace_seq: u64,
     events_processed: u64,
     sinks: Option<SinkSet>,
+    faults: Option<FaultEngine>,
 }
 
 impl LoopbackNet {
@@ -240,27 +224,12 @@ impl LoopbackNet {
             trace_seq: 0,
             events_processed: 0,
             sinks,
+            faults: None,
         };
         for id in 0..n as NodeId {
             net.schedule(0, EventKind::Start(id));
         }
         net
-    }
-
-    /// Deploys the network from bare parameters.
-    #[deprecated(note = "build a wsn_core Scenario with Backend::Loopback and use \
-                LoopbackNet::from_deployment (or wsn_net::run_scenario)")]
-    #[allow(deprecated)]
-    pub fn new(params: &LoopbackParams) -> Self {
-        let dep = Scenario::new(SetupParams {
-            n: params.n,
-            density: params.density,
-            seed: params.seed,
-            cfg: params.cfg.clone(),
-        })
-        .backend(Backend::Loopback)
-        .into_deployment();
-        Self::from_deployment(dep)
     }
 
     /// Uses an explicit radio model (timing/loss; the loopback engine
@@ -278,6 +247,20 @@ impl LoopbackNet {
     /// `DatagramTx`/`DatagramRx` kinds.
     pub fn install_trace(&mut self, sink: impl TraceSink + 'static) {
         self.sink = Some(Box::new(sink));
+    }
+
+    /// Installs a seeded datagram-fault schedule, applied per receiver
+    /// at delivery-scheduling time. The engine draws from its own
+    /// private RNG streams (never the loopback engine's), so installing
+    /// a [`FaultConfig::disabled`] schedule — or none — leaves every
+    /// run byte-identical (pinned by the `fault_differential` test).
+    pub fn install_faults(&mut self, cfg: FaultConfig) {
+        self.faults = Some(FaultEngine::new(cfg));
+    }
+
+    /// Perturbations applied by the installed fault schedule, if any.
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.faults.as_ref().map(|e| e.counters())
     }
 
     /// Removes and returns the installed sink (flushed).
@@ -382,6 +365,61 @@ impl LoopbackNet {
         self.scratch = actions;
     }
 
+    /// Schedules one datagram's delivery to one receiver, routing it
+    /// through the installed fault schedule (if any). The fault-free
+    /// path is byte-for-byte the pre-fault engine: one clean Deliver at
+    /// `at`, no extra RNG draws, no allocation beyond the `Bytes` clone.
+    fn deliver(&mut self, from: NodeId, to: NodeId, at: SimTime, payload: &Bytes) {
+        let Some(engine) = self.faults.as_mut() else {
+            self.schedule(
+                at,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    payload: payload.clone(),
+                },
+            );
+            return;
+        };
+        let copies = engine.decide(from, to, payload.len(), at);
+        if copies.is_empty() {
+            self.trace_with(from, || TraceEvent::NetFaultInjected {
+                fault: NetFaultKind::Drop,
+            });
+            return;
+        }
+        if copies.len() > 1 {
+            self.trace_with(from, || TraceEvent::NetFaultInjected {
+                fault: NetFaultKind::Duplicate,
+            });
+        }
+        for copy in copies {
+            if copy.delay_us > 0 {
+                self.trace_with(from, || TraceEvent::NetFaultInjected {
+                    fault: NetFaultKind::Delay,
+                });
+            }
+            let body = if copy.corrupt.is_some() {
+                self.trace_with(from, || TraceEvent::NetFaultInjected {
+                    fault: NetFaultKind::Corrupt,
+                });
+                let mut buf = payload.to_vec();
+                copy.apply_corruption(&mut buf);
+                Bytes::from(buf)
+            } else {
+                payload.clone()
+            };
+            self.schedule(
+                at + copy.delay_us,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    payload: body,
+                },
+            );
+        }
+    }
+
     fn apply(&mut self, id: NodeId, action: Action) {
         match action {
             Action::Broadcast(payload) => {
@@ -396,14 +434,7 @@ impl LoopbackNet {
                 });
                 for i in 0..self.topo.neighbors(id).len() {
                     let to = self.topo.neighbors(id)[i];
-                    self.schedule(
-                        at,
-                        EventKind::Deliver {
-                            from: id,
-                            to,
-                            payload: payload.clone(),
-                        },
-                    );
+                    self.deliver(id, to, at, &payload);
                 }
             }
             Action::Send(to, payload) => {
@@ -417,14 +448,7 @@ impl LoopbackNet {
                     bytes: payload.len() as u32,
                 });
                 if self.topo.neighbors(id).binary_search(&to).is_ok() {
-                    self.schedule(
-                        at,
-                        EventKind::Deliver {
-                            from: id,
-                            to,
-                            payload,
-                        },
-                    );
+                    self.deliver(id, to, at, &payload);
                 }
             }
             Action::SetTimer(key, delay) => {

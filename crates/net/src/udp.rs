@@ -41,11 +41,12 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use wsn_core::base_station::BaseStation;
 use wsn_core::config::{ProtocolConfig, ResourceConfig};
 use wsn_core::keys::Provisioner;
@@ -59,14 +60,38 @@ use wsn_sim::radio::MAX_FRAME_BYTES;
 use wsn_sim::rng::derive_seed;
 use wsn_trace::{TraceEvent, TraceRecord, TraceSink};
 
+use crate::wal::StateStore;
+
 /// Microseconds since the UNIX epoch — the wall-clock realization of
 /// the simulator's virtual `SimTime`. Both `wsn-bs` and `motegen` stamp
-/// `τ` from this, so the freshness window works across processes.
+/// `τ` from this, so the freshness window works across processes. Used
+/// **only** for protocol timestamps; the worker timer wheels run on
+/// [`MonoClock`], which a wall-clock step cannot disturb.
 pub fn wall_us() -> SimTime {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .expect("clock before 1970")
         .as_micros() as SimTime
+}
+
+/// Monotonic microseconds for the worker timer wheels. Timer deadlines
+/// must not jump with the wall clock (NTP steps, manual `date` sets):
+/// only `τ` stamping needs UNIX time, so the wheel measures elapsed
+/// time from a fixed [`Instant`] instead.
+struct MonoClock {
+    epoch: Instant,
+}
+
+impl MonoClock {
+    fn new() -> MonoClock {
+        MonoClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    fn now_us(&self) -> SimTime {
+        self.epoch.elapsed().as_micros() as SimTime
+    }
 }
 
 /// Shared transport counters, updated lock-free by readers and workers.
@@ -100,6 +125,10 @@ pub struct NetStats {
     pub counter_rejects: AtomicU64,
     /// Outgoing frames with no learned return route.
     pub unroutable: AtomicU64,
+    /// Journal batches flushed to the write-ahead log.
+    pub wal_appends: AtomicU64,
+    /// Compacting snapshots written.
+    pub snapshots_written: AtomicU64,
 }
 
 impl NetStats {
@@ -181,6 +210,16 @@ pub struct UdpServerConfig {
     /// of the in-sim multi-sink deployment. `None` = the single-sink
     /// server holding everything.
     pub sink_partition: Option<(u32, u32)>,
+    /// Durable state: `Some(dir)` opens one [`StateStore`] per worker
+    /// shard under `dir` (restoring snapshot + WAL if present) and
+    /// journals every key-state mutation through it, flushed **before**
+    /// the actions it gates are applied (WAL-before-ACK). `None` keeps
+    /// all state in memory.
+    pub state_dir: Option<PathBuf>,
+    /// WAL size that triggers a compacting snapshot, per shard. `None`
+    /// keeps the store's default (1 MiB); soaks force it low so a kill
+    /// lands on a snapshot+tail mix rather than a bare log.
+    pub snapshot_every_bytes: Option<u64>,
 }
 
 impl UdpServerConfig {
@@ -199,6 +238,8 @@ impl UdpServerConfig {
             queue_depth: 4096,
             rcvbuf: None,
             sink_partition: None,
+            state_dir: None,
+            snapshot_every_bytes: None,
         }
     }
 }
@@ -372,7 +413,7 @@ impl UdpServer {
 
         let bs_id = config.sink_partition.map_or(0, |(sink, _)| sink);
         for (w, rx) in worker_rxs.into_iter().enumerate() {
-            let bs = BaseStation::new(
+            let mut bs = BaseStation::new(
                 config.cfg.clone(),
                 bs_id,
                 provisioner.km(),
@@ -380,6 +421,50 @@ impl UdpServer {
                 cluster_keys.clone(),
                 provisioner.revocation_chain(),
             );
+            // Durable shards: restore snapshot + WAL (if any), then
+            // journal everything from here on. Km and the revocation
+            // chain are never persisted — they re-derive from the
+            // provisioning seed, with the chain skipped forward to the
+            // snapshot's reveal position inside `from_snapshot`.
+            let mut store = None;
+            if let Some(dir) = &config.state_dir {
+                let (mut s, recovered) = StateStore::open(dir, w)?;
+                if let Some(bytes) = config.snapshot_every_bytes {
+                    s.snapshot_every_bytes = bytes;
+                }
+                let replayed = recovered.mutations.len() as u32;
+                let restarted = recovered.snapshot.is_some() || replayed > 0;
+                if let Some(snap) = recovered.snapshot {
+                    bs = BaseStation::from_snapshot(
+                        config.cfg.clone(),
+                        provisioner.km(),
+                        provisioner.revocation_chain(),
+                        snap,
+                    );
+                }
+                for m in &recovered.mutations {
+                    bs.apply_mutation(m);
+                }
+                bs.enable_journal();
+                // Refresh epochs that elapsed while the daemon was down
+                // fired on every live node; catch the shard up to the
+                // shared absolute schedule before it sees traffic. The
+                // rolls are journaled, so the next crash replays them.
+                if config.cfg.auto_refresh_epochs > 0 {
+                    let boundary = wall_us().saturating_sub(config.cfg.erase_km_at)
+                        / config.cfg.auto_refresh_period;
+                    let expected = (boundary as u32).min(config.cfg.auto_refresh_epochs);
+                    while bs.epoch() < expected {
+                        bs.apply_hash_refresh();
+                    }
+                }
+                if restarted {
+                    if let Some(t) = &trace {
+                        t.record(bs_id, TraceEvent::BsRestart { replayed });
+                    }
+                }
+                store = Some(s);
+            }
             let tx_socket = UdpSocket::bind((config.bind.as_str(), 0))?;
             let stats = Arc::clone(&stats);
             let shutdown = Arc::clone(&shutdown);
@@ -387,7 +472,9 @@ impl UdpServer {
             let rng = StdRng::seed_from_u64(derive_seed(config.seed, 100 + w as u64));
             let trace = trace.clone();
             threads.push(std::thread::spawn(move || {
-                worker_loop(bs, rng, rx, tx_socket, feedback, stats, shutdown, trace);
+                worker_loop(
+                    bs, rng, rx, tx_socket, store, feedback, stats, shutdown, trace,
+                );
             }));
         }
 
@@ -612,11 +699,71 @@ struct WorkerState {
     timer_gen: u64,
     actions: Vec<UdpAction>,
     socket: UdpSocket,
+    /// Monotonic base for the timer wheel; all heap deadlines are on
+    /// this clock, never on the (steppable) wall clock.
+    clock: MonoClock,
+    store: Option<StateStore>,
     stats: Arc<NetStats>,
     trace: Option<Arc<SharedTrace>>,
 }
 
 impl WorkerState {
+    /// WAL-before-ACK: drains the shard's journal and flushes it to the
+    /// log. Must run after a dispatch but **before** [`Self::apply_actions`]
+    /// releases the replies that acknowledge the journaled state.
+    ///
+    /// A storage error downgrades the shard to in-memory operation (with
+    /// a stderr notice) rather than taking the reactor down: the daemon
+    /// keeps serving, and the operator sees recovery is no longer
+    /// guaranteed.
+    fn persist(&mut self, bs: &mut BaseStation) {
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        let batch = bs.drain_journal();
+        if batch.is_empty() {
+            return;
+        }
+        match store.append(&batch) {
+            Ok(bytes) => {
+                self.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &self.trace {
+                    t.record(
+                        0,
+                        TraceEvent::WalAppend {
+                            records: batch.len() as u32,
+                            bytes: bytes as u32,
+                        },
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("wsn-net: WAL append failed, shard now in-memory only: {e}");
+                self.store = None;
+                return;
+            }
+        }
+        match store.maybe_snapshot(|| bs.snapshot()) {
+            Ok(Some(bytes)) => {
+                self.stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+                let lsn = store.last_lsn();
+                if let Some(t) = &self.trace {
+                    t.record(
+                        0,
+                        TraceEvent::SnapshotWritten {
+                            lsn,
+                            bytes: bytes as u32,
+                        },
+                    );
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("wsn-net: snapshot failed, shard now in-memory only: {e}");
+                self.store = None;
+            }
+        }
+    }
     /// Applies one dispatch's deferred actions: outgoing frames are
     /// routed by the cluster id in their header (fallback: the address
     /// the frame being answered came from); timers go on the wheel.
@@ -653,8 +800,11 @@ impl WorkerState {
                 UdpAction::SetTimer(key, delay) => {
                     self.timer_gen += 1;
                     self.timers.insert(key, self.timer_gen);
-                    self.timer_heap
-                        .push(Reverse((wall_us() + delay, self.timer_gen, key)));
+                    self.timer_heap.push(Reverse((
+                        self.clock.now_us() + delay,
+                        self.timer_gen,
+                        key,
+                    )));
                 }
                 UdpAction::CancelTimer(key) => {
                     self.timers.remove(&key);
@@ -672,6 +822,7 @@ fn worker_loop(
     mut rng: StdRng,
     rx: Receiver<Crossing>,
     socket: UdpSocket,
+    store: Option<StateStore>,
     feedback: Vec<mpsc::Sender<ClusterId>>,
     stats: Arc<NetStats>,
     shutdown: Arc<AtomicBool>,
@@ -684,6 +835,8 @@ fn worker_loop(
         timer_gen: 0,
         actions: Vec::with_capacity(8),
         socket,
+        clock: MonoClock::new(),
+        store,
         stats: Arc::clone(&stats),
         trace,
     };
@@ -700,11 +853,13 @@ fn worker_loop(
         };
         bs.dispatch_start(&mut ctx);
     }
+    // Also flushes anything restore-time catch-up journaled at spawn.
+    st.persist(&mut bs);
     st.apply_actions(None);
 
     while !shutdown.load(Ordering::Relaxed) {
         // Sleep until the next timer or the poll ceiling.
-        let now = wall_us();
+        let now = st.clock.now_us();
         let wait_us = st
             .timer_heap
             .peek()
@@ -734,6 +889,9 @@ fn worker_loop(
                 };
                 bs.dispatch_message(&mut ctx, &frame);
             }
+            // WAL-before-ACK: the mutations this frame caused hit the
+            // log before the reply (its acknowledgment) can leave.
+            st.persist(&mut bs);
             st.apply_actions(Some(from_addr));
 
             // Mirror what this dispatch changed into the shared stats,
@@ -789,10 +947,12 @@ fn worker_loop(
             snap = after;
         }
 
-        // Fire due timers (superseded generations are skipped).
-        let now = wall_us();
+        // Fire due timers (superseded generations are skipped). The
+        // heap holds monotonic deadlines; the dispatch still sees the
+        // wall clock, which stamps `τ`.
+        let mono_now = st.clock.now_us();
         while let Some(&Reverse((at, gen, key))) = st.timer_heap.peek() {
-            if at > now {
+            if at > mono_now {
                 break;
             }
             st.timer_heap.pop();
@@ -800,12 +960,13 @@ fn worker_loop(
                 st.timers.remove(&key);
                 {
                     let mut ctx = UdpCtx {
-                        now,
+                        now: wall_us(),
                         rng: &mut rng,
                         actions: &mut st.actions,
                     };
                     bs.dispatch_timer(&mut ctx, key);
                 }
+                st.persist(&mut bs);
                 st.apply_actions(None);
             }
         }

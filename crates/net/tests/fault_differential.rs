@@ -1,0 +1,114 @@
+//! Fault-injection differential tests on the loopback engine.
+//!
+//! Two contracts:
+//!
+//! 1. **Disabled faults are free**: a run with
+//!    [`FaultConfig::disabled()`] installed is *identical* — every
+//!    protocol-visible outcome, every counter, every event — to a run
+//!    with no fault engine at all. The shim's zero-knob path consumes
+//!    no RNG draws and allocates nothing, so committed figures cannot
+//!    shift when the feature merely exists.
+//! 2. **Seeded faults are reproducible**: two runs with the same
+//!    [`FaultConfig`] produce the same accepted-reading sequence and
+//!    the same fault counters, and actually perturb the network
+//!    (something must drop under a 10% drop schedule).
+
+use wsn_core::config::ProtocolConfig;
+use wsn_core::setup::{Scenario, SetupParams};
+use wsn_net::{FaultConfig, LoopbackNet};
+
+const N: usize = 60;
+const DENSITY: f64 = 10.0;
+const SEED: u64 = 2005;
+
+/// Builds the loopback net (setup NOT yet run) so faults can be
+/// installed before any traffic flows.
+fn net() -> LoopbackNet {
+    LoopbackNet::from_deployment(
+        Scenario::new(SetupParams {
+            n: N,
+            density: DENSITY,
+            seed: SEED,
+            cfg: ProtocolConfig::default(),
+        })
+        .into_deployment(),
+    )
+}
+
+/// Runs setup, the gradient, and a reading from every sensor; returns
+/// the full protocol-visible outcome.
+fn workout(mut net: LoopbackNet) -> (LoopbackNet, Vec<wsn_core::base_station::Reading>) {
+    net.run();
+    net.establish_gradient();
+    for src in net.sensor_ids() {
+        net.send_reading(src, vec![src as u8, 0xEE], true);
+    }
+    let received = net.bs().received.clone();
+    (net, received)
+}
+
+#[test]
+fn disabled_faults_byte_identical_to_no_faults() {
+    let (clean, clean_rx) = workout(net());
+
+    let mut shimmed = net();
+    shimmed.install_faults(FaultConfig::disabled());
+    let (shimmed, shimmed_rx) = workout(shimmed);
+
+    assert_eq!(clean_rx, shimmed_rx, "accepted readings diverged");
+    assert_eq!(
+        clean.counters(),
+        shimmed.counters(),
+        "transport counters diverged"
+    );
+    assert_eq!(
+        clean.events_processed(),
+        shimmed.events_processed(),
+        "event counts diverged"
+    );
+    assert_eq!(clean.now(), shimmed.now(), "virtual clocks diverged");
+    let fc = shimmed.fault_counters().expect("engine installed");
+    assert_eq!(fc.total(), 0, "disabled engine recorded faults");
+}
+
+#[test]
+fn same_seed_same_faulty_outcome() {
+    let cfg = FaultConfig::soak(7);
+    let mut a = net();
+    a.install_faults(cfg.clone());
+    let (a, a_rx) = workout(a);
+
+    let mut b = net();
+    b.install_faults(cfg);
+    let (b, b_rx) = workout(b);
+
+    assert_eq!(a_rx, b_rx, "same seed, different accepted readings");
+    assert_eq!(a.counters(), b.counters(), "same seed, different counters");
+    let (fa, fb) = (a.fault_counters().unwrap(), b.fault_counters().unwrap());
+    assert_eq!(fa.dropped, fb.dropped);
+    assert_eq!(fa.duplicated, fb.duplicated);
+    assert_eq!(fa.reordered, fb.reordered);
+    assert_eq!(fa.delayed, fb.delayed);
+    assert_eq!(fa.corrupted, fb.corrupted);
+    // The schedule must actually bite: a 10% bursty drop over a full
+    // setup + gradient + readings workout cannot touch nothing.
+    assert!(fa.dropped > 0, "soak schedule dropped nothing");
+}
+
+#[test]
+fn different_seed_different_schedule() {
+    let mut a = net();
+    a.install_faults(FaultConfig::soak(7));
+    let (a, _) = workout(a);
+
+    let mut b = net();
+    b.install_faults(FaultConfig::soak(8));
+    let (b, _) = workout(b);
+
+    let (fa, fb) = (a.fault_counters().unwrap(), b.fault_counters().unwrap());
+    assert_ne!(
+        (fa.dropped, fa.reordered, fa.delayed),
+        (fb.dropped, fb.reordered, fb.delayed),
+        "different seeds produced the same fault schedule"
+    );
+}

@@ -87,6 +87,9 @@ fn udp_end_to_end_smoke() {
             rate: Some(2_000),
             latency_sample: 8,
             sinks: 1,
+            retry: None,
+            faults: None,
+            epochs: None,
         },
         army,
     )

@@ -274,6 +274,39 @@ pub enum TraceEvent {
         /// Cluster id claimed by the refused datagram's header.
         cid: NodeId,
     },
+
+    // ---- durability layer (crash-safe base stations) ----
+    /// A batch of journaled key-state mutations reached the
+    /// write-ahead log (flushed before any output they gate was
+    /// released — WAL-before-ACK).
+    WalAppend {
+        /// Mutations in the batch.
+        records: u32,
+        /// Framed bytes appended to the log.
+        bytes: u32,
+    },
+    /// A compacting state snapshot was written and the log rotated.
+    SnapshotWritten {
+        /// Log sequence number the snapshot covers (replay resumes
+        /// strictly after it).
+        lsn: u64,
+        /// Encoded snapshot size in bytes.
+        bytes: u32,
+    },
+    /// A base-station shard restarted from durable state (snapshot +
+    /// journal replay) instead of provisioning from scratch.
+    BsRestart {
+        /// Journal records replayed on top of the snapshot.
+        replayed: u32,
+    },
+    /// The deterministic socket-path fault engine perturbed a datagram.
+    /// The net-layer counterpart of [`TraceEvent::FaultInjected`]: that
+    /// variant records *plan-driven* simulator faults, this one records
+    /// seeded transport-level schedules (`wsn_net::fault`).
+    NetFaultInjected {
+        /// Which perturbation was applied.
+        fault: NetFaultKind,
+    },
 }
 
 /// The bounded-buffer vocabulary recorded by [`TraceEvent::QueueDrop`].
@@ -340,6 +373,38 @@ impl FaultKind {
     }
 }
 
+/// The socket-path fault vocabulary recorded by
+/// [`TraceEvent::NetFaultInjected`].
+///
+/// A closed, trace-level enum (not `wsn_net::fault`'s config type) so the
+/// JSON vocabulary stays stable as the fault engine grows knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// The datagram was silently discarded.
+    Drop,
+    /// An extra copy of the datagram was delivered.
+    Duplicate,
+    /// The datagram was held past a later send (reordering).
+    Reorder,
+    /// Delivery was delayed without reordering past the window.
+    Delay,
+    /// Payload bytes were flipped in flight.
+    Corrupt,
+}
+
+impl NetFaultKind {
+    /// Stable lowercase name, used as the JSON `fault` value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetFaultKind::Drop => "drop",
+            NetFaultKind::Duplicate => "duplicate",
+            NetFaultKind::Reorder => "reorder",
+            NetFaultKind::Delay => "delay",
+            NetFaultKind::Corrupt => "corrupt",
+        }
+    }
+}
+
 impl TraceEvent {
     /// Stable lowercase name of the variant, used as the JSON `kind`.
     pub fn kind(&self) -> &'static str {
@@ -382,6 +447,10 @@ impl TraceEvent {
             TraceEvent::DatagramTx { .. } => "datagram_tx",
             TraceEvent::SocketDrop { .. } => "socket_drop",
             TraceEvent::AdmissionReject { .. } => "admission_reject",
+            TraceEvent::WalAppend { .. } => "wal_append",
+            TraceEvent::SnapshotWritten { .. } => "snapshot_written",
+            TraceEvent::BsRestart { .. } => "bs_restart",
+            TraceEvent::NetFaultInjected { .. } => "net_fault_injected",
         }
     }
 
@@ -533,6 +602,18 @@ impl TraceRecord {
             }
             TraceEvent::AdmissionReject { cid } => {
                 let _ = write!(s, ",\"cid\":{cid}");
+            }
+            TraceEvent::WalAppend { records, bytes } => {
+                let _ = write!(s, ",\"records\":{records},\"bytes\":{bytes}");
+            }
+            TraceEvent::SnapshotWritten { lsn, bytes } => {
+                let _ = write!(s, ",\"lsn\":{lsn},\"bytes\":{bytes}");
+            }
+            TraceEvent::BsRestart { replayed } => {
+                let _ = write!(s, ",\"replayed\":{replayed}");
+            }
+            TraceEvent::NetFaultInjected { fault } => {
+                let _ = write!(s, ",\"fault\":\"{}\"", fault.label());
             }
             TraceEvent::HelloSent
             | TraceEvent::BecameHead
@@ -772,6 +853,50 @@ mod tests {
                 event,
             };
             assert_eq!(rec.to_json(), expected);
+        }
+    }
+
+    #[test]
+    fn durability_events_render() {
+        let cases = [
+            (
+                TraceEvent::WalAppend {
+                    records: 3,
+                    bytes: 120,
+                },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"wal_append\",\"records\":3,\"bytes\":120}",
+            ),
+            (
+                TraceEvent::SnapshotWritten { lsn: 77, bytes: 4096 },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"snapshot_written\",\"lsn\":77,\"bytes\":4096}",
+            ),
+            (
+                TraceEvent::BsRestart { replayed: 12 },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"bs_restart\",\"replayed\":12}",
+            ),
+            (
+                TraceEvent::NetFaultInjected {
+                    fault: NetFaultKind::Reorder,
+                },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"net_fault_injected\",\"fault\":\"reorder\"}",
+            ),
+        ];
+        for (event, expected) in cases {
+            let rec = TraceRecord {
+                seq: 0,
+                at: 0,
+                node: 1,
+                event,
+            };
+            assert_eq!(rec.to_json(), expected);
+        }
+        for k in [
+            NetFaultKind::Drop,
+            NetFaultKind::Duplicate,
+            NetFaultKind::Delay,
+            NetFaultKind::Corrupt,
+        ] {
+            assert!(!k.label().is_empty());
         }
     }
 

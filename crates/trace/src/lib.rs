@@ -32,7 +32,7 @@ pub mod provenance;
 pub mod sink;
 pub mod timeline;
 
-pub use event::{FaultKind, QueueKind, TraceEvent, TraceRecord};
+pub use event::{FaultKind, NetFaultKind, QueueKind, TraceEvent, TraceRecord};
 pub use frame::FrameKind;
 pub use provenance::RunManifest;
 pub use sink::{merge_shard_traces, BufferSink, JsonlSink, MemorySink, NullSink, TraceSink};
