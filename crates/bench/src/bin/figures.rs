@@ -25,6 +25,7 @@ use wsn_bench::multisink::{multisink_rows, multisink_table};
 use wsn_bench::overload::{overload_rows, overload_table};
 use wsn_bench::resilience::{resilience_rows, resilience_table};
 use wsn_bench::security::{cost_table, hello_flood_table, resilience_sweep, ResilienceParams};
+use wsn_bench::sinkfailover::{sinkfailover_rows, sinkfailover_table};
 use wsn_bench::MASTER_SEED;
 use wsn_metrics::{Series, Table};
 use wsn_trace::RunManifest;
@@ -227,6 +228,26 @@ fn run_multisink(trials: usize) {
     println!();
 }
 
+fn run_sinkfailover(trials: usize) {
+    println!(
+        "# Sink failover — delivered readings/s before vs after killing 1 of K sinks ({trials} trials)\n"
+    );
+    let rows = sinkfailover_rows(trials);
+    emit_table("sinkfailover", &sinkfailover_table(&rows), trials);
+    for r in &rows {
+        println!(
+            "{} sinks: {:.1} -> {:.1} readings/s after the kill ({:.0}% retained, {:.1} entries re-homed, {:.1} lost)",
+            r.sinks,
+            r.pre_per_sec,
+            r.post_per_sec,
+            r.retained * 100.0,
+            r.handoffs,
+            r.lost
+        );
+    }
+    println!();
+}
+
 fn run_millionnode() {
     let n = million_n();
     println!("# Million-node — sharded-backend setup at n = {n} (1 trial)\n");
@@ -249,7 +270,7 @@ fn run_millionnode() {
     }
 }
 
-const KNOWN: [&str; 14] = [
+const KNOWN: [&str; 15] = [
     "all",
     "fig1",
     "fig6",
@@ -263,6 +284,7 @@ const KNOWN: [&str; 14] = [
     "resilience",
     "overload",
     "multisink",
+    "sinkfailover",
     "millionnode",
 ];
 
@@ -342,6 +364,9 @@ fn main() {
     }
     if want("multisink") {
         run_multisink(trials.min(5));
+    }
+    if want("sinkfailover") {
+        run_sinkfailover(trials.min(5));
     }
     // Explicit-only: a full-scale run takes minutes and rewrites the
     // perf artifact, so `all` does not imply it.

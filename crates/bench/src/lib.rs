@@ -21,6 +21,7 @@ pub mod multisink;
 pub mod overload;
 pub mod resilience;
 pub mod security;
+pub mod sinkfailover;
 
 /// The density sweep used throughout the paper's Section V
 /// (average neighbors per node).

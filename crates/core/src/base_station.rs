@@ -230,6 +230,45 @@ impl BaseStation {
         self.windows.insert(state.id, state.window);
     }
 
+    /// Inter-sink handoff, sending side, phase 0: a *copy* of the node's
+    /// partition entry, without removing it. The two-phase handoff
+    /// protocol sends this copy to the new home and only retires the
+    /// local entry (via [`Self::take_node_state`]) once the receiver has
+    /// acknowledged the install — between the two steps both sinks hold
+    /// the entry, so a lost datagram can never lose it.
+    pub fn copy_node_state(&self, node: u32) -> Option<crate::sink::SinkNodeState> {
+        let ki = self.registry.get(&node).copied()?;
+        let window = self.windows.get(&node).cloned().unwrap_or_default();
+        Some(crate::sink::SinkNodeState {
+            id: node,
+            ki,
+            window,
+        })
+    }
+
+    /// Journals the intent to hand `node` off to `to_sink` (phase 1 of
+    /// the two-phase inter-sink handoff). State is untouched; the record
+    /// lets a restarted sink distinguish an in-flight handoff from a
+    /// completed one.
+    pub fn note_handoff_intent(&mut self, node: u32, to_sink: u32) {
+        self.record(|| StateMutation::HandoffIntent { node, to_sink });
+    }
+
+    /// Failover takeover: installs a partition entry re-derived from the
+    /// provisioning seed after the failure detector declared `from_sink`
+    /// dead. Journals [`StateMutation::FailoverIn`] (same state effect as
+    /// a rehome-in, with provenance) *before* the entry is served, so a
+    /// takeover that itself crashes replays the installs from its WAL.
+    pub fn install_failover_state(&mut self, state: crate::sink::SinkNodeState, from_sink: u32) {
+        self.record(|| StateMutation::FailoverIn {
+            node: state.id,
+            ki: state.ki,
+            from_sink,
+        });
+        self.registry.insert(state.id, state.ki);
+        self.windows.insert(state.id, state.window);
+    }
+
     /// The node ids whose partition entries this sink currently holds
     /// (ascending) — the conservation invariant across handoffs and
     /// failovers is that the union over sinks never loses an id.
@@ -632,6 +671,13 @@ impl BaseStation {
                 self.seq = self.seq.max(next + SEQ_RESERVE_STRIDE);
             }
             StateMutation::LinkAdvertised => self.link_advertised = true,
+            // Intent only: ownership does not change until the matching
+            // RehomeOut (cut after the receiver's ack) replays.
+            StateMutation::HandoffIntent { .. } => {}
+            StateMutation::FailoverIn { node, ki, .. } => {
+                self.registry.insert(*node, *ki);
+                self.windows.entry(*node).or_default();
+            }
         }
     }
 }

@@ -54,6 +54,8 @@ const M_REHOME_OUT: u8 = 0x09;
 const M_REHOME_IN: u8 = 0x0A;
 const M_SEQ_RESERVE: u8 = 0x0B;
 const M_LINK_ADVERTISED: u8 = 0x0C;
+const M_HANDOFF_INTENT: u8 = 0x0D;
+const M_FAILOVER_IN: u8 = 0x0E;
 
 const SNAP_VERSION: u8 = 1;
 
@@ -133,6 +135,31 @@ pub enum StateMutation {
     },
     /// The phase-2 link advertisement went out (never re-advertised).
     LinkAdvertised,
+    /// Inter-sink handoff, sending side, phase 1: this sink intends to
+    /// transfer the node's partition entry to `to_sink`. Journaled
+    /// *before* the entry leaves the wire so a crash mid-handoff can be
+    /// distinguished from a completed one (the matching [`Self::RehomeOut`]
+    /// is only cut once the receiver acknowledged the install). Replay
+    /// is a state no-op: the entry stays owned until the ack.
+    HandoffIntent {
+        /// Node id being offered.
+        node: u32,
+        /// Destination sink id.
+        to_sink: u32,
+    },
+    /// Inter-sink failover takeover: a dead sink's partition entry was
+    /// re-derived from the provisioning seed and installed here. Same
+    /// state effect as [`Self::RehomeIn`], but records provenance — the
+    /// sink declared dead by the failure detector — so the offline
+    /// oracle can attribute borrowed entries.
+    FailoverIn {
+        /// Node id taken over.
+        node: u32,
+        /// The node's `Ki` (re-derived locally).
+        ki: Key128,
+        /// The sink the failure detector declared dead.
+        from_sink: u32,
+    },
 }
 
 fn put_key(out: &mut Vec<u8>, k: &Key128) {
@@ -220,6 +247,21 @@ impl StateMutation {
                 out.put_u64(*next);
             }
             StateMutation::LinkAdvertised => out.put_u8(M_LINK_ADVERTISED),
+            StateMutation::HandoffIntent { node, to_sink } => {
+                out.put_u8(M_HANDOFF_INTENT);
+                out.put_u32(*node);
+                out.put_u32(*to_sink);
+            }
+            StateMutation::FailoverIn {
+                node,
+                ki,
+                from_sink,
+            } => {
+                out.put_u8(M_FAILOVER_IN);
+                out.put_u32(*node);
+                put_key(out, ki);
+                out.put_u32(*from_sink);
+            }
         }
     }
 
@@ -329,6 +371,31 @@ impl StateMutation {
                 })
             }
             M_LINK_ADVERTISED => Ok(StateMutation::LinkAdvertised),
+            M_HANDOFF_INTENT => {
+                if buf.remaining() < 8 {
+                    return Err(ProtocolError::Malformed);
+                }
+                Ok(StateMutation::HandoffIntent {
+                    node: buf.get_u32(),
+                    to_sink: buf.get_u32(),
+                })
+            }
+            M_FAILOVER_IN => {
+                if buf.remaining() < 4 {
+                    return Err(ProtocolError::Malformed);
+                }
+                let node = buf.get_u32();
+                let ki = get_key(buf)?;
+                if buf.remaining() < 4 {
+                    return Err(ProtocolError::Malformed);
+                }
+                let from_sink = buf.get_u32();
+                Ok(StateMutation::FailoverIn {
+                    node,
+                    ki,
+                    from_sink,
+                })
+            }
             _ => Err(ProtocolError::Malformed),
         }
     }
@@ -558,6 +625,15 @@ mod tests {
             },
             StateMutation::SeqReserve { next: 8192 },
             StateMutation::LinkAdvertised,
+            StateMutation::HandoffIntent {
+                node: 13,
+                to_sink: 2,
+            },
+            StateMutation::FailoverIn {
+                node: 14,
+                ki: key(9),
+                from_sink: 1,
+            },
         ]
     }
 

@@ -224,6 +224,7 @@ fn main() {
         retry: Some(RetryConfig::soak()),
         faults: Some(FaultConfig::soak(fault_seed)),
         epochs: Some(sched),
+        failover: false,
     };
     eprintln!(
         "crash-soak: soaking {motes} motes at {rate}/s for {duration}s through 10% bursty \

@@ -40,8 +40,8 @@ fn main() {
              \x20              [--senders P] [--duration SECS] [--payload BYTES]\n\
              \x20              [--rate READINGS_PER_SEC] [--sample 1_IN_K] [--sinks K]\n\
              \x20              [--arq] [--timeout-ms MS] [--retries N] [--window W]\n\
-             \x20              [--fault-seed S] [--genesis UNIX_US] [--refresh-period SECS]\n\
-             \x20              [--refresh-epochs N]"
+             \x20              [--failover] [--fault-seed S] [--genesis UNIX_US]\n\
+             \x20              [--refresh-period SECS] [--refresh-epochs N]"
         );
         return;
     }
@@ -99,7 +99,14 @@ fn main() {
             period_us: num(&args, "--refresh-period", 60) * 1_000_000,
             max_epochs: num(&args, "--refresh-epochs", 0) as u32,
         }),
+        // --failover: rotate ARQ-exhausted readings to the next sink
+        // in the failover order (needs --arq and --sinks > 1).
+        failover: args.iter().any(|a| a == "--failover"),
     };
+    if params.failover && (params.retry.is_none() || params.sinks <= 1) {
+        eprintln!("motegen: --failover requires --arq and --sinks > 1");
+        std::process::exit(2);
+    }
     if params.sinks > 1 && params.targets.len() < params.sinks {
         eprintln!(
             "motegen: --sinks {} needs {} targets, got {}",
@@ -127,22 +134,25 @@ fn main() {
         std::process::exit(1);
     });
     println!(
-        "motes {} | sent {} in {:.1}s = {:.0} readings/s | acks {} | send errors {}",
+        "motes {} | sent {} in {:.1}s = {:.0} readings/s | acks {} | send errors {} \
+         (retried {})",
         report.motes,
         report.sent,
         report.elapsed.as_secs_f64(),
         report.sent_per_sec,
         report.acks_seen,
         report.send_errors,
+        report.socket_retries,
     );
     if params.retry.is_some() {
         println!(
-            "arq: acked {}/{} = {:.2}% | retransmits {} | gave up {}",
+            "arq: acked {}/{} = {:.2}% | retransmits {} | gave up {} | failovers {}",
             report.acked,
             report.sent,
             report.ack_rate() * 100.0,
             report.retransmits,
             report.gave_up,
+            report.failovers,
         );
     }
     match (report.p50_us, report.p99_us) {

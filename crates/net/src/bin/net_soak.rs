@@ -148,6 +148,7 @@ fn main() {
         retry: None,
         faults: None,
         epochs: None,
+        failover: false,
     };
     eprintln!("net-soak: provisioning motes...");
     let army = provision_motes(motes, seed);

@@ -13,9 +13,11 @@
 //! ports from `--port`), and prints a stats line every `--interval`
 //! seconds until `--duration` elapses (0 = run until killed).
 
+use std::net::SocketAddr;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 use wsn_core::config::{CounterMode, ProtocolConfig, RecoveryConfig, ResourceConfig};
+use wsn_net::{ControlPlane, ControlPlaneConfig, ControlTiming, FaultConfig};
 use wsn_net::{UdpServer, UdpServerConfig};
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -47,6 +49,8 @@ fn main() {
              \x20             [--rcvbuf BYTES] [--sink I --sinks K]\n\
              \x20             [--state-dir DIR] [--dedup N] [--snapshot-bytes B]\n\
              \x20             [--genesis UNIX_US] [--refresh-period SECS] [--refresh-epochs N]\n\
+             \x20             [--ctrl-port P --ctrl-peers A0,A1,...] [--ctrl-fault-seed S]\n\
+             \x20             [--hb-ms MS] [--suspect-ms MS] [--strikes N]\n\
              \x20             [--duration SECS] [--interval SECS]"
         );
         return;
@@ -156,6 +160,78 @@ fn main() {
         );
     }
 
+    // Distributed control plane: `--ctrl-port P --ctrl-peers A0,A1,…`
+    // joins this sink to its peers — keyed heartbeats, failure
+    // detection with takeover of a dead sink's nodes, two-phase
+    // failback, replicated revocations. `--ctrl-fault-seed` runs all
+    // inter-sink traffic through the deterministic fault shim's soak
+    // schedule (seeded partition-between-sinks).
+    let control = opt(&args, "--ctrl-port").map(|p| {
+        let (sink, k) = sink_partition.unwrap_or_else(|| {
+            eprintln!("wsn-bs: --ctrl-port requires --sink I --sinks K");
+            std::process::exit(2);
+        });
+        let ctrl_port: u16 = p.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --ctrl-port: {p}");
+            std::process::exit(2);
+        });
+        let peers: Vec<SocketAddr> = opt(&args, "--ctrl-peers")
+            .unwrap_or_else(|| {
+                eprintln!("wsn-bs: --ctrl-port needs --ctrl-peers A0,A1,... (one per sink)");
+                std::process::exit(2);
+            })
+            .split(',')
+            .map(|a| {
+                a.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --ctrl-peers address: {a}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        if peers.len() != k as usize {
+            eprintln!("wsn-bs: --ctrl-peers needs exactly {k} addresses");
+            std::process::exit(2);
+        }
+        let soak = ControlTiming::soak();
+        let timing = ControlTiming {
+            heartbeat_us: num(&args, "--hb-ms", soak.heartbeat_us / 1000) * 1000,
+            suspect_after_us: num(&args, "--suspect-ms", soak.suspect_after_us / 1000) * 1000,
+            max_strikes: num(&args, "--strikes", soak.max_strikes as u64) as u32,
+            ..soak
+        };
+        let bind_host = opt(&args, "--bind").unwrap_or_else(|| "0.0.0.0".to_string());
+        let cp = ControlPlane::spawn(
+            ControlPlaneConfig {
+                sink,
+                k,
+                n,
+                seed,
+                bind: format!("{bind_host}:{ctrl_port}")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("wsn-bs: bad control bind {bind_host}:{ctrl_port}");
+                        std::process::exit(2);
+                    }),
+                peers,
+                timing,
+                faults: opt(&args, "--ctrl-fault-seed").map(|v| {
+                    FaultConfig::soak(v.parse().unwrap_or_else(|_| {
+                        eprintln!("bad value for --ctrl-fault-seed: {v}");
+                        std::process::exit(2);
+                    }))
+                }),
+            },
+            server.control_senders(),
+            None,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("wsn-bs: control plane spawn failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wsn-bs: control plane up on port {ctrl_port} (sink {sink} of {k})");
+        cp
+    });
+
     let started = Instant::now();
     let mut last_rx = 0u64;
     let mut last_ok = 0u64;
@@ -184,11 +260,29 @@ fn main() {
             s.wal_appends.load(Ordering::Relaxed),
             s.snapshots_written.load(Ordering::Relaxed),
         );
+        if let Some(cp) = &control {
+            let c = cp.stats();
+            println!(
+                "ctrl: hb_tx {} rx {} bad_auth {} | suspect {} dead {} | takeover {} \
+                 handoffs {} | revs {}",
+                c.heartbeats_tx.load(Ordering::Relaxed),
+                c.msgs_rx.load(Ordering::Relaxed),
+                c.bad_auth.load(Ordering::Relaxed),
+                c.suspicions.load(Ordering::Relaxed),
+                c.deaths.load(Ordering::Relaxed),
+                c.takeover_nodes.load(Ordering::Relaxed),
+                c.handoffs_committed.load(Ordering::Relaxed),
+                c.revocations_applied.load(Ordering::Relaxed),
+            );
+        }
         last_rx = rx;
         last_ok = ok;
         if duration > 0 && started.elapsed() >= Duration::from_secs(duration) {
             break;
         }
+    }
+    if let Some(cp) = control {
+        cp.shutdown();
     }
     server.shutdown();
 }

@@ -309,16 +309,27 @@ impl FaultySocket {
 
     /// Releases every held frame whose deadline has passed. Called
     /// implicitly by send/recv; call explicitly when idle to drain the
-    /// queue.
+    /// queue. A transient send failure (EAGAIN, an ECONNREFUSED burst
+    /// while a daemon restarts, ENETUNREACH) re-queues the frame with a
+    /// 1 ms backoff instead of surfacing — a delayed frame failing to
+    /// flush must not fail the caller's unrelated send or recv.
     pub fn flush_due(&mut self) -> io::Result<usize> {
         let now = Instant::now();
         let mut sent = 0;
         let mut i = 0;
         while i < self.held.len() {
             if self.held[i].release <= now {
-                let f = self.held.swap_remove(i);
-                self.sock.send_to(&f.buf, f.to)?;
-                sent += 1;
+                match self.sock.send_to(&self.held[i].buf, self.held[i].to) {
+                    Ok(_) => {
+                        self.held.swap_remove(i);
+                        sent += 1;
+                    }
+                    Err(e) if crate::load::is_transient_socket_error(&e) => {
+                        self.held[i].release = now + std::time::Duration::from_millis(1);
+                        i += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
             } else {
                 i += 1;
             }

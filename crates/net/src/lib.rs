@@ -20,12 +20,14 @@
 //! CI smoke: in-process base station plus generator on 127.0.0.1).
 
 pub mod fault;
+pub mod intersink;
 pub mod load;
 pub mod loopback;
 pub mod udp;
 pub mod wal;
 
 pub use fault::{FaultConfig, FaultCounters, FaultEngine, FaultySocket};
+pub use intersink::{ControlPlane, ControlPlaneConfig, ControlStats, ControlTiming};
 pub use loopback::{LoopbackCounters, LoopbackNet};
 pub use udp::{NetStats, UdpServer, UdpServerConfig};
 

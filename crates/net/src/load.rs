@@ -33,7 +33,39 @@ use wsn_crypto::Key128;
 use wsn_sim::rng::derive_seed;
 
 use crate::fault::{FaultConfig, FaultySocket};
+use crate::intersink::failover_order;
 use crate::udp::wall_us;
+
+/// Whether a socket error is transient — the kind a loopback daemon
+/// restart (ECONNREFUSED burst), a mid-reconfiguration interface
+/// (ENETUNREACH/EHOSTUNREACH), or plain backpressure (EAGAIN) surfaces
+/// — and worth retrying with bounded backoff rather than aborting the
+/// run. Matches on stable `ErrorKind`s first, then raw errnos for the
+/// kinds std maps to `Uncategorized`.
+pub fn is_transient_socket_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::TimedOut
+    ) || matches!(
+        e.raw_os_error(),
+        Some(11)  // EAGAIN
+            | Some(101) // ENETUNREACH
+            | Some(111) // ECONNREFUSED
+            | Some(113) // EHOSTUNREACH
+    )
+}
+
+/// Bounded exponential backoff for a streak of transient socket
+/// errors: 1 ms doubling to a 32 ms ceiling. Keeps a refused-to-dead
+/// target from spinning the sender loop while staying far below the
+/// ARQ retransmit timeout.
+fn transient_backoff(streak: u32) -> Duration {
+    Duration::from_millis(1u64 << streak.min(5))
+}
 
 /// The network-wide refresh schedule shared by daemon and generator:
 /// refresh epoch `k` begins at `genesis_us + k * period_us` (UNIX
@@ -93,6 +125,10 @@ pub struct Mote {
     seq: u64,
     /// Refresh epoch this mote's `Kci` is at.
     epoch: u32,
+    /// Learned failover-chain position (0 = home sink). Persisted
+    /// across load windows by `run_with_army`, so a mote that failed
+    /// over keeps sending to the surviving sink it landed on.
+    pub route: u32,
 }
 
 impl Mote {
@@ -178,6 +214,7 @@ pub fn provision_motes(motes: usize, seed: u64) -> Vec<Mote> {
             ctr: 0,
             seq: 0,
             epoch: 0,
+            route: 0,
         });
     }
     army
@@ -252,6 +289,13 @@ pub struct LoadParams {
     /// Shared refresh schedule: motes hash-ratchet `Kci` at its epoch
     /// boundaries exactly as the daemon does (`None` = no refresh).
     pub epochs: Option<EpochSchedule>,
+    /// Client-side sink failover (requires ARQ and `sinks > 1`): when a
+    /// reading exhausts its retries against one sink, rotate it to the
+    /// next sink in [`failover_order`] — same Step-1 seal and dedup
+    /// key, fresh `τ` for the new home — and remember the working sink
+    /// for the mote's future sends. `false` keeps the single-home ARQ
+    /// behavior byte-identical to pre-failover runs.
+    pub failover: bool,
 }
 
 /// What a load run measured.
@@ -283,6 +327,13 @@ pub struct LoadReport {
     /// Readings abandoned after exhausting their retries (ARQ mode
     /// only).
     pub gave_up: u64,
+    /// Transient send/recv errors absorbed with bounded backoff
+    /// (EAGAIN, ECONNREFUSED bursts, ENETUNREACH, …) instead of
+    /// aborting the run. Also counted in `send_errors`.
+    pub socket_retries: u64,
+    /// Readings rotated to a different sink after exhausting their
+    /// retries against the previous one (failover mode only).
+    pub failovers: u64,
 }
 
 impl LoadReport {
@@ -305,6 +356,8 @@ struct ThreadTally {
     acked: u64,
     retransmits: u64,
     gave_up: u64,
+    socket_retries: u64,
+    failovers: u64,
 }
 
 /// A sender socket, optionally behind the deterministic fault shim.
@@ -354,6 +407,14 @@ impl LoadSocket {
 /// each cycling its motes round-robin (so per-mote rates stay uniform
 /// and far below any admission limit), draining ACKs opportunistically.
 pub fn run(params: &LoadParams, army: Vec<Mote>) -> io::Result<LoadReport> {
+    run_with_army(params, army).map(|(report, _)| report)
+}
+
+/// [`run`], but hands the mote army back (in its original order) so a
+/// caller can run several measurement windows against the same
+/// population — counters, sequence numbers and epochs carry across
+/// windows, which replay protection at the base station requires.
+pub fn run_with_army(params: &LoadParams, army: Vec<Mote>) -> io::Result<(LoadReport, Vec<Mote>)> {
     assert!(!params.targets.is_empty(), "no targets");
     assert!(params.senders >= 1);
     assert!(
@@ -376,12 +437,14 @@ pub fn run(params: &LoadParams, army: Vec<Mote>) -> io::Result<LoadReport> {
     for (p, motes) in partitions.into_iter().enumerate() {
         let params = params.clone();
         let cfg = cfg.clone();
-        handles.push(std::thread::spawn(move || -> io::Result<ThreadTally> {
-            match params.retry.clone() {
-                Some(rc) => sender_loop_arq(p, motes, &params, &cfg, &rc),
-                None => sender_loop(p, motes, &params, &cfg),
-            }
-        }));
+        handles.push(std::thread::spawn(
+            move || -> io::Result<(ThreadTally, Vec<Mote>)> {
+                match params.retry.clone() {
+                    Some(rc) => sender_loop_arq(p, motes, &params, &cfg, &rc),
+                    None => sender_loop(p, motes, &params, &cfg),
+                }
+            },
+        ));
     }
 
     let mut report = LoadReport {
@@ -389,15 +452,19 @@ pub fn run(params: &LoadParams, army: Vec<Mote>) -> io::Result<LoadReport> {
         ..LoadReport::default()
     };
     let mut all_samples: Vec<u64> = Vec::new();
+    let mut returned: Vec<Vec<Mote>> = Vec::with_capacity(params.senders);
     for h in handles {
-        let tally = h.join().expect("sender thread panicked")?;
+        let (tally, motes) = h.join().expect("sender thread panicked")?;
         report.sent += tally.sent;
         report.acks_seen += tally.acks_seen;
         report.send_errors += tally.send_errors;
         report.acked += tally.acked;
         report.retransmits += tally.retransmits;
         report.gave_up += tally.gave_up;
+        report.socket_retries += tally.socket_retries;
+        report.failovers += tally.failovers;
         all_samples.extend(tally.samples);
+        returned.push(motes);
     }
     report.elapsed = start.elapsed();
     report.sent_per_sec = report.sent as f64 / report.elapsed.as_secs_f64();
@@ -407,7 +474,19 @@ pub fn run(params: &LoadParams, army: Vec<Mote>) -> io::Result<LoadReport> {
         report.p50_us = Some(all_samples[all_samples.len() / 2]);
         report.p99_us = Some(all_samples[(all_samples.len() * 99) / 100]);
     }
-    Ok(report)
+    // Undo the round-robin partition: thread `p` held original army
+    // positions p, p + senders, p + 2·senders, … in order.
+    let total: usize = returned.iter().map(|v| v.len()).sum();
+    let mut iters: Vec<_> = returned.into_iter().map(|v| v.into_iter()).collect();
+    let mut army = Vec::with_capacity(total);
+    for i in 0..total {
+        army.push(
+            iters[i % params.senders]
+                .next()
+                .expect("thread returned fewer motes than it was given"),
+        );
+    }
+    Ok((report, army))
 }
 
 fn sender_loop(
@@ -415,12 +494,13 @@ fn sender_loop(
     mut motes: Vec<Mote>,
     params: &LoadParams,
     cfg: &ProtocolConfig,
-) -> io::Result<ThreadTally> {
+) -> io::Result<(ThreadTally, Vec<Mote>)> {
     let mut socket = LoadSocket::bind(thread_idx, params)?;
     let mut tally = ThreadTally::default();
     if motes.is_empty() {
-        return Ok(tally);
+        return Ok((tally, motes));
     }
+    let mut error_streak = 0u32;
     // Sampled in-flight sends: ACK key → send time. Bounded by pruning.
     let mut pending: HashMap<u64, u64> = HashMap::new();
     let mut rx_buf = vec![0u8; 2048];
@@ -466,6 +546,7 @@ fn sender_loop(
         let reading = mote.next_reading(params.payload_bytes);
         match socket.send_to(&reading.frame, target) {
             Ok(_) => {
+                error_streak = 0;
                 tally.sent += 1;
                 if sample_every > 0 && tally.sent.is_multiple_of(sample_every) {
                     pending.insert(reading.ack_key, wall_us());
@@ -479,6 +560,15 @@ fn sender_loop(
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_micros(50));
+            }
+            Err(e) if is_transient_socket_error(&e) => {
+                // Absorb the error with bounded backoff and keep
+                // going; the reading is simply lost, like any other
+                // unacked fire-and-forget send.
+                tally.send_errors += 1;
+                tally.socket_retries += 1;
+                std::thread::sleep(transient_backoff(error_streak));
+                error_streak += 1;
             }
             Err(_) => tally.send_errors += 1,
         }
@@ -510,7 +600,7 @@ fn sender_loop(
         );
         std::thread::sleep(Duration::from_millis(10));
     }
-    Ok(tally)
+    Ok((tally, motes))
 }
 
 /// A reading awaiting its ACK in ARQ mode.
@@ -522,10 +612,26 @@ struct InFlight {
     target: SocketAddr,
     /// Wall time to retransmit at, µs.
     deadline: u64,
-    /// Retransmits performed so far.
+    /// Retransmits performed so far against the current target.
     attempts: u32,
+    /// Retransmits performed across every target (failover mode).
+    total_attempts: u32,
+    /// Position in the mote's sink-preference chain: 0 = home sink,
+    /// `p` = `failover_order(home)[p - 1]`.
+    sink_pos: u32,
     /// First-send time when this reading was latency-sampled.
     sent_at: Option<u64>,
+}
+
+/// The sink a mote at preference position `pos` sends to: its home at
+/// position 0, then the [`failover_order`] of that home. `orders[h]`
+/// must be `failover_order(h, sinks)`.
+fn chain_sink(home: usize, pos: u32, orders: &[Vec<u32>]) -> usize {
+    if pos == 0 {
+        home
+    } else {
+        orders[home][pos as usize - 1] as usize
+    }
 }
 
 fn sender_loop_arq(
@@ -534,11 +640,11 @@ fn sender_loop_arq(
     params: &LoadParams,
     cfg: &ProtocolConfig,
     rc: &RetryConfig,
-) -> io::Result<ThreadTally> {
+) -> io::Result<(ThreadTally, Vec<Mote>)> {
     let mut socket = LoadSocket::bind(thread_idx, params)?;
     let mut tally = ThreadTally::default();
     if motes.is_empty() {
-        return Ok(tally);
+        return Ok((tally, motes));
     }
     let mut rng = StdRng::seed_from_u64(derive_seed(params.seed, 0x517 + thread_idx as u64));
     let mut pending: HashMap<u64, InFlight> = HashMap::new();
@@ -549,6 +655,21 @@ fn sender_loop_arq(
     let mut target_idx = thread_idx;
     let sample_every = params.latency_sample;
     let mut error_streak = 0u32;
+    // Failover bookkeeping: per-home preference orders, and each
+    // mote's learned position in its chain (all start at home).
+    let failover = params.failover && params.sinks > 1;
+    let orders: Vec<Vec<u32>> = if failover {
+        (0..params.sinks as u32)
+            .map(|h| failover_order(h, params.sinks as u32))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut routes: Vec<u32> = if failover {
+        motes.iter().map(|m| m.route).collect()
+    } else {
+        Vec::new()
+    };
 
     while start.elapsed() < params.duration {
         arq_drain(
@@ -559,6 +680,7 @@ fn sender_loop_arq(
             cfg,
             &mut pending,
             &mut tally,
+            &mut routes,
         );
         retransmit_due(
             &mut socket,
@@ -568,6 +690,8 @@ fn sender_loop_arq(
             &mut rng,
             &mut pending,
             &mut tally,
+            &orders,
+            &mut routes,
         );
 
         // Window and rate gates: stall (draining) rather than send.
@@ -585,12 +709,18 @@ fn sender_loop_arq(
         if let Some(sched) = &params.epochs {
             motes[pos].sync_epoch(sched, wall_us());
         }
-        let target = if params.sinks > 1 {
-            params.targets[motes[pos].id as usize % params.sinks]
+        let (target, sink_pos) = if failover {
+            // Send along the mote's learned route (home until a
+            // failover moved it).
+            let sp = routes[pos];
+            let home = motes[pos].id as usize % params.sinks;
+            (params.targets[chain_sink(home, sp, &orders)], sp)
+        } else if params.sinks > 1 {
+            (params.targets[motes[pos].id as usize % params.sinks], 0)
         } else {
             let t = params.targets[target_idx % params.targets.len()];
             target_idx += 1;
-            t
+            (t, 0)
         };
         let reading = motes[pos].next_reading(params.payload_bytes);
         match socket.send_to(&reading.frame, target) {
@@ -608,6 +738,8 @@ fn sender_loop_arq(
                         target,
                         deadline: wall_us() + rc.timeout_us + rng.gen_range(0..=rc.jitter_us),
                         attempts: 0,
+                        total_attempts: 0,
+                        sink_pos,
                         sent_at,
                     },
                 );
@@ -615,17 +747,17 @@ fn sender_loop_arq(
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_micros(50));
             }
-            Err(_) => {
-                // A daemon restart surfaces as an ECONNREFUSED burst on
-                // loopback; back off briefly and let ARQ re-send once
-                // the socket is back.
+            Err(e) if is_transient_socket_error(&e) => {
+                // A daemon restart surfaces as an ECONNREFUSED burst
+                // on loopback; an interface flap as ENETUNREACH. Back
+                // off (bounded, exponential) and let ARQ re-send once
+                // the path is back.
                 tally.send_errors += 1;
+                tally.socket_retries += 1;
+                std::thread::sleep(transient_backoff(error_streak));
                 error_streak += 1;
-                if error_streak >= 16 {
-                    std::thread::sleep(Duration::from_millis(20));
-                    error_streak = 0;
-                }
             }
+            Err(_) => tally.send_errors += 1,
         }
     }
     // Closing drain: keep retransmitting until the window empties or
@@ -642,6 +774,7 @@ fn sender_loop_arq(
             cfg,
             &mut pending,
             &mut tally,
+            &mut routes,
         );
         retransmit_due(
             &mut socket,
@@ -651,14 +784,26 @@ fn sender_loop_arq(
             &mut rng,
             &mut pending,
             &mut tally,
+            &orders,
+            &mut routes,
         );
         std::thread::sleep(Duration::from_millis(5));
     }
-    Ok(tally)
+    for (m, &r) in motes.iter_mut().zip(&routes) {
+        m.route = r;
+    }
+    Ok((tally, motes))
 }
 
 /// Retransmits every in-flight reading past its deadline; abandons
-/// readings that exhausted their retries.
+/// readings that exhausted their retries. In failover mode (`orders`
+/// non-empty) a reading that exhausts its retries against one sink is
+/// instead rotated to the next sink in its preference chain — fresh
+/// retry budget, same dedup key — and the mote's route follows it, so
+/// its future sends start at the sink that might still answer. Only
+/// when the whole chain is exhausted (`max_retries × sinks` attempts)
+/// is the reading abandoned.
+#[allow(clippy::too_many_arguments)]
 fn retransmit_due(
     socket: &mut LoadSocket,
     motes: &mut [Mote],
@@ -667,6 +812,8 @@ fn retransmit_due(
     rng: &mut StdRng,
     pending: &mut HashMap<u64, InFlight>,
     tally: &mut ThreadTally,
+    orders: &[Vec<u32>],
+    routes: &mut [u32],
 ) {
     let now = wall_us();
     let mut abandoned: Vec<u64> = Vec::new();
@@ -675,8 +822,19 @@ fn retransmit_due(
             continue;
         }
         if inf.attempts >= rc.max_retries {
-            abandoned.push(*key);
-            continue;
+            let budget = rc.max_retries * params.sinks.max(1) as u32;
+            if orders.is_empty() || inf.total_attempts >= budget {
+                abandoned.push(*key);
+                continue;
+            }
+            // Rotate to the next sink in this mote's chain and move
+            // the mote's route with it.
+            inf.sink_pos = (inf.sink_pos + 1) % params.sinks as u32;
+            let home = motes[inf.mote_pos].id as usize % params.sinks;
+            inf.target = params.targets[chain_sink(home, inf.sink_pos, orders)];
+            inf.attempts = 0;
+            routes[inf.mote_pos] = inf.sink_pos;
+            tally.failovers += 1;
         }
         let mote = &mut motes[inf.mote_pos];
         if let Some(sched) = &params.epochs {
@@ -685,9 +843,15 @@ fn retransmit_due(
         let frame = mote.rewrap(inf.ctr, &inf.sealed);
         match socket.send_to(&frame, inf.target) {
             Ok(_) => {}
-            Err(_) => tally.send_errors += 1,
+            Err(e) => {
+                tally.send_errors += 1;
+                if is_transient_socket_error(&e) {
+                    tally.socket_retries += 1;
+                }
+            }
         }
         inf.attempts += 1;
+        inf.total_attempts += 1;
         tally.retransmits += 1;
         // Exponential backoff with jitter; `wall_us` re-read so a slow
         // send doesn't compress the next interval.
@@ -701,7 +865,12 @@ fn retransmit_due(
 }
 
 /// Drains the socket non-blocking; unwraps ACK frames under the owning
-/// mote's cluster key and resolves matching in-flight readings.
+/// mote's cluster key and resolves matching in-flight readings. With
+/// failover routes (`routes` non-empty) an ACK confirms the sink that
+/// answered, so the mote's route snaps to the acked reading's position
+/// — this is how motes drift back to a recovered home sink after its
+/// entries are handed back.
+#[allow(clippy::too_many_arguments)]
 fn arq_drain(
     socket: &mut LoadSocket,
     buf: &mut [u8],
@@ -710,6 +879,7 @@ fn arq_drain(
     cfg: &ProtocolConfig,
     pending: &mut HashMap<u64, InFlight>,
     tally: &mut ThreadTally,
+    routes: &mut [u32],
 ) {
     let mut acks_seen = 0u64;
     let mut acked: Vec<InFlight> = Vec::new();
@@ -723,6 +893,9 @@ fn arq_drain(
     let now = wall_us();
     for inf in acked {
         tally.acked += 1;
+        if !routes.is_empty() {
+            routes[inf.mote_pos] = inf.sink_pos;
+        }
         if let Some(sent_at) = inf.sent_at {
             tally.samples.push(now.saturating_sub(sent_at));
         }

@@ -186,6 +186,9 @@ pub struct LoopbackNet {
     events_processed: u64,
     sinks: Option<SinkSet>,
     faults: Option<FaultEngine>,
+    /// Per-node power state, mirroring the simulator's: a down node's
+    /// radio and CPU are dark — no timers fire, no frames arrive.
+    down: Vec<bool>,
 }
 
 impl LoopbackNet {
@@ -225,6 +228,7 @@ impl LoopbackNet {
             events_processed: 0,
             sinks,
             faults: None,
+            down: vec![false; n],
         };
         for id in 0..n as NodeId {
             net.schedule(0, EventKind::Start(id));
@@ -304,9 +308,15 @@ impl LoopbackNet {
         self.events_processed += 1;
         match ev.kind {
             EventKind::Start(id) => {
+                if self.is_down(id) {
+                    return true;
+                }
                 self.dispatch(id, |app, t| app.dispatch_start(t));
             }
             EventKind::Timer { node, key, gen } => {
+                if self.is_down(node) {
+                    return true;
+                }
                 if self.timers.get(&(node, key)) == Some(&gen) {
                     self.timers.remove(&(node, key));
                     self.trace_with(node, || TraceEvent::TimerFired { key });
@@ -314,6 +324,10 @@ impl LoopbackNet {
                 }
             }
             EventKind::Deliver { from, to, payload } => {
+                // A powered-off receiver hears nothing — not even a drop.
+                if self.is_down(to) {
+                    return true;
+                }
                 // Per-receiver i.i.d. loss with the simulator's exact
                 // draw discipline: no RNG consumed at loss = 0.
                 if self.radio.loss > 0.0 && self.rng.gen::<f64>() < self.radio.loss {
@@ -480,10 +494,88 @@ impl LoopbackNet {
                 s.reset_gradient();
             }
         }
+        let multi = self.sinks.is_some();
         for k in self.sink_ids() {
-            self.schedule_timer(k, TIMER_BEACON, 1);
+            // Multi-sink skips dead sinks (failover re-beacons
+            // survivors), exactly as `NetworkHandle` does.
+            if !multi || self.node_is_up(k) {
+                self.schedule_timer(k, TIMER_BEACON, 1);
+            }
         }
         self.run();
+    }
+
+    fn is_down(&self, id: NodeId) -> bool {
+        self.down.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether `id` is powered on (mirrors the simulator's surface).
+    pub fn node_is_up(&self, id: NodeId) -> bool {
+        !self.is_down(id)
+    }
+
+    /// Powers `id` off: pending and future timers, starts and
+    /// deliveries addressed to it are silently discarded.
+    pub fn set_node_down(&mut self, id: NodeId) {
+        if let Some(slot) = self.down.get_mut(id as usize) {
+            *slot = true;
+        }
+    }
+
+    /// Multi-sink failover: powers sink `dead` off and re-homes every
+    /// node it served to that node's nearest *surviving* sink
+    /// (fallback: the smallest surviving sink id). Mirrors
+    /// `NetworkHandle::fail_sink` exactly — same `plan_failover` over
+    /// the same gradients, same trace events — so the differential
+    /// test can pin sim-vs-loopback equality through a sink kill.
+    pub fn fail_sink(&mut self, dead: u32) -> usize {
+        let mut set = self.sinks.take().expect("fail_sink needs multi-sink mode");
+        self.set_node_down(dead);
+        self.trace_with(dead, || TraceEvent::NodeDown);
+        let survivors: Vec<u32> = (0..set.k()).filter(|&k| k != dead).collect();
+        assert!(!survivors.is_empty(), "cannot fail the last sink");
+        let moves = {
+            let apps = &self.apps;
+            set.plan_failover(dead, |node| {
+                apps[node as usize]
+                    .as_sensor()
+                    .and_then(|n| {
+                        survivors
+                            .iter()
+                            .map(|&k| (n.sink_table().hops_to(k), k))
+                            .filter(|&(hops, _)| hops != wsn_core::routing::NO_GRADIENT)
+                            .min()
+                            .map(|(_, k)| k)
+                    })
+                    .unwrap_or(survivors[0])
+            })
+        };
+        let mut batches: std::collections::BTreeMap<(u32, u32), u32> =
+            std::collections::BTreeMap::new();
+        for m in &moves {
+            let state = self.apps[m.from as usize]
+                .as_base_mut()
+                .expect("handoff source is a sink")
+                .take_node_state(m.node)
+                .expect("planned handoff had no entry");
+            self.apps[m.to as usize]
+                .as_base_mut()
+                .expect("handoff target is a sink")
+                .install_node_state(state);
+            *batches.entry((m.from, m.to)).or_insert(0) += 1;
+            self.trace_with(m.node, || TraceEvent::SinkHandoff {
+                from_sink: m.from,
+                to_sink: m.to,
+            });
+        }
+        for ((from, to), entries) in batches {
+            self.trace_with(to, || TraceEvent::SinkSync {
+                from_sink: from,
+                entries,
+            });
+        }
+        self.sinks = Some(set);
+        moves.len()
     }
 
     /// Multi-sink: moves every node's partition entry to its nearest

@@ -301,6 +301,55 @@ fn set_rcvbuf(_socket: &UdpSocket, _bytes: usize) -> io::Result<usize> {
 /// source address it arrived from (the reply route).
 type Crossing = (Bytes, SocketAddr);
 
+/// A control-plane command injected into a worker shard, drained at the
+/// top of every worker-loop iteration. This is how the inter-sink
+/// control plane (`crate::intersink`) reaches the shard-owned
+/// [`BaseStation`]s: installs, two-phase handoff steps, and replicated
+/// revocation appends all land here and are journaled through the
+/// shard's WAL (`persist`) before any traffic depends on them.
+pub enum CtrlCmd {
+    /// Install a partition entry. `from_sink: Some(dead)` is a failover
+    /// takeover (journals [`wsn_core::persist::StateMutation::FailoverIn`]
+    /// with provenance); `None` is the receiving side of a two-phase
+    /// handoff (journals `RehomeIn`).
+    Install {
+        /// The entry (`Ki` + replay window) to install.
+        state: wsn_core::sink::SinkNodeState,
+        /// The sink the failure detector declared dead, for takeovers.
+        from_sink: Option<u32>,
+    },
+    /// Copy a node's partition entry without removing it (phase 0 of a
+    /// two-phase handoff). Replies `None` if this shard does not hold
+    /// the entry.
+    TakeCopy {
+        /// Node whose entry to copy.
+        node: u32,
+        /// Reply channel (capacity ≥ 1; the worker never blocks on it).
+        reply: SyncSender<Option<wsn_core::sink::SinkNodeState>>,
+    },
+    /// Journal the intent to hand `node` off to `to_sink` (phase 1).
+    NoteIntent {
+        /// Node being offered.
+        node: u32,
+        /// Destination sink.
+        to_sink: u32,
+    },
+    /// Retire a node's entry after the receiving sink acknowledged the
+    /// install (phase 2; journals `RehomeOut`).
+    Retire {
+        /// Node whose entry to drop.
+        node: u32,
+    },
+    /// Apply a replicated revocation append (single-writer at sink 0;
+    /// replicas receive it over the inter-sink protocol).
+    Revoke {
+        /// Cluster ids whose keys are deleted.
+        cids: Vec<ClusterId>,
+        /// Member node ids marked evicted.
+        nodes: Vec<u32>,
+    },
+}
+
 /// A running UDP base station: reader + worker threads behind shared
 /// stats and a shutdown flag.
 pub struct UdpServer {
@@ -310,6 +359,7 @@ pub struct UdpServer {
     rcvbuf_effective: Vec<usize>,
     threads: Vec<JoinHandle<()>>,
     trace: Option<Arc<SharedTrace>>,
+    ctrl_txs: Vec<mpsc::Sender<CtrlCmd>>,
 }
 
 impl UdpServer {
@@ -371,6 +421,16 @@ impl UdpServer {
             feedback_txs.push(tx);
             feedback_rxs.push(rx);
         }
+        // Control-plane injection: one unbounded channel per worker
+        // shard, drained each worker-loop iteration. Idle when no
+        // control plane is attached.
+        let mut ctrl_txs: Vec<mpsc::Sender<CtrlCmd>> = Vec::with_capacity(config.workers);
+        let mut ctrl_rxs: Vec<Receiver<CtrlCmd>> = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let (tx, rx) = mpsc::channel::<CtrlCmd>();
+            ctrl_txs.push(tx);
+            ctrl_rxs.push(rx);
+        }
 
         let mut threads = Vec::with_capacity(config.readers + config.workers);
         let mut ports = Vec::with_capacity(config.readers);
@@ -412,7 +472,7 @@ impl UdpServer {
         drop(worker_txs);
 
         let bs_id = config.sink_partition.map_or(0, |(sink, _)| sink);
-        for (w, rx) in worker_rxs.into_iter().enumerate() {
+        for ((w, rx), ctrl_rx) in worker_rxs.into_iter().enumerate().zip(ctrl_rxs) {
             let mut bs = BaseStation::new(
                 config.cfg.clone(),
                 bs_id,
@@ -445,6 +505,26 @@ impl UdpServer {
                 for m in &recovered.mutations {
                     bs.apply_mutation(m);
                 }
+                // Compaction on restore: an oversized WAL that was
+                // replayed compacts *now* instead of waiting for the
+                // next write-path append — otherwise every restart of a
+                // quiet shard replays the same oversized log. Cut
+                // before the journal is re-enabled so the snapshot is
+                // exactly snapshot+WAL (catch-up rolls below land in
+                // the journal with higher LSNs and replay on top).
+                if replayed > 0 && s.wal_bytes() >= s.snapshot_every_bytes {
+                    let bytes = s.write_snapshot(&bs.snapshot())?;
+                    stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = &trace {
+                        t.record(
+                            bs_id,
+                            TraceEvent::SnapshotWritten {
+                                lsn: s.last_lsn(),
+                                bytes: bytes as u32,
+                            },
+                        );
+                    }
+                }
                 bs.enable_journal();
                 // Refresh epochs that elapsed while the daemon was down
                 // fired on every live node; catch the shard up to the
@@ -473,7 +553,7 @@ impl UdpServer {
             let trace = trace.clone();
             threads.push(std::thread::spawn(move || {
                 worker_loop(
-                    bs, rng, rx, tx_socket, store, feedback, stats, shutdown, trace,
+                    bs, rng, rx, ctrl_rx, tx_socket, store, feedback, stats, shutdown, trace,
                 );
             }));
         }
@@ -485,7 +565,16 @@ impl UdpServer {
             rcvbuf_effective,
             threads,
             trace,
+            ctrl_txs,
         })
+    }
+
+    /// The per-worker control-command channels, in shard order. The
+    /// inter-sink control plane routes node-keyed commands to shard
+    /// `node % workers` (the same sharding readers use for frames) and
+    /// broadcasts revocations to every shard.
+    pub fn control_senders(&self) -> Vec<mpsc::Sender<CtrlCmd>> {
+        self.ctrl_txs.clone()
     }
 
     /// Live transport counters.
@@ -821,6 +910,7 @@ fn worker_loop(
     mut bs: BaseStation,
     mut rng: StdRng,
     rx: Receiver<Crossing>,
+    ctrl: Receiver<CtrlCmd>,
     socket: UdpSocket,
     store: Option<StateStore>,
     feedback: Vec<mpsc::Sender<ClusterId>>,
@@ -858,6 +948,37 @@ fn worker_loop(
     st.apply_actions(None);
 
     while !shutdown.load(Ordering::Relaxed) {
+        // Control-plane commands first: an install must be journaled
+        // and live before the re-homed mote's next frame is dispatched.
+        while let Ok(cmd) = ctrl.try_recv() {
+            match cmd {
+                CtrlCmd::Install { state, from_sink } => {
+                    match from_sink {
+                        Some(dead) => bs.install_failover_state(state, dead),
+                        None => bs.install_node_state(state),
+                    }
+                    // WAL-journaled handoff: the entry is durable before
+                    // any traffic is served under it, so a takeover that
+                    // crashes replays its installs.
+                    st.persist(&mut bs);
+                }
+                CtrlCmd::TakeCopy { node, reply } => {
+                    let _ = reply.try_send(bs.copy_node_state(node));
+                }
+                CtrlCmd::NoteIntent { node, to_sink } => {
+                    bs.note_handoff_intent(node, to_sink);
+                    st.persist(&mut bs);
+                }
+                CtrlCmd::Retire { node } => {
+                    let _ = bs.take_node_state(node);
+                    st.persist(&mut bs);
+                }
+                CtrlCmd::Revoke { cids, nodes } => {
+                    bs.queue_revocation(cids, nodes);
+                    st.persist(&mut bs);
+                }
+            }
+        }
         // Sleep until the next timer or the poll ceiling.
         let now = st.clock.now_us();
         let wait_us = st

@@ -342,7 +342,8 @@ pub fn registry_ids(dir: &Path, shards: usize) -> io::Result<Vec<u32>> {
                     Some(StateMutation::Join { id, .. }) => {
                         present.insert(id);
                     }
-                    Some(StateMutation::RehomeIn { node, .. }) => {
+                    Some(StateMutation::RehomeIn { node, .. })
+                    | Some(StateMutation::FailoverIn { node, .. }) => {
                         present.insert(node);
                     }
                     Some(StateMutation::RehomeOut { node }) => {
@@ -543,10 +544,21 @@ mod tests {
                         kc: key(4),
                     },
                     StateMutation::RehomeOut { node: 3 },
+                    // A journaled takeover counts toward the registry;
+                    // a bare intent does not change ownership.
+                    StateMutation::FailoverIn {
+                        node: 7,
+                        ki: key(5),
+                        from_sink: 2,
+                    },
+                    StateMutation::HandoffIntent {
+                        node: 4,
+                        to_sink: 1,
+                    },
                 ])
                 .unwrap();
         }
-        assert_eq!(registry_ids(&dir, 1).unwrap(), vec![4]);
+        assert_eq!(registry_ids(&dir, 1).unwrap(), vec![4, 7]);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,172 @@
+//! Sim-vs-loopback differential through a sink kill: the same K-sink
+//! deployment on both backends, with the same sink failed mid-run,
+//! must leave identical surviving-sink key tables and accept the same
+//! readings in the same order afterwards.
+//!
+//! Both `fail_sink` implementations plan over the per-sink gradients
+//! (`plan_failover` with the nearest-surviving-sink elector), so this
+//! test pins the *engines* equal through the failure path — power
+//! gating of the dead sink, handoff execution, and the re-beaconed
+//! gradient that routes readings to survivors.
+
+use wsn_core::config::ProtocolConfig;
+use wsn_core::node::Role;
+use wsn_core::routing::NO_GRADIENT;
+use wsn_core::setup::{Backend, Scenario, SetupParams};
+use wsn_net::{run_scenario, LoopbackNet};
+use wsn_sim::radio::RadioConfig;
+
+const N: usize = 60;
+const DENSITY: f64 = 10.0;
+
+fn scenario(seed: u64, cfg: ProtocolConfig, backend: Backend) -> Scenario<'static> {
+    Scenario::new(SetupParams {
+        n: N,
+        density: DENSITY,
+        seed,
+        cfg,
+    })
+    .radio(RadioConfig::default())
+    .backend(backend)
+}
+
+fn loopback_of(seed: u64, cfg: ProtocolConfig) -> LoopbackNet {
+    run_scenario(scenario(seed, cfg, Backend::Loopback)).into_loopback()
+}
+
+#[test]
+fn loopback_matches_simulator_through_sink_kill() {
+    for k in [2u32, 3] {
+        let seed = 4100 + k as u64;
+        let cfg = ProtocolConfig::default().with_sinks(k);
+        let mut handle = run_scenario(scenario(seed, cfg.clone(), Backend::default()))
+            .into_sim()
+            .handle;
+        let mut net = loopback_of(seed, cfg);
+
+        // Converge both deployments to the same pre-failure steady
+        // state: gradients up, every node homed at its nearest sink.
+        handle.establish_gradient();
+        net.establish_gradient();
+        let moved_sim = handle.rehome_to_nearest();
+        let moved_net = net.rehome_to_nearest();
+        assert_eq!(moved_sim, moved_net, "pre-kill rehomes (K = {k})");
+
+        // Kill the highest sink on both backends.
+        let dead = k - 1;
+        let handoffs_sim = handle.fail_sink(dead);
+        let handoffs_net = net.fail_sink(dead);
+        assert_eq!(handoffs_sim, handoffs_net, "failover handoffs (K = {k})");
+        assert!(handoffs_sim > 0, "dead sink served nobody (K = {k})");
+
+        // The dead sink's registry drained into the survivors — only
+        // the untracked sink ids themselves may remain — and the
+        // surviving key tables are identical entry-for-entry.
+        assert!(
+            handle
+                .sink(dead)
+                .registered_nodes()
+                .iter()
+                .all(|&id| id < k),
+            "sim dead sink kept sensor entries (K = {k})"
+        );
+        assert_eq!(
+            handle.sink(dead).registered_nodes(),
+            net.sink(dead).registered_nodes(),
+            "dead sink residual registry (K = {k})"
+        );
+        for s in (0..k).filter(|&s| s != dead) {
+            assert_eq!(
+                handle.sink(s).registered_nodes(),
+                net.sink(s).registered_nodes(),
+                "surviving sink {s} key table (K = {k})"
+            );
+        }
+        assert_eq!(
+            handle.sink_set().map(|s| s.len()),
+            net.sink_set().map(|s| s.len()),
+            "partition size (K = {k})"
+        );
+
+        // Survivors re-beacon (the dead sink stays silent on both
+        // backends); every node must agree on the post-kill gradients,
+        // with no path left to the dead sink.
+        handle.establish_gradient();
+        net.establish_gradient();
+        for id in net.sensor_ids() {
+            for s in 0..k {
+                assert_eq!(
+                    handle.sensor(id).sink_table().hops_to(s),
+                    net.sensor(id).sink_table().hops_to(s),
+                    "post-kill hops from node {id} to sink {s} (K = {k})"
+                );
+            }
+            assert_eq!(
+                net.sensor(id).sink_table().hops_to(dead),
+                NO_GRADIENT,
+                "node {id} still routes to dead sink (K = {k})"
+            );
+        }
+
+        // Post-failover steady state: every head sends one sealed
+        // reading; both backends must land the same readings at the
+        // same surviving sinks in the same order.
+        let heads: Vec<u32> = net
+            .sensor_ids()
+            .into_iter()
+            .filter(|&id| net.sensor(id).role() == Role::Head)
+            .collect();
+        assert!(!heads.is_empty(), "no heads elected (K = {k})");
+        for (i, &src) in heads.iter().enumerate() {
+            let data = format!("failover-{k}-{i}-from-{src}").into_bytes();
+            let got_sim = handle.send_reading(src, data.clone(), true);
+            let got_net = net.send_reading(src, data, true);
+            assert_eq!(
+                got_sim, got_net,
+                "delivered after post-kill reading {i} (K = {k})"
+            );
+        }
+        for s in 0..k {
+            assert_eq!(
+                handle.sink(s).received,
+                net.sink(s).received,
+                "sink {s} reading log (K = {k})"
+            );
+        }
+        assert!(
+            net.total_received() > 0,
+            "nothing delivered post-kill (K = {k})"
+        );
+        assert!(
+            net.sink(dead).received.is_empty(),
+            "dead sink accepted a post-kill reading (K = {k})"
+        );
+    }
+}
+
+/// The loopback failure path is a pure function of the scenario: two
+/// identical kill-a-sink runs produce byte-identical outcomes.
+#[test]
+fn loopback_sink_kill_is_deterministic() {
+    let run = || {
+        let mut net = loopback_of(2005, ProtocolConfig::default().with_sinks(3));
+        net.establish_gradient();
+        net.rehome_to_nearest();
+        let handoffs = net.fail_sink(2);
+        net.establish_gradient();
+        for (i, src) in net.sensor_ids().into_iter().take(8).enumerate() {
+            if net.sensor(src).role() == Role::Head {
+                net.send_reading(src, vec![i as u8; 4], true);
+            }
+        }
+        (
+            handoffs,
+            net.sink(0).received.clone(),
+            net.sink(1).received.clone(),
+            net.sink(0).registered_nodes(),
+            net.sink(1).registered_nodes(),
+            net.events_processed(),
+        )
+    };
+    assert_eq!(run(), run(), "kill-a-sink replay diverged");
+}

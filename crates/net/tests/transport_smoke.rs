@@ -90,6 +90,7 @@ fn udp_end_to_end_smoke() {
             retry: None,
             faults: None,
             epochs: None,
+            failover: false,
         },
         army,
     )

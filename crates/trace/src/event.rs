@@ -236,6 +236,32 @@ pub enum TraceEvent {
         /// Entries transferred in this batch.
         entries: u32,
     },
+    /// The inter-sink failure detector stopped hearing a peer's keyed
+    /// heartbeats and moved it to the suspected state. The record's
+    /// `node` is the observing sink.
+    SinkSuspected {
+        /// The silent peer sink.
+        sink: NodeId,
+        /// Consecutive missed suspicion deadlines so far (1 on entry;
+        /// each strike doubles the next deadline).
+        strikes: u32,
+    },
+    /// The failure detector exhausted its suspicion strikes and declared
+    /// a peer sink dead, triggering failover re-homing of the nodes it
+    /// served. The record's `node` is the observing sink.
+    SinkDead {
+        /// The sink declared dead.
+        sink: NodeId,
+    },
+    /// A two-phase inter-sink handoff committed: the receiving sink
+    /// acknowledged the install and the sender journaled the rehome-out.
+    /// The record's `node` is the node whose entry moved.
+    HandoffCommitted {
+        /// Sink that released the entry.
+        from_sink: NodeId,
+        /// Sink that acknowledged holding it.
+        to_sink: NodeId,
+    },
 
     // ---- transport layer (wsn-net socket backends) ----
     /// A real transport backend (loopback engine or UDP reactor)
@@ -443,6 +469,9 @@ impl TraceEvent {
             TraceEvent::SinkElected { .. } => "sink_elected",
             TraceEvent::SinkHandoff { .. } => "sink_handoff",
             TraceEvent::SinkSync { .. } => "sink_sync",
+            TraceEvent::SinkSuspected { .. } => "sink_suspected",
+            TraceEvent::SinkDead { .. } => "sink_dead",
+            TraceEvent::HandoffCommitted { .. } => "handoff_committed",
             TraceEvent::DatagramRx { .. } => "datagram_rx",
             TraceEvent::DatagramTx { .. } => "datagram_tx",
             TraceEvent::SocketDrop { .. } => "socket_drop",
@@ -593,6 +622,15 @@ impl TraceRecord {
             }
             TraceEvent::SinkSync { from_sink, entries } => {
                 let _ = write!(s, ",\"from_sink\":{from_sink},\"entries\":{entries}");
+            }
+            TraceEvent::SinkSuspected { sink, strikes } => {
+                let _ = write!(s, ",\"sink\":{sink},\"strikes\":{strikes}");
+            }
+            TraceEvent::SinkDead { sink } => {
+                let _ = write!(s, ",\"sink\":{sink}");
+            }
+            TraceEvent::HandoffCommitted { from_sink, to_sink } => {
+                let _ = write!(s, ",\"from_sink\":{from_sink},\"to_sink\":{to_sink}");
             }
             TraceEvent::DatagramRx { from, bytes } => {
                 let _ = write!(s, ",\"from\":{from},\"bytes\":{bytes}");
@@ -843,6 +881,21 @@ mod tests {
                     entries: 17,
                 },
                 "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"sink_sync\",\"from_sink\":0,\"entries\":17}",
+            ),
+            (
+                TraceEvent::SinkSuspected { sink: 2, strikes: 1 },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"sink_suspected\",\"sink\":2,\"strikes\":1}",
+            ),
+            (
+                TraceEvent::SinkDead { sink: 2 },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"sink_dead\",\"sink\":2}",
+            ),
+            (
+                TraceEvent::HandoffCommitted {
+                    from_sink: 0,
+                    to_sink: 2,
+                },
+                "{\"seq\":0,\"at\":0,\"node\":1,\"kind\":\"handoff_committed\",\"from_sink\":0,\"to_sink\":2}",
             ),
         ];
         for (event, expected) in cases {

@@ -76,6 +76,15 @@ pub struct Timeline {
     pub handoff_log: Vec<(SimTime, NodeId, NodeId, NodeId)>,
     /// Total partition entries moved by inter-sink sync batches.
     pub sink_sync_entries: u64,
+    /// `(when, observer sink, suspected sink, strikes)` for every
+    /// failure-detector suspicion, in emission order.
+    pub suspicion_log: Vec<(SimTime, NodeId, NodeId, u32)>,
+    /// `(when, observer sink, dead sink)` for every failure-detector
+    /// death verdict, in emission order.
+    pub sink_death_log: Vec<(SimTime, NodeId, NodeId)>,
+    /// Two-phase inter-sink handoffs that committed (receiver
+    /// acknowledged, sender journaled the rehome-out).
+    pub handoffs_committed: u64,
     /// Virtual time of the last record in the trace.
     pub end_time: SimTime,
 }
@@ -158,6 +167,15 @@ impl Timeline {
                 }
                 TraceEvent::SinkSync { entries, .. } => {
                     tl.sink_sync_entries += *entries as u64;
+                }
+                TraceEvent::SinkSuspected { sink, strikes } => {
+                    tl.suspicion_log.push((rec.at, rec.node, *sink, *strikes));
+                }
+                TraceEvent::SinkDead { sink } => {
+                    tl.sink_death_log.push((rec.at, rec.node, *sink));
+                }
+                TraceEvent::HandoffCommitted { .. } => {
+                    tl.handoffs_committed += 1;
                 }
                 TraceEvent::PartitionStart { .. } => {
                     partition_open.get_or_insert(rec.at);
@@ -246,6 +264,15 @@ impl Timeline {
                 sinks.len(),
                 self.handoff_log.len(),
                 self.sink_sync_entries
+            );
+        }
+        if !self.sink_death_log.is_empty() || !self.suspicion_log.is_empty() {
+            let _ = writeln!(
+                s,
+                "  sink failures: {} suspicion(s), {} death(s), {} committed handoff(s)",
+                self.suspicion_log.len(),
+                self.sink_death_log.len(),
+                self.handoffs_committed
             );
         }
         if !self.fault_log.is_empty() {
@@ -408,6 +435,47 @@ mod tests {
         assert_eq!(tl.handoff_log, vec![(20, 5, 0, 1)]);
         assert_eq!(tl.sink_sync_entries, 4);
         assert!(tl.summary().contains("sinks: 2 in use, 1 handoff(s)"));
+    }
+
+    #[test]
+    fn sink_failure_events_reconstruct() {
+        let tl = Timeline::reconstruct(&[
+            rec(0, 10, 5, TraceEvent::SinkElected { sink: 1, hops: 3 }),
+            rec(
+                1,
+                100,
+                0,
+                TraceEvent::SinkSuspected {
+                    sink: 1,
+                    strikes: 1,
+                },
+            ),
+            rec(
+                2,
+                200,
+                0,
+                TraceEvent::SinkSuspected {
+                    sink: 1,
+                    strikes: 2,
+                },
+            ),
+            rec(3, 400, 0, TraceEvent::SinkDead { sink: 1 }),
+            rec(
+                4,
+                450,
+                5,
+                TraceEvent::HandoffCommitted {
+                    from_sink: 1,
+                    to_sink: 0,
+                },
+            ),
+        ]);
+        assert_eq!(tl.suspicion_log, vec![(100, 0, 1, 1), (200, 0, 1, 2)]);
+        assert_eq!(tl.sink_death_log, vec![(400, 0, 1)]);
+        assert_eq!(tl.handoffs_committed, 1);
+        assert!(tl
+            .summary()
+            .contains("sink failures: 2 suspicion(s), 1 death(s), 1 committed handoff(s)"));
     }
 
     #[test]
